@@ -1,0 +1,64 @@
+// Ablation: the offline lattice vs traditional online candidate-network
+// generation (Sec. 2.2's motivation for Phase 0 — the lattice "bypasses the
+// costly candidate network generation phase"). Both sides produce the same
+// CNs (asserted in tests); this bench measures the runtime cost each pays
+// per query.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "kws/online_cn_generator.h"
+#include "kws/pruned_lattice.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t level = std::min<size_t>(5, EnvMaxLevel());
+  BenchEnv env({level});
+  const size_t max_joins = level - 1;
+  std::printf(
+      "Ablation (level %zu): offline lattice (Phases 1-2) vs online CN "
+      "generation, per query, summed over interpretations\n",
+      level);
+  TablePrinter table({"query", "lattice_ms", "online_ms", "CNs",
+                      "online_trees_explored"});
+  double lattice_total = 0, online_total = 0;
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    KeywordBinder binder(&env.schema(), &env.index(),
+                         env.lattice(level).config().EffectiveKeywordCopies());
+    BindingResult binding_result = binder.Bind(q.text);
+    double lattice_ms = 0, online_ms = 0;
+    size_t cns = 0, explored = 0;
+    for (const KeywordBinding& binding : binding_result.interpretations) {
+      PrunedLattice pl = PrunedLattice::Build(env.lattice(level), binding);
+      lattice_ms += pl.stats().prune_millis + pl.stats().mtn_millis;
+      auto online =
+          GenerateCandidateNetworks(env.schema(), binding, max_joins);
+      KWSDBG_CHECK(online.ok());
+      online_ms += online->gen_millis;
+      cns += online->candidate_networks.size();
+      explored += online->trees_explored;
+    }
+    table.AddRow({q.id, Fmt(lattice_ms, 2), Fmt(online_ms, 2),
+                  std::to_string(cns), std::to_string(explored)});
+    lattice_total += lattice_ms;
+    online_total += online_ms;
+  }
+  table.Print();
+  std::printf(
+      "\ntotals: lattice %.1f ms vs online %.1f ms per full workload pass "
+      "(the lattice additionally pre-pays %.0f ms once, offline, at "
+      "generation time).\n",
+      lattice_total, online_total, env.lattice_gen_millis(level));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main() {
+  kwsdbg::bench::Run();
+  return 0;
+}

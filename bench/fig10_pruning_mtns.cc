@@ -1,0 +1,93 @@
+// Reproduces Fig. 10 and the Sec. 3.3 text: per workload query, the keyword
+// mapping time, nodes remaining after Phase 1 pruning, MTN counts, and the
+// (total vs unique) MTN descendants that quantify the reuse opportunity.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "kws/pruned_lattice.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+struct QueryStats {
+  double bind_millis = 0;
+  double phase12_millis = 0;
+  size_t interpretations = 0;
+  size_t surviving = 0;
+  size_t mtns = 0;
+  size_t desc_total = 0;
+  size_t desc_unique = 0;
+};
+
+QueryStats CollectStats(const BenchEnv& env, size_t level,
+                        const std::string& query) {
+  QueryStats out;
+  const Lattice& lattice = env.lattice(level);
+  KeywordBinder binder(&env.schema(), &env.index(),
+                       lattice.config().EffectiveKeywordCopies());
+  BindingResult binding_result = binder.Bind(query);
+  out.bind_millis = binding_result.bind_millis;
+  for (const KeywordBinding& binding : binding_result.interpretations) {
+    PrunedLattice pl = PrunedLattice::Build(lattice, binding);
+    ++out.interpretations;
+    out.surviving += pl.stats().surviving_nodes;
+    out.mtns += pl.stats().num_mtns;
+    out.desc_total += pl.stats().mtn_desc_total;
+    out.desc_unique += pl.stats().mtn_desc_unique;
+    out.phase12_millis += pl.stats().prune_millis + pl.stats().mtn_millis;
+  }
+  return out;
+}
+
+void Run() {
+  BenchEnv env(PaperLevels());
+  for (size_t level : PaperLevels()) {
+    if (level != 5 && level != 7) continue;  // the levels Sec. 3.3 discusses
+    std::printf(
+        "Fig. 10 (level %zu): keyword pruning and MTNs per query\n", level);
+    TablePrinter table({"query", "interp", "map_ms", "phase12_ms",
+                        "nodes_after_prune", "prune%", "MTNs", "desc",
+                        "unique_desc"});
+    const size_t lattice_nodes = env.lattice(level).num_nodes();
+    double total_map = 0;
+    size_t n = 0;
+    double prune_pct_sum = 0;
+    for (const WorkloadQuery& q : PaperWorkload()) {
+      QueryStats s = CollectStats(env, level, q.text);
+      const double per_interp_surviving =
+          s.interpretations == 0
+              ? 0
+              : static_cast<double>(s.surviving) /
+                    static_cast<double>(s.interpretations);
+      const double prune_pct =
+          100.0 * (1.0 - per_interp_surviving /
+                             static_cast<double>(lattice_nodes));
+      table.AddRow({q.id, std::to_string(s.interpretations),
+                    Fmt(s.bind_millis, 2), Fmt(s.phase12_millis, 2),
+                    std::to_string(s.surviving), Fmt(prune_pct),
+                    std::to_string(s.mtns), std::to_string(s.desc_total),
+                    std::to_string(s.desc_unique)});
+      total_map += s.bind_millis;
+      prune_pct_sum += prune_pct;
+      ++n;
+    }
+    table.Print();
+    std::printf(
+        "avg keyword->schema mapping time: %.2f ms (paper: 7-66 ms, avg 26 "
+        "ms); avg pruning: %.1f%% (paper: 98%% at level 5, 94.3%% at level "
+        "7)\n\n",
+        total_map / static_cast<double>(n),
+        prune_pct_sum / static_cast<double>(n));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main() {
+  kwsdbg::bench::Run();
+  return 0;
+}

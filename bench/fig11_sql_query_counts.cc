@@ -1,0 +1,43 @@
+// Reproduces Fig. 11: the number of SQL queries each traversal strategy
+// executes per workload query at lattice level 5.
+#include <cstdio>
+
+#include "traversal_common.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t level = std::min<size_t>(5, EnvMaxLevel());
+  BenchEnv env({level});
+  std::printf(
+      "Fig. 11 (level %zu): SQL queries executed per traversal strategy\n",
+      level);
+  TablePrinter table({"query", "BU", "BUWR", "TD", "TDWR", "SBH"});
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    std::vector<std::string> row = {q.id};
+    for (TraversalKind kind :
+         {TraversalKind::kBottomUp, TraversalKind::kBottomUpWithReuse,
+          TraversalKind::kTopDown, TraversalKind::kTopDownWithReuse,
+          TraversalKind::kScoreBased}) {
+      auto strategy = MakeStrategy(kind);
+      StrategyRun run = RunStrategyOnQuery(env, level, q.text, strategy.get());
+      row.push_back(std::to_string(run.sql_queries));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper): BUWR <= BU, TDWR <= TD; SBH competitive "
+      "with the best on every query.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main() {
+  kwsdbg::bench::Run();
+  return 0;
+}

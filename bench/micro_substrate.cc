@@ -1,0 +1,208 @@
+// google-benchmark microbenchmarks for the substrates: canonical labeling,
+// inverted-index build and lookup, LIKE scanning, join execution, Zipf
+// sampling, and lattice generation on small schemas.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+#include "lattice/canonical_label.h"
+#include "lattice/lattice_generator.h"
+#include "lattice/lattice_io.h"
+#include "kws/pruned_lattice.h"
+#include "sql/executor.h"
+#include "sql/like_matcher.h"
+#include "sql/parser.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+namespace {
+
+const DblifeDataset& SharedDataset() {
+  static const DblifeDataset* ds = [] {
+    DblifeConfig config;
+    config.num_persons = 500;
+    config.num_publications = 1500;
+    config.num_conferences = 30;
+    config.num_organizations = 80;
+    config.num_topics = 50;
+    auto result = GenerateDblife(config);
+    KWSDBG_CHECK(result.ok());
+    return new DblifeDataset(std::move(*result));
+  }();
+  return *ds;
+}
+
+void BM_CanonicalLabelPath7(benchmark::State& state) {
+  const SchemaGraph& g = SharedDataset().schema;
+  RelationId person = *g.RelationIdByName("Person");
+  RelationId writes = *g.RelationIdByName("writes");
+  RelationId pub = *g.RelationIdByName("Publication");
+  RelationId about = *g.RelationIdByName("about_topic");
+  RelationId topic = *g.RelationIdByName("Topic");
+  RelationId interested = *g.RelationIdByName("interested_in");
+  auto edge_between = [&](RelationId a, RelationId b) {
+    for (const JoinEdge& e : g.edges()) {
+      if ((e.from == a && e.to == b) || (e.from == b && e.to == a)) {
+        return e.id;
+      }
+    }
+    KWSDBG_CHECK(false);
+    return EdgeId{0};
+  };
+  // Person1 - writes - Pub1 - about - Topic1 - interested_in - Person2.
+  JoinTree tree =
+      JoinTree::Single({person, 1})
+          .Extend(0, {writes, 0}, edge_between(writes, person))
+          .Extend(1, {pub, 1}, edge_between(writes, pub))
+          .Extend(2, {about, 0}, edge_between(about, pub))
+          .Extend(3, {topic, 1}, edge_between(about, topic))
+          .Extend(4, {interested, 0}, edge_between(interested, topic))
+          .Extend(5, {person, 2}, edge_between(interested, person));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalLabel(tree));
+  }
+}
+BENCHMARK(BM_CanonicalLabelPath7);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  for (auto _ : state) {
+    InvertedIndex index = InvertedIndex::Build(*ds.db);
+    benchmark::DoNotOptimize(index.num_terms());
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild);
+
+void BM_InvertedIndexLookup(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  static const InvertedIndex index = InvertedIndex::Build(*ds.db);
+  const char* terms[] = {"widom", "data", "probabilistic", "zzzmissing"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TablesContaining(terms[i++ % 4]));
+  }
+}
+BENCHMARK(BM_InvertedIndexLookup);
+
+void BM_LikeMatch(benchmark::State& state) {
+  const std::string text =
+      "Towards Probabilistic Data at the University of Washington";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch("%washington%", text));
+    benchmark::DoNotOptimize(LikeMatch("%zzz%", text));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT * FROM Person AS Person_1, writes AS writes_0, Publication AS "
+      "Publication_1 WHERE writes_0.person_id = Person_1.id AND "
+      "writes_0.publication_id = Publication_1.id AND (Person_1.name LIKE "
+      "'%widom%') AND (Publication_1.title LIKE '%trio%')";
+  for (auto _ : state) {
+    auto stmt = ParseSql(sql);
+    benchmark::DoNotOptimize(stmt.ok());
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_TwoWayJoinExists(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  Executor executor(ds.db.get());
+  JoinNetworkQuery q;
+  q.vertices = {{"Person", "P_1", "widom"},
+                {"writes", "w_0", ""},
+                {"Publication", "Pub_1", "data"}};
+  q.joins = {{1, "person_id", 0, "id"}, {1, "publication_id", 2, "id"}};
+  for (auto _ : state) {
+    auto alive = executor.IsNonEmpty(q);
+    benchmark::DoNotOptimize(alive.ok());
+  }
+}
+BENCHMARK(BM_TwoWayJoinExists);
+
+void BM_FullJoinEnumeration(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  Executor executor(ds.db.get());
+  JoinNetworkQuery q;
+  q.vertices = {{"Person", "P_1", ""},
+                {"writes", "w_0", ""},
+                {"Publication", "Pub_1", "probabilistic"}};
+  q.joins = {{1, "person_id", 0, "id"}, {1, "publication_id", 2, "id"}};
+  for (auto _ : state) {
+    auto rs = executor.Execute(q);
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_FullJoinEnumeration);
+
+void BM_LatticeGeneration(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  LatticeConfig config;
+  config.max_joins = static_cast<size_t>(state.range(0));
+  config.num_keyword_copies = 3;
+  for (auto _ : state) {
+    auto lattice = LatticeGenerator::Generate(ds.schema, config);
+    KWSDBG_CHECK(lattice.ok());
+    benchmark::DoNotOptimize((*lattice)->num_nodes());
+  }
+  auto lattice = LatticeGenerator::Generate(ds.schema, config);
+  state.counters["nodes"] =
+      static_cast<double>((*lattice)->num_nodes());
+}
+BENCHMARK(BM_LatticeGeneration)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_LatticeSaveLoad(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  LatticeConfig config;
+  config.max_joins = 3;
+  config.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(ds.schema, config);
+  KWSDBG_CHECK(lattice.ok());
+  for (auto _ : state) {
+    std::ostringstream out;
+    KWSDBG_CHECK(SaveLattice(**lattice, &out).ok());
+    std::istringstream in(out.str());
+    auto loaded = LoadLattice(ds.schema, &in);
+    KWSDBG_CHECK(loaded.ok());
+    benchmark::DoNotOptimize((*loaded)->num_nodes());
+  }
+  state.counters["nodes"] = static_cast<double>((*lattice)->num_nodes());
+}
+BENCHMARK(BM_LatticeSaveLoad);
+
+void BM_Phase1And2Pruning(benchmark::State& state) {
+  const DblifeDataset& ds = SharedDataset();
+  LatticeConfig config;
+  config.max_joins = 4;
+  config.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(ds.schema, config);
+  KWSDBG_CHECK(lattice.ok());
+  RelationId person = *ds.schema.RelationIdByName("Person");
+  RelationId topic = *ds.schema.RelationIdByName("Topic");
+  KeywordBinding binding({{"widom", {person, 1}}, {"trio", {topic, 1}}});
+  for (auto _ : state) {
+    PrunedLattice pl = PrunedLattice::Build(**lattice, binding);
+    benchmark::DoNotOptimize(pl.mtns().size());
+  }
+}
+BENCHMARK(BM_Phase1And2Pruning);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(100000, 0.8);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace kwsdbg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Robustness sweep beyond Table 2: a randomized workload of 40 queries
+// sampled from the dataset's actual vocabulary, comparing the reuse-based
+// and score-based strategies. Generalizes Fig. 11's conclusion ("SBH
+// performs relatively well in all the cases we tested") past the ten
+// hand-picked queries.
+#include <cstdio>
+
+#include "datasets/query_generator.h"
+#include "traversal_common.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t level = std::min<size_t>(5, EnvMaxLevel());
+  BenchEnv env({level});
+  QueryGeneratorConfig gconfig;
+  gconfig.seed = 7;
+  gconfig.min_keywords = 2;
+  gconfig.max_keywords = 3;
+  RandomQueryGenerator generator(&env.index(), gconfig);
+  const std::vector<std::string> queries = generator.Batch(40);
+  std::printf(
+      "Random workload (level %zu): 40 queries sampled from the %zu-term "
+      "vocabulary (Zipf theta %.1f)\n",
+      level, generator.vocabulary_size(), gconfig.popularity_theta);
+
+  struct Totals {
+    size_t sql = 0;
+    double ms = 0;
+    size_t worst = 0;
+  };
+  const TraversalKind kinds[] = {TraversalKind::kBottomUpWithReuse,
+                                 TraversalKind::kTopDownWithReuse,
+                                 TraversalKind::kScoreBased};
+  Totals totals[3];
+  size_t queries_with_mtns = 0, total_mtns = 0, dead_mtns = 0;
+  for (const std::string& q : queries) {
+    bool counted = false;
+    for (size_t k = 0; k < 3; ++k) {
+      auto strategy = MakeStrategy(kinds[k]);
+      StrategyRun run = RunStrategyOnQuery(env, level, q, strategy.get());
+      totals[k].sql += run.sql_queries;
+      totals[k].ms += run.sql_millis;
+      totals[k].worst = std::max(totals[k].worst, run.sql_queries);
+      if (!counted && run.mtns > 0) {
+        ++queries_with_mtns;
+        total_mtns += run.mtns;
+        dead_mtns += run.dead_mtns;
+        counted = true;
+      }
+    }
+  }
+  std::printf(
+      "%zu of 40 queries produced candidate networks (%zu CNs total, %zu "
+      "non-answers)\n\n",
+      queries_with_mtns, total_mtns, dead_mtns);
+  TablePrinter table({"strategy", "total SQL", "worst query SQL",
+                      "total SQL ms"});
+  for (size_t k = 0; k < 3; ++k) {
+    table.AddRow({std::string(TraversalKindName(kinds[k])),
+                  std::to_string(totals[k].sql),
+                  std::to_string(totals[k].worst), Fmt(totals[k].ms, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: SBH stays within a small factor of the better of "
+      "BUWR/TDWR in total and avoids both of their worst cases.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main() {
+  kwsdbg::bench::Run();
+  return 0;
+}

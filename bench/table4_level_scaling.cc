@@ -1,0 +1,58 @@
+// Reproduces Table 4: the number of SQL queries each strategy executes for
+// Q3 ("Agrawal Chaudhuri Das") as the lattice level grows from 3 to 7.
+#include <cstdio>
+
+#include "traversal_common.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+void Run() {
+  const std::vector<size_t> levels = PaperLevels();
+  BenchEnv env(levels);
+  const WorkloadQuery& q3 = PaperWorkload()[2];
+  KWSDBG_CHECK(q3.id == "Q3");
+  std::printf("Table 4: SQL queries for %s (\"%s\") per level\n",
+              q3.id.c_str(), q3.text.c_str());
+  TablePrinter table({"level", "BU", "BUWR", "TD", "TDWR", "SBH"});
+  std::vector<StrategyRun> level7_runs;
+  for (size_t level : levels) {
+    std::vector<std::string> row = {std::to_string(level)};
+    for (TraversalKind kind :
+         {TraversalKind::kBottomUp, TraversalKind::kBottomUpWithReuse,
+          TraversalKind::kTopDown, TraversalKind::kTopDownWithReuse,
+          TraversalKind::kScoreBased}) {
+      auto strategy = MakeStrategy(kind);
+      StrategyRun run = RunStrategyOnQuery(env, level, q3.text, strategy.get());
+      row.push_back(std::to_string(run.sql_queries));
+      if (level == levels.back()) level7_runs.push_back(run);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (level7_runs.size() == 5) {
+    auto pct = [](size_t reduced, size_t base) {
+      return base == 0 ? 0.0
+                       : 100.0 * (1.0 - static_cast<double>(reduced) /
+                                            static_cast<double>(base));
+    };
+    std::printf(
+        "\nat level %zu: BUWR saves %.0f%% vs BU (paper: 28%%), TDWR saves "
+        "%.0f%% vs TD (paper: 52%%), SBH saves %.0f%% vs BU (paper: "
+        "79%%).\n",
+        levels.back(),
+        pct(level7_runs[1].sql_queries, level7_runs[0].sql_queries),
+        pct(level7_runs[3].sql_queries, level7_runs[2].sql_queries),
+        pct(level7_runs[4].sql_queries, level7_runs[0].sql_queries));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main() {
+  kwsdbg::bench::Run();
+  return 0;
+}

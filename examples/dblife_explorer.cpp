@@ -1,0 +1,83 @@
+// Runs the paper's Table 2 workload over the synthetic DBLife dataset and
+// prints, per query, the answers / non-answers / MPAN counts and the work
+// the chosen traversal strategy performed.
+//
+//   ./dblife_explorer [level] [strategy] ["extra keyword query"]
+//
+//   level     lattice level (default 5; the paper evaluates 3/5/7)
+//   strategy  BU | BUWR | TD | TDWR | SBH (default SBH)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "datasets/dblife.h"
+#include "datasets/workload.h"
+#include "debugger/non_answer_debugger.h"
+#include "lattice/lattice_generator.h"
+
+using namespace kwsdbg;
+
+namespace {
+
+StatusOr<TraversalKind> ParseStrategy(const char* name) {
+  for (TraversalKind kind : AllTraversalKinds()) {
+    if (TraversalKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument(std::string("unknown strategy ") + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t level = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 5;
+  const char* strategy_name = argc > 2 ? argv[2] : "SBH";
+  auto strategy = ParseStrategy(strategy_name);
+  if (!strategy.ok() || level < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [level>=2] [BU|BUWR|TD|TDWR|SBH] [\"query\"]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  auto dataset = GenerateDblife(DblifeConfig{});
+  KWSDBG_CHECK(dataset.ok()) << dataset.status().ToString();
+  std::printf("synthetic DBLife: %zu tables, %zu tuples\n",
+              dataset->db->num_tables(), dataset->db->TotalTuples());
+
+  LatticeConfig lattice_config;
+  lattice_config.max_joins = level - 1;
+  lattice_config.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(dataset->schema, lattice_config);
+  KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+  std::printf("lattice: %zu nodes at level %zu (offline)\n\n",
+              (*lattice)->num_nodes(), level);
+
+  InvertedIndex index = InvertedIndex::Build(*dataset->db);
+  DebuggerOptions options;
+  options.strategy = *strategy;
+  NonAnswerDebugger debugger(dataset->db.get(), lattice->get(), &index,
+                             options);
+
+  std::printf("%-4s %-32s %7s %8s %11s %6s %9s\n", "id", "query", "interp",
+              "answers", "non-answers", "MPANs", "SQL");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    auto report = debugger.Debug(q.text);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    TraversalStats stats = report->AggregateTraversalStats();
+    std::printf("%-4s %-32s %7zu %8zu %11zu %6zu %9zu\n", q.id.c_str(),
+                q.text.c_str(), report->interpretations.size(),
+                report->TotalAnswers(), report->TotalNonAnswers(),
+                report->TotalMpans(), stats.sql_queries);
+  }
+
+  if (argc > 3) {
+    std::printf("\n=== detailed report for \"%s\" (strategy %s) ===\n\n",
+                argv[3], strategy_name);
+    auto report = debugger.Debug(argv[3]);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    std::printf("%s\n", report->ToString().c_str());
+  }
+  return 0;
+}

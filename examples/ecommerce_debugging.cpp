@@ -1,0 +1,93 @@
+// The paper's motivating workflow (Sec. 1), on a 500-item catalog:
+//
+//   1. A shopper searches "saffron candle" — no results.
+//   2. Instead of shipping the dreaded "No results found!" page, the
+//      merchandising team runs the non-answer debugger. The maximal alive
+//      sub-queries show the store *does* carry candles and *does* know a
+//      saffron scent, but no color matches "saffron".
+//   3. The team adds "saffron" as a synonym of yellow in the color
+//      vocabulary (the fix the paper suggests for q1), reindexes, and
+//      re-runs the query — it now returns the yellow candles.
+//
+//   ./ecommerce_debugging
+#include <cstdio>
+
+#include "common/logging.h"
+#include "datasets/ecommerce.h"
+#include "debugger/non_answer_debugger.h"
+#include "lattice/lattice_generator.h"
+
+using namespace kwsdbg;
+
+namespace {
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+/// One debugging round; returns the number of answer queries found.
+size_t DebugRound(NonAnswerDebugger* debugger, const std::string& query) {
+  auto report = debugger->Debug(query);
+  KWSDBG_CHECK(report.ok()) << report.status().ToString();
+  std::printf("%s\n", report->ToString(/*max_items_per_section=*/4).c_str());
+  return report->TotalAnswers();
+}
+
+}  // namespace
+
+int main() {
+  EcommerceConfig config;
+  config.num_items = 500;
+  auto dataset = GenerateEcommerce(config);
+  if (!dataset.ok()) return Fail("dataset", dataset.status());
+  std::printf("catalog: %zu tuples across %zu tables\n\n",
+              dataset->db->TotalTuples(), dataset->db->num_tables());
+
+  LatticeConfig lattice_config;
+  lattice_config.max_joins = 2;
+  lattice_config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(dataset->schema, lattice_config);
+  if (!lattice.ok()) return Fail("lattice", lattice.status());
+
+  const std::string query = "saffron candle";
+  std::printf("=== Round 1: debugging the shopper query \"%s\" ===\n\n",
+              query.c_str());
+  size_t answers;
+  {
+    InvertedIndex index = InvertedIndex::Build(*dataset->db);
+    DebuggerOptions options;
+    options.sample_rows = 3;
+    NonAnswerDebugger debugger(dataset->db.get(), lattice->get(), &index,
+                               options);
+    answers = DebugRound(&debugger, query);
+    std::printf(
+        "-> The candle x saffron-color join is dead while both sides are "
+        "alive:\n   the color vocabulary simply has no \"saffron\". Applying "
+        "the paper's fix...\n\n");
+  }
+
+  auto added = AddColorSynonym(dataset->db.get(), "yellow", "saffron");
+  if (!added.ok()) return Fail("synonym", added.status());
+  KWSDBG_CHECK(*added) << "color 'yellow' missing from catalog";
+  std::printf(
+      "=== Applied fix: Color[yellow].synonyms += \"saffron\"; reindexed "
+      "===\n\n");
+
+  std::printf("=== Round 2: the same query after the fix ===\n\n");
+  {
+    // Vocabulary edits invalidate the index; rebuild it (the lattice is
+    // schema-only and needs no rebuild).
+    InvertedIndex index = InvertedIndex::Build(*dataset->db);
+    DebuggerOptions options;
+    options.sample_rows = 3;
+    NonAnswerDebugger debugger(dataset->db.get(), lattice->get(), &index,
+                               options);
+    size_t fixed_answers = DebugRound(&debugger, query);
+    std::printf(
+        "answers before fix: %zu, after fix: %zu — the non-answer is "
+        "resolved without touching any item row.\n",
+        answers, fixed_answers);
+  }
+  return 0;
+}

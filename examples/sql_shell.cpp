@@ -1,0 +1,176 @@
+// Interactive shell over the in-memory engine — the substrate the KWS-S
+// system runs on. Accepts the SQL subset the system generates (SELECT *
+// over equi-joins and LIKE predicates) plus keyword queries.
+//
+//   ./sql_shell [toy|ecommerce|dblife]
+//
+// Commands:
+//   SELECT ...            run a SQL query (the join-network subset, plus
+//                         COUNT(*), ORDER BY, LIMIT)
+//   explain SELECT ...    print the executor's plan for the query
+//   kw: <keywords>        run the non-answer debugger on a keyword query
+//   tables                list tables and row counts
+//   sql: <keywords>       print the SQL of every candidate network
+//   quit / EOF            exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datasets/dblife.h"
+#include "datasets/ecommerce.h"
+#include "datasets/toy_product_db.h"
+#include "debugger/non_answer_debugger.h"
+#include "kws/query_builder.h"
+#include "lattice/lattice_generator.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/select_runner.h"
+
+using namespace kwsdbg;
+
+namespace {
+
+struct Session {
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+  std::unique_ptr<Lattice> lattice;
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<Executor> executor;
+  std::unique_ptr<NonAnswerDebugger> debugger;
+};
+
+Status LoadDataset(const std::string& which, Session* s) {
+  if (which == "toy") {
+    KWSDBG_ASSIGN_OR_RETURN(ToyDataset ds, BuildToyProductDatabase());
+    s->db = std::move(ds.db);
+    s->schema = std::move(ds.schema);
+  } else if (which == "ecommerce") {
+    KWSDBG_ASSIGN_OR_RETURN(EcommerceDataset ds, GenerateEcommerce());
+    s->db = std::move(ds.db);
+    s->schema = std::move(ds.schema);
+  } else if (which == "dblife") {
+    KWSDBG_ASSIGN_OR_RETURN(DblifeDataset ds, GenerateDblife());
+    s->db = std::move(ds.db);
+    s->schema = std::move(ds.schema);
+  } else {
+    return Status::InvalidArgument("unknown dataset '" + which + "'");
+  }
+  LatticeConfig config;
+  config.max_joins = which == "dblife" ? 4 : 2;
+  config.num_keyword_copies = 3;
+  KWSDBG_ASSIGN_OR_RETURN(s->lattice,
+                          LatticeGenerator::Generate(s->schema, config));
+  s->index = std::make_unique<InvertedIndex>(InvertedIndex::Build(*s->db));
+  s->executor = std::make_unique<Executor>(s->db.get());
+  DebuggerOptions options;
+  options.sample_rows = 3;
+  s->debugger = std::make_unique<NonAnswerDebugger>(
+      s->db.get(), s->lattice.get(), s->index.get(), options);
+  return Status::OK();
+}
+
+void RunSql(Session* s, const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) {
+    std::printf("parse error: %s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  if (stmt->limit == 0 && !stmt->count_star) {
+    stmt->limit = 100;  // keep interactive output bounded
+  }
+  auto rs = RunSelect(s->executor.get(), *stmt, *s->db);
+  if (!rs.ok()) {
+    std::printf("execution error: %s\n", rs.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", rs->ToString().c_str());
+}
+
+void ExplainSql(Session* s, const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) {
+    std::printf("parse error: %s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  auto query = FromSelectStatement(*stmt, *s->db);
+  if (!query.ok()) {
+    std::printf("unsupported query: %s\n",
+                query.status().ToString().c_str());
+    return;
+  }
+  auto plan = s->executor->Explain(*query);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", plan->c_str());
+}
+
+void RunKeywords(Session* s, const std::string& keywords) {
+  auto report = s->debugger->Debug(keywords);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", report->ToString(5).c_str());
+}
+
+void ShowCandidateSql(Session* s, const std::string& keywords) {
+  KeywordBinder binder(&s->schema, s->index.get(),
+                       s->lattice->config().EffectiveKeywordCopies());
+  BindingResult binding_result = binder.Bind(keywords);
+  for (const KeywordBinding& binding : binding_result.interpretations) {
+    PrunedLattice pl = PrunedLattice::Build(*s->lattice, binding);
+    for (NodeId mtn : pl.mtns()) {
+      auto query = BuildNodeQuery(*s->lattice, mtn, binding);
+      if (!query.ok()) continue;
+      auto sql = query->ToSql(*s->db);
+      if (sql.ok()) std::printf("%s\n", sql->c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session;
+  const std::string which = argc > 1 ? argv[1] : "toy";
+  Status status = LoadDataset(which, &session);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [toy|ecommerce|dblife]\n",
+                 status.ToString().c_str(), argv[0]);
+    return 1;
+  }
+  std::printf(
+      "kwsdbg shell — dataset '%s' (%zu tables, %zu tuples). Type SQL, "
+      "'kw: <query>', 'sql: <query>', 'tables', or 'quit'.\n",
+      which.c_str(), session.db->num_tables(), session.db->TotalTuples());
+
+  std::string line;
+  while (true) {
+    std::printf("kwsdbg> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "tables") {
+      for (const std::string& name : session.db->TableNames()) {
+        const Table* t = session.db->FindTable(name);
+        std::printf("  %-16s %8zu rows   (%s)\n", name.c_str(),
+                    t->num_rows(), t->schema().ToString().c_str());
+      }
+    } else if (StartsWith(trimmed, "kw:")) {
+      RunKeywords(&session, trimmed.substr(3));
+    } else if (StartsWith(trimmed, "sql:")) {
+      ShowCandidateSql(&session, trimmed.substr(4));
+    } else if (StartsWith(trimmed, "explain ")) {
+      ExplainSql(&session, trimmed.substr(8));
+    } else {
+      RunSql(&session, trimmed);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

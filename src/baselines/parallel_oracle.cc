@@ -1,0 +1,72 @@
+#include "baselines/parallel_oracle.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+#include "sql/executor.h"
+#include "traversal/evaluator.h"
+
+namespace kwsdbg {
+
+StatusOr<TraversalResult> ClassifyAllParallel(const PrunedLattice& pl,
+                                              const Database& db,
+                                              const InvertedIndex& index,
+                                              size_t num_threads,
+                                              EvalOptions eval) {
+  Timer total;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::vector<NodeId>& nodes = pl.retained();
+  num_threads = std::min(num_threads, std::max<size_t>(1, nodes.size()));
+
+  // Pre-warm the memoized closure caches: they are lazily filled under the
+  // hood and not synchronized, so materialize everything the workers and
+  // the outcome builder will touch before threads start.
+  for (NodeId m : pl.mtns()) pl.RetainedDescendants(m);
+
+  std::vector<uint8_t> alive(pl.lattice().num_nodes(), 0);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> total_sql{0};
+  std::vector<double> worker_millis(num_threads, 0.0);
+  std::vector<Status> worker_status(num_threads, Status::OK());
+
+  auto worker = [&](size_t wid) {
+    Executor executor(&db);
+    QueryEvaluator evaluator(&db, &executor, &pl, &index, eval);
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= nodes.size()) break;
+      auto result = evaluator.IsAlive(nodes[i]);
+      if (!result.ok()) {
+        worker_status[wid] = result.status();
+        break;
+      }
+      alive[nodes[i]] = *result ? 1 : 0;
+    }
+    total_sql.fetch_add(evaluator.sql_executed());
+    worker_millis[wid] = evaluator.sql_millis();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+  for (const Status& s : worker_status) {
+    KWSDBG_RETURN_NOT_OK(s);
+  }
+
+  NodeStatusMap status(pl.lattice().num_nodes());
+  for (NodeId n : nodes) {
+    status.Set(n, alive[n] ? NodeStatus::kAlive : NodeStatus::kDead);
+  }
+  KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
+                          internal::BuildOutcomes(pl, status));
+  result.stats.sql_queries = total_sql.load();
+  for (double ms : worker_millis) result.stats.sql_millis += ms;
+  result.stats.total_millis = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,32 @@
+// Parallel evaluate-everything classification: the RE baseline's work is
+// embarrassingly parallel (every retained node's aliveness is independent),
+// and tables are immutable during a query, so N worker threads with
+// per-thread executors scale it near-linearly. Useful as a fast oracle for
+// very large search spaces and as a demonstration that the substrate is
+// read-parallel safe.
+#ifndef KWSDBG_BASELINES_PARALLEL_ORACLE_H_
+#define KWSDBG_BASELINES_PARALLEL_ORACLE_H_
+
+#include <cstddef>
+
+#include "kws/pruned_lattice.h"
+#include "text/inverted_index.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// Classifies every retained node of `pl` using `num_threads` workers (0 =
+/// hardware concurrency) and returns per-MTN outcomes identical to the
+/// serial strategies'. Each worker owns an Executor (indexes and keyword
+/// scans are built per worker). Stats: sql_queries counts all SQL issued
+/// across workers; sql_millis sums per-worker execution time (CPU-like, can
+/// exceed wall time); total_millis is wall time.
+StatusOr<TraversalResult> ClassifyAllParallel(const PrunedLattice& pl,
+                                              const Database& db,
+                                              const InvertedIndex& index,
+                                              size_t num_threads = 0,
+                                              EvalOptions eval = {});
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_BASELINES_PARALLEL_ORACLE_H_

@@ -1,0 +1,19 @@
+// RE baseline: evaluate every retained node with SQL, no lattice inference.
+#ifndef KWSDBG_BASELINES_RETURN_EVERYTHING_H_
+#define KWSDBG_BASELINES_RETURN_EVERYTHING_H_
+
+#include <memory>
+
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// Builds the RE baseline as a TraversalStrategy (name() == "RE"). It
+/// produces exactly the same outcomes/MPANs as the lattice strategies — the
+/// test suite uses it as the correctness oracle — at the cost of one SQL
+/// query per retained node.
+std::unique_ptr<TraversalStrategy> MakeReturnEverything();
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_BASELINES_RETURN_EVERYTHING_H_

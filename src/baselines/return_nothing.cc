@@ -1,0 +1,80 @@
+#include "baselines/return_nothing.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "kws/pruned_lattice.h"
+#include "kws/query_builder.h"
+#include "text/tokenizer.h"
+
+namespace kwsdbg {
+
+ReturnNothingBaseline::ReturnNothingBaseline(const Database* db,
+                                             const Lattice* lattice,
+                                             const InvertedIndex* index,
+                                             RnOptions options)
+    : db_(db),
+      lattice_(lattice),
+      index_(index),
+      options_(options),
+      executor_(db) {}
+
+StatusOr<RnResult> ReturnNothingBaseline::Run(
+    const std::string& keyword_query) {
+  Timer total;
+  RnResult result;
+  const std::vector<std::string> keywords = TokenizeUnique(keyword_query);
+  if (keywords.empty() || keywords.size() > 63) {
+    return Status::InvalidArgument("unsupported keyword count");
+  }
+  KeywordBinder binder(&lattice_->schema(), index_,
+                       lattice_->config().EffectiveKeywordCopies());
+
+  const size_t sql_before = executor_.stats().queries_executed;
+  const double ms_before = executor_.stats().exec_millis;
+
+  // Every non-empty subset, largest first (the developer starts from the
+  // original query and drops keywords).
+  const uint64_t full = (1ull << keywords.size()) - 1;
+  std::vector<uint64_t> subsets;
+  for (uint64_t s = 1; s <= full; ++s) subsets.push_back(s);
+  std::sort(subsets.begin(), subsets.end(),
+            [](uint64_t a, uint64_t b) {
+              int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+              return pa != pb ? pa > pb : a < b;
+            });
+
+  for (uint64_t subset : subsets) {
+    std::string sub_query;
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      if ((subset >> i) & 1) {
+        if (!sub_query.empty()) sub_query += " ";
+        sub_query += keywords[i];
+      }
+    }
+    ++result.submissions;
+    BindingResult binding_result = binder.Bind(sub_query);
+    if (!binding_result.missing_keywords.empty()) continue;
+    for (const KeywordBinding& binding : binding_result.interpretations) {
+      // A standard KWS-S system computes the CNs for this submission and
+      // executes each one *fully* — the result tuples are what it shows the
+      // user. Nothing carries over between submissions.
+      PrunedLattice pl = PrunedLattice::Build(*lattice_, binding);
+      for (NodeId mtn : pl.mtns()) {
+        ++result.cns_evaluated;
+        KWSDBG_ASSIGN_OR_RETURN(
+            JoinNetworkQuery query,
+            BuildNodeQuery(*lattice_, mtn, binding));
+        KWSDBG_ASSIGN_OR_RETURN(
+            ResultSet rs, executor_.Execute(query, options_.result_limit));
+        result.rows_retrieved += rs.rows.size();
+        if (!rs.rows.empty()) ++result.alive_cns;
+      }
+    }
+  }
+  result.sql_queries = executor_.stats().queries_executed - sql_before;
+  result.sql_millis = executor_.stats().exec_millis - ms_before;
+  result.total_millis = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,63 @@
+// RN baseline (paper Sec. 3.8): the standard KWS-S behaviour — the system
+// returns nothing for a non-answer, so a developer debugging it re-submits
+// every keyword-subset query ("k1 k2", "k1 k3", ..., "k1", ...) and the
+// system evaluates every candidate network of every submission, with no
+// state shared between submissions.
+#ifndef KWSDBG_BASELINES_RETURN_NOTHING_H_
+#define KWSDBG_BASELINES_RETURN_NOTHING_H_
+
+#include <string>
+
+#include "kws/keyword_binding.h"
+#include "lattice/lattice.h"
+#include "sql/executor.h"
+#include "storage/database.h"
+#include "text/inverted_index.h"
+#include "sql/join_network.h"
+
+namespace kwsdbg {
+
+/// Cost and outcome summary of the RN debugging session.
+struct RnResult {
+  size_t submissions = 0;       ///< Keyword queries the developer submitted.
+  size_t cns_evaluated = 0;     ///< Candidate networks across submissions.
+  size_t sql_queries = 0;       ///< Actual SQL executions.
+  double sql_millis = 0;
+  double total_millis = 0;
+  size_t alive_cns = 0;         ///< CNs that returned results.
+  size_t rows_retrieved = 0;    ///< Result tuples materialized for display.
+};
+
+/// RN knobs.
+struct RnOptions {
+  /// Rows a submission materializes per CN (0 = all — what DISCOVER-style
+  /// systems do before ranking). The lattice approach only needs existence
+  /// checks; RN pays for real result sets, which is where the paper's
+  /// response-time gap comes from.
+  size_t result_limit = 0;
+};
+
+/// Simulates the RN debugging session over the same lattice/index substrate
+/// (the lattice is only used to enumerate each submission's CNs, which a
+/// standard KWS-S system computes anyway; no aliveness is inferred from it).
+class ReturnNothingBaseline {
+ public:
+  ReturnNothingBaseline(const Database* db, const Lattice* lattice,
+                        const InvertedIndex* index, RnOptions options = {});
+
+  /// Runs the original query plus every proper non-empty keyword subset.
+  StatusOr<RnResult> Run(const std::string& keyword_query);
+
+  Executor* executor() { return &executor_; }
+
+ private:
+  const Database* db_;
+  const Lattice* lattice_;
+  const InvertedIndex* index_;
+  RnOptions options_;
+  Executor executor_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_BASELINES_RETURN_NOTHING_H_

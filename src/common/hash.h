@@ -1,0 +1,41 @@
+// Hash combinators for composite keys (pair/vector hashing for unordered
+// containers).
+#ifndef KWSDBG_COMMON_HASH_H_
+#define KWSDBG_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace kwsdbg {
+
+/// boost::hash_combine-style mixing.
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9E3779B97F4A7C15ull + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash for std::pair of hashable types.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = std::hash<A>{}(p.first);
+    HashCombine(&seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+/// Hash for std::vector of hashable elements.
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const auto& x : v) HashCombine(&seed, std::hash<T>{}(x));
+    return seed;
+  }
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_HASH_H_

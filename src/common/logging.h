@@ -1,0 +1,76 @@
+// Minimal logging and assertion macros. KWSDBG_CHECK aborts with a message on
+// violated invariants (always on); KWSDBG_DCHECK compiles out in NDEBUG.
+#ifndef KWSDBG_COMMON_LOGGING_H_
+#define KWSDBG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kwsdbg {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal level aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Sets the minimum level that is actually emitted (default: kWarning, so
+/// library code is silent in tests and benches unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+#define KWSDBG_LOG(level)                                              \
+  ::kwsdbg::internal::LogMessage(::kwsdbg::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+// `while (!(cond))` never loops: the fatal LogMessage aborts in its
+// destructor. The form permits streaming extra context after the macro.
+#define KWSDBG_CHECK(cond)                                               \
+  while (!(cond))                                                        \
+  ::kwsdbg::internal::LogMessage(::kwsdbg::LogLevel::kFatal, __FILE__,   \
+                                 __LINE__)                               \
+      << "Check failed: " #cond " "
+
+#define KWSDBG_CHECK_EQ(a, b) KWSDBG_CHECK((a) == (b))
+#define KWSDBG_CHECK_NE(a, b) KWSDBG_CHECK((a) != (b))
+#define KWSDBG_CHECK_LT(a, b) KWSDBG_CHECK((a) < (b))
+#define KWSDBG_CHECK_LE(a, b) KWSDBG_CHECK((a) <= (b))
+#define KWSDBG_CHECK_GT(a, b) KWSDBG_CHECK((a) > (b))
+#define KWSDBG_CHECK_GE(a, b) KWSDBG_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KWSDBG_DCHECK(cond) \
+  while (false) ::kwsdbg::internal::NullStream() << !(cond)
+#else
+#define KWSDBG_DCHECK(cond) KWSDBG_CHECK(cond)
+#endif
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_LOGGING_H_

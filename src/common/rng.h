@@ -1,0 +1,71 @@
+// Deterministic random number generation: xoshiro256** plus distribution
+// helpers (uniform, Zipf). All dataset generation and benchmark workloads use
+// these so results are reproducible run-to-run.
+#ifndef KWSDBG_COMMON_RNG_H_
+#define KWSDBG_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kwsdbg {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and seedable with a
+/// single 64-bit value via SplitMix64 expansion.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffles the given vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent `theta`
+/// (theta = 0 is uniform; larger is more skewed). Uses the classic
+/// inverse-CDF-with-precomputed-harmonics approach; O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// Preconditions: n > 0, theta >= 0.
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_RNG_H_

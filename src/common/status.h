@@ -1,0 +1,157 @@
+// Status and StatusOr: lightweight error propagation without exceptions,
+// in the style of Arrow / RocksDB / absl.
+#ifndef KWSDBG_COMMON_STATUS_H_
+#define KWSDBG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kwsdbg {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+/// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the success case (no
+/// allocation); carries a message string on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result, analogous to absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Implicit from value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define KWSDBG_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::kwsdbg::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define KWSDBG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define KWSDBG_ASSIGN_OR_RETURN(lhs, expr) \
+  KWSDBG_ASSIGN_OR_RETURN_IMPL(            \
+      KWSDBG_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define KWSDBG_CONCAT_INNER_(a, b) a##b
+#define KWSDBG_CONCAT_(a, b) KWSDBG_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression, discarding the value; propagates errors.
+#define KWSDBG_CHECK_OK_OR_RETURN(expr)                      \
+  do {                                                       \
+    auto KWSDBG_CONCAT_(_so_, __LINE__) = (expr);            \
+    if (!KWSDBG_CONCAT_(_so_, __LINE__).ok()) {              \
+      return KWSDBG_CONCAT_(_so_, __LINE__).status();        \
+    }                                                        \
+  } while (0)
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// String helpers shared across the library: case conversion, splitting,
+// joining, and case-insensitive substring search (the semantics of SQL
+// `LIKE '%kw%'` as the paper's queries use it).
+#ifndef KWSDBG_COMMON_STRING_UTIL_H_
+#define KWSDBG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kwsdbg {
+
+/// ASCII lower-casing (the corpus is ASCII; locale-independent by design).
+std::string ToLower(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `needle` occurs in `haystack`, ignoring ASCII case. This is the
+/// evaluation semantics of `col LIKE '%needle%'` in the generated SQL.
+bool ContainsCaseInsensitive(std::string_view haystack,
+                             std::string_view needle);
+
+/// True iff the two strings are equal ignoring ASCII case.
+bool EqualsCaseInsensitive(std::string_view a, std::string_view b);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_STRING_UTIL_H_

@@ -1,0 +1,372 @@
+#include "datasets/dblife.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace kwsdbg {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vocabulary pools. The workload surnames (Table 2) come first so that they
+// are always present regardless of scale; Zipf sampling makes them and the
+// other early names the most connected entities, which matches DBLife's
+// star-around-famous-researchers character.
+// ---------------------------------------------------------------------------
+
+const char* const kSurnames[] = {
+    // Table 2 workload names.
+    "Widom", "Hristidis", "Agrawal", "Chaudhuri", "Das", "DeRose", "Gray",
+    "DeWitt", "Washington",
+    // Ambient researcher surnames.
+    "Naughton", "Doan", "Halevy", "Stonebraker", "Ullman", "Garcia-Molina",
+    "Abiteboul", "Bernstein", "Carey", "Ceri", "Chamberlin", "Codd",
+    "Dayal", "Delis", "Faloutsos", "Franklin", "Gehrke", "Gravano",
+    "Haas", "Hellerstein", "Ioannidis", "Jagadish", "Kanne", "Keller",
+    "Kossmann", "Lenzerini", "Libkin", "Lomet", "Maier", "Mendelzon",
+    "Mohan", "Motwani", "Papadias", "Papakonstantinou", "Ramakrishnan",
+    "Reiter", "Ross", "Sellis", "Silberschatz", "Snodgrass", "Srivastava",
+    "Suciu", "Sudarshan", "Tan", "Vianu", "Weikum", "Wong", "Yu", "Zaniolo",
+    "Zhang", "Zhou", "Miller", "Koudas", "Markl", "Neumann", "Kemper",
+    "Boncz", "Manegold", "Ailamaki", "Pavlo", "Abadi", "Madden", "Bailis",
+    "Li", "Wang", "Chen", "Liu", "Kumar", "Patel", "Olston", "Dean"};
+
+const char* const kFirstNames[] = {
+    "Jennifer", "Vagelis", "Rakesh",  "Surajit", "Gautam", "Pedro",
+    "Jim",      "David",   "George",  "Jeffrey", "AnHai",  "Alon",
+    "Michael",  "Serge",   "Philip",  "Donald",  "Stefano", "Edgar",
+    "Umeshwar", "Christos", "Luis",    "Johannes", "Laura",  "Joseph",
+    "Yannis",   "Hosagrahar", "Carl",  "Arthur",  "Donovan", "Maurizio",
+    "Leonid",   "Alberto",  "Renee",   "Rajeev",  "Dimitris", "Yannis",
+    "Raghu",    "Kenneth",  "Timos",   "Abraham", "Richard", "Divesh",
+    "Dan",      "S",        "Victor",  "Gerhard", "Eugene",  "Clement",
+    "Carlo",    "Xin",      "Wei",     "Anastasia", "Andrew", "Samuel"};
+
+// Title vocabulary. The workload terms (probabilistic, data, washington,
+// tutorial, trio, sigmod-adjacent topics, stream, histograms, xml, keyword,
+// search) are seeded with enough mass to make the Table 2 queries
+// interesting at every lattice level.
+const char* const kTitleSubjects[] = {
+    "Probabilistic Data",       "Keyword Search",
+    "Data Streams",             "XML Query Processing",
+    "Histograms",               "Query Optimization",
+    "Data Integration",         "Web Search",
+    "Stream Processing",        "Uncertain Databases",
+    "the Trio System",          "Provenance Tracking",
+    "Sensor Data",              "Information Extraction",
+    "Schema Matching",          "Top-k Ranking",
+    "Skyline Queries",          "Spatial Indexing",
+    "Column Stores",            "Transaction Processing",
+    "View Maintenance",         "Deductive Databases",
+    "Data Cleaning",            "Entity Resolution",
+    "Approximate Counting",     "Selectivity Estimation",
+    "Parallel Joins",           "Adaptive Indexing",
+    "Workload Forecasting",     "Graph Reachability"};
+
+const char* const kTitlePrefixes[] = {
+    "On",          "Towards",   "Efficient",  "Scalable", "A Survey of",
+    "Rethinking",  "Optimizing", "Debugging",  "Indexing", "Revisiting",
+    "A Tutorial on", "Foundations of", "Adaptive", "Incremental",
+    "Distributed"};
+
+const char* const kTitleSuffixes[] = {
+    "in Relational Databases", "over Data Streams",   "at Scale",
+    "for the Web",             "with Histograms",     "using XML",
+    "in Practice",             "for Probabilistic Data", "Revisited",
+    "at the University of Washington", "in Sensor Networks",
+    "with Provenance",         "under Uncertainty",   "for Keyword Search",
+    "in Main Memory"};
+
+const char* const kConferences[] = {
+    "VLDB",  "SIGMOD Conference", "ICDE",  "EDBT",  "CIKM",
+    "PODS",  "WWW",               "KDD",   "WSDM",  "ICDT"};
+
+const char* const kWorkshopTopics[] = {
+    "Probabilistic Data", "Keyword Search",  "Data Streams", "XML",
+    "Web Data",           "Provenance",      "Histograms",   "Data Cleaning",
+    "Uncertain Data",     "Information Extraction"};
+
+const char* const kOrganizations[] = {
+    "University of Washington",        "University of Wisconsin-Madison",
+    "Stanford University",             "Microsoft Research",
+    "IBM Almaden Research Center",     "Google",
+    "AT&T Labs",                       "University of California Berkeley",
+    "Massachusetts Institute of Technology", "Carnegie Mellon University",
+    "ETH Zurich",                      "Max Planck Institute",
+    "Bell Laboratories",               "Yahoo Research",
+    "Oracle",                          "Hewlett-Packard Laboratories"};
+
+const char* const kOrgSuffixes[] = {"University", "Institute", "Laboratories",
+                                    "Research Center", "College"};
+
+const char* const kOrgStems[] = {
+    "Midwestern", "Lakeside", "Northern",  "Pacific",   "Atlantic",
+    "Central",    "Highland", "Riverside", "Mountain",  "Coastal",
+    "Prairie",    "Summit",   "Harbor",    "Evergreen", "Redwood"};
+
+const char* const kTopics[] = {
+    "Keyword Search",        "Probabilistic Data",   "Data Streams",
+    "XML Processing",        "Histograms",           "Query Optimization",
+    "Data Integration",      "Web Search",           "Stream Processing",
+    "the Trio System",       "Provenance",           "Information Extraction",
+    "Schema Matching",       "Top-k Ranking",        "Skyline Queries",
+    "Spatial Data",          "Column Stores",        "Transactions",
+    "View Maintenance",      "Data Cleaning",        "Entity Resolution",
+    "Selectivity Estimation", "Parallel Databases",  "Indexing",
+    "Sensor Networks",       "Graph Data",           "Text Mining",
+    "Crowdsourcing",         "Map Reduce",           "Temporal Data"};
+
+template <size_t N>
+const char* Pick(const char* const (&pool)[N], Rng* rng) {
+  return pool[rng->Uniform(N)];
+}
+
+template <size_t N>
+constexpr size_t PoolSize(const char* const (&)[N]) {
+  return N;
+}
+
+Status AddEntityTable(Database* db, const std::string& name,
+                      const std::string& text_column,
+                      const std::vector<std::string>& values) {
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * t, db->CreateTable(name, Schema({{"id", DataType::kInt64},
+                                               {text_column,
+                                                DataType::kString}})));
+  for (size_t i = 0; i < values.size(); ++i) {
+    KWSDBG_RETURN_NOT_OK(t->AppendRow(
+        {Value(static_cast<int64_t>(i + 1)), Value(values[i])}));
+  }
+  return Status::OK();
+}
+
+/// Adds a relationship table with `count` edges sampled by the two samplers.
+/// Edges are deduplicated so relationship multiplicity stays 0/1.
+Status AddRelationshipTable(Database* db, Rng* rng, const std::string& name,
+                            const std::string& left_fk, size_t left_n,
+                            const ZipfSampler& left_sampler,
+                            const std::string& right_fk, size_t right_n,
+                            const ZipfSampler& right_sampler, size_t count,
+                            bool forbid_self = false) {
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * t,
+      db->CreateTable(name, Schema({{"id", DataType::kInt64},
+                                    {left_fk, DataType::kInt64},
+                                    {right_fk, DataType::kInt64}})));
+  if (left_n == 0 || right_n == 0) return Status::OK();
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  edges.reserve(count);
+  std::unordered_map<int64_t, char> seen;
+  size_t attempts = 0;
+  while (edges.size() < count && attempts < count * 4) {
+    ++attempts;
+    int64_t l = static_cast<int64_t>(left_sampler.Sample(rng)) + 1;
+    int64_t r = static_cast<int64_t>(right_sampler.Sample(rng)) + 1;
+    if (forbid_self && l == r) continue;
+    int64_t key = l * static_cast<int64_t>(right_n + 1) + r;
+    if (seen.emplace(key, 1).second) edges.emplace_back(l, r);
+  }
+  int64_t id = 1;
+  for (const auto& [l, r] : edges) {
+    KWSDBG_RETURN_NOT_OK(
+        t->AppendRow({Value(id++), Value(l), Value(r)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DblifeConfig DblifeConfig::Scaled(double factor) const {
+  DblifeConfig out = *this;
+  auto scale = [factor](size_t n) {
+    return static_cast<size_t>(static_cast<double>(n) * factor) + 1;
+  };
+  out.num_persons = scale(num_persons);
+  out.num_publications = scale(num_publications);
+  out.num_conferences = scale(num_conferences);
+  out.num_organizations = scale(num_organizations);
+  out.num_topics = scale(num_topics);
+  out.relationship_scale = relationship_scale * factor;
+  return out;
+}
+
+StatusOr<DblifeDataset> GenerateDblife(const DblifeConfig& config) {
+  DblifeDataset ds;
+  ds.db = std::make_unique<Database>();
+  Rng rng(config.seed);
+
+  // ---- Person: every surname in the pool appears at least once (workload
+  // names are at the front of the pool, so they always exist).
+  std::vector<std::string> persons;
+  persons.reserve(config.num_persons);
+  for (size_t i = 0; i < config.num_persons; ++i) {
+    const char* surname = i < PoolSize(kSurnames)
+                              ? kSurnames[i]
+                              : Pick(kSurnames, &rng);
+    persons.push_back(std::string(Pick(kFirstNames, &rng)) + " " + surname);
+  }
+  KWSDBG_RETURN_NOT_OK(AddEntityTable(ds.db.get(), "Person", "name", persons));
+
+  // ---- Publication: Prefix + Subject + (sometimes) Suffix. Subjects are
+  // Zipf-skewed so frequent terms ("data", "probabilistic") are common and
+  // rarer ones ("histograms", "trio") stay niche.
+  ZipfSampler subject_sampler(PoolSize(kTitleSubjects), 0.6);
+  std::vector<std::string> pubs;
+  pubs.reserve(config.num_publications);
+  for (size_t i = 0; i < config.num_publications; ++i) {
+    std::string title = std::string(Pick(kTitlePrefixes, &rng)) + " " +
+                        kTitleSubjects[subject_sampler.Sample(&rng)];
+    if (rng.Bernoulli(0.6)) {
+      title += std::string(" ") + Pick(kTitleSuffixes, &rng);
+    }
+    pubs.push_back(std::move(title));
+  }
+  KWSDBG_RETURN_NOT_OK(
+      AddEntityTable(ds.db.get(), "Publication", "title", pubs));
+
+  // ---- Conference: the real venues plus synthetic workshops.
+  std::vector<std::string> confs;
+  confs.reserve(config.num_conferences);
+  for (size_t i = 0; i < config.num_conferences; ++i) {
+    if (i < PoolSize(kConferences)) {
+      confs.push_back(kConferences[i]);
+    } else {
+      confs.push_back(std::string("Workshop on ") +
+                      Pick(kWorkshopTopics, &rng) + " " +
+                      std::to_string(2000 + rng.Uniform(15)));
+    }
+  }
+  KWSDBG_RETURN_NOT_OK(
+      AddEntityTable(ds.db.get(), "Conference", "name", confs));
+
+  // ---- Organization.
+  std::vector<std::string> orgs;
+  orgs.reserve(config.num_organizations);
+  for (size_t i = 0; i < config.num_organizations; ++i) {
+    if (i < PoolSize(kOrganizations)) {
+      orgs.push_back(kOrganizations[i]);
+    } else {
+      orgs.push_back(std::string(Pick(kOrgStems, &rng)) + " " +
+                     Pick(kOrgSuffixes, &rng) + " " +
+                     std::to_string(i));
+    }
+  }
+  KWSDBG_RETURN_NOT_OK(
+      AddEntityTable(ds.db.get(), "Organization", "name", orgs));
+
+  // ---- Topic.
+  std::vector<std::string> topics;
+  topics.reserve(config.num_topics);
+  for (size_t i = 0; i < config.num_topics; ++i) {
+    if (i < PoolSize(kTopics)) {
+      topics.push_back(kTopics[i]);
+    } else {
+      topics.push_back(std::string(kTopics[rng.Uniform(PoolSize(kTopics))]) +
+                       " Subarea " + std::to_string(i));
+    }
+  }
+  KWSDBG_RETURN_NOT_OK(AddEntityTable(ds.db.get(), "Topic", "name", topics));
+
+  // ---- Relationship tables. Zipf samplers skew attachment toward the
+  // low-id (famous) entities.
+  const double theta = config.zipf_theta;
+  ZipfSampler person_z(config.num_persons, theta);
+  ZipfSampler pub_z(config.num_publications, 0.2);
+  ZipfSampler conf_z(config.num_conferences, theta);
+  ZipfSampler org_z(config.num_organizations, theta);
+  ZipfSampler topic_z(config.num_topics, theta);
+  auto scaled = [&](double base) {
+    return static_cast<size_t>(base * config.relationship_scale);
+  };
+
+  // Like the real DBLife, several relationship *types* connect the same
+  // entity pair (co-author and co-PC-member between persons; serves-on and
+  // gave-talk between person and conference). This is what lets candidate
+  // networks chain multiple relationships of the same shape — e.g. Q3's
+  // Person-Person-Person networks — within the paper's one-free-copy model.
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "writes", "person_id", config.num_persons, person_z,
+      "publication_id", config.num_publications, pub_z,
+      scaled(2.5 * static_cast<double>(config.num_publications))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "coauthor_of", "person1_id", config.num_persons,
+      person_z, "person2_id", config.num_persons, person_z,
+      scaled(2.0 * static_cast<double>(config.num_persons)),
+      /*forbid_self=*/true));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "co_pc_member", "person1_id", config.num_persons,
+      person_z, "person2_id", config.num_persons, person_z,
+      scaled(1.0 * static_cast<double>(config.num_persons)),
+      /*forbid_self=*/true));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "serves_on", "person_id", config.num_persons,
+      person_z, "conference_id", config.num_conferences, conf_z,
+      scaled(12.0 * static_cast<double>(config.num_conferences))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "gave_talk", "person_id", config.num_persons,
+      person_z, "conference_id", config.num_conferences, conf_z,
+      scaled(6.0 * static_cast<double>(config.num_conferences))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "affiliated_with", "person_id", config.num_persons,
+      person_z, "organization_id", config.num_organizations, org_z,
+      scaled(1.1 * static_cast<double>(config.num_persons))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "interested_in", "person_id", config.num_persons,
+      person_z, "topic_id", config.num_topics, topic_z,
+      scaled(1.5 * static_cast<double>(config.num_persons))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "published_in", "publication_id",
+      config.num_publications, pub_z, "conference_id", config.num_conferences,
+      conf_z, scaled(0.9 * static_cast<double>(config.num_publications))));
+  KWSDBG_RETURN_NOT_OK(AddRelationshipTable(
+      ds.db.get(), &rng, "about_topic", "publication_id",
+      config.num_publications, pub_z, "topic_id", config.num_topics, topic_z,
+      scaled(1.4 * static_cast<double>(config.num_publications))));
+
+  // ---- Schema graph (Fig. 8 shape).
+  for (const char* entity :
+       {"Person", "Publication", "Conference", "Organization", "Topic"}) {
+    KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation(entity, /*has_text=*/true));
+  }
+  for (const char* rel :
+       {"writes", "coauthor_of", "co_pc_member", "serves_on", "gave_talk",
+        "affiliated_with", "interested_in", "published_in", "about_topic"}) {
+    KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation(rel, /*has_text=*/false));
+  }
+  struct Fk {
+    const char* table;
+    const char* column;
+    const char* target;
+  };
+  const Fk fks[] = {
+      {"writes", "person_id", "Person"},
+      {"writes", "publication_id", "Publication"},
+      {"coauthor_of", "person1_id", "Person"},
+      {"coauthor_of", "person2_id", "Person"},
+      {"co_pc_member", "person1_id", "Person"},
+      {"co_pc_member", "person2_id", "Person"},
+      {"serves_on", "person_id", "Person"},
+      {"serves_on", "conference_id", "Conference"},
+      {"gave_talk", "person_id", "Person"},
+      {"gave_talk", "conference_id", "Conference"},
+      {"affiliated_with", "person_id", "Person"},
+      {"affiliated_with", "organization_id", "Organization"},
+      {"interested_in", "person_id", "Person"},
+      {"interested_in", "topic_id", "Topic"},
+      {"published_in", "publication_id", "Publication"},
+      {"published_in", "conference_id", "Conference"},
+      {"about_topic", "publication_id", "Publication"},
+      {"about_topic", "topic_id", "Topic"},
+  };
+  for (const Fk& fk : fks) {
+    KWSDBG_CHECK_OK_OR_RETURN(
+        ds.schema.AddJoin(fk.table, fk.column, fk.target, "id"));
+  }
+  KWSDBG_RETURN_NOT_OK(ds.schema.ValidateAgainst(*ds.db));
+  return ds;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,166 @@
+#include "datasets/ecommerce.h"
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace kwsdbg {
+
+namespace {
+
+struct ColorSpec {
+  const char* name;
+  const char* synonyms;
+};
+
+// "saffron" is deliberately absent from every synonym list: queries for
+// saffron products only match items whose own text mentions it.
+const ColorSpec kColors[] = {
+    {"red", "crimson, scarlet"},      {"yellow", "golden, lemon"},
+    {"pink", "peach, salmon"},        {"blue", "navy, azure"},
+    {"green", "emerald, olive"},      {"white", "ivory, cream"},
+    {"black", "onyx, charcoal"},      {"purple", "violet, lavender"},
+    {"orange", "amber, tangerine"},   {"brown", "chocolate, walnut"},
+};
+
+const char* const kProductTypes[] = {"oil",     "candle", "incense",
+                                     "diffuser", "soap",   "lotion",
+                                     "shampoo",  "spray"};
+
+struct AttributeSpec {
+  const char* property;
+  const char* value;
+};
+
+const AttributeSpec kAttributes[] = {
+    {"scent", "saffron"},   {"scent", "vanilla"},  {"scent", "rose"},
+    {"scent", "lavender"},  {"scent", "sandalwood"}, {"scent", "jasmine"},
+    {"pattern", "floral"},  {"pattern", "checkered"}, {"pattern", "striped"},
+    {"pattern", "plain"},   {"finish", "matte"},    {"finish", "glossy"},
+};
+
+const char* const kAdjectives[] = {"handmade", "organic", "premium",
+                                   "classic",  "luxury",  "artisanal",
+                                   "natural",  "vintage"};
+
+const char* const kDescriptions[] = {
+    "burns without fumes",        "burn time 50 hrs",
+    "made from essential oils",   "gift boxed",
+    "small batch",                "imported",
+    "hypoallergenic",             "long lasting",
+    "eco friendly packaging",     "best seller"};
+
+}  // namespace
+
+StatusOr<EcommerceDataset> GenerateEcommerce(const EcommerceConfig& config) {
+  EcommerceDataset ds;
+  ds.db = std::make_unique<Database>();
+  Rng rng(config.seed);
+
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * ptype,
+      ds.db->CreateTable("ProductType",
+                         Schema({{"id", DataType::kInt64},
+                                 {"product_type", DataType::kString}})));
+  for (size_t i = 0; i < std::size(kProductTypes); ++i) {
+    KWSDBG_RETURN_NOT_OK(ptype->AppendRow(
+        {Value(static_cast<int64_t>(i + 1)), Value(kProductTypes[i])}));
+  }
+
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * color,
+      ds.db->CreateTable("Color", Schema({{"id", DataType::kInt64},
+                                          {"color", DataType::kString},
+                                          {"synonyms", DataType::kString}})));
+  for (size_t i = 0; i < std::size(kColors); ++i) {
+    KWSDBG_RETURN_NOT_OK(
+        color->AppendRow({Value(static_cast<int64_t>(i + 1)),
+                          Value(kColors[i].name), Value(kColors[i].synonyms)}));
+  }
+
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * attr,
+      ds.db->CreateTable("Attribute",
+                         Schema({{"id", DataType::kInt64},
+                                 {"property", DataType::kString},
+                                 {"value", DataType::kString}})));
+  for (size_t i = 0; i < std::size(kAttributes); ++i) {
+    KWSDBG_RETURN_NOT_OK(attr->AppendRow({Value(static_cast<int64_t>(i + 1)),
+                                          Value(kAttributes[i].property),
+                                          Value(kAttributes[i].value)}));
+  }
+
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * item,
+      ds.db->CreateTable("Item", Schema({{"id", DataType::kInt64},
+                                         {"name", DataType::kString},
+                                         {"p_type", DataType::kInt64},
+                                         {"color", DataType::kInt64},
+                                         {"attr", DataType::kInt64},
+                                         {"cost", DataType::kDouble},
+                                         {"description", DataType::kString}})));
+  for (size_t i = 0; i < config.num_items; ++i) {
+    const size_t type_idx = rng.Uniform(std::size(kProductTypes));
+    const size_t attr_idx = rng.Uniform(std::size(kAttributes));
+    const bool null_color = rng.Bernoulli(config.null_color_rate);
+    const size_t color_idx = rng.Uniform(std::size(kColors));
+    std::string name = std::string(kAdjectives[rng.Uniform(
+                           std::size(kAdjectives))]) +
+                       " ";
+    if (!null_color) {
+      name += std::string(kColors[color_idx].name) + " ";
+    }
+    // Scented items mention the scent in the name ("vanilla scented candle").
+    const AttributeSpec& a = kAttributes[attr_idx];
+    if (std::string(a.property) == "scent") {
+      name += std::string(a.value) + " scented ";
+    }
+    name += kProductTypes[type_idx];
+    std::string description =
+        std::string(kDescriptions[rng.Uniform(std::size(kDescriptions))]) +
+        ". " + kDescriptions[rng.Uniform(std::size(kDescriptions))] + ".";
+    KWSDBG_RETURN_NOT_OK(item->AppendRow(
+        {Value(static_cast<int64_t>(i + 1)), Value(name),
+         Value(static_cast<int64_t>(type_idx + 1)),
+         null_color ? Value::Null()
+                    : Value(static_cast<int64_t>(color_idx + 1)),
+         Value(static_cast<int64_t>(attr_idx + 1)),
+         Value(1.99 + static_cast<double>(rng.Uniform(4000)) / 100.0),
+         Value(description)}));
+  }
+
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("ProductType", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Color", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Attribute", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Item", true));
+  KWSDBG_CHECK_OK_OR_RETURN(
+      ds.schema.AddJoin("Item", "p_type", "ProductType", "id"));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddJoin("Item", "color", "Color", "id"));
+  KWSDBG_CHECK_OK_OR_RETURN(
+      ds.schema.AddJoin("Item", "attr", "Attribute", "id"));
+  KWSDBG_RETURN_NOT_OK(ds.schema.ValidateAgainst(*ds.db));
+  return ds;
+}
+
+StatusOr<bool> AddColorSynonym(Database* db, const std::string& color,
+                               const std::string& synonym) {
+  KWSDBG_ASSIGN_OR_RETURN(Table * table, db->GetTable("Color"));
+  KWSDBG_ASSIGN_OR_RETURN(size_t name_col,
+                          table->schema().ColumnIndex("color"));
+  KWSDBG_ASSIGN_OR_RETURN(size_t syn_col,
+                          table->schema().ColumnIndex("synonyms"));
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    const Value& v = table->at(row, name_col);
+    if (!v.is_null() && EqualsCaseInsensitive(v.AsString(), color)) {
+      const Value& old = table->at(row, syn_col);
+      std::string updated =
+          old.is_null() ? synonym : old.AsString() + ", " + synonym;
+      KWSDBG_RETURN_NOT_OK(table->SetValue(row, syn_col, Value(updated)));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,49 @@
+// Synthetic e-commerce catalog in the Fig. 2 schema shape (Items, product
+// types, colors with synonym lists, attributes), scaled up and seeded. Used
+// by the ecommerce_debugging example to demonstrate the paper's motivating
+// loop: a keyword query returns nothing, the debugger surfaces the frontier
+// cause, the merchandiser patches the vocabulary, and the query starts
+// returning results.
+#ifndef KWSDBG_DATASETS_ECOMMERCE_H_
+#define KWSDBG_DATASETS_ECOMMERCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+/// Catalog scale knobs.
+struct EcommerceConfig {
+  uint64_t seed = 7;
+  size_t num_items = 500;
+  /// Fraction of items with a NULL color (accessories etc.).
+  double null_color_rate = 0.1;
+};
+
+struct EcommerceDataset {
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+};
+
+/// Generates the catalog. Tables: Item(id, name, p_type, color, attr, cost,
+/// description), ProductType(id, product_type), Color(id, color, synonyms),
+/// Attribute(id, property, value). By construction the color vocabulary
+/// does NOT list "saffron" as a synonym of yellow, so "saffron <type>"
+/// queries for types that only exist in yellow are non-answers — the
+/// situation Example 1 of the paper debugs.
+StatusOr<EcommerceDataset> GenerateEcommerce(const EcommerceConfig& config = {});
+
+/// Appends `synonym` to the synonyms list of the named color and returns
+/// true if the color exists. The inverted index must be rebuilt afterwards
+/// (as in production, where vocabulary edits trigger reindexing).
+StatusOr<bool> AddColorSynonym(Database* db, const std::string& color,
+                               const std::string& synonym);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DATASETS_ECOMMERCE_H_

@@ -1,0 +1,55 @@
+#include "datasets/query_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kwsdbg {
+
+RandomQueryGenerator::RandomQueryGenerator(const InvertedIndex* index,
+                                           QueryGeneratorConfig config)
+    : config_(config),
+      rng_(config.seed),
+      sampler_(1, 0.0) /* replaced below */ {
+  std::vector<std::pair<size_t, std::string>> ranked;
+  for (const std::string& term : index->Terms()) {
+    if (term.size() < config_.min_term_length) continue;
+    ranked.emplace_back(index->PostingsFor(term).size(), term);
+  }
+  // Most popular first; name as tiebreak for determinism.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  vocabulary_.reserve(ranked.size());
+  for (auto& [count, term] : ranked) vocabulary_.push_back(std::move(term));
+  KWSDBG_CHECK(!vocabulary_.empty()) << "index vocabulary is empty";
+  sampler_ = ZipfSampler(vocabulary_.size(), config_.popularity_theta);
+}
+
+std::string RandomQueryGenerator::Next() {
+  const size_t k =
+      config_.min_keywords +
+      rng_.Uniform(config_.max_keywords - config_.min_keywords + 1);
+  std::unordered_set<std::string> used;
+  std::string query;
+  size_t guard = 0;
+  while (used.size() < k && guard++ < 1000) {
+    const std::string& term = vocabulary_[sampler_.Sample(&rng_)];
+    if (!used.insert(term).second) continue;
+    if (!query.empty()) query += " ";
+    query += term;
+  }
+  return query;
+}
+
+std::vector<std::string> RandomQueryGenerator::Batch(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,52 @@
+// Random keyword-query generation from a database's actual vocabulary, for
+// robustness sweeps beyond the paper's ten hand-picked queries. Terms are
+// drawn from the inverted index (so every generated keyword binds to at
+// least one relation), optionally popularity-weighted so workloads mix
+// frequent and rare terms the way real query logs do.
+#ifndef KWSDBG_DATASETS_QUERY_GENERATOR_H_
+#define KWSDBG_DATASETS_QUERY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+
+/// Generation knobs.
+struct QueryGeneratorConfig {
+  uint64_t seed = 1;
+  size_t min_keywords = 1;
+  size_t max_keywords = 3;
+  /// Skip terms shorter than this (drops ids, initials, numbers).
+  size_t min_term_length = 3;
+  /// Zipf exponent over the popularity-ranked vocabulary (0 = uniform).
+  double popularity_theta = 0.6;
+};
+
+/// Deterministic generator over one index's vocabulary.
+class RandomQueryGenerator {
+ public:
+  RandomQueryGenerator(const InvertedIndex* index,
+                       QueryGeneratorConfig config = {});
+
+  /// Next query: 1..max distinct keywords joined by spaces. The vocabulary
+  /// must be non-empty (CHECK).
+  std::string Next();
+
+  /// Convenience: a batch of `n` queries.
+  std::vector<std::string> Batch(size_t n);
+
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+
+ private:
+  QueryGeneratorConfig config_;
+  std::vector<std::string> vocabulary_;  // popularity-ranked, most first
+  Rng rng_;
+  ZipfSampler sampler_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DATASETS_QUERY_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "datasets/toy_product_db.h"
+
+#include <cstdint>
+
+namespace kwsdbg {
+
+StatusOr<ToyDataset> BuildToyProductDatabase() {
+  ToyDataset ds;
+  ds.db = std::make_unique<Database>();
+
+  // Product Type (P).
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * p,
+      ds.db->CreateTable("ProductType",
+                         Schema({{"id", DataType::kInt64},
+                                 {"product_type", DataType::kString}})));
+  KWSDBG_RETURN_NOT_OK(p->AppendRow({Value(int64_t{1}), Value("oil")}));
+  KWSDBG_RETURN_NOT_OK(p->AppendRow({Value(int64_t{2}), Value("candle")}));
+  KWSDBG_RETURN_NOT_OK(p->AppendRow({Value(int64_t{3}), Value("incense")}));
+
+  // Color (C).
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * c, ds.db->CreateTable("Color",
+                                    Schema({{"id", DataType::kInt64},
+                                            {"color", DataType::kString},
+                                            {"synonyms", DataType::kString}})));
+  KWSDBG_RETURN_NOT_OK(
+      c->AppendRow({Value(int64_t{1}), Value("red"), Value("crimson, orange")}));
+  KWSDBG_RETURN_NOT_OK(c->AppendRow(
+      {Value(int64_t{2}), Value("yellow"), Value("golden, lemon")}));
+  KWSDBG_RETURN_NOT_OK(
+      c->AppendRow({Value(int64_t{3}), Value("pink"), Value("peach, salmon")}));
+  KWSDBG_RETURN_NOT_OK(c->AppendRow(
+      {Value(int64_t{4}), Value("saffron"), Value("yellow, orange")}));
+
+  // Attribute (A).
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * a, ds.db->CreateTable("Attribute",
+                                    Schema({{"id", DataType::kInt64},
+                                            {"property", DataType::kString},
+                                            {"value", DataType::kString}})));
+  KWSDBG_RETURN_NOT_OK(
+      a->AppendRow({Value(int64_t{1}), Value("scent"), Value("saffron")}));
+  KWSDBG_RETURN_NOT_OK(
+      a->AppendRow({Value(int64_t{2}), Value("scent"), Value("vanilla")}));
+  KWSDBG_RETURN_NOT_OK(
+      a->AppendRow({Value(int64_t{3}), Value("pattern"), Value("floral")}));
+  KWSDBG_RETURN_NOT_OK(
+      a->AppendRow({Value(int64_t{4}), Value("pattern"), Value("checkered")}));
+
+  // Item (I).
+  KWSDBG_ASSIGN_OR_RETURN(
+      Table * i,
+      ds.db->CreateTable("Item", Schema({{"id", DataType::kInt64},
+                                         {"name", DataType::kString},
+                                         {"p_type", DataType::kInt64},
+                                         {"color", DataType::kInt64},
+                                         {"attr", DataType::kInt64},
+                                         {"cost", DataType::kDouble},
+                                         {"description", DataType::kString}})));
+  KWSDBG_RETURN_NOT_OK(i->AppendRow(
+      {Value(int64_t{1}), Value("saffron scented oil"), Value(int64_t{1}),
+       Value::Null(), Value(int64_t{1}), Value(4.99),
+       Value("3.4 oz. burns without fumes.")}));
+  KWSDBG_RETURN_NOT_OK(i->AppendRow(
+      {Value(int64_t{2}), Value("vanilla scented candle"), Value(int64_t{2}),
+       Value(int64_t{2}), Value(int64_t{2}), Value(5.99),
+       Value("burn time 50 hrs. 6.4 oz. 2pck.")}));
+  KWSDBG_RETURN_NOT_OK(i->AppendRow(
+      {Value(int64_t{3}), Value("crimson scented candle"), Value(int64_t{2}),
+       Value(int64_t{1}), Value(int64_t{3}), Value(3.99),
+       Value("hand-made. saffron scented. 2pck.")}));
+  KWSDBG_RETURN_NOT_OK(i->AppendRow(
+      {Value(int64_t{4}), Value("red checkered candle"), Value(int64_t{2}),
+       Value(int64_t{1}), Value(int64_t{4}), Value(3.99),
+       Value("rose scented. made from essential oils.")}));
+
+  // Schema graph: the key-foreign-key arrows of Fig. 2.
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("ProductType", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Color", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Attribute", true));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddRelation("Item", true));
+  KWSDBG_CHECK_OK_OR_RETURN(
+      ds.schema.AddJoin("Item", "p_type", "ProductType", "id"));
+  KWSDBG_CHECK_OK_OR_RETURN(ds.schema.AddJoin("Item", "color", "Color", "id"));
+  KWSDBG_CHECK_OK_OR_RETURN(
+      ds.schema.AddJoin("Item", "attr", "Attribute", "id"));
+  KWSDBG_RETURN_NOT_OK(ds.schema.ValidateAgainst(*ds.db));
+  return ds;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,28 @@
+// The toy product database of the paper's Fig. 2: Items (I), Product Type
+// (P), Color (C), and Attribute (A), with the exact tuples shown there.
+// Used by the quickstart example and by tests asserting the paper's worked
+// Example 1 (queries q1, q2 and their maximal alive sub-queries).
+#ifndef KWSDBG_DATASETS_TOY_PRODUCT_DB_H_
+#define KWSDBG_DATASETS_TOY_PRODUCT_DB_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+/// A database plus the schema graph describing its key-FK joins.
+struct ToyDataset {
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+};
+
+/// Builds Fig. 2 verbatim. Joins: Item.p_type -> ProductType.id,
+/// Item.color -> Color.id, Item.attr -> Attribute.id.
+StatusOr<ToyDataset> BuildToyProductDatabase();
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DATASETS_TOY_PRODUCT_DB_H_

@@ -1,0 +1,21 @@
+#include "datasets/workload.h"
+
+namespace kwsdbg {
+
+const std::vector<WorkloadQuery>& PaperWorkload() {
+  static const std::vector<WorkloadQuery> kWorkload = {
+      {"Q1", "Widom Trio"},
+      {"Q2", "Hristidis Keyword Search"},
+      {"Q3", "Agrawal Chaudhuri Das"},
+      {"Q4", "DeRose VLDB"},
+      {"Q5", "Gray SIGMOD"},
+      {"Q6", "DeWitt tutorial"},
+      {"Q7", "Probabilistic Data"},
+      {"Q8", "Probabilistic Data Washington"},
+      {"Q9", "SIGMOD XML"},
+      {"Q10", "Stream data histograms"},
+  };
+  return kWorkload;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,22 @@
+// The ten keyword queries of the paper's Table 2, used by every runtime
+// experiment (Figs. 10-15, Tables 3-4).
+#ifndef KWSDBG_DATASETS_WORKLOAD_H_
+#define KWSDBG_DATASETS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace kwsdbg {
+
+/// One workload entry.
+struct WorkloadQuery {
+  std::string id;    ///< "Q1" .. "Q10".
+  std::string text;  ///< The keyword query.
+};
+
+/// Q1..Q10 verbatim from Table 2.
+const std::vector<WorkloadQuery>& PaperWorkload();
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DATASETS_WORKLOAD_H_

@@ -1,0 +1,96 @@
+#include "debugger/debug_report.h"
+
+#include <sstream>
+
+namespace kwsdbg {
+
+size_t DebugReport::TotalAnswers() const {
+  size_t n = 0;
+  for (const auto& interp : interpretations) n += interp.answers.size();
+  return n;
+}
+
+size_t DebugReport::TotalNonAnswers() const {
+  size_t n = 0;
+  for (const auto& interp : interpretations) n += interp.non_answers.size();
+  return n;
+}
+
+size_t DebugReport::TotalMpans() const {
+  size_t n = 0;
+  for (const auto& interp : interpretations) {
+    for (const auto& na : interp.non_answers) n += na.mpans.size();
+  }
+  return n;
+}
+
+TraversalStats DebugReport::AggregateTraversalStats() const {
+  TraversalStats stats;
+  for (const auto& interp : interpretations) {
+    stats.sql_queries += interp.traversal_stats.sql_queries;
+    stats.sql_millis += interp.traversal_stats.sql_millis;
+    stats.total_millis += interp.traversal_stats.total_millis;
+  }
+  return stats;
+}
+
+std::string DebugReport::ToString(size_t max_items_per_section) const {
+  std::ostringstream out;
+  out << "Keyword query: \"" << keyword_query << "\"\n";
+  if (!missing_keywords.empty()) {
+    out << "  Keywords not found anywhere in the database:";
+    for (const auto& k : missing_keywords) out << " " << k;
+    out << "\n  (\"and\" semantics: no candidate network can return results;"
+           " exploration stopped)\n";
+    return out.str();
+  }
+  out << "  Interpretations: " << interpretations.size();
+  if (interpretations_skipped > 0) {
+    out << " (+" << interpretations_skipped << " skipped)";
+  }
+  out << ", answers: " << TotalAnswers()
+      << ", non-answers: " << TotalNonAnswers()
+      << ", MPANs: " << TotalMpans() << "\n";
+  for (size_t i = 0; i < interpretations.size(); ++i) {
+    const InterpretationReport& rep = interpretations[i];
+    out << "\n== Interpretation " << (i + 1) << ": " << rep.binding << "\n";
+    out << "   lattice " << rep.prune_stats.lattice_nodes << " -> "
+        << rep.prune_stats.surviving_nodes << " nodes after Phase 1, "
+        << rep.prune_stats.num_mtns << " MTN(s), "
+        << rep.traversal_stats.sql_queries << " SQL queries\n";
+    size_t shown = 0;
+    for (const AnswerReport& ans : rep.answers) {
+      if (shown++ >= max_items_per_section) {
+        out << "   ... (" << rep.answers.size() - max_items_per_section
+            << " more answers)\n";
+        break;
+      }
+      out << "  [ANSWER] " << ans.query.network << "\n";
+      out << "           " << ans.query.sql << "\n";
+      if (!ans.sample.rows.empty()) {
+        out << "           e.g. " << ans.sample.rows.size()
+            << " sample row(s)\n";
+      }
+    }
+    shown = 0;
+    for (const NonAnswerReport& na : rep.non_answers) {
+      if (shown++ >= max_items_per_section) {
+        out << "   ... (" << rep.non_answers.size() - max_items_per_section
+            << " more non-answers)\n";
+        break;
+      }
+      out << "  [NON-ANSWER] " << na.query.network << "\n";
+      out << "               " << na.query.sql << "\n";
+      for (const NodeReport& mpan : na.mpans) {
+        out << "    maximal alive sub-query: " << mpan.network << "\n";
+      }
+      for (const NodeReport& culprit : na.culprits) {
+        out << "    smallest failing sub-query (culprit): "
+            << culprit.network << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace kwsdbg

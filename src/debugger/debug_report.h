@@ -1,0 +1,68 @@
+// The debugger's output: O(K) = A(K) ∪ N(K) ∪ M(K) (paper Sec. 2.1) plus
+// the phase statistics the evaluation section reports.
+#ifndef KWSDBG_DEBUGGER_DEBUG_REPORT_H_
+#define KWSDBG_DEBUGGER_DEBUG_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "kws/pruned_lattice.h"
+#include "sql/executor.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// One query (a lattice node) rendered for humans: the join network and its
+/// instantiated SQL.
+struct NodeReport {
+  NodeId node = kInvalidNode;
+  size_t level = 0;
+  std::string network;  ///< JoinTree::ToString rendering.
+  std::string sql;      ///< Instantiated SELECT statement.
+};
+
+/// An answer query (alive MTN), optionally with sample result tuples.
+struct AnswerReport {
+  NodeReport query;
+  ResultSet sample;  ///< Populated when DebuggerOptions::sample_rows > 0.
+};
+
+/// A non-answer query (dead MTN) with both sides of its frontier: the
+/// maximal alive sub-queries (MPANs) and the minimal dead ones (culprits —
+/// the smallest joins that already return nothing).
+struct NonAnswerReport {
+  NodeReport query;
+  std::vector<NodeReport> mpans;
+  std::vector<NodeReport> culprits;
+};
+
+/// Everything computed for one keyword interpretation.
+struct InterpretationReport {
+  std::string binding;  ///< e.g. "widom->Person[1], trio->Topic[1]".
+  PruneStats prune_stats;
+  TraversalStats traversal_stats;
+  std::vector<AnswerReport> answers;
+  std::vector<NonAnswerReport> non_answers;
+};
+
+/// The full debugger output for one keyword query.
+struct DebugReport {
+  std::string keyword_query;
+  std::vector<std::string> keywords;
+  std::vector<std::string> missing_keywords;
+  double bind_millis = 0;
+  size_t interpretations_skipped = 0;
+  std::vector<InterpretationReport> interpretations;
+
+  size_t TotalAnswers() const;
+  size_t TotalNonAnswers() const;
+  size_t TotalMpans() const;
+  TraversalStats AggregateTraversalStats() const;
+
+  /// Multi-line human-readable rendering (what the examples print).
+  std::string ToString(size_t max_items_per_section = 10) const;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DEBUGGER_DEBUG_REPORT_H_

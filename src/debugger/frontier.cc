@@ -1,0 +1,73 @@
+#include "debugger/frontier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kwsdbg {
+
+StatusOr<std::string> FrontierToDot(const PrunedLattice& pl,
+                                    const MtnOutcome& outcome) {
+  if (outcome.alive) {
+    return Status::InvalidArgument(
+        "the MTN is an answer query; there is no non-answer frontier");
+  }
+  const Lattice& lattice = pl.lattice();
+  const NodeId m = outcome.mtn;
+  std::vector<NodeId> sub = pl.RetainedDescendants(m);
+  sub.push_back(m);
+  std::unordered_set<NodeId> in_sub(sub.begin(), sub.end());
+
+  // Reconstruct the classification: alive = descendants-of-MPANs (closed
+  // downward by R1), dead = ancestors-of-culprits within the sub-lattice
+  // (closed upward by R2). For a fully classified dead MTN these two sets
+  // partition the sub-lattice.
+  std::unordered_set<NodeId> alive, dead;
+  for (NodeId n : outcome.mpans) {
+    alive.insert(n);
+    for (NodeId d : pl.RetainedDescendants(n)) alive.insert(d);
+  }
+  for (NodeId n : outcome.culprits) {
+    dead.insert(n);
+    for (NodeId a : pl.RetainedAncestors(n)) {
+      if (in_sub.count(a)) dead.insert(a);
+    }
+  }
+
+  std::unordered_set<NodeId> mpans(outcome.mpans.begin(),
+                                   outcome.mpans.end());
+  std::unordered_set<NodeId> culprits(outcome.culprits.begin(),
+                                      outcome.culprits.end());
+
+  std::string out = "digraph frontier {\n  rankdir=BT;\n";
+  std::sort(sub.begin(), sub.end());
+  for (NodeId n : sub) {
+    std::string label = lattice.node(n).tree.ToString(lattice.schema());
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"') escaped += "\\\"";
+      else escaped += c;
+    }
+    out += "  n" + std::to_string(n) + " [label=\"" + escaped + "\"";
+    if (alive.count(n)) {
+      out += ", color=green";
+    } else if (dead.count(n)) {
+      out += ", color=red";
+    }
+    if (mpans.count(n)) out += ", shape=doublecircle";
+    if (culprits.count(n)) out += ", shape=doubleoctagon";
+    if (n == m) out += ", penwidth=3";
+    out += "];\n";
+  }
+  for (NodeId n : sub) {
+    for (NodeId p : lattice.node(n).parents) {
+      if (in_sub.count(p)) {
+        out += "  n" + std::to_string(n) + " -> n" + std::to_string(p) +
+               ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,28 @@
+// Visual rendering of a dead MTN's answer/non-answer frontier. The outcome
+// already carries both sides of the frontier: the MPANs (maximal alive
+// sub-networks, what the paper reports) and the culprits (minimal dead
+// sub-networks — the duals, in the spirit of Chapman & Jagadish's frontier
+// picky manipulations the paper cites). Because aliveness is closed
+// downward from MPANs and deadness upward from culprits, the full
+// classification of the sub-lattice is reconstructible from those two sets
+// alone, which is what the renderer does.
+#ifndef KWSDBG_DEBUGGER_FRONTIER_H_
+#define KWSDBG_DEBUGGER_FRONTIER_H_
+
+#include <string>
+
+#include "kws/pruned_lattice.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// Renders dead MTN `outcome.mtn`'s sub-lattice as GraphViz dot: alive
+/// nodes green, dead nodes red, MPANs double-circled, culprits
+/// double-octagons, sub-network edges pointing upward. Errors if the
+/// outcome is alive (there is no frontier to draw).
+StatusOr<std::string> FrontierToDot(const PrunedLattice& pl,
+                                    const MtnOutcome& outcome);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DEBUGGER_FRONTIER_H_

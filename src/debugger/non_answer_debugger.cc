@@ -1,0 +1,106 @@
+#include "debugger/non_answer_debugger.h"
+
+#include "debugger/ranking.h"
+#include "kws/pruned_lattice.h"
+#include "kws/query_builder.h"
+#include "traversal/evaluator.h"
+
+namespace kwsdbg {
+
+NonAnswerDebugger::NonAnswerDebugger(const Database* db,
+                                     const Lattice* lattice,
+                                     const InvertedIndex* index,
+                                     DebuggerOptions options)
+    : db_(db),
+      lattice_(lattice),
+      index_(index),
+      options_(options),
+      executor_(std::make_unique<Executor>(db)),
+      binder_(&lattice->schema(), index,
+              lattice->config().EffectiveKeywordCopies(),
+              options.max_interpretations) {}
+
+namespace {
+
+StatusOr<NodeReport> MakeNodeReport(const Lattice& lattice, NodeId id,
+                                    const KeywordBinding& binding,
+                                    const Database& db) {
+  NodeReport report;
+  report.node = id;
+  report.level = lattice.node(id).level;
+  report.network = lattice.node(id).tree.ToString(lattice.schema());
+  KWSDBG_ASSIGN_OR_RETURN(JoinNetworkQuery query,
+                          BuildNodeQuery(lattice, id, binding));
+  KWSDBG_ASSIGN_OR_RETURN(report.sql, query.ToSql(db));
+  return report;
+}
+
+}  // namespace
+
+StatusOr<DebugReport> NonAnswerDebugger::Debug(
+    const std::string& keyword_query) {
+  DebugReport report;
+  report.keyword_query = keyword_query;
+
+  BindingResult binding_result = binder_.Bind(keyword_query);
+  report.keywords = binding_result.keywords;
+  report.missing_keywords = binding_result.missing_keywords;
+  report.bind_millis = binding_result.bind_millis;
+  report.interpretations_skipped = binding_result.interpretations_skipped;
+  if (!report.missing_keywords.empty()) return report;
+
+  std::unique_ptr<TraversalStrategy> strategy =
+      MakeStrategy(options_.strategy, options_.sbh);
+
+  for (const KeywordBinding& binding : binding_result.interpretations) {
+    InterpretationReport interp;
+    interp.binding = binding.ToString(lattice_->schema());
+
+    PrunedLattice pl =
+        PrunedLattice::Build(*lattice_, binding, options_.node_filter);
+    interp.prune_stats = pl.stats();
+
+    QueryEvaluator evaluator(db_, executor_.get(), &pl, index_,
+                             options_.eval);
+    KWSDBG_ASSIGN_OR_RETURN(TraversalResult traversal,
+                            strategy->Run(pl, &evaluator));
+    interp.traversal_stats = traversal.stats;
+
+    for (const MtnOutcome& outcome : traversal.outcomes) {
+      if (outcome.alive) {
+        AnswerReport ans;
+        KWSDBG_ASSIGN_OR_RETURN(
+            ans.query, MakeNodeReport(*lattice_, outcome.mtn, binding, *db_));
+        if (options_.sample_rows > 0) {
+          KWSDBG_ASSIGN_OR_RETURN(
+              JoinNetworkQuery query,
+              BuildNodeQuery(*lattice_, outcome.mtn, binding));
+          KWSDBG_ASSIGN_OR_RETURN(
+              ans.sample, executor_->Execute(query, options_.sample_rows));
+        }
+        interp.answers.push_back(std::move(ans));
+      } else {
+        NonAnswerReport na;
+        KWSDBG_ASSIGN_OR_RETURN(
+            na.query, MakeNodeReport(*lattice_, outcome.mtn, binding, *db_));
+        for (NodeId mpan : outcome.mpans) {
+          KWSDBG_ASSIGN_OR_RETURN(
+              NodeReport mr, MakeNodeReport(*lattice_, mpan, binding, *db_));
+          na.mpans.push_back(std::move(mr));
+        }
+        for (NodeId culprit : outcome.culprits) {
+          KWSDBG_ASSIGN_OR_RETURN(
+              NodeReport cr,
+              MakeNodeReport(*lattice_, culprit, binding, *db_));
+          na.culprits.push_back(std::move(cr));
+        }
+        interp.non_answers.push_back(std::move(na));
+      }
+    }
+    if (options_.rank_answers) RankAnswers(&interp.answers);
+    report.interpretations.push_back(std::move(interp));
+  }
+  return report;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,66 @@
+// The end-to-end system of Fig. 3: offline lattice in, keyword query in,
+// answers + non-answers + maximal alive sub-queries out.
+#ifndef KWSDBG_DEBUGGER_NON_ANSWER_DEBUGGER_H_
+#define KWSDBG_DEBUGGER_NON_ANSWER_DEBUGGER_H_
+
+#include <memory>
+#include <string>
+
+#include "debugger/debug_report.h"
+#include "graph/schema_graph.h"
+#include "kws/keyword_binding.h"
+#include "kws/pruned_lattice.h"
+#include "lattice/lattice.h"
+#include "sql/executor.h"
+#include "text/inverted_index.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// Debugger configuration.
+struct DebuggerOptions {
+  TraversalKind strategy = TraversalKind::kScoreBased;
+  SbhOptions sbh;
+  EvalOptions eval;
+  /// Sample result tuples fetched per answer query (0 = skip sampling;
+  /// sampling issues extra SQL that is *not* counted in traversal stats).
+  size_t sample_rows = 0;
+  size_t max_interpretations = 256;
+  /// Optional user constraint pushed into the Phase 3 search space
+  /// (paper Sec. 5); see kws/pruned_lattice.h.
+  NodeFilter node_filter;
+  /// Sort each interpretation's answers smallest-join-network first
+  /// (DISCOVER-style size ranking). Non-answers are never ranked or
+  /// truncated — debugging needs all of them (paper Sec. 1).
+  bool rank_answers = true;
+};
+
+/// Facade wiring Phases 1-3 together over a prebuilt lattice and index.
+/// All referenced objects must outlive the debugger.
+class NonAnswerDebugger {
+ public:
+  NonAnswerDebugger(const Database* db, const Lattice* lattice,
+                    const InvertedIndex* index, DebuggerOptions options = {});
+
+  /// Runs the full pipeline for `keyword_query`, one interpretation at a
+  /// time, and assembles the report.
+  StatusOr<DebugReport> Debug(const std::string& keyword_query);
+
+  /// The SQL session used for aliveness checks (exposed so benches can reset
+  /// or inspect caches between runs).
+  Executor* executor() { return executor_.get(); }
+
+  const DebuggerOptions& options() const { return options_; }
+
+ private:
+  const Database* db_;
+  const Lattice* lattice_;
+  const InvertedIndex* index_;
+  DebuggerOptions options_;
+  std::unique_ptr<Executor> executor_;
+  KeywordBinder binder_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DEBUGGER_NON_ANSWER_DEBUGGER_H_

@@ -1,0 +1,23 @@
+#include "debugger/ranking.h"
+
+#include <algorithm>
+
+namespace kwsdbg {
+
+double AnswerScore(const AnswerReport& answer) {
+  return answer.query.level == 0
+             ? 0.0
+             : 1.0 / static_cast<double>(answer.query.level);
+}
+
+void RankAnswers(std::vector<AnswerReport>* answers) {
+  std::stable_sort(answers->begin(), answers->end(),
+                   [](const AnswerReport& a, const AnswerReport& b) {
+                     if (a.query.level != b.query.level) {
+                       return a.query.level < b.query.level;
+                     }
+                     return a.query.network < b.query.network;
+                   });
+}
+
+}  // namespace kwsdbg

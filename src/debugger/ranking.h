@@ -1,0 +1,25 @@
+// Presentation-order ranking for answer queries, in the spirit of the
+// DISCOVER/IR-style systems the paper discusses (Sec. 4): smaller candidate
+// networks first (fewer joins = a tighter connection between the keywords),
+// ties broken lexicographically for determinism. Debugging output itself is
+// deliberately *not* ranked or truncated — the paper argues all non-answers
+// must be reported — so ranking applies to answers only.
+#ifndef KWSDBG_DEBUGGER_RANKING_H_
+#define KWSDBG_DEBUGGER_RANKING_H_
+
+#include <vector>
+
+#include "debugger/debug_report.h"
+
+namespace kwsdbg {
+
+/// Sorts answers in place: ascending join count, then network text.
+void RankAnswers(std::vector<AnswerReport>* answers);
+
+/// Relevance score of one answer (higher = better): 1 / level, the standard
+/// size-based CN score. Exposed for tests and custom rankers.
+double AnswerScore(const AnswerReport& answer);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_DEBUGGER_RANKING_H_

@@ -1,0 +1,100 @@
+#include "graph/schema_graph.h"
+
+#include "common/logging.h"
+
+namespace kwsdbg {
+
+StatusOr<RelationId> SchemaGraph::AddRelation(const std::string& name,
+                                              bool has_text) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(RelationInfo{id, name, has_text});
+  by_name_.emplace(name, id);
+  incident_.emplace_back();
+  return id;
+}
+
+StatusOr<EdgeId> SchemaGraph::AddJoin(const std::string& from_table,
+                                      const std::string& from_column,
+                                      const std::string& to_table,
+                                      const std::string& to_column) {
+  KWSDBG_ASSIGN_OR_RETURN(RelationId from, RelationIdByName(from_table));
+  KWSDBG_ASSIGN_OR_RETURN(RelationId to, RelationIdByName(to_table));
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(JoinEdge{id, from, from_column, to, to_column});
+  incident_[from].push_back(id);
+  if (to != from) incident_[to].push_back(id);
+  return id;
+}
+
+Status SchemaGraph::ValidateAgainst(const Database& db) const {
+  for (const RelationInfo& rel : relations_) {
+    KWSDBG_ASSIGN_OR_RETURN(Table * table, db.GetTable(rel.name));
+    const bool schema_has_text = !table->schema().TextColumnIndices().empty();
+    if (schema_has_text != rel.has_text) {
+      return Status::FailedPrecondition(
+          "relation '" + rel.name + "' has_text flag (" +
+          (rel.has_text ? "true" : "false") + ") disagrees with schema");
+    }
+  }
+  for (const JoinEdge& e : edges_) {
+    KWSDBG_ASSIGN_OR_RETURN(Table * from_table,
+                            db.GetTable(relations_[e.from].name));
+    KWSDBG_ASSIGN_OR_RETURN(Table * to_table,
+                            db.GetTable(relations_[e.to].name));
+    KWSDBG_ASSIGN_OR_RETURN(size_t from_idx,
+                            from_table->schema().ColumnIndex(e.from_column));
+    KWSDBG_ASSIGN_OR_RETURN(size_t to_idx,
+                            to_table->schema().ColumnIndex(e.to_column));
+    const DataType ft = from_table->schema().column(from_idx).type;
+    const DataType tt = to_table->schema().column(to_idx).type;
+    const bool joinable =
+        ft == tt || (ft != DataType::kString && tt != DataType::kString);
+    if (!joinable) {
+      return Status::FailedPrecondition(
+          "join columns " + relations_[e.from].name + "." + e.from_column +
+          " and " + relations_[e.to].name + "." + e.to_column +
+          " have incompatible types");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<RelationId> SchemaGraph::RelationIdByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::vector<EdgeId>& SchemaGraph::IncidentEdges(RelationId rel) const {
+  KWSDBG_DCHECK(rel < incident_.size());
+  return incident_[rel];
+}
+
+RelationId SchemaGraph::OtherEndpoint(const JoinEdge& edge,
+                                      RelationId rel) const {
+  KWSDBG_DCHECK(edge.from == rel || edge.to == rel);
+  return edge.from == rel ? edge.to : edge.from;
+}
+
+std::string SchemaGraph::ToDot() const {
+  std::string out = "graph schema {\n";
+  for (const RelationInfo& r : relations_) {
+    out += "  " + r.name;
+    if (r.has_text) out += " [style=filled]";
+    out += ";\n";
+  }
+  for (const JoinEdge& e : edges_) {
+    out += "  " + relations_[e.from].name + " -- " + relations_[e.to].name +
+           " [label=\"" + e.from_column + "=" + e.to_column + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,87 @@
+// The schema graph: relations as vertices, key-foreign-key associations as
+// (undirected, for join purposes) edges. This is the structure Phase 0 walks
+// to enumerate join networks (paper Sec. 2.2).
+#ifndef KWSDBG_GRAPH_SCHEMA_GRAPH_H_
+#define KWSDBG_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+/// Stable integer id of a relation within a SchemaGraph.
+using RelationId = uint32_t;
+/// Stable integer id of a join edge within a SchemaGraph.
+using EdgeId = uint32_t;
+
+/// A key-foreign-key association `from.from_column = to.to_column`.
+struct JoinEdge {
+  EdgeId id;
+  RelationId from;
+  std::string from_column;
+  RelationId to;
+  std::string to_column;
+};
+
+/// Metadata for one relation vertex.
+struct RelationInfo {
+  RelationId id;
+  std::string name;
+  bool has_text;  ///< True iff the relation has at least one TEXT column;
+                  ///< only such relations can be bound to keywords.
+};
+
+/// Immutable-after-build schema graph with adjacency lists.
+class SchemaGraph {
+ public:
+  /// Adds a relation vertex. `has_text` marks whether keywords can bind to
+  /// it. Errors on duplicate name.
+  StatusOr<RelationId> AddRelation(const std::string& name, bool has_text);
+
+  /// Adds an undirected key-FK edge. Both relations must exist.
+  StatusOr<EdgeId> AddJoin(const std::string& from_table,
+                           const std::string& from_column,
+                           const std::string& to_table,
+                           const std::string& to_column);
+
+  /// Checks the graph against a database: every relation is a table, every
+  /// join column exists with a joinable type, and `has_text` flags agree with
+  /// the schema.
+  Status ValidateAgainst(const Database& db) const;
+
+  size_t num_relations() const { return relations_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const RelationInfo& relation(RelationId id) const { return relations_[id]; }
+  const JoinEdge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<RelationInfo>& relations() const { return relations_; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Relation id by name; errors if absent.
+  StatusOr<RelationId> RelationIdByName(const std::string& name) const;
+
+  /// Ids of edges incident to `rel` (either endpoint).
+  const std::vector<EdgeId>& IncidentEdges(RelationId rel) const;
+
+  /// The endpoint of `edge` that is not `rel`. Precondition: `rel` is an
+  /// endpoint of `edge`. Self-loop edges return `rel` itself.
+  RelationId OtherEndpoint(const JoinEdge& edge, RelationId rel) const;
+
+  /// GraphViz dot rendering for documentation / debugging.
+  std::string ToDot() const;
+
+ private:
+  std::vector<RelationInfo> relations_;
+  std::vector<JoinEdge> edges_;
+  std::unordered_map<std::string, RelationId> by_name_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_GRAPH_SCHEMA_GRAPH_H_

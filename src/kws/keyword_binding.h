@@ -1,0 +1,87 @@
+// Phase 1 front half (paper Sec. 2.3): map each query keyword to a relation
+// via the inverted index and bind it to one of the relation's copies.
+// A keyword occurring in several relations yields several *interpretations*,
+// each handled separately, exactly as the paper prescribes.
+#ifndef KWSDBG_KWS_KEYWORD_BINDING_H_
+#define KWSDBG_KWS_KEYWORD_BINDING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "graph/schema_graph.h"
+#include "lattice/join_tree.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+
+/// One keyword bound to one relation copy.
+struct KeywordAssignment {
+  std::string keyword;
+  RelationCopy vertex;  ///< vertex.copy >= 1.
+};
+
+/// A complete binding of every query keyword for one interpretation.
+class KeywordBinding {
+ public:
+  explicit KeywordBinding(std::vector<KeywordAssignment> assignments);
+
+  const std::vector<KeywordAssignment>& assignments() const {
+    return assignments_;
+  }
+  size_t num_keywords() const { return assignments_.size(); }
+
+  /// True iff some keyword is bound to exactly this relation copy.
+  bool IsBound(RelationCopy v) const;
+
+  /// The keyword bound to `v`, or nullptr (free copy / unbound copy).
+  const std::string* KeywordFor(RelationCopy v) const;
+
+  /// The vertex keyword `i` (by assignment order) is bound to.
+  RelationCopy VertexFor(size_t i) const { return assignments_[i].vertex; }
+
+  /// "widom->Person[1], trio->Topic[1]" for reports.
+  std::string ToString(const SchemaGraph& schema) const;
+
+ private:
+  std::vector<KeywordAssignment> assignments_;
+  std::unordered_map<std::pair<RelationId, uint16_t>, size_t, PairHash>
+      by_vertex_;
+};
+
+/// Output of binding a keyword query.
+struct BindingResult {
+  std::vector<std::string> keywords;          ///< Tokenized, deduplicated.
+  std::vector<std::string> missing_keywords;  ///< Not found anywhere: when
+                                              ///< non-empty, "and" semantics
+                                              ///< makes every CN empty, so no
+                                              ///< interpretations are built.
+  std::vector<KeywordBinding> interpretations;
+  size_t interpretations_skipped = 0;  ///< Dropped by the cap or by running
+                                       ///< out of copies for one relation.
+  double bind_millis = 0;              ///< Index-lookup + enumeration time.
+};
+
+/// Enumerates interpretations: the cartesian product, over keywords, of the
+/// text relations containing each keyword; keywords mapped to the same
+/// relation receive successive copies R_1, R_2, ....
+class KeywordBinder {
+ public:
+  /// `num_keyword_copies` must match the lattice's configuration so that
+  /// bound copies actually exist as lattice vertices.
+  KeywordBinder(const SchemaGraph* schema, const InvertedIndex* index,
+                size_t num_keyword_copies, size_t max_interpretations = 256);
+
+  BindingResult Bind(const std::string& keyword_query) const;
+
+ private:
+  const SchemaGraph* schema_;
+  const InvertedIndex* index_;
+  size_t num_keyword_copies_;
+  size_t max_interpretations_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_KWS_KEYWORD_BINDING_H_

@@ -1,0 +1,117 @@
+#include "kws/online_cn_generator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "lattice/canonical_label.h"
+
+namespace kwsdbg {
+
+namespace {
+
+/// True iff the tree covers every keyword of the binding.
+bool IsTotal(const JoinTree& tree, const KeywordBinding& binding) {
+  size_t covered = 0;
+  for (size_t i = 0; i < binding.num_keywords(); ++i) {
+    if (tree.ContainsVertex(binding.VertexFor(i))) ++covered;
+  }
+  return covered == binding.num_keywords() && binding.num_keywords() > 0;
+}
+
+bool AllLeavesBound(const JoinTree& tree) {
+  for (size_t leaf : tree.LeafIndices()) {
+    if (tree.vertex(leaf).copy == 0) return false;
+  }
+  return true;
+}
+
+/// Minimality: no maximal proper sub-network (leaf removal) is still total.
+bool IsMinimalTotal(const JoinTree& tree, const KeywordBinding& binding) {
+  if (!IsTotal(tree, binding)) return false;
+  if (tree.num_vertices() == 1) return true;
+  for (size_t leaf : tree.LeafIndices()) {
+    if (IsTotal(tree.RemoveLeaf(leaf), binding)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<OnlineCnResult> GenerateCandidateNetworks(
+    const SchemaGraph& schema, const KeywordBinding& binding,
+    size_t max_joins) {
+  if (binding.num_keywords() == 0) {
+    return Status::InvalidArgument("binding has no keywords");
+  }
+  Timer timer;
+  OnlineCnResult result;
+
+  // Valid vertices at runtime: the free copy of every relation plus the
+  // interpretation's bound copies.
+  std::vector<RelationCopy> seeds;
+  for (const RelationInfo& rel : schema.relations()) {
+    seeds.push_back(RelationCopy{rel.id, 0});
+  }
+  for (const KeywordAssignment& a : binding.assignments()) {
+    seeds.push_back(a.vertex);
+  }
+  auto vertex_valid = [&](RelationCopy v) {
+    return v.copy == 0 || binding.IsBound(v);
+  };
+
+  std::unordered_set<std::string> seen;
+  std::vector<JoinTree> frontier;
+  std::vector<JoinTree> cns;
+  for (const RelationCopy& seed : seeds) {
+    JoinTree t = JoinTree::Single(seed);
+    ++result.trees_generated;
+    if (seen.insert(CanonicalLabel(t)).second) {
+      ++result.trees_explored;
+      if (IsMinimalTotal(t, binding) && AllLeavesBound(t)) {
+        cns.push_back(t);
+      }
+      frontier.push_back(std::move(t));
+    }
+  }
+
+  for (size_t level = 2; level <= max_joins + 1; ++level) {
+    std::vector<JoinTree> next;
+    for (const JoinTree& g : frontier) {
+      for (size_t vi = 0; vi < g.num_vertices(); ++vi) {
+        const RelationId r = g.vertex(vi).relation;
+        for (EdgeId eid : schema.IncidentEdges(r)) {
+          const JoinEdge& se = schema.edge(eid);
+          // Same DISCOVER validity rule as the lattice generator: an FK
+          // column joins at most one instance.
+          if (r == se.from && g.VertexUsesEdge(vi, eid)) continue;
+          const RelationId other = schema.OtherEndpoint(se, r);
+          // Candidate copies of the other endpoint: free + its bound copies.
+          std::vector<uint16_t> copies = {0};
+          for (const KeywordAssignment& a : binding.assignments()) {
+            if (a.vertex.relation == other) copies.push_back(a.vertex.copy);
+          }
+          for (uint16_t c : copies) {
+            RelationCopy nv{other, c};
+            if (!vertex_valid(nv) || g.ContainsVertex(nv)) continue;
+            JoinTree extended = g.Extend(vi, nv, eid);
+            ++result.trees_generated;
+            if (!seen.insert(CanonicalLabel(extended)).second) continue;
+            ++result.trees_explored;
+            if (IsMinimalTotal(extended, binding) &&
+                AllLeavesBound(extended)) {
+              cns.push_back(extended);
+            }
+            next.push_back(std::move(extended));
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  result.candidate_networks = std::move(cns);
+  result.gen_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,41 @@
+// Online candidate-network generation — the traditional KWS-S runtime path
+// (DISCOVER-style breadth-first expansion from keyword tuple sets) that the
+// paper's offline lattice deliberately bypasses (Sec. 2.2: the lattice
+// "bypasses the costly candidate network generation phase, which is a part
+// of traditional KWS-S systems"). Implemented both as the baseline for the
+// corresponding ablation benchmark and as an independent oracle: its output
+// must coincide exactly with the lattice pipeline's MTNs, which the test
+// suite asserts.
+#ifndef KWSDBG_KWS_ONLINE_CN_GENERATOR_H_
+#define KWSDBG_KWS_ONLINE_CN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kws/keyword_binding.h"
+#include "lattice/join_tree.h"
+
+namespace kwsdbg {
+
+/// Result of one online generation run.
+struct OnlineCnResult {
+  /// The candidate networks: join trees that are total (cover every
+  /// keyword), minimal (no proper sub-network is total), and whose leaves
+  /// are all bound to keywords.
+  std::vector<JoinTree> candidate_networks;
+  size_t trees_explored = 0;   ///< Distinct join trees materialized.
+  size_t trees_generated = 0;  ///< Extension attempts incl. duplicates.
+  double gen_millis = 0;
+};
+
+/// Enumerates all candidate networks with up to `max_joins` joins for one
+/// keyword interpretation, entirely at runtime: breadth-first expansion over
+/// the schema graph restricted to the free copies and the interpretation's
+/// bound copies, deduplicated by canonical labeling.
+StatusOr<OnlineCnResult> GenerateCandidateNetworks(
+    const SchemaGraph& schema, const KeywordBinding& binding,
+    size_t max_joins);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_KWS_ONLINE_CN_GENERATOR_H_

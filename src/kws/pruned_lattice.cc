@@ -1,0 +1,225 @@
+#include "kws/pruned_lattice.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace kwsdbg {
+
+namespace filters {
+
+NodeFilter MinLevel(size_t min_level) {
+  return [min_level](const JoinTree& tree) {
+    return tree.level() >= min_level;
+  };
+}
+
+NodeFilter ContainsRelation(RelationId relation) {
+  return [relation](const JoinTree& tree) {
+    for (const RelationCopy& v : tree.vertices()) {
+      if (v.relation == relation) return true;
+    }
+    return false;
+  };
+}
+
+NodeFilter MinKeywords(size_t min_keywords, const KeywordBinding* binding) {
+  return [min_keywords, binding](const JoinTree& tree) {
+    size_t bound = 0;
+    for (const RelationCopy& v : tree.vertices()) {
+      if (v.copy != 0 && binding->KeywordFor(v) != nullptr) ++bound;
+    }
+    return bound >= min_keywords;
+  };
+}
+
+NodeFilter And(NodeFilter a, NodeFilter b) {
+  return [a = std::move(a), b = std::move(b)](const JoinTree& tree) {
+    return a(tree) && b(tree);
+  };
+}
+
+}  // namespace filters
+
+PrunedLattice PrunedLattice::Build(const Lattice& lattice,
+                                   const KeywordBinding& binding,
+                                   const NodeFilter& filter) {
+  PrunedLattice pl;
+  pl.lattice_ = &lattice;
+  pl.binding_ = binding;
+  pl.stats_.lattice_nodes = lattice.num_nodes();
+
+  // ---- Phase 1: keyword-based pruning. A node survives iff every vertex is
+  // the free copy or a copy some keyword is bound to.
+  Timer timer;
+  pl.surviving_mask_.assign(lattice.num_nodes(), false);
+  for (NodeId id = 0; id < lattice.num_nodes(); ++id) {
+    const JoinTree& tree = lattice.node(id).tree;
+    bool ok = true;
+    for (const RelationCopy& v : tree.vertices()) {
+      if (v.copy != 0 && !binding.IsBound(v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      pl.surviving_mask_[id] = true;
+      pl.surviving_.push_back(id);
+    }
+  }
+  pl.stats_.surviving_nodes = pl.surviving_.size();
+  pl.stats_.prune_millis = timer.ElapsedMillis();
+
+  // ---- Phase 2: find MTNs, retain MTNs + descendants.
+  timer.Reset();
+  pl.mtn_mask_.assign(lattice.num_nodes(), false);
+  for (NodeId id : pl.surviving_) {
+    if (!pl.IsTotal(id)) continue;
+    // Minimal-total: no child (maximal proper sub-network) is total.
+    // Totality is monotone upward, so checking children suffices.
+    bool minimal = true;
+    for (NodeId c : lattice.node(id).children) {
+      if (pl.surviving_mask_[c] && pl.IsTotal(c)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) {
+      pl.mtn_mask_[id] = true;
+      pl.mtns_.push_back(id);
+    }
+  }
+  pl.stats_.num_mtns = pl.mtns_.size();
+
+  // Retained = MTNs + descendants (all descendants of survivors survive).
+  pl.retained_mask_.assign(lattice.num_nodes(), false);
+  {
+    std::vector<NodeId> stack;
+    for (NodeId m : pl.mtns_) {
+      if (!pl.retained_mask_[m]) {
+        pl.retained_mask_[m] = true;
+        stack.push_back(m);
+      }
+    }
+    size_t desc_total = 0;
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      for (NodeId c : lattice.node(n).children) {
+        if (pl.retained_mask_[c]) continue;
+        if (filter && !filter(lattice.node(c).tree)) continue;
+        pl.retained_mask_[c] = true;
+        stack.push_back(c);
+      }
+    }
+    for (NodeId id = 0; id < lattice.num_nodes(); ++id) {
+      if (pl.retained_mask_[id]) pl.retained_.push_back(id);
+    }
+    // Descendant overlap statistics (Fig. 13): N counts multiplicity.
+    for (NodeId m : pl.mtns_) {
+      desc_total += pl.RetainedDescendants(m).size();
+    }
+    pl.stats_.mtn_desc_total = desc_total;
+    pl.stats_.mtn_desc_unique =
+        pl.retained_.size() >= pl.mtns_.size()
+            ? pl.retained_.size() - pl.mtns_.size()
+            : 0;
+  }
+  pl.stats_.retained_nodes = pl.retained_.size();
+
+  pl.retained_by_level_.resize(lattice.num_levels() + 1);
+  for (NodeId id : pl.retained_) {
+    const size_t level = lattice.node(id).level;
+    pl.retained_by_level_[level].push_back(id);
+    pl.max_retained_level_ = std::max(pl.max_retained_level_, level);
+  }
+  pl.stats_.mtn_millis = timer.ElapsedMillis();
+  return pl;
+}
+
+bool PrunedLattice::IsTotal(NodeId id) const {
+  const JoinTree& tree = lattice_->node(id).tree;
+  const size_t k = binding_.num_keywords();
+  size_t covered = 0;
+  uint64_t mask = 0;
+  for (const RelationCopy& v : tree.vertices()) {
+    if (v.copy == 0) continue;
+    const std::string* kw = binding_.KeywordFor(v);
+    if (kw == nullptr) continue;
+    for (size_t i = 0; i < k; ++i) {
+      if (binding_.VertexFor(i) == v && !((mask >> i) & 1)) {
+        mask |= (1ull << i);
+        ++covered;
+      }
+    }
+  }
+  return covered == k && k > 0;
+}
+
+std::vector<NodeId> PrunedLattice::RetainedChildren(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c : lattice_->node(id).children) {
+    if (retained_mask_[c]) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> PrunedLattice::RetainedParents(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId p : lattice_->node(id).parents) {
+    if (retained_mask_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+const std::vector<NodeId>& PrunedLattice::RetainedDescendants(
+    NodeId id) const {
+  auto it = desc_cache_.find(id);
+  if (it != desc_cache_.end()) return it->second;
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack;
+  for (NodeId c : lattice_->node(id).children) {
+    if (retained_mask_[c] && seen.insert(c).second) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (NodeId c : lattice_->node(n).children) {
+      if (retained_mask_[c] && seen.insert(c).second) stack.push_back(c);
+    }
+  }
+  return desc_cache_.emplace(id, std::move(out)).first->second;
+}
+
+const std::vector<NodeId>& PrunedLattice::RetainedAncestors(NodeId id) const {
+  auto it = asc_cache_.find(id);
+  if (it != asc_cache_.end()) return it->second;
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack;
+  for (NodeId p : lattice_->node(id).parents) {
+    if (retained_mask_[p] && seen.insert(p).second) stack.push_back(p);
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (NodeId p : lattice_->node(n).parents) {
+      if (retained_mask_[p] && seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  return asc_cache_.emplace(id, std::move(out)).first->second;
+}
+
+const std::vector<NodeId>& PrunedLattice::RetainedAtLevel(
+    size_t level) const {
+  static const std::vector<NodeId> kEmpty;
+  if (level == 0 || level >= retained_by_level_.size()) return kEmpty;
+  return retained_by_level_[level];
+}
+
+}  // namespace kwsdbg

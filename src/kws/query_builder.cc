@@ -1,0 +1,44 @@
+#include "kws/query_builder.h"
+
+namespace kwsdbg {
+
+StatusOr<JoinNetworkQuery> BuildNodeQuery(const JoinTree& tree,
+                                          const SchemaGraph& schema,
+                                          const KeywordBinding& binding) {
+  JoinNetworkQuery query;
+  for (const RelationCopy& v : tree.vertices()) {
+    const RelationInfo& rel = schema.relation(v.relation);
+    QueryVertex qv;
+    qv.table = rel.name;
+    qv.alias = rel.name + "_" + std::to_string(v.copy);
+    if (v.copy != 0) {
+      const std::string* kw = binding.KeywordFor(v);
+      if (kw == nullptr) {
+        return Status::FailedPrecondition(
+            "tree vertex " + qv.alias +
+            " is an unbound keyword copy; was Phase 1 pruning skipped?");
+      }
+      qv.keyword = *kw;
+    }
+    query.vertices.push_back(std::move(qv));
+  }
+  for (const JoinTreeEdge& e : tree.edges()) {
+    const JoinEdge& se = schema.edge(e.schema_edge);
+    const RelationId ra = tree.vertex(e.a).relation;
+    QueryJoin join;
+    if (se.from == ra) {
+      join = QueryJoin{e.a, se.from_column, e.b, se.to_column};
+    } else {
+      join = QueryJoin{e.a, se.to_column, e.b, se.from_column};
+    }
+    query.joins.push_back(std::move(join));
+  }
+  return query;
+}
+
+StatusOr<JoinNetworkQuery> BuildNodeQuery(const Lattice& lattice, NodeId id,
+                                          const KeywordBinding& binding) {
+  return BuildNodeQuery(lattice.node(id).tree, lattice.schema(), binding);
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,26 @@
+// Instantiates the SQL query of a lattice node under a keyword binding —
+// the runtime half of the node's uninstantiated template (paper Sec. 2.2-2.3).
+#ifndef KWSDBG_KWS_QUERY_BUILDER_H_
+#define KWSDBG_KWS_QUERY_BUILDER_H_
+
+#include "common/status.h"
+#include "kws/keyword_binding.h"
+#include "lattice/lattice.h"
+#include "sql/join_network.h"
+
+namespace kwsdbg {
+
+/// Builds the executable query for `tree`: one aliased instance per vertex
+/// ("Person_1", "authored_0"), the join conditions from the instantiated
+/// schema edges, and the bound keyword (if any) on each instance.
+StatusOr<JoinNetworkQuery> BuildNodeQuery(const JoinTree& tree,
+                                          const SchemaGraph& schema,
+                                          const KeywordBinding& binding);
+
+/// Convenience overload resolving the node by id.
+StatusOr<JoinNetworkQuery> BuildNodeQuery(const Lattice& lattice, NodeId id,
+                                          const KeywordBinding& binding);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_KWS_QUERY_BUILDER_H_

@@ -1,0 +1,27 @@
+// Canonical labeling of join trees (paper Algorithm 2, an AHU-style scheme):
+// two join trees are duplicates iff their canonical labelings are equal.
+// Vertex labels are (relation, copy) pairs; edge labels are schema edge ids —
+// both mapped to integers as the paper prescribes.
+#ifndef KWSDBG_LATTICE_CANONICAL_LABEL_H_
+#define KWSDBG_LATTICE_CANONICAL_LABEL_H_
+
+#include <string>
+
+#include "lattice/join_tree.h"
+
+namespace kwsdbg {
+
+/// Computes the canonical labeling of `tree` (paper Alg. 2): rooted at the
+/// vertex(es) with minimum integer id, children ordered by their recursively
+/// computed labels, rendered as "[id|e<id>[...]e<id>[...]]". The result is
+/// equal for two trees iff they are the same labeled tree up to vertex /
+/// edge enumeration order.
+std::string CanonicalLabel(const JoinTree& tree);
+
+/// The integer id assigned to a vertex label (relation, copy). Exposed for
+/// tests; the encoding packs the copy into the low bits.
+uint64_t VertexLabelId(RelationCopy v);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_LATTICE_CANONICAL_LABEL_H_

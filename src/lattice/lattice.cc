@@ -1,0 +1,69 @@
+#include "lattice/lattice.h"
+
+#include "common/logging.h"
+#include "lattice/canonical_label.h"
+
+namespace kwsdbg {
+
+const std::vector<NodeId>& Lattice::NodesAtLevel(size_t level) const {
+  static const std::vector<NodeId> kEmpty;
+  if (level == 0 || level >= levels_.size()) return kEmpty;
+  return levels_[level];
+}
+
+NodeId Lattice::FindByCanonical(const std::string& canonical) const {
+  auto it = by_canonical_.find(canonical);
+  return it == by_canonical_.end() ? kInvalidNode : it->second;
+}
+
+NodeId Lattice::FindTree(const JoinTree& tree) const {
+  return FindByCanonical(CanonicalLabel(tree));
+}
+
+std::vector<NodeId> Lattice::Descendants(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack(nodes_[id].children.begin(),
+                            nodes_[id].children.end());
+  for (NodeId c : stack) seen[c] = true;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (NodeId c : nodes_[n].children) {
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Lattice::Ancestors(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack(nodes_[id].parents.begin(),
+                            nodes_[id].parents.end());
+  for (NodeId p : stack) seen[p] = true;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (NodeId p : nodes_[n].parents) {
+      if (!seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+size_t Lattice::TotalDuplicates() const {
+  size_t total = 0;
+  for (const auto& ls : level_stats_) total += ls.duplicates;
+  return total;
+}
+
+}  // namespace kwsdbg

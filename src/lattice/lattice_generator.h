@@ -1,0 +1,25 @@
+// Offline lattice generation (paper Phase 0, Algorithm 1).
+#ifndef KWSDBG_LATTICE_LATTICE_GENERATOR_H_
+#define KWSDBG_LATTICE_LATTICE_GENERATOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "lattice/lattice.h"
+
+namespace kwsdbg {
+
+/// Builds lattices from a schema graph. (CopyPolicy and LatticeConfig live
+/// in lattice.h so the built Lattice can expose its configuration.)
+class LatticeGenerator {
+ public:
+  /// Runs Algorithm 1: seeds level 1 with every relation copy, then extends
+  /// level k-1 trees by one schema-graph edge at a time, deduplicating via
+  /// canonical labeling and recording parent/child links.
+  static StatusOr<std::unique_ptr<Lattice>> Generate(
+      const SchemaGraph& schema, const LatticeConfig& config);
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_LATTICE_LATTICE_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "sql/ast.h"
+
+namespace kwsdbg {
+
+namespace {
+std::string QuoteSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string ConjunctToSql(const Conjunct& c) {
+  if (const auto* jp = std::get_if<JoinPredicate>(&c)) {
+    return jp->left.ToString() + " = " + jp->right.ToString();
+  }
+  if (const auto* lp = std::get_if<LikePredicate>(&c)) {
+    return lp->column.ToString() + " LIKE " + QuoteSqlString(lp->pattern);
+  }
+  if (const auto* cp = std::get_if<ConstantPredicate>(&c)) {
+    return cp->column.ToString() + " = " +
+           (cp->is_string ? QuoteSqlString(cp->text) : cp->text);
+  }
+  const auto& ors = std::get<OrLikes>(c);
+  std::string out = "(";
+  for (size_t i = 0; i < ors.likes.size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += ors.likes[i].column.ToString() + " LIKE " +
+           QuoteSqlString(ors.likes[i].pattern);
+  }
+  out += ")";
+  return out;
+}
+}  // namespace
+
+std::string SelectStatement::ToSql() const {
+  std::string out = "SELECT ";
+  if (count_star) {
+    out += "COUNT(*)";
+  } else if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select_list[i].ToString();
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += " AS " + from[i].alias;
+    }
+  }
+  if (!where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += ConjunctToSql(where[i]);
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column.ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit > 0) {
+    out += " LIMIT " + std::to_string(limit);
+  }
+  return out;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,104 @@
+// AST for the SQL subset the KWS-S system generates and the shell accepts:
+//
+//   SELECT (* | col_ref [, col_ref]*)
+//   FROM table [AS alias] [, table [AS alias]]*
+//   [WHERE conjunct [AND conjunct]*]
+//
+//   conjunct := col_ref = col_ref
+//             | col_ref LIKE 'pattern'
+//             | '(' like_pred [OR like_pred]* ')'
+//
+// exactly the query class of the paper: equi-joins over key-FK columns plus
+// per-relation keyword containment (an OR over the relation's text columns).
+#ifndef KWSDBG_SQL_AST_H_
+#define KWSDBG_SQL_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kwsdbg {
+
+/// "alias.column" (alias may be empty when unqualified).
+struct ColumnRef {
+  std::string alias;
+  std::string column;
+
+  std::string ToString() const {
+    return alias.empty() ? column : alias + "." + column;
+  }
+  bool operator==(const ColumnRef&) const = default;
+};
+
+/// col LIKE 'pattern'.
+struct LikePredicate {
+  ColumnRef column;
+  std::string pattern;
+
+  bool operator==(const LikePredicate&) const = default;
+};
+
+/// left = right equi-join.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+
+  bool operator==(const JoinPredicate&) const = default;
+};
+
+/// col = <literal> selection (string or numeric constant).
+struct ConstantPredicate {
+  ColumnRef column;
+  bool is_string = false;   ///< Render with quotes.
+  std::string text;         ///< Literal text as written (numbers unparsed).
+
+  bool operator==(const ConstantPredicate&) const = default;
+};
+
+/// (like OR like OR ...) — a keyword matched against several text columns.
+struct OrLikes {
+  std::vector<LikePredicate> likes;
+
+  bool operator==(const OrLikes&) const = default;
+};
+
+/// One WHERE conjunct.
+using Conjunct =
+    std::variant<JoinPredicate, LikePredicate, OrLikes, ConstantPredicate>;
+
+/// FROM item: physical table plus optional alias.
+struct FromItem {
+  std::string table;
+  std::string alias;  ///< Empty = table name itself.
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table : alias;
+  }
+  bool operator==(const FromItem&) const = default;
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  ColumnRef column;
+  bool descending = false;
+
+  bool operator==(const OrderKey&) const = default;
+};
+
+/// A parsed SELECT statement.
+struct SelectStatement {
+  bool select_all = true;
+  bool count_star = false;            ///< SELECT COUNT(*).
+  std::vector<ColumnRef> select_list;  ///< Used when !select_all.
+  std::vector<FromItem> from;
+  std::vector<Conjunct> where;
+  std::vector<OrderKey> order_by;
+  size_t limit = 0;  ///< 0 = no LIMIT clause.
+
+  /// Renders back to SQL text (normalized whitespace and quoting).
+  std::string ToSql() const;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_AST_H_

@@ -1,0 +1,388 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "sql/like_matcher.h"
+
+namespace kwsdbg {
+
+namespace {
+
+/// Per-query execution state prepared from the query + database.
+struct PreparedVertex {
+  const Table* table = nullptr;
+  bool has_keyword = false;
+  std::string keyword;      // lower-cased
+  size_t candidate_count = 0;
+};
+
+/// A join constraint from the perspective of one vertex.
+struct VertexConstraint {
+  uint16_t other;          // the other vertex
+  size_t own_column;       // column index in this vertex's table
+  size_t other_column;     // column index in the other vertex's table
+};
+
+/// Everything Execute/Explain need, resolved once per query.
+struct PreparedQuery {
+  std::vector<PreparedVertex> vertices;
+  std::vector<std::vector<VertexConstraint>> constraints;
+  std::vector<std::vector<std::pair<size_t, const Value*>>> selections;
+  std::vector<std::vector<std::pair<size_t, const std::string*>>> likes;
+  std::vector<uint16_t> order;
+  std::vector<bool> order_connected;  // order[i] joined to a prior instance?
+};
+
+}  // namespace
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  out += std::string(std::min<size_t>(out.size(), 120), '-');
+  out += "\n";
+  size_t shown = 0;
+  for (const Tuple& row : rows) {
+    if (max_rows != 0 && shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) +
+             " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+const Executor::KeywordMatches& Executor::GetKeywordMatches(
+    const Table* table, const std::string& keyword) {
+  auto key = std::make_pair(table, keyword);
+  auto it = keyword_cache_.find(key);
+  if (it != keyword_cache_.end()) return it->second;
+  ++stats_.keyword_scans;
+  KeywordMatches matches;
+  matches.bitmap.assign(table->num_rows(), 0);
+  const std::vector<size_t> text_cols = table->schema().TextColumnIndices();
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    for (size_t col : text_cols) {
+      const Value& v = table->at(row, col);
+      if (v.is_null()) continue;
+      if (ContainsCaseInsensitive(v.AsString(), keyword)) {
+        matches.bitmap[row] = 1;
+        ++matches.count;
+        break;
+      }
+    }
+  }
+  return keyword_cache_.emplace(std::move(key), std::move(matches))
+      .first->second;
+}
+
+void Executor::ClearCaches() {
+  indexes_.Clear();
+  keyword_cache_.clear();
+}
+
+namespace {
+
+/// Chooses the instance order: start at the smallest candidate set, then
+/// repeatedly take the connected unplaced instance with the fewest
+/// candidates (disconnected queries fall back to the globally smallest —
+/// a cross product, which the KWS-S system never generates but the shell
+/// may).
+void ChooseOrder(PreparedQuery* pq) {
+  const size_t n = pq->vertices.size();
+  std::vector<bool> placed(n, false);
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (pq->vertices[i].candidate_count <
+        pq->vertices[first].candidate_count) {
+      first = i;
+    }
+  }
+  pq->order.push_back(static_cast<uint16_t>(first));
+  pq->order_connected.push_back(false);
+  placed[first] = true;
+  while (pq->order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      bool connected = false;
+      for (const VertexConstraint& vc : pq->constraints[i]) {
+        if (placed[vc.other]) {
+          connected = true;
+          break;
+        }
+      }
+      const bool better =
+          best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           pq->vertices[i].candidate_count <
+               pq->vertices[best].candidate_count);
+      if (better) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    pq->order.push_back(static_cast<uint16_t>(best));
+    pq->order_connected.push_back(best_connected);
+    placed[best] = true;
+  }
+}
+
+/// Resolves names to indexes, computes candidate counts, and picks the
+/// instance order. `keyword_count` reports how many rows of a table match a
+/// keyword (backed by the executor's scan cache).
+StatusOr<PreparedQuery> PrepareQuery(
+    const JoinNetworkQuery& query, const Database& db,
+    const std::function<size_t(const Table*, const std::string&)>&
+        keyword_count) {
+  KWSDBG_RETURN_NOT_OK(query.Validate(db));
+  const size_t n = query.vertices.size();
+  PreparedQuery pq;
+  pq.vertices.resize(n);
+  pq.constraints.resize(n);
+  pq.selections.resize(n);
+  pq.likes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    PreparedVertex& pv = pq.vertices[i];
+    pv.table = db.FindTable(query.vertices[i].table);
+
+    if (!query.vertices[i].keyword.empty()) {
+      pv.has_keyword = true;
+      pv.keyword = ToLower(query.vertices[i].keyword);
+      pv.candidate_count = keyword_count(pv.table, pv.keyword);
+    } else {
+      pv.candidate_count = pv.table->num_rows();
+    }
+  }
+  for (const QueryJoin& j : query.joins) {
+    KWSDBG_ASSIGN_OR_RETURN(
+        size_t lcol,
+        pq.vertices[j.left].table->schema().ColumnIndex(j.left_column));
+    KWSDBG_ASSIGN_OR_RETURN(
+        size_t rcol,
+        pq.vertices[j.right].table->schema().ColumnIndex(j.right_column));
+    pq.constraints[j.left].push_back(VertexConstraint{j.right, lcol, rcol});
+    pq.constraints[j.right].push_back(VertexConstraint{j.left, rcol, lcol});
+  }
+  for (const QuerySelection& sel : query.selections) {
+    KWSDBG_ASSIGN_OR_RETURN(
+        size_t col,
+        pq.vertices[sel.vertex].table->schema().ColumnIndex(sel.column));
+    pq.selections[sel.vertex].emplace_back(col, &sel.value);
+  }
+  for (const QueryLikeSelection& like : query.like_selections) {
+    KWSDBG_ASSIGN_OR_RETURN(
+        size_t col,
+        pq.vertices[like.vertex].table->schema().ColumnIndex(like.column));
+    pq.likes[like.vertex].emplace_back(col, &like.pattern);
+  }
+  ChooseOrder(&pq);
+  return pq;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
+                                      size_t limit) {
+  Timer timer;
+  ++stats_.queries_executed;
+  auto keyword_count = [this](const Table* table, const std::string& kw) {
+    return GetKeywordMatches(table, kw).count;
+  };
+  KWSDBG_ASSIGN_OR_RETURN(PreparedQuery pq,
+                          PrepareQuery(query, *db_, keyword_count));
+  const size_t n = pq.vertices.size();
+
+  ResultSet result;
+  for (size_t i = 0; i < n; ++i) {
+    for (const Column& col : pq.vertices[i].table->schema().columns()) {
+      result.columns.push_back(query.vertices[i].alias + "." + col.name);
+    }
+  }
+
+  // Fast reject: a bound instance with zero matching rows.
+  for (const PreparedVertex& pv : pq.vertices) {
+    if (pv.candidate_count == 0) {
+      stats_.exec_millis += timer.ElapsedMillis();
+      return result;
+    }
+  }
+
+  // Backtracking join over the chosen order.
+  std::vector<uint32_t> assignment(n, 0);
+  std::vector<bool> assigned(n, false);
+
+  auto emit = [&]() {
+    Tuple row;
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& src = pq.vertices[i].table->row(assignment[i]);
+      row.insert(row.end(), src.begin(), src.end());
+    }
+    result.rows.push_back(std::move(row));
+    ++stats_.rows_output;
+  };
+
+  // Checks all constraints of `v` against already-assigned vertices except
+  // the one used for the index probe (`skip_other`, or -1).
+  auto check_constraints = [&](size_t v, uint32_t row, int skip_other) {
+    for (const VertexConstraint& vc : pq.constraints[v]) {
+      if (!assigned[vc.other]) continue;
+      if (skip_other >= 0 && vc.other == static_cast<uint16_t>(skip_other)) {
+        continue;
+      }
+      const Value& own = pq.vertices[v].table->at(row, vc.own_column);
+      const Value& other = pq.vertices[vc.other].table->at(
+          assignment[vc.other], vc.other_column);
+      if (!own.SqlEquals(other)) return false;
+    }
+    return true;
+  };
+
+  auto row_ok = [&](size_t v, uint32_t row) {
+    if (pq.vertices[v].has_keyword &&
+        GetKeywordMatches(pq.vertices[v].table, pq.vertices[v].keyword)
+                .bitmap[row] == 0) {
+      return false;
+    }
+    for (const auto& [col, value] : pq.selections[v]) {
+      if (!pq.vertices[v].table->at(row, col).SqlEquals(*value)) return false;
+    }
+    for (const auto& [col, pattern] : pq.likes[v]) {
+      const Value& cell = pq.vertices[v].table->at(row, col);
+      if (cell.is_null() || !LikeMatch(*pattern, cell.AsString())) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Iterative depth-first search to avoid recursion-depth concerns and to
+  // allow clean early exit on `limit`.
+  struct Frame {
+    const std::vector<uint32_t>* candidates;  // index-probe result, or null
+    uint32_t next_pos = 0;                    // position in candidates/rows
+  };
+  std::vector<Frame> stack(n);
+  std::vector<int> probe_other(n, -1);  // vertex the index probe satisfied
+  size_t depth = 0;
+  bool done = false;
+
+  auto init_frame = [&](size_t d) {
+    const uint16_t v = pq.order[d];
+    Frame& f = stack[d];
+    f.next_pos = 0;
+    f.candidates = nullptr;
+    probe_other[d] = -1;
+    // Prefer an index probe on a constraint to an assigned vertex.
+    for (const VertexConstraint& vc : pq.constraints[v]) {
+      if (!assigned[vc.other]) continue;
+      const Value& probe = pq.vertices[vc.other].table->at(
+          assignment[vc.other], vc.other_column);
+      const RowIndex& index =
+          indexes_.GetOrBuild(pq.vertices[v].table, vc.own_column);
+      f.candidates = &index.Lookup(probe);
+      probe_other[d] = vc.other;
+      return;
+    }
+  };
+
+  init_frame(0);
+
+  while (!done) {
+    const uint16_t v = pq.order[depth];
+    Frame& f = stack[depth];
+    bool advanced = false;
+    const size_t table_rows = pq.vertices[v].table->num_rows();
+    while (true) {
+      uint32_t row;
+      if (f.candidates != nullptr) {
+        if (f.next_pos >= f.candidates->size()) break;
+        row = (*f.candidates)[f.next_pos++];
+      } else {
+        if (f.next_pos >= table_rows) break;
+        row = f.next_pos++;
+      }
+      if (!row_ok(v, row)) continue;
+      if (!check_constraints(v, row, probe_other[depth])) continue;
+      assignment[v] = row;
+      assigned[v] = true;
+      if (depth + 1 == n) {
+        emit();
+        assigned[v] = false;
+        if (limit != 0 && result.rows.size() >= limit) {
+          done = true;
+        }
+        if (done) break;
+        continue;  // try next candidate at this depth
+      }
+      ++depth;
+      init_frame(depth);
+      advanced = true;
+      break;
+    }
+    if (done) break;
+    if (!advanced) {
+      if (depth == 0) break;
+      --depth;
+      assigned[pq.order[depth]] = false;
+    }
+  }
+
+  stats_.exec_millis += timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<bool> Executor::IsNonEmpty(const JoinNetworkQuery& query) {
+  KWSDBG_ASSIGN_OR_RETURN(ResultSet rs, Execute(query, /*limit=*/1));
+  return !rs.rows.empty();
+}
+
+StatusOr<std::string> Executor::Explain(const JoinNetworkQuery& query) {
+  auto keyword_count = [this](const Table* table, const std::string& kw) {
+    return GetKeywordMatches(table, kw).count;
+  };
+  KWSDBG_ASSIGN_OR_RETURN(PreparedQuery pq,
+                          PrepareQuery(query, *db_, keyword_count));
+  std::string out = "plan:\n";
+  for (size_t d = 0; d < pq.order.size(); ++d) {
+    const uint16_t v = pq.order[d];
+    const PreparedVertex& pv = pq.vertices[v];
+    out += "  " + std::to_string(d + 1) + ". " + query.vertices[v].alias +
+           " (" + query.vertices[v].table + ", ~" +
+           std::to_string(pv.candidate_count) + " candidate rows)";
+    if (d == 0) {
+      out += pv.has_keyword ? " via keyword scan '" + pv.keyword + "'"
+                            : " via full scan";
+    } else if (pq.order_connected[d]) {
+      out += " via index probe on a join column";
+    } else {
+      out += " via cross product (no join to prior instances)";
+    }
+    if (!pq.selections[v].empty() || !pq.likes[v].empty()) {
+      out += ", +" +
+             std::to_string(pq.selections[v].size() + pq.likes[v].size()) +
+             " residual filter(s)";
+    }
+    if (d > 0 && pv.has_keyword) {
+      out += ", keyword filter '" + pv.keyword + "'";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace kwsdbg

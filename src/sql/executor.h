@@ -1,0 +1,83 @@
+// Query executor for join-network queries: index-backed backtracking join
+// with keyword-containment filters, early exit for existence checks, and
+// per-session caches (join-column hash indexes, keyword scan bitmaps) that
+// model a warm DBMS.
+#ifndef KWSDBG_SQL_EXECUTOR_H_
+#define KWSDBG_SQL_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "sql/join_network.h"
+#include "sql/row_index.h"
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+/// Materialized query output: alias-qualified column names plus rows that
+/// concatenate the matched tuples in vertex order.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+
+  bool empty() const { return rows.empty(); }
+  /// Renders an ASCII table (for examples and the shell).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Accumulated executor counters; the traversal experiments read these.
+struct ExecutorStats {
+  size_t queries_executed = 0;  ///< Execute/IsNonEmpty calls.
+  double exec_millis = 0;       ///< Total wall time inside the executor.
+  size_t keyword_scans = 0;     ///< LIKE scans not served from cache.
+  size_t rows_output = 0;
+};
+
+/// One executor = one "database session". Not thread-safe.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Runs the query; `limit` of 0 means unlimited.
+  StatusOr<ResultSet> Execute(const JoinNetworkQuery& query,
+                              size_t limit = 0);
+
+  /// Existence check with first-row early exit — how the debugger tests
+  /// node aliveness (R(J) != empty, paper Sec. 2.1).
+  StatusOr<bool> IsNonEmpty(const JoinNetworkQuery& query);
+
+  /// Human-readable execution plan: the chosen instance order with the
+  /// estimated candidate rows per instance and the access path (keyword
+  /// scan, full scan, or index probe on a join column).
+  StatusOr<std::string> Explain(const JoinNetworkQuery& query);
+
+  const ExecutorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecutorStats{}; }
+
+  /// Drops the index and keyword-scan caches (cold session).
+  void ClearCaches();
+
+ private:
+  /// Rows of `table` matching LIKE '%keyword%' on any text column.
+  struct KeywordMatches {
+    std::vector<uint8_t> bitmap;  ///< bitmap[row] != 0 iff row matches.
+    size_t count = 0;
+  };
+
+  const KeywordMatches& GetKeywordMatches(const Table* table,
+                                          const std::string& keyword);
+
+  const Database* db_;
+  RowIndexManager indexes_;
+  std::unordered_map<std::pair<const Table*, std::string>, KeywordMatches,
+                     PairHash>
+      keyword_cache_;
+  ExecutorStats stats_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_EXECUTOR_H_

@@ -1,0 +1,109 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace kwsdbg {
+
+namespace {
+bool IsKeyword(const std::string& upper) {
+  return upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
+         upper == "AND" || upper == "OR" || upper == "LIKE" ||
+         upper == "AS" || upper == "COUNT" || upper == "ORDER" ||
+         upper == "BY" || upper == "ASC" || upper == "DESC" ||
+         upper == "LIMIT";
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+}  // namespace
+
+StatusOr<std::vector<SqlToken>> LexSql(const std::string& sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({SqlTokenType::kString, std::move(text), start});
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back({SqlTokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({SqlTokenType::kIdentifier, std::move(word), start});
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tokens.push_back({SqlTokenType::kNumber, sql.substr(i, j - i), start});
+      i = j;
+    } else {
+      SqlTokenType type;
+      switch (c) {
+        case '*': type = SqlTokenType::kStar; break;
+        case ',': type = SqlTokenType::kComma; break;
+        case '.': type = SqlTokenType::kDot; break;
+        case '=': type = SqlTokenType::kEquals; break;
+        case '(': type = SqlTokenType::kLParen; break;
+        case ')': type = SqlTokenType::kRParen; break;
+        case ';': type = SqlTokenType::kSemicolon; break;
+        default:
+          return Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(i));
+      }
+      tokens.push_back({type, std::string(1, c), start});
+      ++i;
+    }
+  }
+  tokens.push_back({SqlTokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,40 @@
+// Tokenizer for the SQL subset.
+#ifndef KWSDBG_SQL_LEXER_H_
+#define KWSDBG_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kwsdbg {
+
+enum class SqlTokenType {
+  kIdentifier,   // table / column / alias names
+  kKeyword,      // SELECT FROM WHERE AND OR LIKE AS COUNT ORDER BY ASC DESC
+                 // LIMIT (upper-cased in `text`)
+  kString,       // 'literal' (unescaped in `text`)
+  kNumber,       // integer or decimal literal
+  kStar,         // *
+  kComma,        // ,
+  kDot,          // .
+  kEquals,       // =
+  kLParen,       // (
+  kRParen,       // )
+  kSemicolon,    // ;
+  kEnd,          // end of input
+};
+
+struct SqlToken {
+  SqlTokenType type;
+  std::string text;
+  size_t offset;  ///< Byte offset in the input, for error messages.
+};
+
+/// Tokenizes `sql`. The final token is always kEnd. Errors on unterminated
+/// strings or unexpected characters.
+StatusOr<std::vector<SqlToken>> LexSql(const std::string& sql);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_LEXER_H_

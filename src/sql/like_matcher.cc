@@ -1,0 +1,56 @@
+#include "sql/like_matcher.h"
+
+namespace kwsdbg {
+
+namespace {
+inline char Fold(char c, bool ci) {
+  return (ci && c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+bool LikeMatch(std::string_view pattern, std::string_view text,
+               bool case_insensitive) {
+  // Iterative wildcard matching with single-level backtracking on '%'.
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' ||
+         Fold(pattern[p], case_insensitive) ==
+             Fold(text[t], case_insensitive))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string ContainsPattern(std::string_view keyword) {
+  std::string out = "%";
+  out.append(keyword);
+  out += "%";
+  return out;
+}
+
+std::string ExtractContainedKeyword(std::string_view pattern) {
+  if (pattern.size() < 2 || pattern.front() != '%' || pattern.back() != '%') {
+    return "";
+  }
+  std::string_view inner = pattern.substr(1, pattern.size() - 2);
+  if (inner.find('%') != std::string_view::npos ||
+      inner.find('_') != std::string_view::npos) {
+    return "";
+  }
+  return std::string(inner);
+}
+
+}  // namespace kwsdbg

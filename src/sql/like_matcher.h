@@ -1,0 +1,25 @@
+// SQL LIKE pattern matching: '%' matches any sequence, '_' any single
+// character. Case-insensitive by default, matching the paper's use of LIKE
+// for keyword containment.
+#ifndef KWSDBG_SQL_LIKE_MATCHER_H_
+#define KWSDBG_SQL_LIKE_MATCHER_H_
+
+#include <string>
+#include <string_view>
+
+namespace kwsdbg {
+
+/// True iff `text` matches the LIKE `pattern`.
+bool LikeMatch(std::string_view pattern, std::string_view text,
+               bool case_insensitive = true);
+
+/// Builds the containment pattern '%keyword%' used by generated queries.
+std::string ContainsPattern(std::string_view keyword);
+
+/// If `pattern` has the form '%kw%' with no wildcards inside kw, returns kw;
+/// otherwise an empty string. Used to map parsed SQL back to keywords.
+std::string ExtractContainedKeyword(std::string_view pattern);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_LIKE_MATCHER_H_

@@ -1,0 +1,227 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> Parse() {
+    SelectStatement stmt;
+    KWSDBG_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    KWSDBG_RETURN_NOT_OK(ParseSelectList(&stmt));
+    KWSDBG_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    KWSDBG_RETURN_NOT_OK(ParseFromList(&stmt));
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      KWSDBG_RETURN_NOT_OK(ParseWhere(&stmt));
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      KWSDBG_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderKey key;
+        KWSDBG_ASSIGN_OR_RETURN(key.column, ParseColumnRef());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          key.descending = true;
+        }
+        stmt.order_by.push_back(std::move(key));
+        if (Peek().type != SqlTokenType::kComma) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != SqlTokenType::kNumber) {
+        return Err("expected row count after LIMIT");
+      }
+      try {
+        long long v = std::stoll(Peek().text);
+        if (v <= 0) return Err("LIMIT must be positive");
+        stmt.limit = static_cast<size_t>(v);
+      } catch (...) {
+        return Err("bad LIMIT value");
+      }
+      Advance();
+    }
+    if (Peek().type == SqlTokenType::kSemicolon) Advance();
+    if (Peek().type != SqlTokenType::kEnd) {
+      return Err("trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == SqlTokenType::kKeyword && Peek().text == kw;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return Err("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(SqlTokenType type, const std::string& what) {
+    if (Peek().type != type) return Err("expected " + what);
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != SqlTokenType::kIdentifier) {
+      return Err("expected " + what);
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  /// col_ref := ident | ident '.' (ident | '*'-less)
+  StatusOr<ColumnRef> ParseColumnRef() {
+    KWSDBG_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column"));
+    if (Peek().type == SqlTokenType::kDot) {
+      Advance();
+      KWSDBG_ASSIGN_OR_RETURN(std::string second,
+                              ExpectIdentifier("column after '.'"));
+      return ColumnRef{std::move(first), std::move(second)};
+    }
+    return ColumnRef{"", std::move(first)};
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().type == SqlTokenType::kStar) {
+      Advance();
+      stmt->select_all = true;
+      return Status::OK();
+    }
+    if (PeekKeyword("COUNT")) {
+      Advance();
+      KWSDBG_RETURN_NOT_OK(Expect(SqlTokenType::kLParen, "'('"));
+      KWSDBG_RETURN_NOT_OK(Expect(SqlTokenType::kStar, "'*'"));
+      KWSDBG_RETURN_NOT_OK(Expect(SqlTokenType::kRParen, "')'"));
+      stmt->select_all = true;
+      stmt->count_star = true;
+      return Status::OK();
+    }
+    stmt->select_all = false;
+    while (true) {
+      KWSDBG_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      stmt->select_list.push_back(std::move(ref));
+      if (Peek().type != SqlTokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList(SelectStatement* stmt) {
+    while (true) {
+      FromItem item;
+      KWSDBG_ASSIGN_OR_RETURN(item.table, ExpectIdentifier("table name"));
+      if (PeekKeyword("AS")) {
+        Advance();
+        KWSDBG_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == SqlTokenType::kIdentifier) {
+        item.alias = Peek().text;
+        Advance();
+      }
+      stmt->from.push_back(std::move(item));
+      if (Peek().type != SqlTokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// like_pred := col_ref LIKE 'pattern'
+  StatusOr<LikePredicate> ParseLikeTail(ColumnRef col) {
+    KWSDBG_RETURN_NOT_OK(ExpectKeyword("LIKE"));
+    if (Peek().type != SqlTokenType::kString) {
+      return Err("expected string literal after LIKE");
+    }
+    LikePredicate like{std::move(col), Peek().text};
+    Advance();
+    return like;
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    while (true) {
+      if (Peek().type == SqlTokenType::kLParen) {
+        Advance();
+        OrLikes ors;
+        while (true) {
+          KWSDBG_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+          KWSDBG_ASSIGN_OR_RETURN(LikePredicate like,
+                                  ParseLikeTail(std::move(col)));
+          ors.likes.push_back(std::move(like));
+          if (PeekKeyword("OR")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        KWSDBG_RETURN_NOT_OK(Expect(SqlTokenType::kRParen, "')'"));
+        stmt->where.emplace_back(std::move(ors));
+      } else {
+        KWSDBG_ASSIGN_OR_RETURN(ColumnRef left, ParseColumnRef());
+        if (PeekKeyword("LIKE")) {
+          KWSDBG_ASSIGN_OR_RETURN(LikePredicate like,
+                                  ParseLikeTail(std::move(left)));
+          stmt->where.emplace_back(std::move(like));
+        } else {
+          KWSDBG_RETURN_NOT_OK(Expect(SqlTokenType::kEquals, "'='"));
+          if (Peek().type == SqlTokenType::kString) {
+            stmt->where.emplace_back(
+                ConstantPredicate{std::move(left), true, Peek().text});
+            Advance();
+          } else if (Peek().type == SqlTokenType::kNumber) {
+            stmt->where.emplace_back(
+                ConstantPredicate{std::move(left), false, Peek().text});
+            Advance();
+          } else {
+            KWSDBG_ASSIGN_OR_RETURN(ColumnRef right, ParseColumnRef());
+            stmt->where.emplace_back(
+                JoinPredicate{std::move(left), std::move(right)});
+          }
+        }
+      }
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> ParseSql(const std::string& sql) {
+  KWSDBG_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset (see ast.h for the grammar).
+#ifndef KWSDBG_SQL_PARSER_H_
+#define KWSDBG_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace kwsdbg {
+
+/// Parses one SELECT statement (optionally terminated by ';'). Errors carry
+/// the byte offset of the offending token.
+StatusOr<SelectStatement> ParseSql(const std::string& sql);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_PARSER_H_

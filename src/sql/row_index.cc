@@ -1,0 +1,34 @@
+#include "sql/row_index.h"
+
+namespace kwsdbg {
+
+RowIndex RowIndex::Build(const Table& table, size_t column) {
+  RowIndex index;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value& v = table.at(row, column);
+    if (v.is_null()) continue;
+    index.map_[v].push_back(static_cast<uint32_t>(row));
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& RowIndex::Lookup(const Value& v) const {
+  if (v.is_null()) return empty_;
+  auto it = map_.find(v);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+const RowIndex& RowIndexManager::GetOrBuild(const Table* table,
+                                            size_t column) {
+  auto key = std::make_pair(table, column);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key, std::make_unique<RowIndex>(
+                               RowIndex::Build(*table, column)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,54 @@
+// Hash indexes on join columns, built lazily and cached — the moral
+// equivalent of the key/foreign-key indexes a production DBMS would have on
+// these columns.
+#ifndef KWSDBG_SQL_ROW_INDEX_H_
+#define KWSDBG_SQL_ROW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace kwsdbg {
+
+/// value -> row ids for one (table, column). NULL cells are not indexed
+/// (SQL equality never matches NULL).
+class RowIndex {
+ public:
+  static RowIndex Build(const Table& table, size_t column);
+
+  /// Rows whose column equals `v` (structural, same-type equality; the
+  /// engine only joins columns of identical type). NULL probes return empty.
+  const std::vector<uint32_t>& Lookup(const Value& v) const;
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map_;
+  std::vector<uint32_t> empty_;
+};
+
+/// Lazy cache of RowIndex instances keyed by (table, column).
+class RowIndexManager {
+ public:
+  /// Returns the index for (table, column), building it on first use.
+  const RowIndex& GetOrBuild(const Table* table, size_t column);
+
+  void Clear() { cache_.clear(); }
+  size_t num_indexes() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::pair<const Table*, size_t>,
+                     std::unique_ptr<RowIndex>, PairHash>
+      cache_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_ROW_INDEX_H_

@@ -1,0 +1,88 @@
+#include "sql/select_runner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace kwsdbg {
+
+namespace {
+
+/// Resolves an ORDER BY column against the output columns
+/// ("alias.column" each).
+StatusOr<size_t> ResolveOutputColumn(const ResultSet& rs,
+                                     const ColumnRef& ref) {
+  if (!ref.alias.empty()) {
+    const std::string want = ref.alias + "." + ref.column;
+    for (size_t i = 0; i < rs.columns.size(); ++i) {
+      if (rs.columns[i] == want) return i;
+    }
+    return Status::NotFound("no output column '" + want + "'");
+  }
+  int found = -1;
+  const std::string suffix = "." + ref.column;
+  for (size_t i = 0; i < rs.columns.size(); ++i) {
+    if (rs.columns[i].size() > suffix.size() &&
+        rs.columns[i].compare(rs.columns[i].size() - suffix.size(),
+                              suffix.size(), suffix) == 0) {
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous ORDER BY column '" +
+                                       ref.column + "'");
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) {
+    return Status::NotFound("no output column '" + ref.column + "'");
+  }
+  return static_cast<size_t>(found);
+}
+
+}  // namespace
+
+StatusOr<ResultSet> RunSelect(Executor* executor, const SelectStatement& stmt,
+                              const Database& db) {
+  KWSDBG_ASSIGN_OR_RETURN(JoinNetworkQuery query,
+                          FromSelectStatement(stmt, db));
+  // LIMIT can stop execution early only when no ORDER BY re-sorts rows and
+  // the caller doesn't need an exact COUNT.
+  const size_t exec_limit =
+      (stmt.order_by.empty() && !stmt.count_star) ? stmt.limit : 0;
+  KWSDBG_ASSIGN_OR_RETURN(ResultSet rs, executor->Execute(query, exec_limit));
+
+  if (stmt.count_star) {
+    ResultSet count;
+    count.columns = {"count"};
+    count.rows.push_back({Value(static_cast<int64_t>(rs.rows.size()))});
+    return count;
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> keys;
+    for (const OrderKey& key : stmt.order_by) {
+      KWSDBG_ASSIGN_OR_RETURN(size_t idx, ResolveOutputColumn(rs, key.column));
+      keys.emplace_back(idx, key.descending);
+    }
+    std::stable_sort(rs.rows.begin(), rs.rows.end(),
+                     [&keys](const Tuple& a, const Tuple& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         int c = a[idx].Compare(b[idx]);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit > 0 && rs.rows.size() > stmt.limit) {
+    rs.rows.resize(stmt.limit);
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> RunSelect(Executor* executor, const std::string& sql,
+                              const Database& db) {
+  KWSDBG_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return RunSelect(executor, stmt, db);
+}
+
+}  // namespace kwsdbg

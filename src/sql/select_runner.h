@@ -1,0 +1,28 @@
+// End-to-end execution of a parsed SELECT statement: conversion to a
+// join-network query, execution, then the presentation clauses the executor
+// itself does not know about — ORDER BY, LIMIT, and COUNT(*).
+#ifndef KWSDBG_SQL_SELECT_RUNNER_H_
+#define KWSDBG_SQL_SELECT_RUNNER_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/executor.h"
+
+namespace kwsdbg {
+
+/// Runs `stmt` through `executor`. Semantics:
+/// * COUNT(*): returns a single-row, single-column ("count") result.
+/// * ORDER BY: stable sort on the named output columns (qualified
+///   "alias.column" or unqualified "column" if unambiguous); NULLs first.
+/// * LIMIT: applied after ORDER BY; pushed into the executor when there is
+///   no ORDER BY (early exit).
+StatusOr<ResultSet> RunSelect(Executor* executor, const SelectStatement& stmt,
+                              const Database& db);
+
+/// Convenience: parse + run.
+StatusOr<ResultSet> RunSelect(Executor* executor, const std::string& sql,
+                              const Database& db);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_SELECT_RUNNER_H_

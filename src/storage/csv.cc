@@ -1,0 +1,174 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kwsdbg {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos || s.empty();
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record (already read as a full line; embedded newlines in
+/// quoted fields are not supported by this reader) into raw fields, tracking
+/// which fields were quoted so "" (quoted empty) can be told apart from an
+/// empty (NULL) field.
+Status ParseCsvLine(const std::string& line, std::vector<std::string>* fields,
+                    std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty() && !was_quoted) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in: " + line);
+  fields->push_back(std::move(cur));
+  quoted->push_back(was_quoted);
+  return Status::OK();
+}
+
+StatusOr<DataType> ParseDataType(const std::string& s) {
+  if (s == "INT") return DataType::kInt64;
+  if (s == "DOUBLE") return DataType::kDouble;
+  if (s == "TEXT") return DataType::kString;
+  return Status::ParseError("unknown data type '" + s + "'");
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, std::ostream* out) {
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) *out << ",";
+    *out << QuoteField(schema.column(i).name + ":" +
+                       DataTypeToString(schema.column(i).type));
+  }
+  *out << "\n";
+  for (const Tuple& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) *out << ",";
+      if (row[i].is_null()) continue;  // NULL: empty unquoted field
+      if (row[i].is_string()) {
+        // Quote even quiet strings so empty-string != NULL on read-back.
+        const std::string& s = row[i].AsString();
+        *out << (s.empty() ? "\"\"" : QuoteField(s));
+      } else {
+        *out << row[i].ToString();
+      }
+    }
+    *out << "\n";
+  }
+  if (!*out) return Status::Internal("I/O error writing CSV");
+  return Status::OK();
+}
+
+Status WriteTableCsvFile(const Table& table, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot open '" + path + "' for writing");
+  return WriteTableCsv(table, &f);
+}
+
+StatusOr<Table> ReadTableCsv(const std::string& name, std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("empty CSV input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, &fields, &quoted));
+
+  std::vector<Column> columns;
+  for (const std::string& f : fields) {
+    size_t colon = f.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("header cell '" + f + "' lacks :TYPE suffix");
+    }
+    KWSDBG_ASSIGN_OR_RETURN(DataType t, ParseDataType(f.substr(colon + 1)));
+    columns.push_back({f.substr(0, colon), t});
+  }
+  Table table(name, Schema(std::move(columns)));
+
+  while (std::getline(*in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // An empty line is a record (a single NULL field) only for single-column
+    // tables; otherwise it can only be a stray separator.
+    if (line.empty() && table.schema().num_columns() != 1) continue;
+    KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, &fields, &quoted));
+    if (fields.size() != table.schema().num_columns()) {
+      return Status::ParseError("row arity mismatch in: " + line);
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const DataType t = table.schema().column(i).type;
+      if (fields[i].empty() && !quoted[i]) {
+        row.emplace_back();  // NULL
+      } else if (t == DataType::kInt64) {
+        try {
+          row.emplace_back(Value(static_cast<int64_t>(std::stoll(fields[i]))));
+        } catch (...) {
+          return Status::ParseError("bad INT '" + fields[i] + "'");
+        }
+      } else if (t == DataType::kDouble) {
+        try {
+          row.emplace_back(Value(std::stod(fields[i])));
+        } catch (...) {
+          return Status::ParseError("bad DOUBLE '" + fields[i] + "'");
+        }
+      } else {
+        row.emplace_back(Value(fields[i]));
+      }
+    }
+    KWSDBG_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadTableCsvFile(const std::string& name,
+                                 const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open '" + path + "' for reading");
+  return ReadTableCsv(name, &f);
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,31 @@
+// CSV import/export for tables, so generated datasets can be persisted and
+// inspected with standard tools.
+#ifndef KWSDBG_STORAGE_CSV_H_
+#define KWSDBG_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace kwsdbg {
+
+/// Writes `table` as RFC-4180-style CSV with a header row of
+/// "name:TYPE" cells. NULL cells are written as empty unquoted fields.
+Status WriteTableCsv(const Table& table, std::ostream* out);
+
+/// Convenience: write to a file path.
+Status WriteTableCsvFile(const Table& table, const std::string& path);
+
+/// Reads a table previously written by WriteTableCsv. The table name is
+/// supplied by the caller (CSV has no name row).
+StatusOr<Table> ReadTableCsv(const std::string& name, std::istream* in);
+
+/// Convenience: read from a file path.
+StatusOr<Table> ReadTableCsvFile(const std::string& name,
+                                 const std::string& path);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_CSV_H_

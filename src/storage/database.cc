@@ -1,0 +1,50 @@
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       Schema schema) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  order_.push_back(name);
+  return ptr;
+}
+
+Status Database::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  order_.push_back(name);
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+StatusOr<Table*> Database::GetTable(const std::string& name) const {
+  Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no table named '" + name + "'");
+  return t;
+}
+
+Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const { return order_; }
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& name : order_) n += FindTable(name)->num_rows();
+  return n;
+}
+
+}  // namespace kwsdbg

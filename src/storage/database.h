@@ -1,0 +1,52 @@
+// Database catalog: the set of named tables an engine instance serves.
+#ifndef KWSDBG_STORAGE_DATABASE_H_
+#define KWSDBG_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace kwsdbg {
+
+/// Owns tables and provides name lookup. Table names are case-sensitive.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table with the given schema and returns it.
+  /// Errors if a table with this name already exists.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Adds a fully built table. Errors on duplicate name.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Looks up a table; errors if absent.
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  /// Looks up a table; nullptr if absent (hot-path variant).
+  Table* FindTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Names of all tables in creation order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return order_.size(); }
+
+  /// Total tuples across all tables (the paper reports 801,189 for DBLife).
+  size_t TotalTuples() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_DATABASE_H_

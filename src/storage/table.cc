@@ -1,0 +1,70 @@
+#include "storage/table.h"
+
+namespace kwsdbg {
+
+namespace {
+bool TypeMatches(const Value& v, DataType t) {
+  if (v.is_null()) return true;
+  switch (t) {
+    case DataType::kInt64:
+      return v.is_int();
+    case DataType::kDouble:
+      return v.is_double() || v.is_int();
+    case DataType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+}  // namespace
+
+Status Table::AppendRow(Tuple row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypeMatches(row[i], schema_.column(i).type)) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name +
+          "' of table " + name_ + ": got " + row[i].ToString());
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+StatusOr<Value> Table::ValueByName(size_t row, const std::string& col) const {
+  KWSDBG_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(col));
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range for table " + name_);
+  }
+  return rows_[row][idx];
+}
+
+Status Table::SetValue(size_t row, size_t col, Value value) {
+  if (row >= rows_.size() || col >= schema_.num_columns()) {
+    return Status::OutOfRange("cell (" + std::to_string(row) + ", " +
+                              std::to_string(col) + ") out of range");
+  }
+  if (!TypeMatches(value, schema_.column(col).type)) {
+    return Status::InvalidArgument("type mismatch in column '" +
+                                   schema_.column(col).name + "'");
+  }
+  rows_[row][col] = std::move(value);
+  return Status::OK();
+}
+
+size_t Table::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const auto& r : rows_) {
+    bytes += sizeof(Tuple) + r.capacity() * sizeof(Value);
+    for (const auto& v : r) {
+      if (v.is_string()) bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,56 @@
+// In-memory row-store table.
+#ifndef KWSDBG_STORAGE_TABLE_H_
+#define KWSDBG_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace kwsdbg {
+
+/// A named relation: a schema plus row-major tuple storage. Rows are
+/// append-only (the workloads here never update in place); row ids are the
+/// positions in insertion order.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row. Errors if arity or any value type mismatches the schema
+  /// (NULL is allowed in any column).
+  Status AppendRow(Tuple row);
+
+  /// Appends without validation — for bulk loads from trusted generators.
+  void AppendRowUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Value at (row, column); precondition: in range.
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Convenience: value by column name. Errors if the column is absent.
+  StatusOr<Value> ValueByName(size_t row, const std::string& col) const;
+
+  /// Overwrites one cell (type-checked like AppendRow). Any indexes built
+  /// over this table must be rebuilt by the caller afterwards.
+  Status SetValue(size_t row, size_t col, Value value);
+
+  /// Estimated in-memory footprint in bytes (for reporting).
+  size_t EstimateBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_TABLE_H_

@@ -1,0 +1,86 @@
+#include "storage/value.h"
+
+#include <functional>
+
+#include "common/hash.h"
+
+namespace kwsdbg {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "TEXT";
+  }
+  return "?";
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_int() && other.is_int()) return AsInt() == other.AsInt();
+  if (is_double() && other.is_double()) return AsDouble() == other.AsDouble();
+  if (is_int() && other.is_double()) {
+    return static_cast<double>(AsInt()) == other.AsDouble();
+  }
+  if (is_double() && other.is_int()) {
+    return AsDouble() == static_cast<double>(other.AsInt());
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_int() || v.is_double()) return 1;
+    return 2;
+  };
+  const int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // both NULL
+  if (ra == 1) {
+    const double a = is_int() ? static_cast<double>(AsInt()) : AsDouble();
+    const double b =
+        other.is_int() ? static_cast<double>(other.AsInt()) : other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::string s = std::to_string(AsDouble());
+    // Trim trailing zeros but keep one decimal digit.
+    size_t dot = s.find('.');
+    if (dot != std::string::npos) {
+      size_t last = s.find_last_not_of('0');
+      if (last == dot) last = dot + 1;
+      s.erase(last + 1);
+    }
+    return s;
+  }
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  size_t seed = v_.index();
+  if (is_int()) {
+    HashCombine(&seed, std::hash<int64_t>{}(AsInt()));
+  } else if (is_double()) {
+    HashCombine(&seed, std::hash<double>{}(AsDouble()));
+  } else if (is_string()) {
+    HashCombine(&seed, std::hash<std::string>{}(AsString()));
+  }
+  return seed;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,65 @@
+// Runtime-typed cell values for the in-memory relational engine.
+#ifndef KWSDBG_STORAGE_VALUE_H_
+#define KWSDBG_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace kwsdbg {
+
+/// Column data types supported by the engine. The paper's workload only needs
+/// integers (surrogate keys / foreign keys), doubles (e.g. prices), and text.
+enum class DataType { kInt64, kDouble, kString };
+
+/// Returns "INT" / "DOUBLE" / "TEXT".
+const char* DataTypeToString(DataType t);
+
+/// A nullable, runtime-typed value. Null is represented by monostate; typed
+/// accessors have the type as a precondition (checked in debug builds).
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// SQL-style equality used by join predicates: NULL equals nothing
+  /// (including NULL). Cross-type comparison between int and double compares
+  /// numerically; other cross-type comparisons are false.
+  bool SqlEquals(const Value& other) const;
+
+  /// Exact structural equality (NULL == NULL here) — used by tests and
+  /// container keys, not by query predicates.
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+  /// Total order used by ORDER BY: NULL first, then numbers (int and double
+  /// compared numerically), then strings. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Renders the value for display; NULL renders as "NULL".
+  std::string ToString() const;
+
+  /// A hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_VALUE_H_

@@ -1,0 +1,101 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace kwsdbg {
+
+InvertedIndex InvertedIndex::Build(const Database& db) {
+  InvertedIndex index;
+  for (const std::string& name : db.TableNames()) {
+    uint32_t tid = static_cast<uint32_t>(index.table_names_.size());
+    index.table_names_.push_back(name);
+    index.table_ids_.emplace(name, tid);
+    const Table* table = db.FindTable(name);
+    const std::vector<size_t> text_cols = table->schema().TextColumnIndices();
+    if (text_cols.empty()) continue;
+    for (size_t row = 0; row < table->num_rows(); ++row) {
+      for (size_t col : text_cols) {
+        const Value& v = table->at(row, col);
+        if (v.is_null()) continue;
+        for (const std::string& term : TokenizeUnique(v.AsString())) {
+          Entry& e = index.entries_[term];
+          e.postings.push_back(Posting{tid, static_cast<uint32_t>(row),
+                                       static_cast<uint32_t>(col)});
+          if (tid < 64) e.table_mask |= (1ull << tid);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<std::string> InvertedIndex::TablesContaining(
+    const std::string& term) const {
+  std::vector<std::string> out;
+  auto it = entries_.find(term);
+  if (it == entries_.end()) return out;
+  std::unordered_set<uint32_t> seen;
+  for (const Posting& p : it->second.postings) {
+    if (seen.insert(p.table_id).second) {
+      out.push_back(table_names_[p.table_id]);
+    }
+  }
+  return out;
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    const std::string& term) const {
+  auto it = entries_.find(term);
+  return it == entries_.end() ? empty_ : it->second.postings;
+}
+
+bool InvertedIndex::Contains(const std::string& term) const {
+  return entries_.count(term) > 0;
+}
+
+bool InvertedIndex::TableContains(const std::string& term,
+                                  const std::string& table) const {
+  auto it = entries_.find(term);
+  if (it == entries_.end()) return false;
+  auto tid_it = table_ids_.find(table);
+  if (tid_it == table_ids_.end()) return false;
+  const uint32_t tid = tid_it->second;
+  if (tid < 64) return (it->second.table_mask >> tid) & 1;
+  for (const Posting& p : it->second.postings) {
+    if (p.table_id == tid) return true;
+  }
+  return false;
+}
+
+size_t InvertedIndex::RowFrequency(const std::string& term,
+                                   const std::string& table) const {
+  auto it = entries_.find(term);
+  if (it == entries_.end()) return 0;
+  auto tid_it = table_ids_.find(table);
+  if (tid_it == table_ids_.end()) return 0;
+  const uint32_t tid = tid_it->second;
+  std::unordered_set<uint32_t> rows;
+  for (const Posting& p : it->second.postings) {
+    if (p.table_id == tid) rows.insert(p.row);
+  }
+  return rows.size();
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [term, entry] : entries_) out.push_back(term);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t InvertedIndex::num_postings() const {
+  size_t n = 0;
+  for (const auto& [term, entry] : entries_) n += entry.postings.size();
+  return n;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,77 @@
+// Inverted index over the text attributes of a database, playing the role the
+// paper assigns to Lucene: map a keyword to the relations (and tuples) that
+// contain it (Sec. 2.3, Phase 1).
+#ifndef KWSDBG_TEXT_INVERTED_INDEX_H_
+#define KWSDBG_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+/// One occurrence of a term: which table, row, and text column.
+struct Posting {
+  uint32_t table_id;  ///< Index into InvertedIndex::table_names().
+  uint32_t row;
+  uint32_t column;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// Immutable term -> postings map built from every kString column of every
+/// table. Rebuild after data changes (the paper treats the index as a
+/// periodically rebuilt artifact too).
+class InvertedIndex {
+ public:
+  /// Builds the index over all tables of `db`. The Database must outlive
+  /// nothing here — the index copies what it needs (table names only).
+  static InvertedIndex Build(const Database& db);
+
+  /// Names of the tables that contain `term` in some text attribute.
+  /// Matching is exact on the tokenized term (lower-cased).
+  std::vector<std::string> TablesContaining(const std::string& term) const;
+
+  /// All occurrences of `term`; empty if absent.
+  const std::vector<Posting>& PostingsFor(const std::string& term) const;
+
+  /// True iff `term` occurs anywhere in the database.
+  bool Contains(const std::string& term) const;
+
+  /// True iff `term` occurs in the named table.
+  bool TableContains(const std::string& term,
+                     const std::string& table) const;
+
+  /// Document frequency of `term` within `table` (number of rows of `table`
+  /// with at least one occurrence). Used for selectivity reporting.
+  size_t RowFrequency(const std::string& term, const std::string& table) const;
+
+  size_t num_terms() const { return entries_.size(); }
+  const std::vector<std::string>& table_names() const { return table_names_; }
+
+  /// All indexed terms, sorted (deterministic iteration for workload
+  /// generators and diagnostics).
+  std::vector<std::string> Terms() const;
+
+  /// Total number of postings (index size indicator).
+  size_t num_postings() const;
+
+ private:
+  struct Entry {
+    std::vector<Posting> postings;
+    uint64_t table_mask = 0;  ///< Bit i set iff table i has the term
+                              ///< (tables beyond 64 fall back to postings).
+  };
+
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<std::string> table_names_;
+  std::unordered_map<std::string, uint32_t> table_ids_;
+  std::vector<Posting> empty_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TEXT_INVERTED_INDEX_H_

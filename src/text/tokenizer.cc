@@ -1,0 +1,35 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace kwsdbg {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::vector<std::string> TokenizeUnique(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,24 @@
+// Text tokenization for indexing and keyword queries: lower-cased maximal
+// runs of ASCII alphanumerics (plus digits), everything else is a separator.
+// This mirrors a simple Lucene StandardAnalyzer setup without stemming.
+#ifndef KWSDBG_TEXT_TOKENIZER_H_
+#define KWSDBG_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kwsdbg {
+
+/// Splits `text` into lower-cased alphanumeric tokens.
+/// "Keyword Search, 2015!" -> {"keyword", "search", "2015"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizes and deduplicates, preserving first-occurrence order. Used for
+/// keyword queries, where a repeated keyword is meaningless under "and"
+/// semantics.
+std::vector<std::string> TokenizeUnique(std::string_view text);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TEXT_TOKENIZER_H_

@@ -1,0 +1,66 @@
+// BU (paper Sec. 2.5.1): classify one MTN at a time, sweeping the MTN's
+// sub-lattice from the single-table level upward. Shares nothing across
+// MTNs — common descendants are re-evaluated (the contrast with BUWR).
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class BottomUpStrategy : public TraversalStrategy {
+ public:
+  std::string_view name() const override { return "BU"; }
+
+  StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                QueryEvaluator* evaluator) override {
+    Timer total;
+    const size_t sql_before = evaluator->sql_executed();
+    const double ms_before = evaluator->sql_millis();
+    TraversalResult result;
+    for (NodeId m : pl.mtns()) {
+      NodeStatusMap status(pl.lattice().num_nodes());
+      // The MTN's sub-lattice, grouped by level.
+      std::map<size_t, std::vector<NodeId>> by_level;
+      by_level[pl.lattice().node(m).level].push_back(m);
+      for (NodeId d : pl.RetainedDescendants(m)) {
+        by_level[pl.lattice().node(d).level].push_back(d);
+      }
+      for (auto& [level, nodes] : by_level) {
+        std::sort(nodes.begin(), nodes.end());
+        for (NodeId n : nodes) {
+          if (status.IsKnown(n)) continue;  // inferred dead via R2
+          KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+          if (alive) {
+            status.Set(n, NodeStatus::kAlive);
+          } else {
+            status.MarkDeadWithAncestors(n, pl);
+          }
+        }
+      }
+      MtnOutcome outcome;
+      outcome.mtn = m;
+      outcome.alive = status.IsAlive(m);
+      if (!outcome.alive) {
+        outcome.mpans = internal::ExtractMpans(pl, status, m);
+        outcome.culprits = internal::ExtractMinimalDead(pl, status, m);
+      }
+      result.outcomes.push_back(std::move(outcome));
+    }
+    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
+    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraversalStrategy> MakeBottomUp() {
+  return std::make_unique<BottomUpStrategy>();
+}
+
+}  // namespace kwsdbg

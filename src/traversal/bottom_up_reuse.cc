@@ -1,0 +1,51 @@
+// BUWR (paper Sec. 2.5.2, Algorithm 3): one global bottom-up sweep over the
+// union of all MTNs' sub-lattices with a shared status map, so each common
+// descendant is evaluated at most once.
+#include <algorithm>
+
+#include "common/timer.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class BottomUpWithReuseStrategy : public TraversalStrategy {
+ public:
+  std::string_view name() const override { return "BUWR"; }
+
+  StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                QueryEvaluator* evaluator) override {
+    Timer total;
+    const size_t sql_before = evaluator->sql_executed();
+    const double ms_before = evaluator->sql_millis();
+    NodeStatusMap status(pl.lattice().num_nodes());
+    for (size_t level = 1; level <= pl.MaxRetainedLevel(); ++level) {
+      std::vector<NodeId> nodes = pl.RetainedAtLevel(level);
+      std::sort(nodes.begin(), nodes.end());
+      for (NodeId n : nodes) {
+        if (status.IsKnown(n)) continue;  // shared result or inferred dead
+        KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+        if (alive) {
+          status.Set(n, NodeStatus::kAlive);
+        } else {
+          status.MarkDeadWithAncestors(n, pl);  // R2 (Alg. 3 line 36)
+        }
+      }
+    }
+    KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
+                            internal::BuildOutcomes(pl, status));
+    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
+    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraversalStrategy> MakeBottomUpWithReuse() {
+  return std::make_unique<BottomUpWithReuseStrategy>();
+}
+
+}  // namespace kwsdbg

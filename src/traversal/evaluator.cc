@@ -1,0 +1,36 @@
+#include "traversal/evaluator.h"
+
+#include "common/timer.h"
+
+namespace kwsdbg {
+
+StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
+  const LatticeNode& node = pl_->lattice().node(id);
+  if (options_.base_nodes_via_index && node.level == 1) {
+    const RelationCopy v = node.tree.vertex(0);
+    const std::string& table = pl_->lattice().schema().relation(v.relation).name;
+    if (v.copy == 0) {
+      // Free copy: SELECT * FROM R — alive iff the table has rows.
+      const Table* t = db_->FindTable(table);
+      if (t == nullptr) return Status::NotFound("no table " + table);
+      return t->num_rows() > 0;
+    }
+    const std::string* kw = pl_->binding().KeywordFor(v);
+    if (kw != nullptr) {
+      // The inverted index told Phase 1 the keyword occurs in this table; a
+      // token occurrence implies the LIKE '%kw%' scan matches too.
+      return index_->TableContains(*kw, table);
+    }
+    // Unbound keyword copy should have been pruned; fall through to SQL.
+  }
+  KWSDBG_ASSIGN_OR_RETURN(
+      JoinNetworkQuery query,
+      BuildNodeQuery(pl_->lattice(), id, pl_->binding()));
+  Timer timer;
+  KWSDBG_ASSIGN_OR_RETURN(bool alive, executor_->IsNonEmpty(query));
+  ++sql_executed_;
+  sql_millis_ += timer.ElapsedMillis();
+  return alive;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,57 @@
+// Node aliveness evaluation: executes the node's instantiated SQL query with
+// first-row early exit, with the paper's base-level shortcuts (bound
+// single-table nodes are known alive from the inverted index — Alg. 3
+// GetBaseNodes; free single-table nodes from the catalog).
+#ifndef KWSDBG_TRAVERSAL_EVALUATOR_H_
+#define KWSDBG_TRAVERSAL_EVALUATOR_H_
+
+#include "kws/pruned_lattice.h"
+#include "kws/query_builder.h"
+#include "sql/executor.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+
+/// Evaluation knobs.
+struct EvalOptions {
+  /// Resolve level-1 nodes from the inverted index / catalog without SQL.
+  bool base_nodes_via_index = true;
+};
+
+/// Evaluates node aliveness for one interpretation. Stateless apart from the
+/// executor's caches; memoization of outcomes belongs to the traversal
+/// strategy (the no-reuse variants deliberately re-execute).
+class QueryEvaluator {
+ public:
+  QueryEvaluator(const Database* db, Executor* executor,
+                 const PrunedLattice* pl, const InvertedIndex* index,
+                 EvalOptions options = {})
+      : db_(db),
+        executor_(executor),
+        pl_(pl),
+        index_(index),
+        options_(options) {}
+
+  /// True iff the node's query returns at least one tuple.
+  StatusOr<bool> IsAlive(NodeId id);
+
+  /// SQL executions performed through this evaluator (base-level shortcut
+  /// evaluations do not count, matching the paper's query counting).
+  size_t sql_executed() const { return sql_executed_; }
+  double sql_millis() const { return sql_millis_; }
+
+  const Executor* executor() const { return executor_; }
+
+ private:
+  const Database* db_;
+  Executor* executor_;
+  const PrunedLattice* pl_;
+  const InvertedIndex* index_;
+  EvalOptions options_;
+  size_t sql_executed_ = 0;
+  double sql_millis_ = 0;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_EVALUATOR_H_

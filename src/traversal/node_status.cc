@@ -1,0 +1,39 @@
+#include "traversal/node_status.h"
+
+namespace kwsdbg {
+
+size_t NodeStatusMap::MarkAliveWithDescendants(NodeId id,
+                                               const PrunedLattice& pl) {
+  status_[id] = NodeStatus::kAlive;
+  size_t newly = 0;
+  for (NodeId d : pl.RetainedDescendants(id)) {
+    if (status_[d] == NodeStatus::kPossiblyAlive) {
+      status_[d] = NodeStatus::kAlive;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+size_t NodeStatusMap::MarkDeadWithAncestors(NodeId id,
+                                            const PrunedLattice& pl) {
+  status_[id] = NodeStatus::kDead;
+  size_t newly = 0;
+  for (NodeId a : pl.RetainedAncestors(id)) {
+    if (status_[a] == NodeStatus::kPossiblyAlive) {
+      status_[a] = NodeStatus::kDead;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+size_t NodeStatusMap::num_unknown() const {
+  size_t n = 0;
+  for (NodeStatus s : status_) {
+    if (s == NodeStatus::kPossiblyAlive) ++n;
+  }
+  return n;
+}
+
+}  // namespace kwsdbg

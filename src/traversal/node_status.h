@@ -1,0 +1,51 @@
+// Node classification state (paper Sec. 2.4: possibly-alive / alive / dead)
+// plus the two inference rules R1 and R2 (Sec. 2.5).
+#ifndef KWSDBG_TRAVERSAL_NODE_STATUS_H_
+#define KWSDBG_TRAVERSAL_NODE_STATUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kws/pruned_lattice.h"
+
+namespace kwsdbg {
+
+enum class NodeStatus : uint8_t {
+  kPossiblyAlive = 0,  ///< Not yet classified.
+  kAlive,
+  kDead,
+};
+
+/// Status per lattice node, with R1/R2 propagation helpers. A strategy owns
+/// one map per scope (per MTN for the no-reuse variants, global otherwise).
+class NodeStatusMap {
+ public:
+  explicit NodeStatusMap(size_t num_nodes)
+      : status_(num_nodes, NodeStatus::kPossiblyAlive) {}
+
+  NodeStatus Get(NodeId id) const { return status_[id]; }
+  bool IsKnown(NodeId id) const {
+    return status_[id] != NodeStatus::kPossiblyAlive;
+  }
+  bool IsAlive(NodeId id) const { return status_[id] == NodeStatus::kAlive; }
+  bool IsDead(NodeId id) const { return status_[id] == NodeStatus::kDead; }
+
+  void Set(NodeId id, NodeStatus s) { status_[id] = s; }
+
+  /// R1: node alive => every retained descendant alive. Returns the number
+  /// of nodes newly classified (excluding `id` itself).
+  size_t MarkAliveWithDescendants(NodeId id, const PrunedLattice& pl);
+
+  /// R2: node dead => every retained ancestor dead. Returns the number of
+  /// nodes newly classified (excluding `id` itself).
+  size_t MarkDeadWithAncestors(NodeId id, const PrunedLattice& pl);
+
+  size_t num_unknown() const;
+
+ private:
+  std::vector<NodeStatus> status_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_NODE_STATUS_H_

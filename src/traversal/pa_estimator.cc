@@ -1,0 +1,45 @@
+#include "traversal/pa_estimator.h"
+
+#include <algorithm>
+
+namespace kwsdbg {
+
+StatusOr<PaEstimate> EstimateAliveProbability(const PrunedLattice& pl,
+                                              QueryEvaluator* evaluator,
+                                              const PaEstimatorOptions& options,
+                                              NodeStatusMap* status) {
+  PaEstimate estimate;
+  std::vector<NodeId> pool = pl.retained();
+  if (pool.empty()) return estimate;
+
+  Rng rng(options.seed);
+  rng.Shuffle(&pool);
+  const size_t sample = std::min(options.sample_size, pool.size());
+  const size_t sql_before = evaluator->sql_executed();
+  for (size_t i = 0; i < sample; ++i) {
+    const NodeId n = pool[i];
+    bool alive;
+    if (status != nullptr && status->IsKnown(n)) {
+      alive = status->IsAlive(n);  // inferred for free by earlier samples
+    } else {
+      KWSDBG_ASSIGN_OR_RETURN(alive, evaluator->IsAlive(n));
+      if (status != nullptr) {
+        if (alive) {
+          status->MarkAliveWithDescendants(n, pl);
+        } else {
+          status->MarkDeadWithAncestors(n, pl);
+        }
+      }
+    }
+    ++estimate.sampled;
+    if (alive) ++estimate.alive;
+  }
+  estimate.sql_executed = evaluator->sql_executed() - sql_before;
+  const double raw = static_cast<double>(estimate.alive) /
+                     static_cast<double>(estimate.sampled);
+  estimate.alive_probability =
+      std::clamp(raw, options.clamp_lo, options.clamp_hi);
+  return estimate;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,45 @@
+// Lightweight estimation of the alive probability p_a used by SBH — the
+// paper fixes p_a = 0.5 and names estimation as future work (Sec. 2.5.3:
+// "it is still interesting future work to explore lightweight estimation
+// approaches for p_a"). This estimator samples a few retained nodes,
+// evaluates them, and returns the observed alive fraction; the sampled
+// outcomes are genuine classifications, so a caller-supplied status map can
+// absorb them and the sampling cost is partially recouped.
+#ifndef KWSDBG_TRAVERSAL_PA_ESTIMATOR_H_
+#define KWSDBG_TRAVERSAL_PA_ESTIMATOR_H_
+
+#include "common/rng.h"
+#include "traversal/evaluator.h"
+#include "traversal/node_status.h"
+
+namespace kwsdbg {
+
+/// Estimation knobs.
+struct PaEstimatorOptions {
+  size_t sample_size = 16;  ///< Nodes to evaluate (capped by |retained|).
+  uint64_t seed = 1;        ///< Sampling is deterministic given the seed.
+  /// Clamp the estimate into [lo, hi]: an all-alive or all-dead sample must
+  /// not collapse the score into pure TD/BU behaviour.
+  double clamp_lo = 0.1;
+  double clamp_hi = 0.9;
+};
+
+/// Result of an estimation run.
+struct PaEstimate {
+  double alive_probability = 0.5;
+  size_t sampled = 0;
+  size_t alive = 0;
+  size_t sql_executed = 0;  ///< SQL spent on sampling.
+};
+
+/// Samples uniformly (without replacement) from the retained nodes,
+/// evaluates each, optionally records the outcomes into `status` (with
+/// R1/R2 propagation) so a following traversal reuses them, and returns the
+/// clamped alive fraction. With an empty search space returns the 0.5 prior.
+StatusOr<PaEstimate> EstimateAliveProbability(
+    const PrunedLattice& pl, QueryEvaluator* evaluator,
+    const PaEstimatorOptions& options = {}, NodeStatusMap* status = nullptr);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_PA_ESTIMATOR_H_

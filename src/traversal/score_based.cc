@@ -1,0 +1,138 @@
+// SBH (paper Sec. 2.5.3): greedily evaluate the node with the minimum
+// expected remaining search space (Eq. 1).
+//
+// With S(m_i) = the unknown-status nodes in Desc+(m_i) and
+// W(n) = |{ m_i : n in Desc+(m_i) }| for unknown n (0 once classified),
+// Eq. 1 decomposes (see the paper's three-summand form) into
+//
+//   Score(n_j) = TotalW - W(n_j) - (1 - p_a) * A(n_j) - p_a * D(n_j)
+//
+// where A(n_j) / D(n_j) sum W over n_j's unknown retained ancestors /
+// descendants. Minimizing Score is maximizing
+// W(n_j) + (1-p_a) A(n_j) + p_a D(n_j), which this implementation maintains
+// incrementally: classifying node u subtracts its old W from the D of its
+// ancestors and the A of its descendants.
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "traversal/pa_estimator.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class ScoreBasedStrategy : public TraversalStrategy {
+ public:
+  explicit ScoreBasedStrategy(SbhOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "SBH"; }
+
+  StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                QueryEvaluator* evaluator) override {
+    Timer total;
+    const size_t sql_before = evaluator->sql_executed();
+    const double ms_before = evaluator->sql_millis();
+    const size_t num_nodes = pl.lattice().num_nodes();
+    NodeStatusMap status(num_nodes);
+    double pa = options_.alive_probability;
+
+    // W: how many MTN search spaces each node belongs to.
+    std::vector<int64_t> w(num_nodes, 0);
+    for (NodeId m : pl.mtns()) {
+      ++w[m];
+      for (NodeId d : pl.RetainedDescendants(m)) ++w[d];
+    }
+    // A/D: sums of W over unknown retained ancestors / descendants.
+    std::vector<int64_t> a_sum(num_nodes, 0), d_sum(num_nodes, 0);
+    for (NodeId n : pl.retained()) {
+      for (NodeId anc : pl.RetainedAncestors(n)) a_sum[n] += w[anc];
+      for (NodeId desc : pl.RetainedDescendants(n)) d_sum[n] += w[desc];
+    }
+
+    // Classifying u zeroes its W and shrinks the A/D of its closure.
+    auto on_classified = [&](NodeId u) {
+      const int64_t delta = w[u];
+      if (delta == 0) return;
+      w[u] = 0;
+      for (NodeId anc : pl.RetainedAncestors(u)) d_sum[anc] -= delta;
+      for (NodeId desc : pl.RetainedDescendants(u)) a_sum[desc] -= delta;
+    };
+
+    if (options_.estimate_pa) {
+      PaEstimatorOptions est_options;
+      est_options.sample_size = options_.estimator_sample_size;
+      est_options.seed = options_.estimator_seed;
+      KWSDBG_ASSIGN_OR_RETURN(
+          PaEstimate estimate,
+          EstimateAliveProbability(pl, evaluator, est_options, &status));
+      pa = estimate.alive_probability;
+      // Fold the sampled classifications into the W/A/D accounting.
+      for (NodeId n : pl.retained()) {
+        if (status.IsKnown(n)) on_classified(n);
+      }
+    }
+
+    std::vector<NodeId> unknown = pl.retained();
+    std::sort(unknown.begin(), unknown.end());
+    while (!unknown.empty()) {
+      // Compact out classified nodes and pick the best candidate in one scan.
+      size_t keep = 0;
+      int best = -1;
+      double best_gain = -1.0;
+      for (size_t i = 0; i < unknown.size(); ++i) {
+        const NodeId n = unknown[i];
+        if (status.IsKnown(n)) continue;
+        unknown[keep++] = n;
+        const double gain = static_cast<double>(w[n]) +
+                            (1.0 - pa) * static_cast<double>(a_sum[n]) +
+                            pa * static_cast<double>(d_sum[n]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = static_cast<int>(keep - 1);
+        }
+      }
+      unknown.resize(keep);
+      if (unknown.empty()) break;
+      const NodeId n = unknown[static_cast<size_t>(best)];
+
+      KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+      if (alive) {
+        // R1: n and its unknown descendants become alive.
+        std::vector<NodeId> newly = {n};
+        for (NodeId d : pl.RetainedDescendants(n)) {
+          if (!status.IsKnown(d)) newly.push_back(d);
+        }
+        status.MarkAliveWithDescendants(n, pl);
+        for (NodeId u : newly) on_classified(u);
+      } else {
+        // R2: n and its unknown ancestors become dead.
+        std::vector<NodeId> newly = {n};
+        for (NodeId anc : pl.RetainedAncestors(n)) {
+          if (!status.IsKnown(anc)) newly.push_back(anc);
+        }
+        status.MarkDeadWithAncestors(n, pl);
+        for (NodeId u : newly) on_classified(u);
+      }
+    }
+
+    KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
+                            internal::BuildOutcomes(pl, status));
+    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
+    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  SbhOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraversalStrategy> MakeScoreBased(SbhOptions options) {
+  return std::make_unique<ScoreBasedStrategy>(options);
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,119 @@
+#include "traversal/strategy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+std::unique_ptr<TraversalStrategy> MakeStrategy(TraversalKind kind,
+                                                SbhOptions sbh) {
+  switch (kind) {
+    case TraversalKind::kBottomUp:
+      return MakeBottomUp();
+    case TraversalKind::kTopDown:
+      return MakeTopDown();
+    case TraversalKind::kBottomUpWithReuse:
+      return MakeBottomUpWithReuse();
+    case TraversalKind::kTopDownWithReuse:
+      return MakeTopDownWithReuse();
+    case TraversalKind::kScoreBased:
+      return MakeScoreBased(sbh);
+  }
+  return nullptr;
+}
+
+std::string_view TraversalKindName(TraversalKind kind) {
+  switch (kind) {
+    case TraversalKind::kBottomUp:
+      return "BU";
+    case TraversalKind::kTopDown:
+      return "TD";
+    case TraversalKind::kBottomUpWithReuse:
+      return "BUWR";
+    case TraversalKind::kTopDownWithReuse:
+      return "TDWR";
+    case TraversalKind::kScoreBased:
+      return "SBH";
+  }
+  return "?";
+}
+
+const std::vector<TraversalKind>& AllTraversalKinds() {
+  static const std::vector<TraversalKind> kAll = {
+      TraversalKind::kBottomUp, TraversalKind::kBottomUpWithReuse,
+      TraversalKind::kTopDown, TraversalKind::kTopDownWithReuse,
+      TraversalKind::kScoreBased};
+  return kAll;
+}
+
+namespace internal {
+
+std::vector<NodeId> ExtractMpans(const PrunedLattice& pl,
+                                 const NodeStatusMap& status, NodeId m) {
+  KWSDBG_DCHECK(status.IsDead(m));
+  const std::vector<NodeId>& desc = pl.RetainedDescendants(m);
+  std::unordered_set<NodeId> in_sub(desc.begin(), desc.end());
+  in_sub.insert(m);
+  std::vector<NodeId> mpans;
+  for (NodeId n : desc) {
+    if (!status.IsAlive(n)) continue;
+    bool maximal = true;
+    for (NodeId p : pl.lattice().node(n).parents) {
+      if (in_sub.count(p) && status.IsAlive(p)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) mpans.push_back(n);
+  }
+  std::sort(mpans.begin(), mpans.end());
+  return mpans;
+}
+
+std::vector<NodeId> ExtractMinimalDead(const PrunedLattice& pl,
+                                       const NodeStatusMap& status,
+                                       NodeId m) {
+  KWSDBG_DCHECK(status.IsDead(m));
+  std::vector<NodeId> out;
+  std::vector<NodeId> sub = pl.RetainedDescendants(m);
+  sub.push_back(m);
+  for (NodeId n : sub) {
+    if (!status.IsDead(n)) continue;
+    bool minimal = true;
+    for (NodeId c : pl.RetainedChildren(n)) {
+      if (!status.IsAlive(c)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<TraversalResult> BuildOutcomes(const PrunedLattice& pl,
+                                        const NodeStatusMap& status) {
+  TraversalResult result;
+  for (NodeId m : pl.mtns()) {
+    if (!status.IsKnown(m)) {
+      return Status::Internal("MTN " + std::to_string(m) +
+                              " left unclassified by traversal");
+    }
+    MtnOutcome outcome;
+    outcome.mtn = m;
+    outcome.alive = status.IsAlive(m);
+    if (!outcome.alive) {
+      outcome.mpans = ExtractMpans(pl, status, m);
+      outcome.culprits = ExtractMinimalDead(pl, status, m);
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace internal
+}  // namespace kwsdbg

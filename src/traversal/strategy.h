@@ -1,0 +1,107 @@
+// Phase 3 lattice traversal strategies (paper Sec. 2.5): classify every MTN
+// as answer (alive) or non-answer (dead) and report the MPANs — maximal
+// partially alive nodes — of each dead MTN.
+#ifndef KWSDBG_TRAVERSAL_STRATEGY_H_
+#define KWSDBG_TRAVERSAL_STRATEGY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "traversal/evaluator.h"
+#include "traversal/node_status.h"
+
+namespace kwsdbg {
+
+/// Outcome for one MTN.
+struct MtnOutcome {
+  NodeId mtn = kInvalidNode;
+  bool alive = false;
+  std::vector<NodeId> mpans;     ///< Maximal alive sub-networks; sorted;
+                                 ///< empty when alive.
+  std::vector<NodeId> culprits;  ///< Minimal dead sub-networks — the
+                                 ///< smallest joins that already return
+                                 ///< nothing (every proper sub-network of a
+                                 ///< culprit is alive); sorted; empty when
+                                 ///< alive. The dual frontier of the MPANs.
+};
+
+/// Work counters for one strategy run.
+struct TraversalStats {
+  size_t sql_queries = 0;   ///< SQL executions (Fig. 11 / Table 4).
+  double sql_millis = 0;    ///< Time inside SQL execution (Fig. 12).
+  double total_millis = 0;  ///< End-to-end traversal time.
+};
+
+/// Result of one strategy run over one interpretation.
+struct TraversalResult {
+  std::vector<MtnOutcome> outcomes;  ///< In PrunedLattice::mtns() order.
+  TraversalStats stats;
+};
+
+/// The five strategies of Sec. 2.5 (+ Table 4 / Figs. 11-12 labels).
+enum class TraversalKind {
+  kBottomUp,            // BU
+  kTopDown,             // TD
+  kBottomUpWithReuse,   // BUWR (Algorithm 3)
+  kTopDownWithReuse,    // TDWR
+  kScoreBased,          // SBH (Sec. 2.5.3)
+};
+
+/// Short paper label ("BU", "TDWR", ...).
+std::string_view TraversalKindName(TraversalKind kind);
+
+/// All five kinds, in the paper's reporting order.
+const std::vector<TraversalKind>& AllTraversalKinds();
+
+/// Strategy interface. Implementations are stateless across runs.
+class TraversalStrategy {
+ public:
+  virtual ~TraversalStrategy() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Classifies all MTNs of `pl` and finds MPANs for the dead ones.
+  virtual StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                        QueryEvaluator* evaluator) = 0;
+};
+
+/// SBH parameters (paper uses p_a = 0.5).
+struct SbhOptions {
+  double alive_probability = 0.5;
+  /// When true, estimate p_a by sampling a few retained nodes before the
+  /// greedy loop (the paper's future-work suggestion). Sampled outcomes are
+  /// recorded in the run's status map, so the SQL spent on sampling also
+  /// classifies part of the space. `alive_probability` is ignored.
+  bool estimate_pa = false;
+  /// Nodes to sample when estimate_pa is set.
+  size_t estimator_sample_size = 16;
+  uint64_t estimator_seed = 1;
+};
+
+/// Factory.
+std::unique_ptr<TraversalStrategy> MakeStrategy(TraversalKind kind,
+                                                SbhOptions sbh = {});
+
+namespace internal {
+
+/// Extracts the MPANs of dead MTN `m` from a fully classified status map:
+/// alive nodes in Desc(m) none of whose parents inside Desc+(m) is alive
+/// (the parent `m` itself is dead here, so immediate parents suffice).
+std::vector<NodeId> ExtractMpans(const PrunedLattice& pl,
+                                 const NodeStatusMap& status, NodeId m);
+
+/// Extracts the minimal dead sub-networks ("culprits") of dead MTN `m`:
+/// dead nodes in Desc+(m) all of whose retained children are alive. The
+/// topmost join of a culprit is exactly where the results vanish.
+std::vector<NodeId> ExtractMinimalDead(const PrunedLattice& pl,
+                                       const NodeStatusMap& status, NodeId m);
+
+/// Builds per-MTN outcomes from a fully classified global status map.
+StatusOr<TraversalResult> BuildOutcomes(const PrunedLattice& pl,
+                                        const NodeStatusMap& status);
+
+}  // namespace internal
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_STRATEGY_H_

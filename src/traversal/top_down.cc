@@ -1,0 +1,65 @@
+// TD (paper Sec. 2.5.1): classify one MTN at a time, sweeping its sub-lattice
+// from the MTN down to the single-table level; R1 propagates aliveness to all
+// descendants. No sharing across MTNs.
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class TopDownStrategy : public TraversalStrategy {
+ public:
+  std::string_view name() const override { return "TD"; }
+
+  StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                QueryEvaluator* evaluator) override {
+    Timer total;
+    const size_t sql_before = evaluator->sql_executed();
+    const double ms_before = evaluator->sql_millis();
+    TraversalResult result;
+    for (NodeId m : pl.mtns()) {
+      NodeStatusMap status(pl.lattice().num_nodes());
+      std::map<size_t, std::vector<NodeId>, std::greater<size_t>> by_level;
+      by_level[pl.lattice().node(m).level].push_back(m);
+      for (NodeId d : pl.RetainedDescendants(m)) {
+        by_level[pl.lattice().node(d).level].push_back(d);
+      }
+      for (auto& [level, nodes] : by_level) {
+        std::sort(nodes.begin(), nodes.end());
+        for (NodeId n : nodes) {
+          if (status.IsKnown(n)) continue;  // inferred alive via R1
+          KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+          if (alive) {
+            status.MarkAliveWithDescendants(n, pl);
+          } else {
+            status.Set(n, NodeStatus::kDead);
+          }
+        }
+      }
+      MtnOutcome outcome;
+      outcome.mtn = m;
+      outcome.alive = status.IsAlive(m);
+      if (!outcome.alive) {
+        outcome.mpans = internal::ExtractMpans(pl, status, m);
+        outcome.culprits = internal::ExtractMinimalDead(pl, status, m);
+      }
+      result.outcomes.push_back(std::move(outcome));
+    }
+    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
+    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraversalStrategy> MakeTopDown() {
+  return std::make_unique<TopDownStrategy>();
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,51 @@
+// TDWR (paper Sec. 2.5.2): the top-down twin of BUWR — one global top-down
+// sweep with a shared status map; R1 propagates aliveness downward across
+// all MTNs' sub-lattices at once.
+#include <algorithm>
+
+#include "common/timer.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+
+namespace {
+
+class TopDownWithReuseStrategy : public TraversalStrategy {
+ public:
+  std::string_view name() const override { return "TDWR"; }
+
+  StatusOr<TraversalResult> Run(const PrunedLattice& pl,
+                                QueryEvaluator* evaluator) override {
+    Timer total;
+    const size_t sql_before = evaluator->sql_executed();
+    const double ms_before = evaluator->sql_millis();
+    NodeStatusMap status(pl.lattice().num_nodes());
+    for (size_t level = pl.MaxRetainedLevel(); level >= 1; --level) {
+      std::vector<NodeId> nodes = pl.RetainedAtLevel(level);
+      std::sort(nodes.begin(), nodes.end());
+      for (NodeId n : nodes) {
+        if (status.IsKnown(n)) continue;  // shared result or inferred alive
+        KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+        if (alive) {
+          status.MarkAliveWithDescendants(n, pl);  // R1
+        } else {
+          status.Set(n, NodeStatus::kDead);
+        }
+      }
+    }
+    KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
+                            internal::BuildOutcomes(pl, status));
+    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
+    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraversalStrategy> MakeTopDownWithReuse() {
+  return std::make_unique<TopDownWithReuseStrategy>();
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,95 @@
+#include "baselines/parallel_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/return_everything.h"
+#include "datasets/dblife.h"
+#include "lattice/lattice_generator.h"
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+TEST(ParallelOracleTest, MatchesSerialOnToyExample) {
+  ToyFixture fx;
+  KeywordBinding binding({{"saffron", {fx.color, 1}},
+                          {"scented", {fx.item, 1}},
+                          {"candle", {fx.ptype, 1}}});
+  PrunedLattice pl = PrunedLattice::Build(*fx.lattice, binding);
+
+  auto serial = MakeReturnEverything();
+  Executor executor(fx.db.get());
+  QueryEvaluator evaluator(fx.db.get(), &executor, &pl, fx.index.get());
+  auto expected = serial->Run(pl, &evaluator);
+  ASSERT_TRUE(expected.ok());
+
+  for (size_t threads : {1u, 2u, 4u, 0u}) {
+    auto got = ClassifyAllParallel(pl, *fx.db, *fx.index, threads);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(testutil::Summarize(*got), testutil::Summarize(*expected))
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelOracleTest, MatchesSerialOnDblifeWorkload) {
+  DblifeConfig config;
+  config.num_persons = 80;
+  config.num_publications = 150;
+  config.num_conferences = 10;
+  config.num_organizations = 15;
+  config.num_topics = 12;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig lconfig;
+  lconfig.max_joins = 4;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  KeywordBinder binder(&ds->schema, &index, 2, 4);
+
+  auto serial = MakeReturnEverything();
+  for (const char* q : {"widom trio", "probabilistic data", "gray sigmod"}) {
+    for (const KeywordBinding& binding : binder.Bind(q).interpretations) {
+      PrunedLattice pl = PrunedLattice::Build(**lattice, binding);
+      if (pl.mtns().empty()) continue;
+      Executor executor(ds->db.get());
+      QueryEvaluator evaluator(ds->db.get(), &executor, &pl, &index);
+      auto expected = serial->Run(pl, &evaluator);
+      ASSERT_TRUE(expected.ok());
+      auto got = ClassifyAllParallel(pl, *ds->db, index, 4);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(testutil::Summarize(*got), testutil::Summarize(*expected))
+          << q;
+      EXPECT_EQ(got->stats.sql_queries, expected->stats.sql_queries) << q;
+    }
+  }
+}
+
+TEST(ParallelOracleTest, ErrorsPropagateFromWorkers) {
+  ToyFixture fx;
+  KeywordBinding binding({{"saffron", {fx.color, 1}},
+                          {"scented", {fx.item, 1}},
+                          {"candle", {fx.ptype, 1}}});
+  PrunedLattice pl = PrunedLattice::Build(*fx.lattice, binding);
+  Database broken;  // none of the tables exist
+  auto got = ClassifyAllParallel(pl, broken, *fx.index, 2);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParallelOracleTest, EmptySearchSpace) {
+  ToyFixture fx;
+  // Copy 3 does not exist in a 2-copy lattice: nothing retained.
+  KeywordBinding binding({{"red", {fx.color, 3}}});
+  PrunedLattice pl = PrunedLattice::Build(*fx.lattice, binding);
+  auto got = ClassifyAllParallel(pl, *fx.db, *fx.index, 4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->outcomes.empty());
+  EXPECT_EQ(got->stats.sql_queries, 0u);
+}
+
+}  // namespace
+}  // namespace kwsdbg

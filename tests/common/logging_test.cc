@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(LoggingTest, LogLevelRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  KWSDBG_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ KWSDBG_CHECK(false) << "expected failure"; },
+               "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckComparisonsAbort) {
+  EXPECT_DEATH({ KWSDBG_CHECK_EQ(1, 2); }, "Check failed");
+  EXPECT_DEATH({ KWSDBG_CHECK_LT(5, 2); }, "Check failed");
+}
+
+TEST(LoggingTest, CheckComparisonsPass) {
+  KWSDBG_CHECK_EQ(2, 2);
+  KWSDBG_CHECK_NE(1, 2);
+  KWSDBG_CHECK_LT(1, 2);
+  KWSDBG_CHECK_LE(2, 2);
+  KWSDBG_CHECK_GT(3, 2);
+  KWSDBG_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kwsdbg

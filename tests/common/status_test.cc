@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no table 'foo'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no table 'foo'");
+  EXPECT_EQ(s.ToString(), "NotFound: no table 'foo'");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so = 42;
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(*so, 42);
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(so.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so = Status::Internal("boom");
+  ASSERT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(so.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> so = std::string("hello");
+  std::string v = std::move(so).value();
+  EXPECT_EQ(v, "hello");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsesMacros(int x, int* out) {
+  KWSDBG_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  KWSDBG_RETURN_NOT_OK(v > 100 ? Status::OutOfRange("too big") : Status::OK());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesMacros(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesMacros(-1, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UsesMacros(200, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacrosTest, CheckOkOrReturnDiscardsValue) {
+  auto f = []() -> Status {
+    KWSDBG_CHECK_OK_OR_RETURN(ParsePositive(3));
+    KWSDBG_CHECK_OK_OR_RETURN(ParsePositive(-3));
+    return Status::OK();
+  };
+  EXPECT_EQ(f().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,61 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("already lower"), "already lower");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  x  y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(Split("", ",").empty());
+  EXPECT_TRUE(Split(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, SplitMultipleDelims) {
+  EXPECT_EQ(Split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+}
+
+TEST(StringUtilTest, ContainsCaseInsensitive) {
+  EXPECT_TRUE(ContainsCaseInsensitive("Saffron Scented Candle", "scented"));
+  EXPECT_TRUE(ContainsCaseInsensitive("SAFFRON", "saffron"));
+  EXPECT_TRUE(ContainsCaseInsensitive("abc", ""));
+  EXPECT_FALSE(ContainsCaseInsensitive("", "x"));
+  EXPECT_FALSE(ContainsCaseInsensitive("candle", "candles"));
+  // Substring semantics: "scent" occurs inside "scented".
+  EXPECT_TRUE(ContainsCaseInsensitive("scented", "scent"));
+}
+
+TEST(StringUtilTest, EqualsCaseInsensitive) {
+  EXPECT_TRUE(EqualsCaseInsensitive("VLDB", "vldb"));
+  EXPECT_FALSE(EqualsCaseInsensitive("VLDB", "vld"));
+  EXPECT_TRUE(EqualsCaseInsensitive("", ""));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace kwsdbg

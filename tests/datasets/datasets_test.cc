@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+#include "datasets/workload.h"
+#include "text/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace kwsdbg {
+namespace {
+
+TEST(ToyProductDbTest, MatchesFig2) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->db->num_tables(), 4u);
+  const Table* item = ds->db->FindTable("Item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->num_rows(), 4u);
+  EXPECT_EQ(ds->db->FindTable("Color")->num_rows(), 4u);
+  EXPECT_EQ(ds->db->FindTable("ProductType")->num_rows(), 3u);
+  EXPECT_EQ(ds->db->FindTable("Attribute")->num_rows(), 4u);
+  // Item 1 has NULL color ("NA" in Fig. 2); color is column 3.
+  EXPECT_TRUE(item->at(0, 3).is_null());
+  EXPECT_EQ(item->at(0, 1).AsString(), "saffron scented oil");
+  EXPECT_EQ(ds->db->TotalTuples(), 15u);
+}
+
+TEST(DblifeTest, DeterministicForSeed) {
+  DblifeConfig config;
+  config.num_persons = 40;
+  config.num_publications = 60;
+  config.num_conferences = 10;
+  config.num_organizations = 12;
+  config.num_topics = 10;
+  auto a = GenerateDblife(config);
+  auto b = GenerateDblife(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->db->TotalTuples(), b->db->TotalTuples());
+  for (const std::string& name : a->db->TableNames()) {
+    const Table* ta = a->db->FindTable(name);
+    const Table* tb = b->db->FindTable(name);
+    ASSERT_EQ(ta->num_rows(), tb->num_rows()) << name;
+    for (size_t r = 0; r < ta->num_rows(); ++r) {
+      for (size_t c = 0; c < ta->schema().num_columns(); ++c) {
+        ASSERT_EQ(ta->at(r, c), tb->at(r, c)) << name;
+      }
+    }
+  }
+}
+
+TEST(DblifeTest, DifferentSeedsDiffer) {
+  DblifeConfig a_cfg, b_cfg;
+  a_cfg.num_persons = b_cfg.num_persons = 40;
+  a_cfg.num_publications = b_cfg.num_publications = 60;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  auto a = GenerateDblife(a_cfg);
+  auto b = GenerateDblife(b_cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Table* pa = a->db->FindTable("Publication");
+  const Table* pb = b->db->FindTable("Publication");
+  size_t same = 0;
+  for (size_t r = 0; r < std::min(pa->num_rows(), pb->num_rows()); ++r) {
+    if (pa->at(r, 1) == pb->at(r, 1)) ++same;
+  }
+  EXPECT_LT(same, pa->num_rows() / 2);
+}
+
+TEST(DblifeTest, FourteenTablesFiveWithText) {
+  auto ds = GenerateDblife(DblifeConfig{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->db->num_tables(), 14u);
+  size_t with_text = 0;
+  for (const std::string& name : ds->db->TableNames()) {
+    if (!ds->db->FindTable(name)->schema().TextColumnIndices().empty()) {
+      ++with_text;
+    }
+  }
+  EXPECT_EQ(with_text, 5u);  // paper: keywords live in 5 entity tables
+}
+
+TEST(DblifeTest, WorkloadTermPlacementMatchesPaper) {
+  auto ds = GenerateDblife(DblifeConfig{});
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  // Person-only surnames.
+  for (const char* name : {"widom", "hristidis", "agrawal", "chaudhuri",
+                           "derose", "dewitt"}) {
+    auto tables = index.TablesContaining(name);
+    ASSERT_FALSE(tables.empty()) << name;
+    EXPECT_TRUE(index.TableContains(name, "Person")) << name;
+  }
+  // "Washington" occurs in Person, Publication, and Organization (Sec. 3.2).
+  EXPECT_TRUE(index.TableContains("washington", "Person"));
+  EXPECT_TRUE(index.TableContains("washington", "Publication"));
+  EXPECT_TRUE(index.TableContains("washington", "Organization"));
+  // Venues.
+  EXPECT_TRUE(index.TableContains("vldb", "Conference"));
+  EXPECT_TRUE(index.TableContains("sigmod", "Conference"));
+  // Topic / publication terms.
+  EXPECT_TRUE(index.TableContains("tutorial", "Publication"));
+  EXPECT_TRUE(index.TableContains("trio", "Topic"));
+  EXPECT_TRUE(index.TableContains("probabilistic", "Publication"));
+  EXPECT_TRUE(index.TableContains("histograms", "Topic"));
+  EXPECT_TRUE(index.TableContains("xml", "Topic"));
+  EXPECT_TRUE(index.TableContains("data", "Topic"));
+}
+
+TEST(DblifeTest, EveryWorkloadKeywordOccursSomewhere) {
+  auto ds = GenerateDblife(DblifeConfig{});
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    for (const std::string& kw : TokenizeUnique(q.text)) {
+      EXPECT_TRUE(index.Contains(kw)) << q.id << ": " << kw;
+    }
+  }
+}
+
+TEST(DblifeTest, ForeignKeysReferenceExistingRows) {
+  DblifeConfig config;
+  config.num_persons = 50;
+  config.num_publications = 80;
+  config.num_conferences = 10;
+  config.num_organizations = 12;
+  config.num_topics = 10;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  for (const JoinEdge& e : ds->schema.edges()) {
+    const Table* from = ds->db->FindTable(ds->schema.relation(e.from).name);
+    const Table* to = ds->db->FindTable(ds->schema.relation(e.to).name);
+    size_t from_col = *from->schema().ColumnIndex(e.from_column);
+    for (size_t r = 0; r < from->num_rows(); ++r) {
+      const Value& fk = from->at(r, from_col);
+      ASSERT_TRUE(fk.is_int());
+      EXPECT_GE(fk.AsInt(), 1);
+      EXPECT_LE(fk.AsInt(), static_cast<int64_t>(to->num_rows()));
+    }
+  }
+}
+
+TEST(DblifeTest, CoauthorHasNoSelfLoops) {
+  auto ds = GenerateDblife(DblifeConfig{});
+  ASSERT_TRUE(ds.ok());
+  const Table* co = ds->db->FindTable("coauthor_of");
+  ASSERT_NE(co, nullptr);
+  EXPECT_GT(co->num_rows(), 0u);
+  for (size_t r = 0; r < co->num_rows(); ++r) {
+    EXPECT_FALSE(co->at(r, 1).SqlEquals(co->at(r, 2)));
+  }
+}
+
+TEST(DblifeTest, ScaledConfigGrows) {
+  DblifeConfig base;
+  DblifeConfig big = base.Scaled(2.0);
+  EXPECT_GT(big.num_persons, base.num_persons);
+  EXPECT_GT(big.num_publications, base.num_publications);
+  EXPECT_GT(big.relationship_scale, base.relationship_scale);
+}
+
+TEST(WorkloadTest, TenQueriesMatchTable2) {
+  const auto& w = PaperWorkload();
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_EQ(w[0].id, "Q1");
+  EXPECT_EQ(w[0].text, "Widom Trio");
+  EXPECT_EQ(w[2].text, "Agrawal Chaudhuri Das");
+  EXPECT_EQ(w[7].text, "Probabilistic Data Washington");
+  EXPECT_EQ(w[9].id, "Q10");
+}
+
+}  // namespace
+}  // namespace kwsdbg

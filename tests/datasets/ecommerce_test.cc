@@ -1,0 +1,111 @@
+#include "datasets/ecommerce.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+namespace {
+
+TEST(EcommerceTest, SchemaShapeMatchesToySchema) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->db->num_tables(), 4u);
+  EXPECT_EQ(ds->schema.num_relations(), 4u);
+  EXPECT_EQ(ds->schema.num_edges(), 3u);
+  EXPECT_TRUE(ds->schema.ValidateAgainst(*ds->db).ok());
+}
+
+TEST(EcommerceTest, DeterministicForSeed) {
+  EcommerceConfig config;
+  config.num_items = 100;
+  auto a = GenerateEcommerce(config);
+  auto b = GenerateEcommerce(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Table* ia = a->db->FindTable("Item");
+  const Table* ib = b->db->FindTable("Item");
+  ASSERT_EQ(ia->num_rows(), ib->num_rows());
+  for (size_t r = 0; r < ia->num_rows(); ++r) {
+    EXPECT_EQ(ia->at(r, 1), ib->at(r, 1));
+  }
+}
+
+TEST(EcommerceTest, SaffronIsNotAColorSynonym) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  const Table* color = ds->db->FindTable("Color");
+  for (size_t r = 0; r < color->num_rows(); ++r) {
+    EXPECT_FALSE(
+        ContainsCaseInsensitive(color->at(r, 1).AsString(), "saffron"));
+    EXPECT_FALSE(
+        ContainsCaseInsensitive(color->at(r, 2).AsString(), "saffron"));
+  }
+  // But saffron IS a scent, and appears in item names.
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  EXPECT_TRUE(index.TableContains("saffron", "Attribute"));
+  EXPECT_TRUE(index.TableContains("saffron", "Item"));
+  EXPECT_FALSE(index.TableContains("saffron", "Color"));
+}
+
+TEST(EcommerceTest, NullColorRateApproximatelyRespected) {
+  EcommerceConfig config;
+  config.num_items = 2000;
+  config.null_color_rate = 0.25;
+  auto ds = GenerateEcommerce(config);
+  ASSERT_TRUE(ds.ok());
+  const Table* item = ds->db->FindTable("Item");
+  size_t nulls = 0;
+  for (size_t r = 0; r < item->num_rows(); ++r) {
+    if (item->at(r, 3).is_null()) ++nulls;
+  }
+  double rate = static_cast<double>(nulls) / 2000.0;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(EcommerceTest, ForeignKeysValid) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  const Table* item = ds->db->FindTable("Item");
+  const int64_t ptypes =
+      static_cast<int64_t>(ds->db->FindTable("ProductType")->num_rows());
+  const int64_t colors =
+      static_cast<int64_t>(ds->db->FindTable("Color")->num_rows());
+  for (size_t r = 0; r < item->num_rows(); ++r) {
+    EXPECT_GE(item->at(r, 2).AsInt(), 1);
+    EXPECT_LE(item->at(r, 2).AsInt(), ptypes);
+    if (!item->at(r, 3).is_null()) {
+      EXPECT_GE(item->at(r, 3).AsInt(), 1);
+      EXPECT_LE(item->at(r, 3).AsInt(), colors);
+    }
+  }
+}
+
+TEST(EcommerceTest, AddColorSynonymUpdatesRow) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  auto added = AddColorSynonym(ds->db.get(), "yellow", "saffron");
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(*added);
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  EXPECT_TRUE(index.TableContains("saffron", "Color"));
+}
+
+TEST(EcommerceTest, AddColorSynonymUnknownColor) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  auto added = AddColorSynonym(ds->db.get(), "chartreuse-nope", "x");
+  ASSERT_TRUE(added.ok());
+  EXPECT_FALSE(*added);
+}
+
+TEST(EcommerceTest, AddColorSynonymCaseInsensitiveName) {
+  auto ds = GenerateEcommerce();
+  ASSERT_TRUE(ds.ok());
+  auto added = AddColorSynonym(ds->db.get(), "YeLLoW", "saffron");
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(*added);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,108 @@
+#include "datasets/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/dblife.h"
+#include "text/tokenizer.h"
+
+namespace kwsdbg {
+namespace {
+
+class QueryGeneratorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DblifeConfig config;
+    config.num_persons = 50;
+    config.num_publications = 80;
+    config.num_conferences = 10;
+    config.num_organizations = 12;
+    config.num_topics = 10;
+    auto ds = GenerateDblife(config);
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    index_ = std::make_unique<InvertedIndex>(InvertedIndex::Build(*db_));
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(QueryGeneratorTest, KeywordsComeFromVocabulary) {
+  RandomQueryGenerator generator(index_.get());
+  for (int i = 0; i < 50; ++i) {
+    std::string q = generator.Next();
+    ASSERT_FALSE(q.empty());
+    for (const std::string& kw : TokenizeUnique(q)) {
+      EXPECT_TRUE(index_->Contains(kw)) << kw;
+    }
+  }
+}
+
+TEST_F(QueryGeneratorTest, KeywordCountWithinBounds) {
+  QueryGeneratorConfig config;
+  config.min_keywords = 2;
+  config.max_keywords = 3;
+  RandomQueryGenerator generator(index_.get(), config);
+  for (int i = 0; i < 50; ++i) {
+    const size_t k = TokenizeUnique(generator.Next()).size();
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 3u);
+  }
+}
+
+TEST_F(QueryGeneratorTest, DeterministicForSeed) {
+  QueryGeneratorConfig config;
+  config.seed = 99;
+  RandomQueryGenerator a(index_.get(), config);
+  RandomQueryGenerator b(index_.get(), config);
+  EXPECT_EQ(a.Batch(20), b.Batch(20));
+}
+
+TEST_F(QueryGeneratorTest, DifferentSeedsDiffer) {
+  QueryGeneratorConfig ca, cb;
+  ca.seed = 1;
+  cb.seed = 2;
+  RandomQueryGenerator a(index_.get(), ca);
+  RandomQueryGenerator b(index_.get(), cb);
+  EXPECT_NE(a.Batch(20), b.Batch(20));
+}
+
+TEST_F(QueryGeneratorTest, MinTermLengthRespected) {
+  QueryGeneratorConfig config;
+  config.min_term_length = 5;
+  RandomQueryGenerator generator(index_.get(), config);
+  for (int i = 0; i < 30; ++i) {
+    for (const std::string& kw : TokenizeUnique(generator.Next())) {
+      EXPECT_GE(kw.size(), 5u) << kw;
+    }
+  }
+}
+
+TEST_F(QueryGeneratorTest, PopularityBiasPrefersFrequentTerms) {
+  QueryGeneratorConfig skewed;
+  skewed.popularity_theta = 1.2;
+  skewed.min_keywords = skewed.max_keywords = 1;
+  RandomQueryGenerator generator(index_.get(), skewed);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(generator.Next());
+  // Heavy skew concentrates on a small head of the vocabulary.
+  EXPECT_LT(seen.size(), generator.vocabulary_size() / 2);
+}
+
+TEST_F(QueryGeneratorTest, NoDuplicateKeywordsWithinQuery) {
+  QueryGeneratorConfig config;
+  config.min_keywords = config.max_keywords = 3;
+  config.popularity_theta = 2.0;  // high collision pressure
+  RandomQueryGenerator generator(index_.get(), config);
+  for (int i = 0; i < 50; ++i) {
+    std::string q = generator.Next();
+    auto tokens = TokenizeUnique(q);
+    // TokenizeUnique dedups; equal size means no duplicates were emitted.
+    EXPECT_EQ(tokens.size(), Tokenize(q).size());
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg

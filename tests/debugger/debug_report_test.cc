@@ -1,0 +1,88 @@
+#include "debugger/debug_report.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+DebugReport MakeReport() {
+  DebugReport report;
+  report.keyword_query = "saffron scented candle";
+  report.keywords = {"saffron", "scented", "candle"};
+  InterpretationReport interp;
+  interp.binding = "saffron->Color[1]";
+  interp.traversal_stats.sql_queries = 3;
+  interp.traversal_stats.sql_millis = 1.5;
+  interp.traversal_stats.total_millis = 2.0;
+  AnswerReport ans;
+  ans.query.network = "A-net";
+  ans.query.sql = "SELECT * FROM A";
+  interp.answers.push_back(ans);
+  NonAnswerReport na;
+  na.query.network = "N-net";
+  na.query.sql = "SELECT * FROM N";
+  NodeReport mpan;
+  mpan.network = "M-net";
+  na.mpans.push_back(mpan);
+  interp.non_answers.push_back(na);
+  report.interpretations.push_back(interp);
+
+  InterpretationReport interp2 = report.interpretations[0];
+  interp2.traversal_stats.sql_queries = 7;
+  report.interpretations.push_back(interp2);
+  return report;
+}
+
+TEST(DebugReportTest, Totals) {
+  DebugReport report = MakeReport();
+  EXPECT_EQ(report.TotalAnswers(), 2u);
+  EXPECT_EQ(report.TotalNonAnswers(), 2u);
+  EXPECT_EQ(report.TotalMpans(), 2u);
+}
+
+TEST(DebugReportTest, AggregateStatsSum) {
+  DebugReport report = MakeReport();
+  TraversalStats stats = report.AggregateTraversalStats();
+  EXPECT_EQ(stats.sql_queries, 10u);
+  EXPECT_DOUBLE_EQ(stats.sql_millis, 3.0);
+  EXPECT_DOUBLE_EQ(stats.total_millis, 4.0);
+}
+
+TEST(DebugReportTest, ToStringContainsSections) {
+  DebugReport report = MakeReport();
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("saffron scented candle"), std::string::npos);
+  EXPECT_NE(text.find("[ANSWER] A-net"), std::string::npos);
+  EXPECT_NE(text.find("[NON-ANSWER] N-net"), std::string::npos);
+  EXPECT_NE(text.find("maximal alive sub-query: M-net"), std::string::npos);
+  EXPECT_NE(text.find("Interpretation 2"), std::string::npos);
+}
+
+TEST(DebugReportTest, ToStringTruncatesLongSections) {
+  DebugReport report = MakeReport();
+  for (int i = 0; i < 20; ++i) {
+    report.interpretations[0].answers.push_back(
+        report.interpretations[0].answers[0]);
+  }
+  std::string text = report.ToString(/*max_items_per_section=*/3);
+  EXPECT_NE(text.find("more answers"), std::string::npos);
+}
+
+TEST(DebugReportTest, MissingKeywordsShortForm) {
+  DebugReport report;
+  report.keyword_query = "foo zzz";
+  report.missing_keywords = {"zzz"};
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("zzz"), std::string::npos);
+  EXPECT_NE(text.find("and"), std::string::npos);
+  EXPECT_EQ(text.find("Interpretation"), std::string::npos);
+}
+
+TEST(DebugReportTest, SkippedInterpretationsMentioned) {
+  DebugReport report = MakeReport();
+  report.interpretations_skipped = 5;
+  EXPECT_NE(report.ToString().find("+5 skipped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,185 @@
+// End-to-end debugger tests, including the paper's Example 1 verbatim.
+#include "debugger/non_answer_debugger.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+class DebuggerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    schema_ = std::move(ds->schema);
+    LatticeConfig config;
+    config.max_joins = 2;
+    config.num_keyword_copies = 3;
+    auto lattice = LatticeGenerator::Generate(schema_, config);
+    ASSERT_TRUE(lattice.ok());
+    lattice_ = std::move(*lattice);
+    index_ = std::make_unique<InvertedIndex>(InvertedIndex::Build(*db_));
+  }
+
+  std::unique_ptr<Database> db_;
+  SchemaGraph schema_;
+  std::unique_ptr<Lattice> lattice_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(DebuggerTest, Example1SaffronScentedCandle) {
+  NonAnswerDebugger debugger(db_.get(), lattice_.get(), index_.get());
+  auto report = debugger.Debug("saffron scented candle");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->missing_keywords.empty());
+  // Interpretations: saffron in {Color, Attribute, Item}, scented in {Item},
+  // candle in {ProductType, Item} -> 6 interpretations.
+  EXPECT_EQ(report->interpretations.size(), 6u);
+
+  // Find the q1 interpretation (saffron->Color, candle->ProductType) and
+  // the q2 interpretation (saffron->Attribute, candle->ProductType).
+  const InterpretationReport* q1 = nullptr;
+  const InterpretationReport* q2 = nullptr;
+  for (const auto& interp : report->interpretations) {
+    if (interp.binding.find("saffron->Color[1]") != std::string::npos &&
+        interp.binding.find("candle->ProductType[1]") != std::string::npos) {
+      q1 = &interp;
+    }
+    if (interp.binding.find("saffron->Attribute[1]") != std::string::npos &&
+        interp.binding.find("candle->ProductType[1]") != std::string::npos) {
+      q2 = &interp;
+    }
+  }
+  ASSERT_NE(q1, nullptr);
+  ASSERT_NE(q2, nullptr);
+
+  // q1: one MTN, dead, MPANs = { P_candle ⋈ I_scented, C_saffron }.
+  ASSERT_EQ(q1->non_answers.size(), 1u);
+  EXPECT_TRUE(q1->answers.empty());
+  ASSERT_EQ(q1->non_answers[0].mpans.size(), 2u);
+  bool q1_pi = false, q1_c = false;
+  for (const NodeReport& mpan : q1->non_answers[0].mpans) {
+    if (mpan.network == "Color[1]") q1_c = true;
+    if (mpan.network.find("ProductType[1]") != std::string::npos &&
+        mpan.network.find("Item[1]") != std::string::npos) {
+      q1_pi = true;
+    }
+  }
+  EXPECT_TRUE(q1_pi);
+  EXPECT_TRUE(q1_c);
+
+  // q2: one MTN, dead, MPANs = { P_candle ⋈ I_scented, I_scented ⋈ A_saffron }.
+  ASSERT_EQ(q2->non_answers.size(), 1u);
+  ASSERT_EQ(q2->non_answers[0].mpans.size(), 2u);
+  bool q2_pi = false, q2_ia = false;
+  for (const NodeReport& mpan : q2->non_answers[0].mpans) {
+    if (mpan.network.find("ProductType[1]") != std::string::npos &&
+        mpan.network.find("Item[1]") != std::string::npos) {
+      q2_pi = true;
+    }
+    if (mpan.network.find("Attribute[1]") != std::string::npos &&
+        mpan.network.find("Item[1]") != std::string::npos) {
+      q2_ia = true;
+    }
+  }
+  EXPECT_TRUE(q2_pi);
+  EXPECT_TRUE(q2_ia);
+
+  // The SQL of a non-answer mentions every keyword.
+  const std::string& sql = q1->non_answers[0].query.sql;
+  EXPECT_NE(sql.find("%saffron%"), std::string::npos);
+  EXPECT_NE(sql.find("%scented%"), std::string::npos);
+  EXPECT_NE(sql.find("%candle%"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, MissingKeywordReported) {
+  NonAnswerDebugger debugger(db_.get(), lattice_.get(), index_.get());
+  auto report = debugger.Debug("saffron qqqqq");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->missing_keywords, (std::vector<std::string>{"qqqqq"}));
+  EXPECT_TRUE(report->interpretations.empty());
+  EXPECT_NE(report->ToString().find("qqqqq"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, AnswerQueryWithSamples) {
+  DebuggerOptions options;
+  options.sample_rows = 2;
+  NonAnswerDebugger debugger(db_.get(), lattice_.get(), index_.get(),
+                             options);
+  auto report = debugger.Debug("red candle");
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->TotalAnswers(), 0u);
+  bool some_samples = false;
+  for (const auto& interp : report->interpretations) {
+    for (const auto& ans : interp.answers) {
+      if (!ans.sample.rows.empty()) some_samples = true;
+    }
+  }
+  EXPECT_TRUE(some_samples);
+}
+
+TEST_F(DebuggerTest, EveryStrategyProducesSameReportCounts) {
+  size_t expected_answers = 0, expected_non_answers = 0, expected_mpans = 0;
+  bool first = true;
+  for (TraversalKind kind : AllTraversalKinds()) {
+    DebuggerOptions options;
+    options.strategy = kind;
+    NonAnswerDebugger debugger(db_.get(), lattice_.get(), index_.get(),
+                               options);
+    auto report = debugger.Debug("saffron scented candle");
+    ASSERT_TRUE(report.ok());
+    if (first) {
+      expected_answers = report->TotalAnswers();
+      expected_non_answers = report->TotalNonAnswers();
+      expected_mpans = report->TotalMpans();
+      first = false;
+    } else {
+      EXPECT_EQ(report->TotalAnswers(), expected_answers);
+      EXPECT_EQ(report->TotalNonAnswers(), expected_non_answers);
+      EXPECT_EQ(report->TotalMpans(), expected_mpans);
+    }
+  }
+}
+
+TEST_F(DebuggerTest, ReportToStringMentionsKeyParts) {
+  NonAnswerDebugger debugger(db_.get(), lattice_.get(), index_.get());
+  auto report = debugger.Debug("saffron scented candle");
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("saffron scented candle"), std::string::npos);
+  EXPECT_NE(text.find("NON-ANSWER"), std::string::npos);
+  EXPECT_NE(text.find("maximal alive sub-query"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, DblifeSmokeTest) {
+  DblifeConfig config;
+  config.num_persons = 80;
+  config.num_publications = 150;
+  config.num_conferences = 12;
+  config.num_organizations = 20;
+  config.num_topics = 15;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig lconfig;
+  lconfig.max_joins = 4;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  NonAnswerDebugger debugger(ds->db.get(), lattice->get(), &index);
+  auto report = debugger.Debug("widom trio");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->missing_keywords.empty());
+  EXPECT_GT(report->interpretations.size(), 0u);
+  // Aggregate stats populated.
+  TraversalStats stats = report->AggregateTraversalStats();
+  EXPECT_GE(stats.total_millis, 0.0);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,74 @@
+#include "debugger/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblife.h"
+#include "debugger/non_answer_debugger.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+AnswerReport MakeAnswer(size_t level, const char* network) {
+  AnswerReport a;
+  a.query.level = level;
+  a.query.network = network;
+  return a;
+}
+
+TEST(RankingTest, SortsByLevelThenName) {
+  std::vector<AnswerReport> answers = {
+      MakeAnswer(5, "e"), MakeAnswer(3, "b"), MakeAnswer(3, "a"),
+      MakeAnswer(1, "z")};
+  RankAnswers(&answers);
+  ASSERT_EQ(answers.size(), 4u);
+  EXPECT_EQ(answers[0].query.network, "z");
+  EXPECT_EQ(answers[1].query.network, "a");
+  EXPECT_EQ(answers[2].query.network, "b");
+  EXPECT_EQ(answers[3].query.network, "e");
+}
+
+TEST(RankingTest, ScoreIsInverseLevel) {
+  EXPECT_DOUBLE_EQ(AnswerScore(MakeAnswer(1, "x")), 1.0);
+  EXPECT_DOUBLE_EQ(AnswerScore(MakeAnswer(4, "x")), 0.25);
+  EXPECT_DOUBLE_EQ(AnswerScore(MakeAnswer(0, "x")), 0.0);
+  EXPECT_GT(AnswerScore(MakeAnswer(2, "x")), AnswerScore(MakeAnswer(3, "x")));
+}
+
+TEST(RankingTest, StableForEqualKeys) {
+  std::vector<AnswerReport> answers = {MakeAnswer(2, "same"),
+                                       MakeAnswer(2, "same")};
+  answers[0].sample.columns = {"first"};
+  RankAnswers(&answers);
+  EXPECT_EQ(answers[0].sample.columns,
+            (std::vector<std::string>{"first"}));
+}
+
+TEST(RankingTest, DebuggerReportsAnswersSmallestFirst) {
+  DblifeConfig config;
+  config.num_persons = 80;
+  config.num_publications = 120;
+  config.num_conferences = 10;
+  config.num_organizations = 15;
+  config.num_topics = 12;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig lconfig;
+  lconfig.max_joins = 4;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  NonAnswerDebugger debugger(ds->db.get(), lattice->get(), &index);
+  auto report = debugger.Debug("probabilistic data");
+  ASSERT_TRUE(report.ok());
+  for (const auto& interp : report->interpretations) {
+    for (size_t i = 1; i < interp.answers.size(); ++i) {
+      EXPECT_LE(interp.answers[i - 1].query.level,
+                interp.answers[i].query.level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg

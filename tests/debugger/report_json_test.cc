@@ -1,0 +1,90 @@
+#include "debugger/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/toy_product_db.h"
+#include "debugger/non_answer_debugger.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("\x01")), "\\u0001");
+}
+
+TEST(ReportJsonTest, MinimalReport) {
+  DebugReport report;
+  report.keyword_query = "a \"quoted\" query";
+  report.keywords = {"a", "quoted", "query"};
+  std::string json = DebugReportToJson(report);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"query\":\"a \\\"quoted\\\" query\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"interpretations\":[]"), std::string::npos);
+}
+
+TEST(ReportJsonTest, EndToEndStructure) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 2;
+  config.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  ASSERT_TRUE(lattice.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  NonAnswerDebugger debugger(ds->db.get(), lattice->get(), &index);
+  auto report = debugger.Debug("saffron scented candle");
+  ASSERT_TRUE(report.ok());
+  std::string json = DebugReportToJson(*report);
+
+  // Key structural markers for the paper's q1 interpretation.
+  EXPECT_NE(json.find("\"binding\":\"saffron->Color[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"non_answers\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"mpans\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"sql_queries\":"), std::string::npos);
+  // SQL strings with single quotes embed fine (no JSON escaping needed).
+  EXPECT_NE(json.find("LIKE '%saffron%'"), std::string::npos);
+
+  // Cheap well-formedness checks: balanced braces/brackets outside strings.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJsonTest, MissingKeywordReport) {
+  DebugReport report;
+  report.keyword_query = "x zzz";
+  report.missing_keywords = {"zzz"};
+  std::string json = DebugReportToJson(report);
+  EXPECT_NE(json.find("\"missing_keywords\":[\"zzz\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kwsdbg

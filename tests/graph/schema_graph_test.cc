@@ -1,0 +1,124 @@
+#include "graph/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+
+namespace kwsdbg {
+namespace {
+
+TEST(SchemaGraphTest, AddRelationAssignsSequentialIds) {
+  SchemaGraph g;
+  auto a = g.AddRelation("A", true);
+  auto b = g.AddRelation("B", false);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(g.relation(*b).name, "B");
+  EXPECT_FALSE(g.relation(*b).has_text);
+}
+
+TEST(SchemaGraphTest, DuplicateRelationRejected) {
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("A", true).ok());
+  EXPECT_EQ(g.AddRelation("A", true).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaGraphTest, AddJoinAndAdjacency) {
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("A", true).ok());
+  ASSERT_TRUE(g.AddRelation("B", true).ok());
+  auto e = g.AddJoin("A", "b_id", "B", "id");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.IncidentEdges(0).size(), 1u);
+  EXPECT_EQ(g.IncidentEdges(1).size(), 1u);
+  EXPECT_EQ(g.OtherEndpoint(g.edge(*e), 0), 1u);
+  EXPECT_EQ(g.OtherEndpoint(g.edge(*e), 1), 0u);
+}
+
+TEST(SchemaGraphTest, JoinWithUnknownRelationFails) {
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("A", true).ok());
+  EXPECT_EQ(g.AddJoin("A", "x", "Missing", "id").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaGraphTest, RelationIdByName) {
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("A", true).ok());
+  EXPECT_TRUE(g.RelationIdByName("A").ok());
+  EXPECT_FALSE(g.RelationIdByName("Z").ok());
+}
+
+TEST(SchemaGraphTest, ToyGraphValidates) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->schema.num_relations(), 4u);
+  EXPECT_EQ(ds->schema.num_edges(), 3u);
+  EXPECT_TRUE(ds->schema.ValidateAgainst(*ds->db).ok());
+}
+
+TEST(SchemaGraphTest, ValidateCatchesWrongHasText) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("Item", /*has_text=*/false).ok());
+  EXPECT_EQ(g.ValidateAgainst(*ds->db).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaGraphTest, ValidateCatchesMissingColumn) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("Item", true).ok());
+  ASSERT_TRUE(g.AddRelation("Color", true).ok());
+  ASSERT_TRUE(g.AddJoin("Item", "no_such_col", "Color", "id").ok());
+  EXPECT_FALSE(g.ValidateAgainst(*ds->db).ok());
+}
+
+TEST(SchemaGraphTest, ValidateCatchesUnjoinableTypes) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("Item", true).ok());
+  ASSERT_TRUE(g.AddRelation("Color", true).ok());
+  // Item.name (TEXT) vs Color.id (INT) cannot be equi-joined.
+  ASSERT_TRUE(g.AddJoin("Item", "name", "Color", "id").ok());
+  EXPECT_EQ(g.ValidateAgainst(*ds->db).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaGraphTest, DblifeGraphShape) {
+  DblifeConfig config;
+  config.num_persons = 50;
+  config.num_publications = 80;
+  config.num_conferences = 12;
+  config.num_organizations = 20;
+  config.num_topics = 15;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->schema.num_relations(), 14u);  // 5 entity + 9 relationship
+  EXPECT_EQ(ds->schema.num_edges(), 18u);      // 2 per relationship table
+  // Person is the star center: writes, serves_on, gave_talk,
+  // affiliated_with, interested_in touch it once each; coauthor_of and
+  // co_pc_member touch it twice each.
+  auto person = ds->schema.RelationIdByName("Person");
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ(ds->schema.IncidentEdges(*person).size(), 9u);
+}
+
+TEST(SchemaGraphTest, ToDotMentionsEveryRelation) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  std::string dot = ds->schema.ToDot();
+  for (const char* name : {"Item", "Color", "Attribute", "ProductType"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg

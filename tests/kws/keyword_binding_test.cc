@@ -1,0 +1,115 @@
+#include "kws/keyword_binding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/toy_product_db.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+namespace {
+
+class KeywordBindingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    schema_ = std::move(ds->schema);
+    index_ = std::make_unique<InvertedIndex>(InvertedIndex::Build(*db_));
+  }
+
+  std::unique_ptr<Database> db_;
+  SchemaGraph schema_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(KeywordBindingTest, BindingLookups) {
+  RelationId color = *schema_.RelationIdByName("Color");
+  RelationId ptype = *schema_.RelationIdByName("ProductType");
+  KeywordBinding binding({{"red", {color, 1}}, {"candle", {ptype, 1}}});
+  EXPECT_EQ(binding.num_keywords(), 2u);
+  EXPECT_TRUE(binding.IsBound({color, 1}));
+  EXPECT_FALSE(binding.IsBound({color, 2}));
+  EXPECT_FALSE(binding.IsBound({color, 0}));
+  ASSERT_NE(binding.KeywordFor({ptype, 1}), nullptr);
+  EXPECT_EQ(*binding.KeywordFor({ptype, 1}), "candle");
+  EXPECT_EQ(binding.KeywordFor({ptype, 2}), nullptr);
+  EXPECT_EQ(binding.VertexFor(0), (RelationCopy{color, 1}));
+  EXPECT_NE(binding.ToString(schema_).find("red->Color[1]"),
+            std::string::npos);
+}
+
+TEST_F(KeywordBindingTest, BinderEnumeratesInterpretations) {
+  KeywordBinder binder(&schema_, index_.get(), /*num_keyword_copies=*/3);
+  // "red" occurs in Color and Item; "candle" in ProductType and Item.
+  BindingResult result = binder.Bind("red candle");
+  EXPECT_TRUE(result.missing_keywords.empty());
+  EXPECT_EQ(result.keywords, (std::vector<std::string>{"red", "candle"}));
+  EXPECT_EQ(result.interpretations.size(), 4u);
+  EXPECT_EQ(result.interpretations_skipped, 0u);
+}
+
+TEST_F(KeywordBindingTest, SameRelationKeywordsGetSuccessiveCopies) {
+  KeywordBinder binder(&schema_, index_.get(), 3);
+  BindingResult result = binder.Bind("red candle");
+  RelationId item = *schema_.RelationIdByName("Item");
+  // Find the interpretation mapping both keywords to Item.
+  bool found = false;
+  for (const KeywordBinding& b : result.interpretations) {
+    if (b.assignments()[0].vertex.relation == item &&
+        b.assignments()[1].vertex.relation == item) {
+      EXPECT_EQ(b.assignments()[0].vertex.copy, 1);
+      EXPECT_EQ(b.assignments()[1].vertex.copy, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KeywordBindingTest, MissingKeywordShortCircuits) {
+  KeywordBinder binder(&schema_, index_.get(), 3);
+  BindingResult result = binder.Bind("red zzznothere");
+  EXPECT_EQ(result.missing_keywords,
+            (std::vector<std::string>{"zzznothere"}));
+  EXPECT_TRUE(result.interpretations.empty());
+}
+
+TEST_F(KeywordBindingTest, EmptyQueryYieldsNothing) {
+  KeywordBinder binder(&schema_, index_.get(), 3);
+  BindingResult result = binder.Bind("  ,;  ");
+  EXPECT_TRUE(result.keywords.empty());
+  EXPECT_TRUE(result.interpretations.empty());
+}
+
+TEST_F(KeywordBindingTest, CopyOverflowSkipsInterpretation) {
+  // With a single keyword copy, interpretations that put two keywords on the
+  // same relation are dropped.
+  KeywordBinder binder(&schema_, index_.get(), /*num_keyword_copies=*/1);
+  BindingResult result = binder.Bind("red candle");
+  EXPECT_EQ(result.interpretations.size(), 3u);  // 4 minus the Item+Item one
+  EXPECT_EQ(result.interpretations_skipped, 1u);
+}
+
+TEST_F(KeywordBindingTest, InterpretationCapRespected) {
+  KeywordBinder binder(&schema_, index_.get(), 3, /*max_interpretations=*/2);
+  BindingResult result = binder.Bind("red candle");
+  EXPECT_EQ(result.interpretations.size(), 2u);
+  EXPECT_EQ(result.interpretations_skipped, 2u);
+}
+
+TEST_F(KeywordBindingTest, DuplicateKeywordsDeduplicated) {
+  KeywordBinder binder(&schema_, index_.get(), 3);
+  BindingResult result = binder.Bind("red RED red");
+  EXPECT_EQ(result.keywords.size(), 1u);
+}
+
+TEST_F(KeywordBindingTest, BindTimeRecorded) {
+  KeywordBinder binder(&schema_, index_.get(), 3);
+  BindingResult result = binder.Bind("red candle");
+  EXPECT_GE(result.bind_millis, 0.0);
+}
+
+}  // namespace
+}  // namespace kwsdbg

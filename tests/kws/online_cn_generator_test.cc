@@ -1,0 +1,127 @@
+// Cross-validation: the traditional online candidate-network generator and
+// the offline-lattice pipeline (Phases 0-2) must produce exactly the same
+// candidate networks, for every interpretation of every workload query.
+#include "kws/online_cn_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/dblife.h"
+#include "datasets/workload.h"
+#include "kws/pruned_lattice.h"
+#include "lattice/canonical_label.h"
+#include "lattice/lattice_generator.h"
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+std::set<std::string> CanonicalSet(const std::vector<JoinTree>& trees) {
+  std::set<std::string> out;
+  for (const JoinTree& t : trees) out.insert(CanonicalLabel(t));
+  return out;
+}
+
+std::set<std::string> MtnCanonicalSet(const PrunedLattice& pl) {
+  std::set<std::string> out;
+  for (NodeId m : pl.mtns()) {
+    out.insert(CanonicalLabel(pl.lattice().node(m).tree));
+  }
+  return out;
+}
+
+TEST(OnlineCnGeneratorTest, ToyExample1MatchesLattice) {
+  ToyFixture fx;
+  KeywordBinding binding({{"saffron", {fx.color, 1}},
+                          {"scented", {fx.item, 1}},
+                          {"candle", {fx.ptype, 1}}});
+  auto online = GenerateCandidateNetworks(fx.schema, binding, 2);
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+  EXPECT_EQ(online->candidate_networks.size(), 1u);
+  PrunedLattice pl = PrunedLattice::Build(*fx.lattice, binding);
+  EXPECT_EQ(CanonicalSet(online->candidate_networks), MtnCanonicalSet(pl));
+}
+
+TEST(OnlineCnGeneratorTest, EveryLeafBoundEveryCnTotalMinimal) {
+  ToyFixture fx;
+  KeywordBinding binding(
+      {{"red", {fx.color, 1}}, {"candle", {fx.ptype, 1}}});
+  auto online = GenerateCandidateNetworks(fx.schema, binding, 2);
+  ASSERT_TRUE(online.ok());
+  ASSERT_FALSE(online->candidate_networks.empty());
+  for (const JoinTree& cn : online->candidate_networks) {
+    ASSERT_TRUE(cn.Validate(fx.schema).ok());
+    for (size_t leaf : cn.LeafIndices()) {
+      EXPECT_NE(cn.vertex(leaf).copy, 0);
+    }
+  }
+}
+
+TEST(OnlineCnGeneratorTest, EmptyBindingRejected) {
+  ToyFixture fx;
+  KeywordBinding binding(std::vector<KeywordAssignment>{});
+  EXPECT_EQ(GenerateCandidateNetworks(fx.schema, binding, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineCnGeneratorTest, SingleKeywordCnIsBaseNode) {
+  ToyFixture fx;
+  KeywordBinding binding({{"vanilla", {fx.item, 1}}});
+  auto online = GenerateCandidateNetworks(fx.schema, binding, 2);
+  ASSERT_TRUE(online.ok());
+  ASSERT_EQ(online->candidate_networks.size(), 1u);
+  EXPECT_EQ(online->candidate_networks[0].num_vertices(), 1u);
+}
+
+TEST(OnlineCnGeneratorTest, MaxJoinsBoundsSize) {
+  ToyFixture fx;
+  KeywordBinding binding(
+      {{"red", {fx.color, 1}}, {"candle", {fx.ptype, 1}}});
+  // At max_joins = 1 the two keywords cannot connect (they need Item in
+  // between): no CN.
+  auto online = GenerateCandidateNetworks(fx.schema, binding, 1);
+  ASSERT_TRUE(online.ok());
+  EXPECT_TRUE(online->candidate_networks.empty());
+}
+
+class OnlineCnAgreementTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(OnlineCnAgreementTest, AgreesWithLatticeOnDblifeWorkload) {
+  const size_t max_joins = GetParam();
+  DblifeConfig config;
+  config.num_persons = 60;
+  config.num_publications = 100;
+  config.num_conferences = 10;
+  config.num_organizations = 12;
+  config.num_topics = 10;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig lconfig;
+  lconfig.max_joins = max_joins;
+  lconfig.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(ds->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  InvertedIndex index = InvertedIndex::Build(*ds->db);
+  KeywordBinder binder(&ds->schema, &index, 3, /*max_interpretations=*/6);
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    BindingResult binding_result = binder.Bind(q.text);
+    for (const KeywordBinding& binding : binding_result.interpretations) {
+      auto online =
+          GenerateCandidateNetworks(ds->schema, binding, max_joins);
+      ASSERT_TRUE(online.ok());
+      PrunedLattice pl = PrunedLattice::Build(**lattice, binding);
+      EXPECT_EQ(CanonicalSet(online->candidate_networks),
+                MtnCanonicalSet(pl))
+          << q.id << " @ " << binding.ToString(ds->schema);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxJoins, OnlineCnAgreementTest,
+                         testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,207 @@
+#include "kws/pruned_lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datasets/toy_product_db.h"
+#include "lattice/canonical_label.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+// The paper's Fig. 6 setting: "red candle" with red -> Color[1] and
+// candle -> ProductType[1] on the toy schema.
+class PrunedLatticeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    schema_ = std::move(ds->schema);
+    LatticeConfig config;
+    config.max_joins = 2;
+    config.num_keyword_copies = 2;
+    auto lattice = LatticeGenerator::Generate(schema_, config);
+    ASSERT_TRUE(lattice.ok());
+    lattice_ = std::move(*lattice);
+    color_ = *schema_.RelationIdByName("Color");
+    ptype_ = *schema_.RelationIdByName("ProductType");
+    item_ = *schema_.RelationIdByName("Item");
+    attr_ = *schema_.RelationIdByName("Attribute");
+  }
+
+  KeywordBinding RedCandle() {
+    return KeywordBinding(
+        {{"red", {color_, 1}}, {"candle", {ptype_, 1}}});
+  }
+
+  std::unique_ptr<Database> db_;
+  SchemaGraph schema_;
+  std::unique_ptr<Lattice> lattice_;
+  RelationId color_ = 0, ptype_ = 0, item_ = 0, attr_ = 0;
+};
+
+TEST_F(PrunedLatticeTest, SurvivorsHaveOnlyBoundOrFreeCopies) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  EXPECT_GT(pl.surviving().size(), 0u);
+  EXPECT_LT(pl.surviving().size(), lattice_->num_nodes());
+  KeywordBinding binding = RedCandle();
+  for (NodeId id : pl.surviving()) {
+    for (const RelationCopy& v : lattice_->node(id).tree.vertices()) {
+      EXPECT_TRUE(v.copy == 0 || binding.IsBound(v))
+          << lattice_->node(id).tree.ToString(schema_);
+    }
+  }
+}
+
+TEST_F(PrunedLatticeTest, Fig6SurvivorCount) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  // Allowed vertices: {I0, P0, C0, A0, P1, C1}; trees are Item-centered.
+  // Level 1: 6; level 2 (I0 + one neighbor): 5; level 3 (I0 + two allowed
+  // neighbors on distinct FK edges): C(5,2) = 10 minus the same-edge pairs
+  // {P0,P1} and {C0,C1} (Item's FK column can join only one instance) = 8.
+  EXPECT_EQ(pl.surviving().size(), 19u);
+}
+
+TEST_F(PrunedLatticeTest, SingleMtnIsP1I0C1) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  ASSERT_EQ(pl.mtns().size(), 1u);
+  const JoinTree& t = lattice_->node(pl.mtns()[0]).tree;
+  EXPECT_EQ(t.num_vertices(), 3u);
+  EXPECT_TRUE(t.ContainsVertex({ptype_, 1}));
+  EXPECT_TRUE(t.ContainsVertex({item_, 0}));
+  EXPECT_TRUE(t.ContainsVertex({color_, 1}));
+}
+
+TEST_F(PrunedLatticeTest, TotalityChecks) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  NodeId mtn = pl.mtns()[0];
+  EXPECT_TRUE(pl.IsTotal(mtn));
+  for (NodeId c : lattice_->node(mtn).children) {
+    EXPECT_FALSE(pl.IsTotal(c));
+  }
+}
+
+TEST_F(PrunedLatticeTest, RetainedIsMtnPlusDescendants) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  NodeId mtn = pl.mtns()[0];
+  // Desc(P1-I0-C1) = {P1-I0, I0-C1, P1, I0, C1}.
+  EXPECT_EQ(pl.RetainedDescendants(mtn).size(), 5u);
+  EXPECT_EQ(pl.retained().size(), 6u);
+  EXPECT_TRUE(pl.IsRetained(mtn));
+  EXPECT_TRUE(pl.IsMtn(mtn));
+  for (NodeId d : pl.RetainedDescendants(mtn)) {
+    EXPECT_TRUE(pl.IsRetained(d));
+    EXPECT_FALSE(pl.IsMtn(d));
+  }
+}
+
+TEST_F(PrunedLatticeTest, RetainedChildrenParentsRestricted) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  NodeId mtn = pl.mtns()[0];
+  EXPECT_EQ(pl.RetainedChildren(mtn).size(), 2u);  // P1-I0 and I0-C1
+  // I0 sits under both level-2 nodes.
+  NodeId i0 = lattice_->FindTree(JoinTree::Single({item_, 0}));
+  ASSERT_NE(i0, kInvalidNode);
+  EXPECT_EQ(pl.RetainedParents(i0).size(), 2u);
+  EXPECT_EQ(pl.RetainedAncestors(i0).size(), 3u);  // both level-2 + MTN
+}
+
+TEST_F(PrunedLatticeTest, RetainedAtLevelAndMaxLevel) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  EXPECT_EQ(pl.MaxRetainedLevel(), 3u);
+  EXPECT_EQ(pl.RetainedAtLevel(1).size(), 3u);  // P1, I0, C1
+  EXPECT_EQ(pl.RetainedAtLevel(2).size(), 2u);
+  EXPECT_EQ(pl.RetainedAtLevel(3).size(), 1u);
+  EXPECT_TRUE(pl.RetainedAtLevel(9).empty());
+}
+
+TEST_F(PrunedLatticeTest, StatsAreConsistent) {
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, RedCandle());
+  const PruneStats& s = pl.stats();
+  EXPECT_EQ(s.lattice_nodes, lattice_->num_nodes());
+  EXPECT_EQ(s.surviving_nodes, pl.surviving().size());
+  EXPECT_EQ(s.num_mtns, 1u);
+  EXPECT_EQ(s.retained_nodes, 6u);
+  EXPECT_EQ(s.mtn_desc_total, 5u);
+  EXPECT_EQ(s.mtn_desc_unique, 5u);
+}
+
+TEST_F(PrunedLatticeTest, ThreeKeywordInterpretationQ1) {
+  // Example 1, q1 interpretation: saffron->Color, scented->Item,
+  // candle->ProductType. The only MTN is P1 - I1 - C1.
+  KeywordBinding binding({{"saffron", {color_, 1}},
+                          {"scented", {item_, 1}},
+                          {"candle", {ptype_, 1}}});
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, binding);
+  ASSERT_EQ(pl.mtns().size(), 1u);
+  const JoinTree& t = lattice_->node(pl.mtns()[0]).tree;
+  EXPECT_TRUE(t.ContainsVertex({color_, 1}));
+  EXPECT_TRUE(t.ContainsVertex({item_, 1}));
+  EXPECT_TRUE(t.ContainsVertex({ptype_, 1}));
+}
+
+TEST_F(PrunedLatticeTest, MtnsAreConsistentAcrossLatticeLevels) {
+  // An MTN found in a level-L lattice is also an MTN in any deeper lattice:
+  // minimality depends only on the node's children, which are identical.
+  // (This is why Table 3's per-level MTN counts are cumulative counts of
+  // the same underlying candidate networks.)
+  LatticeConfig big_config;
+  big_config.max_joins = 3;
+  big_config.num_keyword_copies = 2;
+  auto big = LatticeGenerator::Generate(schema_, big_config);
+  ASSERT_TRUE(big.ok());
+  for (const KeywordBinding& binding :
+       {RedCandle(),
+        KeywordBinding({{"saffron", {color_, 1}},
+                        {"scented", {item_, 1}},
+                        {"candle", {ptype_, 1}}})}) {
+    PrunedLattice small_pl = PrunedLattice::Build(*lattice_, binding);
+    PrunedLattice big_pl = PrunedLattice::Build(**big, binding);
+    std::set<std::string> small_set, big_set;
+    for (NodeId m : small_pl.mtns()) {
+      small_set.insert(CanonicalLabel(lattice_->node(m).tree));
+    }
+    for (NodeId m : big_pl.mtns()) {
+      big_set.insert(CanonicalLabel((*big)->node(m).tree));
+    }
+    for (const std::string& label : small_set) {
+      EXPECT_TRUE(big_set.count(label)) << label;
+    }
+  }
+}
+
+TEST_F(PrunedLatticeTest, NoMtnWhenKeywordsCannotConnect) {
+  // Two keywords two joins apart cannot meet within max_joins = 0.
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.num_keyword_copies = 2;
+  auto small = LatticeGenerator::Generate(schema_, config);
+  ASSERT_TRUE(small.ok());
+  // red -> Color, candle -> ProductType need Item in between (2 joins).
+  PrunedLattice pl = PrunedLattice::Build(**small, RedCandle());
+  EXPECT_TRUE(pl.mtns().empty());
+  EXPECT_TRUE(pl.retained().empty());
+  EXPECT_EQ(pl.MaxRetainedLevel(), 0u);
+}
+
+TEST_F(PrunedLatticeTest, MultiKeywordSameRelation) {
+  // Both keywords on Item: the two Item copies can only meet through a
+  // shared dimension row, giving the three MTNs I1 - X0 - I2 for
+  // X in {ProductType, Color, Attribute}.
+  KeywordBinding binding({{"red", {item_, 1}}, {"candle", {item_, 2}}});
+  PrunedLattice pl = PrunedLattice::Build(*lattice_, binding);
+  ASSERT_EQ(pl.mtns().size(), 3u);
+  for (NodeId m : pl.mtns()) {
+    const JoinTree& t = lattice_->node(m).tree;
+    EXPECT_EQ(t.num_vertices(), 3u);
+    EXPECT_TRUE(t.ContainsVertex({item_, 1}));
+    EXPECT_TRUE(t.ContainsVertex({item_, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,99 @@
+#include "kws/query_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/toy_product_db.h"
+#include "lattice/lattice_generator.h"
+#include "sql/executor.h"
+
+namespace kwsdbg {
+namespace {
+
+class QueryBuilderTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    schema_ = std::move(ds->schema);
+    color_ = *schema_.RelationIdByName("Color");
+    ptype_ = *schema_.RelationIdByName("ProductType");
+    item_ = *schema_.RelationIdByName("Item");
+  }
+
+  std::unique_ptr<Database> db_;
+  SchemaGraph schema_;
+  RelationId color_ = 0, ptype_ = 0, item_ = 0;
+};
+
+TEST_F(QueryBuilderTest, SingleFreeVertex) {
+  KeywordBinding binding(std::vector<KeywordAssignment>{});
+  JoinTree t = JoinTree::Single({item_, 0});
+  auto q = BuildNodeQuery(t, schema_, binding);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->vertices.size(), 1u);
+  EXPECT_EQ(q->vertices[0].table, "Item");
+  EXPECT_EQ(q->vertices[0].alias, "Item_0");
+  EXPECT_TRUE(q->vertices[0].keyword.empty());
+}
+
+TEST_F(QueryBuilderTest, BoundVertexGetsKeyword) {
+  KeywordBinding binding({{"red", {color_, 1}}});
+  JoinTree t = JoinTree::Single({color_, 1});
+  auto q = BuildNodeQuery(t, schema_, binding);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->vertices[0].keyword, "red");
+}
+
+TEST_F(QueryBuilderTest, UnboundKeywordCopyRejected) {
+  KeywordBinding binding({{"red", {color_, 1}}});
+  JoinTree t = JoinTree::Single({color_, 2});
+  EXPECT_EQ(BuildNodeQuery(t, schema_, binding).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryBuilderTest, JoinColumnsOrientedBySchemaEdge) {
+  KeywordBinding binding({{"candle", {ptype_, 1}}});
+  // Edge 0 is Item.p_type -> ProductType.id; build tree P1 <- I0.
+  JoinTree t = JoinTree::Single({ptype_, 1}).Extend(0, {item_, 0}, 0);
+  auto q = BuildNodeQuery(t, schema_, binding);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->joins.size(), 1u);
+  // Vertex 0 = ProductType, vertex 1 = Item; the join must pair
+  // ProductType.id with Item.p_type regardless of orientation.
+  const QueryJoin& j = q->joins[0];
+  EXPECT_EQ(q->vertices[j.left].table == "ProductType" ? j.left_column
+                                                       : j.right_column,
+            "id");
+  EXPECT_EQ(q->vertices[j.left].table == "Item" ? j.left_column
+                                                : j.right_column,
+            "p_type");
+}
+
+TEST_F(QueryBuilderTest, BuiltQueryExecutes) {
+  KeywordBinding binding({{"candle", {ptype_, 1}}, {"scented", {item_, 1}}});
+  JoinTree t = JoinTree::Single({ptype_, 1}).Extend(0, {item_, 1}, 0);
+  auto q = BuildNodeQuery(t, schema_, binding);
+  ASSERT_TRUE(q.ok());
+  Executor executor(db_.get());
+  auto rs = executor.Execute(*q);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+TEST_F(QueryBuilderTest, LatticeOverloadEquivalent) {
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.num_keyword_copies = 1;
+  auto lattice = LatticeGenerator::Generate(schema_, config);
+  ASSERT_TRUE(lattice.ok());
+  KeywordBinding binding({{"candle", {ptype_, 1}}});
+  NodeId id = (*lattice)->FindTree(JoinTree::Single({ptype_, 1}));
+  ASSERT_NE(id, kInvalidNode);
+  auto q = BuildNodeQuery(**lattice, id, binding);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->vertices[0].keyword, "candle");
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,132 @@
+// Structural property tests on generated lattices: closure under
+// sub-networks, link symmetry, and level consistency — the invariants the
+// traversal correctness proofs rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+#include "lattice/canonical_label.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+struct LatticeCase {
+  std::string name;
+  SchemaGraph schema;
+  std::unique_ptr<Lattice> lattice;
+};
+
+class LatticeClosureTest : public testing::TestWithParam<int> {
+ protected:
+  LatticeCase MakeCase() {
+    LatticeCase out;
+    if (GetParam() == 0) {
+      out.name = "toy";
+      auto ds = BuildToyProductDatabase();
+      EXPECT_TRUE(ds.ok());
+      out.schema = std::move(ds->schema);
+      LatticeConfig config;
+      config.max_joins = 3;
+      config.num_keyword_copies = 2;
+      auto lattice = LatticeGenerator::Generate(out.schema, config);
+      EXPECT_TRUE(lattice.ok());
+      out.lattice = std::move(*lattice);
+    } else {
+      out.name = "dblife";
+      DblifeConfig dconfig;
+      dconfig.num_persons = 10;
+      dconfig.num_publications = 10;
+      dconfig.num_conferences = 4;
+      dconfig.num_organizations = 4;
+      dconfig.num_topics = 4;
+      auto ds = GenerateDblife(dconfig);
+      EXPECT_TRUE(ds.ok());
+      out.schema = std::move(ds->schema);
+      LatticeConfig config;
+      config.max_joins = 3;
+      config.num_keyword_copies = 2;
+      auto lattice = LatticeGenerator::Generate(out.schema, config);
+      EXPECT_TRUE(lattice.ok());
+      out.lattice = std::move(*lattice);
+    }
+    return out;
+  }
+};
+
+TEST_P(LatticeClosureTest, ClosedUnderLeafRemoval) {
+  LatticeCase c = MakeCase();
+  for (NodeId id = 0; id < c.lattice->num_nodes(); ++id) {
+    const JoinTree& tree = c.lattice->node(id).tree;
+    if (tree.level() == 1) continue;
+    for (size_t leaf : tree.LeafIndices()) {
+      JoinTree sub = tree.RemoveLeaf(leaf);
+      EXPECT_NE(c.lattice->FindTree(sub), kInvalidNode)
+          << c.name << ": missing sub-network of node " << id;
+    }
+  }
+}
+
+TEST_P(LatticeClosureTest, ChildLinksAreExactlyLeafRemovals) {
+  LatticeCase c = MakeCase();
+  for (NodeId id = 0; id < c.lattice->num_nodes(); ++id) {
+    const LatticeNode& node = c.lattice->node(id);
+    std::set<NodeId> expected;
+    if (node.tree.level() > 1) {
+      for (size_t leaf : node.tree.LeafIndices()) {
+        expected.insert(c.lattice->FindTree(node.tree.RemoveLeaf(leaf)));
+      }
+    }
+    std::set<NodeId> actual(node.children.begin(), node.children.end());
+    EXPECT_EQ(actual, expected) << c.name << " node " << id;
+  }
+}
+
+TEST_P(LatticeClosureTest, ParentChildSymmetry) {
+  LatticeCase c = MakeCase();
+  for (NodeId id = 0; id < c.lattice->num_nodes(); ++id) {
+    for (NodeId child : c.lattice->node(id).children) {
+      const auto& parents = c.lattice->node(child).parents;
+      EXPECT_NE(std::find(parents.begin(), parents.end(), id), parents.end())
+          << c.name;
+      EXPECT_EQ(c.lattice->node(child).level + 1, c.lattice->node(id).level);
+    }
+  }
+}
+
+TEST_P(LatticeClosureTest, DescendantsAreExactlyConnectedSubtrees) {
+  // For a sample of nodes: Descendants(id) must contain every tree
+  // obtainable by repeated leaf removal, with no duplicates or strangers.
+  LatticeCase c = MakeCase();
+  Rng rng(7);
+  const size_t checks = std::min<size_t>(c.lattice->num_nodes(), 40);
+  for (size_t i = 0; i < checks; ++i) {
+    NodeId id = static_cast<NodeId>(rng.Uniform(c.lattice->num_nodes()));
+    std::set<NodeId> expected;
+    std::vector<JoinTree> frontier = {c.lattice->node(id).tree};
+    while (!frontier.empty()) {
+      JoinTree t = std::move(frontier.back());
+      frontier.pop_back();
+      if (t.level() == 1 && c.lattice->node(id).tree.level() == 1) break;
+      for (size_t leaf : t.LeafIndices()) {
+        if (t.num_vertices() == 1) continue;
+        JoinTree sub = t.RemoveLeaf(leaf);
+        NodeId sid = c.lattice->FindTree(sub);
+        ASSERT_NE(sid, kInvalidNode);
+        if (expected.insert(sid).second) frontier.push_back(std::move(sub));
+      }
+    }
+    std::vector<NodeId> desc = c.lattice->Descendants(id);
+    std::set<NodeId> actual(desc.begin(), desc.end());
+    EXPECT_EQ(actual.size(), desc.size()) << "duplicates in Descendants";
+    EXPECT_EQ(actual, expected) << c.name << " node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemas, LatticeClosureTest, testing::Values(0, 1));
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,233 @@
+#include "lattice/lattice_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datasets/toy_product_db.h"
+#include "lattice/canonical_label.h"
+
+namespace kwsdbg {
+namespace {
+
+// The paper's Fig. 4 setting: R(a,b), S(c,d), one join R.b = S.c, m = 1.
+SchemaGraph TwoRelationSchema() {
+  SchemaGraph g;
+  EXPECT_TRUE(g.AddRelation("R", true).ok());
+  EXPECT_TRUE(g.AddRelation("S", true).ok());
+  EXPECT_TRUE(g.AddJoin("R", "b", "S", "c").ok());
+  return g;
+}
+
+TEST(LatticeGeneratorTest, Fig4NodeCounts) {
+  SchemaGraph g = TwoRelationSchema();
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.copy_policy = CopyPolicy::kAllRelations;
+  config.num_keyword_copies = 2;  // R1, R2 / S1, S2 as in Fig. 4
+  auto lattice = LatticeGenerator::Generate(g, config);
+  ASSERT_TRUE(lattice.ok()) << lattice.status().ToString();
+  // Level 1: copies 0..2 of both relations.
+  EXPECT_EQ((*lattice)->NodesAtLevel(1).size(), 6u);
+  // Level 2: all (R_i, S_j) combinations, i,j in {0,1,2}.
+  EXPECT_EQ((*lattice)->NodesAtLevel(2).size(), 9u);
+  EXPECT_EQ((*lattice)->num_nodes(), 15u);
+  // Each level-2 tree is generated twice (once from each endpoint).
+  const LevelStats& l2 = (*lattice)->level_stats()[1];
+  EXPECT_EQ(l2.generated, 18u);
+  EXPECT_EQ(l2.duplicates, 9u);
+  EXPECT_EQ(l2.kept, 9u);
+}
+
+TEST(LatticeGeneratorTest, Fig4ParentChildLinks) {
+  SchemaGraph g = TwoRelationSchema();
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.copy_policy = CopyPolicy::kAllRelations;
+  config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(g, config);
+  ASSERT_TRUE(lattice.ok());
+  // Find node R1 -- S2 and check its children are exactly {R1, S2}.
+  JoinTree r1s2 = JoinTree::Single({0, 1}).Extend(0, {1, 2}, 0);
+  NodeId id = (*lattice)->FindTree(r1s2);
+  ASSERT_NE(id, kInvalidNode);
+  const LatticeNode& node = (*lattice)->node(id);
+  ASSERT_EQ(node.children.size(), 2u);
+  std::vector<std::string> child_labels;
+  for (NodeId c : node.children) {
+    child_labels.push_back(
+        (*lattice)->node(c).tree.ToString((*lattice)->schema()));
+  }
+  std::sort(child_labels.begin(), child_labels.end());
+  EXPECT_EQ(child_labels, (std::vector<std::string>{"R[1]", "S[2]"}));
+  // And those children list it as a parent.
+  for (NodeId c : node.children) {
+    const auto& parents = (*lattice)->node(c).parents;
+    EXPECT_NE(std::find(parents.begin(), parents.end(), id), parents.end());
+  }
+}
+
+TEST(LatticeGeneratorTest, DescendantsAndAncestors) {
+  SchemaGraph g = TwoRelationSchema();
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.copy_policy = CopyPolicy::kAllRelations;
+  config.num_keyword_copies = 1;
+  auto lattice = LatticeGenerator::Generate(g, config);
+  ASSERT_TRUE(lattice.ok());
+  JoinTree r1s1 = JoinTree::Single({0, 1}).Extend(0, {1, 1}, 0);
+  NodeId top = (*lattice)->FindTree(r1s1);
+  ASSERT_NE(top, kInvalidNode);
+  EXPECT_EQ((*lattice)->Descendants(top).size(), 2u);
+  NodeId r1 = (*lattice)->FindTree(JoinTree::Single({0, 1}));
+  ASSERT_NE(r1, kInvalidNode);
+  // R1's ancestors: R1-S0, R1-S1 (copies 0..1 of S).
+  EXPECT_EQ((*lattice)->Ancestors(r1).size(), 2u);
+}
+
+TEST(LatticeGeneratorTest, TextOnlyPolicySuppressesCopies) {
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("Entity", true).ok());
+  ASSERT_TRUE(g.AddRelation("Link", false).ok());  // no text
+  ASSERT_TRUE(g.AddJoin("Link", "eid", "Entity", "id").ok());
+  LatticeConfig config;
+  config.max_joins = 1;
+  config.copy_policy = CopyPolicy::kTextRelationsOnly;
+  config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(g, config);
+  ASSERT_TRUE(lattice.ok());
+  // Level 1: Entity 0..2 (3) + Link 0 only (1).
+  EXPECT_EQ((*lattice)->NodesAtLevel(1).size(), 4u);
+  // Level 2: (Entity_i, Link_0) for i in 0..2.
+  EXPECT_EQ((*lattice)->NodesAtLevel(2).size(), 3u);
+}
+
+TEST(LatticeGeneratorTest, SelfPairRelationViaTwoEdges) {
+  // A coauthor-style relation joining the same entity twice produces
+  // distinct trees per edge and paths of length 3.
+  SchemaGraph g;
+  ASSERT_TRUE(g.AddRelation("P", true).ok());
+  ASSERT_TRUE(g.AddRelation("Co", false).ok());
+  ASSERT_TRUE(g.AddJoin("Co", "p1", "P", "id").ok());
+  ASSERT_TRUE(g.AddJoin("Co", "p2", "P", "id").ok());
+  LatticeConfig config;
+  config.max_joins = 2;
+  config.copy_policy = CopyPolicy::kTextRelationsOnly;
+  config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(g, config);
+  ASSERT_TRUE(lattice.ok());
+  // P1 - Co0 - P2 must exist: two people joined by coauthorship.
+  RelationId p = *g.RelationIdByName("P");
+  RelationId co = *g.RelationIdByName("Co");
+  JoinTree path = JoinTree::Single({p, 1})
+                      .Extend(0, {co, 0}, 0)
+                      .Extend(1, {p, 2}, 1);
+  EXPECT_NE((*lattice)->FindTree(path), kInvalidNode);
+  // But P1 - Co0 - P1 (same copy twice) must not.
+  for (NodeId id : (*lattice)->NodesAtLevel(3)) {
+    const JoinTree& t = (*lattice)->node(id).tree;
+    for (size_t i = 0; i < t.num_vertices(); ++i) {
+      for (size_t j = i + 1; j < t.num_vertices(); ++j) {
+        EXPECT_FALSE(t.vertex(i) == t.vertex(j));
+      }
+    }
+  }
+}
+
+TEST(LatticeGeneratorTest, AllTreesValidateAndDeduplicate) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 3;
+  config.num_keyword_copies = 3;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  ASSERT_TRUE(lattice.ok());
+  std::unordered_set<std::string> labels;
+  for (NodeId id = 0; id < (*lattice)->num_nodes(); ++id) {
+    const JoinTree& t = (*lattice)->node(id).tree;
+    ASSERT_TRUE(t.Validate(ds->schema).ok()) << id;
+    EXPECT_TRUE(labels.insert(CanonicalLabel(t)).second)
+        << "duplicate node survived: " << t.ToString(ds->schema);
+    EXPECT_EQ((*lattice)->node(id).level, t.level());
+  }
+}
+
+TEST(LatticeGeneratorTest, ChildCountEqualsLeafCount) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 2;
+  config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  ASSERT_TRUE(lattice.ok());
+  for (NodeId id = 0; id < (*lattice)->num_nodes(); ++id) {
+    const LatticeNode& n = (*lattice)->node(id);
+    if (n.level == 1) {
+      EXPECT_TRUE(n.children.empty());
+      continue;
+    }
+    // Children = one leaf-removal each, all distinct.
+    EXPECT_EQ(n.children.size(), n.tree.LeafIndices().size());
+  }
+}
+
+TEST(LatticeGeneratorTest, DiscoverRuleExcludesDoubleFkTrees) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 2;
+  config.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  ASSERT_TRUE(lattice.ok());
+  RelationId item = *ds->schema.RelationIdByName("Item");
+  RelationId color = *ds->schema.RelationIdByName("Color");
+  RelationId ptype = *ds->schema.RelationIdByName("ProductType");
+  // Item joining two Color copies via its single color FK: not in lattice.
+  JoinTree invalid = JoinTree::Single({item, 0})
+                         .Extend(0, {color, 1}, 1)
+                         .Extend(0, {color, 2}, 1);
+  EXPECT_EQ((*lattice)->FindTree(invalid), kInvalidNode);
+  // ProductType joining two Item copies (PK-side hub): in lattice.
+  JoinTree valid = JoinTree::Single({ptype, 1})
+                       .Extend(0, {item, 1}, 0)
+                       .Extend(0, {item, 2}, 0);
+  EXPECT_NE((*lattice)->FindTree(valid), kInvalidNode);
+}
+
+TEST(LatticeGeneratorTest, MaxNodesGuard) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 3;
+  config.max_nodes = 10;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  EXPECT_EQ(lattice.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LatticeGeneratorTest, EmptySchemaRejected) {
+  SchemaGraph g;
+  LatticeConfig config;
+  EXPECT_EQ(LatticeGenerator::Generate(g, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LatticeGeneratorTest, LevelStatsTimingsRecorded) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig config;
+  config.max_joins = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, config);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_EQ((*lattice)->level_stats().size(), 3u);
+  size_t total_kept = 0;
+  for (const LevelStats& ls : (*lattice)->level_stats()) {
+    EXPECT_GE(ls.gen_millis, 0.0);
+    EXPECT_EQ(ls.generated, ls.duplicates + ls.kept);
+    total_kept += ls.kept;
+  }
+  EXPECT_EQ(total_kept, (*lattice)->num_nodes());
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,168 @@
+#include "lattice/lattice_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datasets/dblife.h"
+#include "datasets/toy_product_db.h"
+#include "lattice/canonical_label.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace {
+
+std::unique_ptr<Lattice> MakeToyLattice(const SchemaGraph& schema,
+                                        size_t max_joins = 2,
+                                        size_t copies = 2) {
+  LatticeConfig config;
+  config.max_joins = max_joins;
+  config.num_keyword_copies = copies;
+  auto lattice = LatticeGenerator::Generate(schema, config);
+  EXPECT_TRUE(lattice.ok());
+  return std::move(*lattice);
+}
+
+void ExpectLatticesEquivalent(const Lattice& a, const Lattice& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (NodeId id = 0; id < a.num_nodes(); ++id) {
+    const std::string canonical = CanonicalLabel(a.node(id).tree);
+    NodeId bid = b.FindByCanonical(canonical);
+    ASSERT_NE(bid, kInvalidNode) << canonical;
+    EXPECT_EQ(a.node(id).level, b.node(bid).level);
+    EXPECT_EQ(a.node(id).children.size(), b.node(bid).children.size());
+    EXPECT_EQ(a.node(id).parents.size(), b.node(bid).parents.size());
+    // Children match up to canonical identity.
+    std::set<std::string> ac, bc;
+    for (NodeId c : a.node(id).children) {
+      ac.insert(CanonicalLabel(a.node(c).tree));
+    }
+    for (NodeId c : b.node(bid).children) {
+      bc.insert(CanonicalLabel(b.node(c).tree));
+    }
+    EXPECT_EQ(ac, bc);
+  }
+}
+
+TEST(LatticeIoTest, RoundTripToySchema) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  auto lattice = MakeToyLattice(ds->schema);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveLattice(*lattice, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadLattice(ds->schema, &in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectLatticesEquivalent(*lattice, **loaded);
+  // Config survives.
+  EXPECT_EQ((*loaded)->config().max_joins, 2u);
+  EXPECT_EQ((*loaded)->config().num_keyword_copies, 2u);
+  // Node/duplicate statistics survive (timings do not).
+  ASSERT_EQ((*loaded)->level_stats().size(), lattice->level_stats().size());
+  for (size_t i = 0; i < lattice->level_stats().size(); ++i) {
+    EXPECT_EQ((*loaded)->level_stats()[i].kept,
+              lattice->level_stats()[i].kept);
+    EXPECT_EQ((*loaded)->level_stats()[i].duplicates,
+              lattice->level_stats()[i].duplicates);
+  }
+}
+
+TEST(LatticeIoTest, RoundTripDblifeSchema) {
+  DblifeConfig config;
+  config.num_persons = 20;
+  config.num_publications = 30;
+  config.num_conferences = 5;
+  config.num_organizations = 6;
+  config.num_topics = 5;
+  auto ds = GenerateDblife(config);
+  ASSERT_TRUE(ds.ok());
+  LatticeConfig lconfig;
+  lconfig.max_joins = 3;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(ds->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveLattice(**lattice, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadLattice(ds->schema, &in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectLatticesEquivalent(**lattice, **loaded);
+}
+
+TEST(LatticeIoTest, FileRoundTrip) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  auto lattice = MakeToyLattice(ds->schema);
+  const std::string path = testing::TempDir() + "/kwsdbg_lattice_test.lat";
+  ASSERT_TRUE(SaveLatticeFile(*lattice, path).ok());
+  auto loaded = LoadLatticeFile(ds->schema, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_nodes(), lattice->num_nodes());
+  EXPECT_FALSE(LoadLatticeFile(ds->schema, path + ".missing").ok());
+}
+
+TEST(LatticeIoTest, RejectsWrongSchema) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  auto lattice = MakeToyLattice(ds->schema);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveLattice(*lattice, &out).ok());
+  SchemaGraph other;
+  ASSERT_TRUE(other.AddRelation("X", true).ok());
+  std::istringstream in(out.str());
+  EXPECT_EQ(LoadLattice(other, &in).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LatticeIoTest, RejectsGarbage) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  {
+    std::istringstream in("not a lattice");
+    EXPECT_EQ(LoadLattice(ds->schema, &in).status().code(),
+              StatusCode::kParseError);
+  }
+  {
+    std::istringstream in("KWSDBGLAT 1\nconfig oops\n");
+    EXPECT_FALSE(LoadLattice(ds->schema, &in).ok());
+  }
+}
+
+TEST(LatticeIoTest, RejectsTruncatedNodeList) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  auto lattice = MakeToyLattice(ds->schema);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveLattice(*lattice, &out).ok());
+  std::string text = out.str();
+  // Cut the last 3 lines.
+  for (int i = 0; i < 3; ++i) {
+    text.erase(text.find_last_of('\n', text.size() - 2) + 1);
+  }
+  std::istringstream in(text);
+  EXPECT_EQ(LoadLattice(ds->schema, &in).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(LatticeIoTest, LoadedLatticeIsUsableEndToEnd) {
+  auto ds = BuildToyProductDatabase();
+  ASSERT_TRUE(ds.ok());
+  auto lattice = MakeToyLattice(ds->schema, 2, 3);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveLattice(*lattice, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadLattice(ds->schema, &in);
+  ASSERT_TRUE(loaded.ok());
+  // Descendant queries on the loaded lattice behave like on the original.
+  for (NodeId id : lattice->NodesAtLevel(3)) {
+    NodeId lid = (*loaded)->FindByCanonical(CanonicalLabel(
+        lattice->node(id).tree));
+    ASSERT_NE(lid, kInvalidNode);
+    EXPECT_EQ(lattice->Descendants(id).size(),
+              (*loaded)->Descendants(lid).size());
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,128 @@
+// Constant selections (`col = 'x'`, `col = 42`) through parser, converter,
+// writer, and executor.
+#include <gtest/gtest.h>
+
+#include "datasets/toy_product_db.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace kwsdbg {
+namespace {
+
+class ConstantPredicateTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    executor_ = std::make_unique<Executor>(db_.get());
+  }
+
+  StatusOr<ResultSet> Run(const std::string& sql) {
+    KWSDBG_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+    KWSDBG_ASSIGN_OR_RETURN(JoinNetworkQuery q,
+                            FromSelectStatement(stmt, *db_));
+    return executor_->Execute(q);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ConstantPredicateTest, StringEquality) {
+  auto rs = Run("SELECT * FROM Color c WHERE c.color = 'red'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ConstantPredicateTest, StringEqualityIsCaseSensitive) {
+  auto rs = Run("SELECT * FROM Color c WHERE c.color = 'RED'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());  // unlike LIKE, = is exact
+}
+
+TEST_F(ConstantPredicateTest, IntEquality) {
+  auto rs = Run("SELECT * FROM Item i WHERE i.p_type = 2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);  // the three candles
+}
+
+TEST_F(ConstantPredicateTest, DoubleEquality) {
+  auto rs = Run("SELECT * FROM Item i WHERE i.cost = 3.99");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);  // items 3 and 4
+}
+
+TEST_F(ConstantPredicateTest, NullNeverEqualsConstant) {
+  // Item 1 has NULL color; color = anything must not match it.
+  auto rs = Run("SELECT * FROM Item i WHERE i.color = 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);  // items 3 and 4
+}
+
+TEST_F(ConstantPredicateTest, CombinesWithJoinAndLike) {
+  auto rs = Run(
+      "SELECT * FROM Item i, ProductType p WHERE i.p_type = p.id AND "
+      "p.product_type = 'candle' AND i.name LIKE '%scented%'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 2u);  // items 2 and 3 — bare LIKE is
+                                   // name-column-specific, so item 4
+                                   // ("scented" only in description) is out
+}
+
+TEST_F(ConstantPredicateTest, TypeMismatchRejected) {
+  EXPECT_FALSE(Run("SELECT * FROM Item i WHERE i.p_type = 'two'").ok());
+  EXPECT_FALSE(Run("SELECT * FROM Item i WHERE i.name = 42").ok());
+}
+
+TEST_F(ConstantPredicateTest, WriterRoundTrip) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Item i WHERE i.p_type = 2 AND i.name LIKE '%candle%'");
+  ASSERT_TRUE(stmt.ok());
+  auto q = FromSelectStatement(*stmt, *db_);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->selections.size(), 1u);
+  auto sql = q->ToSql(*db_);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("i.p_type = 2"), std::string::npos);
+  // Re-parse and re-execute: same result.
+  auto stmt2 = ParseSql(*sql);
+  ASSERT_TRUE(stmt2.ok()) << *sql;
+  auto q2 = FromSelectStatement(*stmt2, *db_);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  auto rs1 = executor_->Execute(*q);
+  auto rs2 = executor_->Execute(*q2);
+  ASSERT_TRUE(rs1.ok() && rs2.ok());
+  EXPECT_EQ(rs1->rows.size(), rs2->rows.size());
+}
+
+TEST_F(ConstantPredicateTest, SelectionOnUnknownColumnRejected) {
+  EXPECT_FALSE(Run("SELECT * FROM Item i WHERE i.nope = 2").ok());
+}
+
+TEST_F(ConstantPredicateTest, ColumnSpecificLikeOnlySearchesThatColumn) {
+  // Item 4 has "scented" only in the description; a name-specific LIKE must
+  // not match it, while the keyword (OR-group) form must.
+  auto by_name = Run("SELECT * FROM Item i WHERE i.name LIKE '%scented%'");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->rows.size(), 3u);  // items 1, 2, 3
+  auto keyword = Run(
+      "SELECT * FROM Item i WHERE (i.name LIKE '%scented%' OR "
+      "i.description LIKE '%scented%')");
+  ASSERT_TRUE(keyword.ok());
+  EXPECT_EQ(keyword->rows.size(), 4u);
+}
+
+TEST_F(ConstantPredicateTest, LikeSelectionWildcards) {
+  auto rs = Run("SELECT * FROM Color c WHERE c.color LIKE 'p_nk'");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][1].AsString(), "pink");
+  auto prefix = Run("SELECT * FROM Color c WHERE c.synonyms LIKE 'golden%'");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,136 @@
+// Executor property tests on randomized DBLife queries: results are
+// independent of the order the query lists its instances and joins, limits
+// are prefixes of the full result, and existence checks agree with full
+// enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datasets/dblife.h"
+#include "sql/executor.h"
+
+namespace kwsdbg {
+namespace {
+
+std::vector<std::string> SortedRowStrings(const ResultSet& rs,
+                                          const std::vector<int>& col_order) {
+  // col_order maps output columns to a canonical order so permuted vertex
+  // lists stay comparable.
+  std::vector<std::string> out;
+  for (const Tuple& row : rs.rows) {
+    std::string s;
+    for (int c : col_order) {
+      s += row[static_cast<size_t>(c)].ToString();
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Builds a 3-instance path query Person - writes - Publication with random
+/// keywords, returning it plus a vertex permutation of it.
+std::pair<JoinNetworkQuery, JoinNetworkQuery> PathQueryAndPermutation(
+    Rng* rng) {
+  const char* person_kws[] = {"", "widom", "gray", "das"};
+  const char* pub_kws[] = {"", "data", "probabilistic", "histograms"};
+  JoinNetworkQuery q;
+  q.vertices = {{"Person", "P", person_kws[rng->Uniform(4)]},
+                {"writes", "w", ""},
+                {"Publication", "B", pub_kws[rng->Uniform(4)]}};
+  q.joins = {{1, "person_id", 0, "id"}, {1, "publication_id", 2, "id"}};
+
+  JoinNetworkQuery perm;
+  perm.vertices = {q.vertices[2], q.vertices[0], q.vertices[1]};
+  perm.joins = {{2, "publication_id", 0, "id"}, {2, "person_id", 1, "id"}};
+  return {q, perm};
+}
+
+class ExecutorPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  static const DblifeDataset& Dataset() {
+    static const DblifeDataset* ds = [] {
+      DblifeConfig config;
+      config.num_persons = 120;
+      config.num_publications = 200;
+      config.num_conferences = 10;
+      config.num_organizations = 15;
+      config.num_topics = 12;
+      auto result = GenerateDblife(config);
+      KWSDBG_CHECK(result.ok());
+      return new DblifeDataset(std::move(*result));
+    }();
+    return *ds;
+  }
+};
+
+TEST_P(ExecutorPropertyTest, VertexOrderIrrelevant) {
+  const DblifeDataset& ds = Dataset();
+  Executor executor(ds.db.get());
+  Rng rng(GetParam());
+  const size_t person_cols = ds.db->FindTable("Person")->schema().num_columns();
+  const size_t writes_cols = ds.db->FindTable("writes")->schema().num_columns();
+  const size_t pub_cols =
+      ds.db->FindTable("Publication")->schema().num_columns();
+  for (int iter = 0; iter < 10; ++iter) {
+    auto [q, perm] = PathQueryAndPermutation(&rng);
+    auto rs1 = executor.Execute(q);
+    auto rs2 = executor.Execute(perm);
+    ASSERT_TRUE(rs1.ok() && rs2.ok());
+    // Canonical column order: Person cols, writes cols, Publication cols.
+    std::vector<int> order1, order2;
+    for (size_t i = 0; i < person_cols + writes_cols + pub_cols; ++i) {
+      order1.push_back(static_cast<int>(i));
+    }
+    // perm layout: Publication, Person, writes.
+    for (size_t i = 0; i < person_cols; ++i) {
+      order2.push_back(static_cast<int>(pub_cols + i));
+    }
+    for (size_t i = 0; i < writes_cols; ++i) {
+      order2.push_back(static_cast<int>(pub_cols + person_cols + i));
+    }
+    for (size_t i = 0; i < pub_cols; ++i) {
+      order2.push_back(static_cast<int>(i));
+    }
+    EXPECT_EQ(SortedRowStrings(*rs1, order1), SortedRowStrings(*rs2, order2));
+  }
+}
+
+TEST_P(ExecutorPropertyTest, ExistsAgreesWithEnumeration) {
+  const DblifeDataset& ds = Dataset();
+  Executor executor(ds.db.get());
+  Rng rng(GetParam() * 31 + 7);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto [q, perm] = PathQueryAndPermutation(&rng);
+    (void)perm;
+    auto rs = executor.Execute(q);
+    auto exists = executor.IsNonEmpty(q);
+    ASSERT_TRUE(rs.ok() && exists.ok());
+    EXPECT_EQ(*exists, !rs->rows.empty());
+  }
+}
+
+TEST_P(ExecutorPropertyTest, LimitIsPrefixSized) {
+  const DblifeDataset& ds = Dataset();
+  Executor executor(ds.db.get());
+  Rng rng(GetParam() * 97 + 3);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto [q, perm] = PathQueryAndPermutation(&rng);
+    (void)perm;
+    auto full = executor.Execute(q);
+    ASSERT_TRUE(full.ok());
+    const size_t limit = 1 + rng.Uniform(5);
+    auto limited = executor.Execute(q, limit);
+    ASSERT_TRUE(limited.ok());
+    EXPECT_EQ(limited->rows.size(), std::min(limit, full->rows.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         testing::Values(1, 17, 123, 999));
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,146 @@
+#include "sql/join_network.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/toy_product_db.h"
+#include "sql/parser.h"
+
+namespace kwsdbg {
+namespace {
+
+class JoinNetworkTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+JoinNetworkQuery CandleScentedQuery() {
+  JoinNetworkQuery q;
+  q.vertices = {{"ProductType", "P_1", "candle"},
+                {"Item", "I_1", "scented"}};
+  q.joins = {{1, "p_type", 0, "id"}};
+  return q;
+}
+
+TEST_F(JoinNetworkTest, ToSqlShape) {
+  auto sql = CandleScentedQuery().ToSql(*db_);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("SELECT * FROM ProductType AS P_1, Item AS I_1"),
+            std::string::npos);
+  EXPECT_NE(sql->find("I_1.p_type = P_1.id"), std::string::npos);
+  // Keyword OR over all text columns of each bound instance.
+  EXPECT_NE(sql->find("P_1.product_type LIKE '%candle%'"), std::string::npos);
+  EXPECT_NE(sql->find("I_1.name LIKE '%scented%'"), std::string::npos);
+  EXPECT_NE(sql->find("I_1.description LIKE '%scented%'"), std::string::npos);
+}
+
+TEST_F(JoinNetworkTest, ValidateRejectsUnknownTable) {
+  JoinNetworkQuery q;
+  q.vertices = {{"NoSuch", "x", ""}};
+  EXPECT_EQ(q.Validate(*db_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(JoinNetworkTest, ValidateRejectsDuplicateAlias) {
+  JoinNetworkQuery q;
+  q.vertices = {{"Item", "a", ""}, {"Color", "a", ""}};
+  EXPECT_EQ(q.Validate(*db_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinNetworkTest, ValidateRejectsBadJoinColumn) {
+  JoinNetworkQuery q;
+  q.vertices = {{"Item", "i", ""}, {"Color", "c", ""}};
+  q.joins = {{0, "nope", 1, "id"}};
+  EXPECT_FALSE(q.Validate(*db_).ok());
+}
+
+TEST_F(JoinNetworkTest, ValidateRejectsEmptyQuery) {
+  JoinNetworkQuery q;
+  EXPECT_EQ(q.Validate(*db_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinNetworkTest, FromSelectStatementRoundTrip) {
+  auto sql = CandleScentedQuery().ToSql(*db_);
+  ASSERT_TRUE(sql.ok());
+  auto stmt = ParseSql(*sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto q = FromSelectStatement(*stmt, *db_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->vertices.size(), 2u);
+  EXPECT_EQ(q->vertices[0].keyword, "candle");
+  EXPECT_EQ(q->vertices[1].keyword, "scented");
+  ASSERT_EQ(q->joins.size(), 1u);
+}
+
+TEST_F(JoinNetworkTest, FromSelectRejectsNonStarSelect) {
+  auto stmt = ParseSql("SELECT i.name FROM Item i");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(FromSelectStatement(*stmt, *db_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinNetworkTest, FromSelectRejectsMixedOrGroup) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Item i, Color c WHERE (i.name LIKE '%red%' OR "
+      "c.color LIKE '%red%')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(FromSelectStatement(*stmt, *db_).ok());
+}
+
+TEST_F(JoinNetworkTest, BareLikesBecomeColumnSelections) {
+  // Bare LIKE conjuncts are column-specific selections, so two different
+  // patterns on one alias are fine — unlike OR-group keywords.
+  auto stmt = ParseSql(
+      "SELECT * FROM Item i WHERE i.name LIKE '%red%' AND "
+      "i.description LIKE '%oils%'");
+  ASSERT_TRUE(stmt.ok());
+  auto q = FromSelectStatement(*stmt, *db_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->vertices[0].keyword.empty());
+  EXPECT_EQ(q->like_selections.size(), 2u);
+}
+
+TEST_F(JoinNetworkTest, BareLikeKeepsFullPatternSyntax) {
+  auto stmt = ParseSql("SELECT * FROM Item i WHERE i.name LIKE 'red%'");
+  ASSERT_TRUE(stmt.ok());
+  auto q = FromSelectStatement(*stmt, *db_);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->like_selections.size(), 1u);
+  EXPECT_EQ(q->like_selections[0].pattern, "red%");
+}
+
+TEST_F(JoinNetworkTest, LikeOnNonTextColumnRejected) {
+  auto stmt = ParseSql("SELECT * FROM Item i WHERE i.p_type LIKE '%2%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(FromSelectStatement(*stmt, *db_).ok());
+}
+
+TEST_F(JoinNetworkTest, FromSelectResolvesUnqualifiedColumns) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Item, Color WHERE color = id AND "
+      "synonyms LIKE '%red%'");
+  ASSERT_TRUE(stmt.ok());
+  // "color" is ambiguous (Item.color and Color.color) -> error.
+  EXPECT_FALSE(FromSelectStatement(*stmt, *db_).ok());
+}
+
+TEST_F(JoinNetworkTest, FromSelectUnknownAlias) {
+  auto stmt = ParseSql("SELECT * FROM Item i WHERE z.name LIKE '%x%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(FromSelectStatement(*stmt, *db_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(JoinNetworkTest, KeywordOnTextFreeTableRejectedAtToSql) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("rel", Schema({{"id", DataType::kInt64}})).ok());
+  JoinNetworkQuery q;
+  q.vertices = {{"rel", "r", "kw"}};
+  EXPECT_EQ(q.ToSql(db).status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kwsdbg

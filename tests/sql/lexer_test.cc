@@ -1,0 +1,76 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(LexerTest, BasicStatement) {
+  auto toks = LexSql("SELECT * FROM t WHERE a = b");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 9u);  // incl. kEnd
+  EXPECT_EQ((*toks)[0].type, SqlTokenType::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].type, SqlTokenType::kStar);
+  EXPECT_EQ((*toks)[3].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ((*toks)[6].type, SqlTokenType::kEquals);
+  EXPECT_EQ(toks->back().type, SqlTokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = LexSql("select From wHeRe and or like as");
+  ASSERT_TRUE(toks.ok());
+  for (size_t i = 0; i + 1 < toks->size(); ++i) {
+    EXPECT_EQ((*toks)[i].type, SqlTokenType::kKeyword) << i;
+  }
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[2].text, "WHERE");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto toks = LexSql("'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, SqlTokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_EQ(LexSql("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, NumbersIntegerAndDecimal) {
+  auto toks = LexSql("42 3.14");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, SqlTokenType::kNumber);
+  EXPECT_EQ((*toks)[0].text, "42");
+  EXPECT_EQ((*toks)[1].text, "3.14");
+}
+
+TEST(LexerTest, DotAndQualifiedNames) {
+  auto toks = LexSql("t1.col");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ((*toks)[1].type, SqlTokenType::kDot);
+  EXPECT_EQ((*toks)[2].type, SqlTokenType::kIdentifier);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  EXPECT_EQ(LexSql("SELECT #").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto toks = LexSql("SELECT x");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].offset, 0u);
+  EXPECT_EQ((*toks)[1].offset, 7u);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  auto toks = LexSql("person_id");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "person_id");
+}
+
+}  // namespace
+}  // namespace kwsdbg

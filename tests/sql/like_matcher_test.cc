@@ -1,0 +1,64 @@
+#include "sql/like_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("candle", "candle"));
+  EXPECT_FALSE(LikeMatch("candle", "candles"));
+  EXPECT_FALSE(LikeMatch("candles", "candle"));
+}
+
+TEST(LikeMatchTest, CaseInsensitiveByDefault) {
+  EXPECT_TRUE(LikeMatch("CANDLE", "candle"));
+  EXPECT_TRUE(LikeMatch("%Scented%", "Saffron SCENTED Oil"));
+  EXPECT_FALSE(LikeMatch("CANDLE", "candle", /*case_insensitive=*/false));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("%scented%", "saffron scented oil"));
+  EXPECT_TRUE(LikeMatch("saffron%", "saffron scented oil"));
+  EXPECT_TRUE(LikeMatch("%oil", "saffron scented oil"));
+  EXPECT_TRUE(LikeMatch("%", ""));
+  EXPECT_TRUE(LikeMatch("%%", "anything"));
+  EXPECT_FALSE(LikeMatch("%candle%", "saffron scented oil"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("c_ndle", "candle"));
+  EXPECT_FALSE(LikeMatch("c_ndle", "cndle"));
+  EXPECT_TRUE(LikeMatch("___", "abc"));
+  EXPECT_FALSE(LikeMatch("___", "ab"));
+}
+
+TEST(LikeMatchTest, MixedWildcards) {
+  EXPECT_TRUE(LikeMatch("%sc_nted%", "vanilla scented candle"));
+  EXPECT_TRUE(LikeMatch("s%n", "saffron"));
+  EXPECT_FALSE(LikeMatch("s%z", "saffron"));
+}
+
+TEST(LikeMatchTest, BacktrackingAcrossStars) {
+  // Requires re-trying the '%' expansion: "ab" then "ab" again.
+  EXPECT_TRUE(LikeMatch("%ab%ab%", "xxabyyabzz"));
+  EXPECT_FALSE(LikeMatch("%ab%ab%", "xxabyy"));
+}
+
+TEST(LikeMatchTest, EmptyPatternMatchesOnlyEmpty) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_FALSE(LikeMatch("", "x"));
+}
+
+TEST(ContainsPatternTest, BuildsAndExtracts) {
+  EXPECT_EQ(ContainsPattern("saffron"), "%saffron%");
+  EXPECT_EQ(ExtractContainedKeyword("%saffron%"), "saffron");
+  EXPECT_EQ(ExtractContainedKeyword("saffron%"), "");
+  EXPECT_EQ(ExtractContainedKeyword("%saf%fron%"), "");
+  EXPECT_EQ(ExtractContainedKeyword("%sa_f%"), "");
+  EXPECT_EQ(ExtractContainedKeyword("%%"), "");
+  EXPECT_EQ(ExtractContainedKeyword("%"), "");
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,113 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(ParserTest, SelectStarSingleTable) {
+  auto stmt = ParseSql("SELECT * FROM Item");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->select_all);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "Item");
+  EXPECT_TRUE(stmt->where.empty());
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = ParseSql("SELECT * FROM Item AS i, Color c");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from[0].alias, "i");
+  EXPECT_EQ(stmt->from[1].alias, "c");
+  EXPECT_EQ(stmt->from[1].EffectiveAlias(), "c");
+}
+
+TEST(ParserTest, JoinPredicates) {
+  auto stmt =
+      ParseSql("SELECT * FROM Item i, Color c WHERE i.color = c.id");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 1u);
+  const auto* jp = std::get_if<JoinPredicate>(&stmt->where[0]);
+  ASSERT_NE(jp, nullptr);
+  EXPECT_EQ(jp->left.alias, "i");
+  EXPECT_EQ(jp->left.column, "color");
+  EXPECT_EQ(jp->right.ToString(), "c.id");
+}
+
+TEST(ParserTest, LikePredicate) {
+  auto stmt = ParseSql("SELECT * FROM Item WHERE name LIKE '%candle%'");
+  ASSERT_TRUE(stmt.ok());
+  const auto* lp = std::get_if<LikePredicate>(&stmt->where[0]);
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->pattern, "%candle%");
+  EXPECT_EQ(lp->column.column, "name");
+}
+
+TEST(ParserTest, OrLikesGroup) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Color c WHERE (c.color LIKE '%saffron%' OR "
+      "c.synonyms LIKE '%saffron%')");
+  ASSERT_TRUE(stmt.ok());
+  const auto* ors = std::get_if<OrLikes>(&stmt->where[0]);
+  ASSERT_NE(ors, nullptr);
+  EXPECT_EQ(ors->likes.size(), 2u);
+}
+
+TEST(ParserTest, ConjunctionOfMixedPredicates) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Item i, ProductType p WHERE i.p_type = p.id AND "
+      "(p.product_type LIKE '%candle%') AND i.name LIKE '%scented%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where.size(), 3u);
+}
+
+TEST(ParserTest, ExplicitSelectList) {
+  auto stmt = ParseSql("SELECT i.name, c.color FROM Item i, Color c");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(stmt->select_all);
+  ASSERT_EQ(stmt->select_list.size(), 2u);
+  EXPECT_EQ(stmt->select_list[0].ToString(), "i.name");
+}
+
+TEST(ParserTest, OptionalSemicolon) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM t;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_EQ(ParseSql("SELECT * FROM t garbage extra").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_EQ(ParseSql("SELECT *").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, BadLikeRhsRejected) {
+  EXPECT_EQ(ParseSql("SELECT * FROM t WHERE a LIKE b").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, UnclosedParenRejected) {
+  EXPECT_EQ(
+      ParseSql("SELECT * FROM t WHERE (a LIKE '%x%'").status().code(),
+      StatusCode::kParseError);
+}
+
+TEST(ParserTest, ErrorsCarryOffset) {
+  Status s = ParseSql("SELECT * FROM t WHERE a LIKE 42").status();
+  EXPECT_NE(s.message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, ToSqlRoundTripsThroughParser) {
+  const std::string sql =
+      "SELECT * FROM Item AS i, Color AS c WHERE i.color = c.id AND "
+      "(c.color LIKE '%red%' OR c.synonyms LIKE '%red%')";
+  auto stmt = ParseSql(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = ParseSql(stmt->ToSql());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(stmt->ToSql(), reparsed->ToSql());
+}
+
+}  // namespace
+}  // namespace kwsdbg

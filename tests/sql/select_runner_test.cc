@@ -1,0 +1,149 @@
+#include "sql/select_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/toy_product_db.h"
+#include "sql/parser.h"
+
+namespace kwsdbg {
+namespace {
+
+class SelectRunnerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok());
+    db_ = std::move(ds->db);
+    executor_ = std::make_unique<Executor>(db_.get());
+  }
+
+  StatusOr<ResultSet> Run(const std::string& sql) {
+    return RunSelect(executor_.get(), sql, *db_);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(SelectRunnerTest, CountStar) {
+  auto rs = Run("SELECT COUNT(*) FROM Item");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->columns, (std::vector<std::string>{"count"}));
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SelectRunnerTest, CountStarWithPredicates) {
+  auto rs = Run(
+      "SELECT COUNT(*) FROM Item i, ProductType p WHERE i.p_type = p.id "
+      "AND p.product_type = 'candle'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SelectRunnerTest, OrderByAscending) {
+  auto rs = Run("SELECT * FROM Item i ORDER BY i.cost");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 4u);
+  for (size_t i = 1; i < rs->rows.size(); ++i) {
+    EXPECT_LE(rs->rows[i - 1][5].Compare(rs->rows[i][5]), 0);
+  }
+}
+
+TEST_F(SelectRunnerTest, OrderByDescending) {
+  auto rs = Run("SELECT * FROM Item i ORDER BY i.cost DESC");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0][5].AsDouble(), 5.99);
+}
+
+TEST_F(SelectRunnerTest, OrderByStringSecondaryKey) {
+  auto rs = Run("SELECT * FROM Item i ORDER BY i.cost, i.name DESC");
+  ASSERT_TRUE(rs.ok());
+  // Items 3 and 4 share cost 3.99; descending name puts "red checkered
+  // candle" before "crimson scented candle".
+  EXPECT_EQ(rs->rows[0][1].AsString(), "red checkered candle");
+  EXPECT_EQ(rs->rows[1][1].AsString(), "crimson scented candle");
+}
+
+TEST_F(SelectRunnerTest, OrderByUnqualifiedColumn) {
+  auto rs = Run("SELECT * FROM Color ORDER BY color");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][1].AsString(), "pink");
+}
+
+TEST_F(SelectRunnerTest, OrderByNullsFirst) {
+  auto rs = Run("SELECT * FROM Item i ORDER BY i.color");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows[0][3].is_null());  // item 1's NULL color first
+}
+
+TEST_F(SelectRunnerTest, LimitAfterOrder) {
+  auto rs = Run("SELECT * FROM Item i ORDER BY i.cost DESC LIMIT 2");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][5].AsDouble(), 5.99);
+  EXPECT_DOUBLE_EQ(rs->rows[1][5].AsDouble(), 4.99);
+}
+
+TEST_F(SelectRunnerTest, LimitWithoutOrderStopsEarly) {
+  auto rs = Run("SELECT * FROM Item LIMIT 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+TEST_F(SelectRunnerTest, AmbiguousOrderColumnRejected) {
+  auto rs = Run("SELECT * FROM Item i, Color c WHERE i.color = c.id "
+                "ORDER BY id");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(SelectRunnerTest, UnknownOrderColumnRejected) {
+  EXPECT_FALSE(Run("SELECT * FROM Item i ORDER BY i.nope").ok());
+}
+
+TEST_F(SelectRunnerTest, ParserRoundTripsNewClauses) {
+  auto stmt = ParseSql(
+      "SELECT COUNT(*) FROM Item i WHERE i.p_type = 2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->count_star);
+  auto stmt2 = ParseSql(
+      "SELECT * FROM Item i ORDER BY i.cost DESC, i.name LIMIT 7");
+  ASSERT_TRUE(stmt2.ok());
+  ASSERT_EQ(stmt2->order_by.size(), 2u);
+  EXPECT_TRUE(stmt2->order_by[0].descending);
+  EXPECT_FALSE(stmt2->order_by[1].descending);
+  EXPECT_EQ(stmt2->limit, 7u);
+  EXPECT_EQ(ParseSql(stmt2->ToSql())->ToSql(), stmt2->ToSql());
+}
+
+TEST_F(SelectRunnerTest, NegativeOrZeroLimitRejected) {
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT 0").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+}
+
+TEST_F(SelectRunnerTest, ExplainShowsPlan) {
+  auto stmt = ParseSql(
+      "SELECT * FROM Item i, ProductType p WHERE i.p_type = p.id AND "
+      "(p.product_type LIKE '%candle%')");
+  ASSERT_TRUE(stmt.ok());
+  auto query = FromSelectStatement(*stmt, *db_);
+  ASSERT_TRUE(query.ok());
+  auto plan = executor_->Explain(*query);
+  ASSERT_TRUE(plan.ok());
+  // The keyword-bound ProductType instance (1 candidate row) leads; Item is
+  // reached by index probe.
+  EXPECT_NE(plan->find("1. p"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("keyword scan 'candle'"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("index probe"), std::string::npos) << *plan;
+}
+
+TEST_F(SelectRunnerTest, ExplainMarksCrossProducts) {
+  JoinNetworkQuery q;
+  q.vertices = {{"Color", "c", ""}, {"Attribute", "a", ""}};
+  auto plan = executor_->Explain(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("cross product"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,95 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kwsdbg {
+namespace {
+
+Table MakeTable() {
+  Table t("t", Schema({{"id", DataType::kInt64},
+                       {"name", DataType::kString},
+                       {"cost", DataType::kDouble}}));
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{1}), Value("plain"), Value(1.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("has, comma"),
+                           Value::Null()})
+                  .ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value::Null(), Value("quote \"inside\""), Value(2.0)})
+          .ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value(""), Value(0.5)}).ok());
+  return t;
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  Table t = MakeTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableCsv(t, &out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTableCsv("t", &in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->schema(), t.schema());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      EXPECT_EQ(back->at(r, c), t.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, NullVersusEmptyString) {
+  Table t("t", Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableCsv(t, &out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTableCsv("t", &in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->at(0, 0).is_string());
+  EXPECT_EQ(back->at(0, 0).AsString(), "");
+  EXPECT_TRUE(back->at(1, 0).is_null());
+}
+
+TEST(CsvTest, HeaderCarriesTypes) {
+  Table t = MakeTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableCsv(t, &out).ok());
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')),
+            "id:INT,name:TEXT,cost:DOUBLE");
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  std::istringstream in("id,name\n1,a\n");
+  EXPECT_EQ(ReadTableCsv("t", &in).status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsBadInt) {
+  std::istringstream in("id:INT\nnot_a_number\n");
+  EXPECT_EQ(ReadTableCsv("t", &in).status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  std::istringstream in("a:INT,b:INT\n1\n");
+  EXPECT_EQ(ReadTableCsv("t", &in).status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_EQ(ReadTableCsv("t", &in).status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = MakeTable();
+  const std::string path = testing::TempDir() + "/kwsdbg_csv_test.csv";
+  ASSERT_TRUE(WriteTableCsvFile(t, path).ok());
+  auto back = ReadTableCsvFile("t", path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+  EXPECT_FALSE(ReadTableCsvFile("t", path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace kwsdbg

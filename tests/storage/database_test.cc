@@ -1,0 +1,58 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  auto t = db.CreateTable("users", Schema({{"id", DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(db.HasTable("users"));
+  EXPECT_EQ(db.FindTable("users"), *t);
+  ASSERT_TRUE(db.GetTable("users").ok());
+  EXPECT_FALSE(db.HasTable("nope"));
+  EXPECT_EQ(db.FindTable("nope"), nullptr);
+  EXPECT_EQ(db.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  EXPECT_EQ(db.CreateTable("t", Schema({{"a", DataType::kInt64}}))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, AddPrebuiltTable) {
+  Database db;
+  auto table =
+      std::make_unique<Table>("pre", Schema({{"x", DataType::kString}}));
+  ASSERT_TRUE(table->AppendRow({Value("v")}).ok());
+  ASSERT_TRUE(db.AddTable(std::move(table)).ok());
+  EXPECT_EQ(db.FindTable("pre")->num_rows(), 1u);
+}
+
+TEST(DatabaseTest, TableNamesPreserveCreationOrder) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("b", Schema({{"x", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.CreateTable("a", Schema({{"x", DataType::kInt64}})).ok());
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(db.num_tables(), 2u);
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  Database db;
+  auto t1 = db.CreateTable("t1", Schema({{"x", DataType::kInt64}}));
+  auto t2 = db.CreateTable("t2", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE((*t1)->AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE((*t1)->AppendRow({Value(int64_t{2})}).ok());
+  ASSERT_TRUE((*t2)->AppendRow({Value(int64_t{3})}).ok());
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+}  // namespace
+}  // namespace kwsdbg

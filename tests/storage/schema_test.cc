@@ -1,0 +1,61 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"cost", DataType::kDouble},
+                 {"note", DataType::kString}});
+}
+
+TEST(SchemaTest, ColumnAccess) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column(1).name, "name");
+  EXPECT_EQ(s.column(2).type, DataType::kDouble);
+}
+
+TEST(SchemaTest, ColumnIndexByName) {
+  Schema s = MakeSchema();
+  ASSERT_TRUE(s.ColumnIndex("cost").ok());
+  EXPECT_EQ(*s.ColumnIndex("cost"), 2u);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+  EXPECT_EQ(s.ColumnIndex("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, HasColumn) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.HasColumn("id"));
+  EXPECT_FALSE(s.HasColumn("Id"));  // case sensitive
+}
+
+TEST(SchemaTest, TextColumnIndices) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.TextColumnIndices(), (std::vector<size_t>{1, 3}));
+  Schema no_text({{"a", DataType::kInt64}});
+  EXPECT_TRUE(no_text.TextColumnIndices().empty());
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema s({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "id:INT, name:TEXT");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeSchema(), MakeSchema());
+  Schema other({{"id", DataType::kInt64}});
+  EXPECT_FALSE(MakeSchema() == other);
+}
+
+TEST(SchemaDeathTest, DuplicateColumnNameAborts) {
+  EXPECT_DEATH(
+      Schema({{"x", DataType::kInt64}, {"x", DataType::kString}}),
+      "duplicate column");
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,67 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+Table MakeTable() {
+  return Table("t", Schema({{"id", DataType::kInt64},
+                            {"name", DataType::kString},
+                            {"cost", DataType::kDouble}}));
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("a"), Value(1.5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value("b"), Value(2.5)}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 1).AsString(), "a");
+  EXPECT_EQ(t.at(1, 0).AsInt(), 2);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t = MakeTable();
+  Status s = t.AppendRow({Value(int64_t{1})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t = MakeTable();
+  Status s = t.AppendRow({Value("oops"), Value("a"), Value(1.0)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, NullAllowedAnywhere) {
+  Table t = MakeTable();
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.at(0, 0).is_null());
+}
+
+TEST(TableTest, IntAcceptedInDoubleColumn) {
+  Table t = MakeTable();
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{1}), Value("a"), Value(int64_t{3})}).ok());
+}
+
+TEST(TableTest, ValueByName) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("a"), Value(1.5)}).ok());
+  auto v = t.ValueByName(0, "name");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a");
+  EXPECT_FALSE(t.ValueByName(0, "nope").ok());
+  EXPECT_EQ(t.ValueByName(5, "name").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, EstimateBytesGrows) {
+  Table t = MakeTable();
+  size_t empty = t.EstimateBytes();
+  ASSERT_TRUE(
+      t.AppendRow({Value(int64_t{1}), Value("hello world"), Value(1.0)}).ok());
+  EXPECT_GT(t.EstimateBytes(), empty);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,67 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(std::string("hey")).AsString(), "hey");
+}
+
+TEST(ValueTest, SqlEqualsNullNeverMatches) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value(int64_t{1})));
+  EXPECT_FALSE(Value(int64_t{1}).SqlEquals(Value::Null()));
+}
+
+TEST(ValueTest, SqlEqualsSameType) {
+  EXPECT_TRUE(Value(int64_t{3}).SqlEquals(Value(int64_t{3})));
+  EXPECT_FALSE(Value(int64_t{3}).SqlEquals(Value(int64_t{4})));
+  EXPECT_TRUE(Value("a").SqlEquals(Value("a")));
+  EXPECT_FALSE(Value("a").SqlEquals(Value("b")));
+  EXPECT_TRUE(Value(1.5).SqlEquals(Value(1.5)));
+}
+
+TEST(ValueTest, SqlEqualsNumericCrossType) {
+  EXPECT_TRUE(Value(int64_t{2}).SqlEquals(Value(2.0)));
+  EXPECT_TRUE(Value(2.0).SqlEquals(Value(int64_t{2})));
+  EXPECT_FALSE(Value(int64_t{2}).SqlEquals(Value(2.5)));
+  EXPECT_FALSE(Value(int64_t{2}).SqlEquals(Value("2")));
+}
+
+TEST(ValueTest, StructuralEqualityIncludesNull) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // different alternatives
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
+}
+
+TEST(ValueTest, DoubleToStringTrimsZeros) {
+  EXPECT_EQ(Value(4.99).ToString().substr(0, 4), "4.99");
+  EXPECT_EQ(Value(3.0).ToString(), "3.0");
+}
+
+TEST(ValueTest, DataTypeToString) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "TEXT");
+}
+
+}  // namespace
+}  // namespace kwsdbg

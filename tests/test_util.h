@@ -1,0 +1,100 @@
+// Shared fixtures for traversal/debugger tests: the toy database of Fig. 2
+// with a generated lattice, inverted index, and helpers to run strategies.
+#ifndef KWSDBG_TESTS_TEST_UTIL_H_
+#define KWSDBG_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "datasets/toy_product_db.h"
+#include "kws/pruned_lattice.h"
+#include "lattice/lattice_generator.h"
+#include "sql/executor.h"
+#include "text/inverted_index.h"
+#include "traversal/evaluator.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+namespace testutil {
+
+/// Toy database + lattice + index, ready to run traversals.
+class ToyFixture {
+ public:
+  explicit ToyFixture(size_t max_joins = 2, size_t copies = 2) {
+    auto ds = BuildToyProductDatabase();
+    KWSDBG_CHECK(ds.ok()) << ds.status().ToString();
+    db = std::move(ds->db);
+    schema = std::move(ds->schema);
+    LatticeConfig config;
+    config.max_joins = max_joins;
+    config.num_keyword_copies = copies;
+    auto lat = LatticeGenerator::Generate(schema, config);
+    KWSDBG_CHECK(lat.ok()) << lat.status().ToString();
+    lattice = std::move(*lat);
+    index = std::make_unique<InvertedIndex>(InvertedIndex::Build(*db));
+    item = *schema.RelationIdByName("Item");
+    color = *schema.RelationIdByName("Color");
+    ptype = *schema.RelationIdByName("ProductType");
+    attr = *schema.RelationIdByName("Attribute");
+  }
+
+  /// Runs one strategy over one binding with a fresh executor; returns the
+  /// result (asserts success).
+  TraversalResult Run(TraversalStrategy* strategy,
+                      const KeywordBinding& binding) const {
+    PrunedLattice pl = PrunedLattice::Build(*lattice, binding);
+    Executor executor(db.get());
+    QueryEvaluator evaluator(db.get(), &executor, &pl, index.get());
+    auto result = strategy->Run(pl, &evaluator);
+    KWSDBG_CHECK(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+
+  /// Render a node's join network as a set-comparable string.
+  std::string NodeName(NodeId id) const {
+    return lattice->node(id).tree.ToString(schema);
+  }
+
+  std::set<std::string> MpanNames(const MtnOutcome& outcome) const {
+    std::set<std::string> out;
+    for (NodeId m : outcome.mpans) out.insert(NodeName(m));
+    return out;
+  }
+
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+  std::unique_ptr<Lattice> lattice;
+  std::unique_ptr<InvertedIndex> index;
+  RelationId item = 0, color = 0, ptype = 0, attr = 0;
+};
+
+/// Canonical comparable form of a TraversalResult (ignores stats; covers
+/// aliveness, MPANs, and culprits).
+struct OutcomeSummary {
+  NodeId mtn;
+  bool alive;
+  std::vector<NodeId> mpans;
+  std::vector<NodeId> culprits;
+
+  bool operator==(const OutcomeSummary&) const = default;
+  bool operator<(const OutcomeSummary& o) const { return mtn < o.mtn; }
+};
+
+inline std::vector<OutcomeSummary> Summarize(const TraversalResult& r) {
+  std::vector<OutcomeSummary> out;
+  for (const MtnOutcome& o : r.outcomes) {
+    out.push_back({o.mtn, o.alive, o.mpans, o.culprits});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TESTS_TEST_UTIL_H_

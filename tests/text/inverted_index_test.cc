@@ -1,0 +1,93 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/toy_product_db.h"
+
+namespace kwsdbg {
+namespace {
+
+class InvertedIndexTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BuildToyProductDatabase();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    db_ = std::move(ds->db);
+    index_ = InvertedIndex::Build(*db_);
+  }
+
+  std::unique_ptr<Database> db_;
+  InvertedIndex index_{InvertedIndex::Build(Database{})};
+};
+
+TEST_F(InvertedIndexTest, TablesContainingKeyword) {
+  // "saffron" occurs in Color (name), Attribute (value), and Item (name +
+  // description of item 3).
+  std::vector<std::string> tables = index_.TablesContaining("saffron");
+  std::sort(tables.begin(), tables.end());
+  EXPECT_EQ(tables,
+            (std::vector<std::string>{"Attribute", "Color", "Item"}));
+}
+
+TEST_F(InvertedIndexTest, CandleInProductTypeAndItem) {
+  std::vector<std::string> tables = index_.TablesContaining("candle");
+  std::sort(tables.begin(), tables.end());
+  EXPECT_EQ(tables, (std::vector<std::string>{"Item", "ProductType"}));
+}
+
+TEST_F(InvertedIndexTest, MissingTermEmpty) {
+  EXPECT_TRUE(index_.TablesContaining("zzzunknown").empty());
+  EXPECT_FALSE(index_.Contains("zzzunknown"));
+  EXPECT_TRUE(index_.PostingsFor("zzzunknown").empty());
+}
+
+TEST_F(InvertedIndexTest, TableContains) {
+  EXPECT_TRUE(index_.TableContains("scented", "Item"));
+  EXPECT_FALSE(index_.TableContains("scented", "Color"));
+  EXPECT_FALSE(index_.TableContains("scented", "NoSuchTable"));
+}
+
+TEST_F(InvertedIndexTest, RowFrequencyCountsRowsNotOccurrences) {
+  // "scented" appears in items 1, 2, 3 (names) and 3, 4 (descriptions):
+  // rows {1,2,3,4} minus dedup = 4 rows.
+  EXPECT_EQ(index_.RowFrequency("scented", "Item"), 4u);
+  EXPECT_EQ(index_.RowFrequency("candle", "ProductType"), 1u);
+  EXPECT_EQ(index_.RowFrequency("nope", "Item"), 0u);
+}
+
+TEST_F(InvertedIndexTest, TokenizationIsCaseInsensitive) {
+  EXPECT_TRUE(index_.Contains("vanilla"));
+  // Terms are stored lower-cased; queries must be lower-cased by callers
+  // (the binder tokenizes, which lower-cases).
+  EXPECT_FALSE(index_.Contains("Vanilla"));
+}
+
+TEST_F(InvertedIndexTest, PostingsPointAtRealOccurrences) {
+  const auto& postings = index_.PostingsFor("checkered");
+  ASSERT_FALSE(postings.empty());
+  for (const Posting& p : postings) {
+    const std::string& table = index_.table_names()[p.table_id];
+    const Table* t = db_->FindTable(table);
+    ASSERT_NE(t, nullptr);
+    const Value& v = t->at(p.row, p.column);
+    ASSERT_TRUE(v.is_string());
+    EXPECT_NE(v.AsString().find("checkered"), std::string::npos);
+  }
+}
+
+TEST_F(InvertedIndexTest, NumPostingsPositive) {
+  EXPECT_GT(index_.num_postings(), 0u);
+  EXPECT_GT(index_.num_terms(), 10u);
+}
+
+TEST(InvertedIndexEmptyTest, EmptyDatabase) {
+  Database db;
+  InvertedIndex index = InvertedIndex::Build(db);
+  EXPECT_EQ(index.num_terms(), 0u);
+  EXPECT_TRUE(index.TablesContaining("x").empty());
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,40 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace kwsdbg {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  EXPECT_EQ(Tokenize("Keyword Search, 2015!"),
+            (std::vector<std::string>{"keyword", "search", "2015"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize(" .,;-!").empty());
+}
+
+TEST(TokenizerTest, HyphenatedAndApostrophes) {
+  EXPECT_EQ(Tokenize("hand-made O'Neil"),
+            (std::vector<std::string>{"hand", "made", "o", "neil"}));
+}
+
+TEST(TokenizerTest, NumbersKept) {
+  EXPECT_EQ(Tokenize("burn time 50 hrs 6.4 oz"),
+            (std::vector<std::string>{"burn", "time", "50", "hrs", "6", "4",
+                                      "oz"}));
+}
+
+TEST(TokenizerTest, UniquePreservesFirstOccurrenceOrder) {
+  EXPECT_EQ(TokenizeUnique("data Data stream data"),
+            (std::vector<std::string>{"data", "stream"}));
+}
+
+TEST(TokenizerTest, UniqueNoDuplicatesIsIdentity) {
+  EXPECT_EQ(TokenizeUnique("saffron scented candle"),
+            (std::vector<std::string>{"saffron", "scented", "candle"}));
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,81 @@
+// Failure injection: when the serving database disagrees with the offline
+// artifacts (a table dropped between reindex and query time), every strategy
+// must surface the error as a Status rather than mis-classifying nodes.
+#include <gtest/gtest.h>
+
+#include "baselines/return_everything.h"
+#include "test_util.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+class FailureInjectionTest : public testing::Test {
+ protected:
+  FailureInjectionTest()
+      : pl_(PrunedLattice::Build(
+            *fx_.lattice,
+            KeywordBinding({{"saffron", {fx_.color, 1}},
+                            {"scented", {fx_.item, 1}},
+                            {"candle", {fx_.ptype, 1}}}))) {
+    // A "serving" database missing the Item table entirely.
+    auto c = broken_db_.CreateTable(
+        "Color", Schema({{"id", DataType::kInt64},
+                         {"color", DataType::kString},
+                         {"synonyms", DataType::kString}}));
+    auto p = broken_db_.CreateTable(
+        "ProductType", Schema({{"id", DataType::kInt64},
+                               {"product_type", DataType::kString}}));
+    auto a = broken_db_.CreateTable(
+        "Attribute", Schema({{"id", DataType::kInt64},
+                             {"property", DataType::kString},
+                             {"value", DataType::kString}}));
+    KWSDBG_CHECK(c.ok() && p.ok() && a.ok());
+  }
+
+  ToyFixture fx_;
+  PrunedLattice pl_;
+  Database broken_db_;
+};
+
+TEST_F(FailureInjectionTest, EveryStrategyPropagatesExecutorErrors) {
+  for (TraversalKind kind : AllTraversalKinds()) {
+    auto strategy = MakeStrategy(kind);
+    Executor executor(&broken_db_);
+    QueryEvaluator evaluator(&broken_db_, &executor, &pl_, fx_.index.get());
+    auto result = strategy->Run(pl_, &evaluator);
+    ASSERT_FALSE(result.ok()) << strategy->name();
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound)
+        << strategy->name();
+  }
+}
+
+TEST_F(FailureInjectionTest, ReturnEverythingPropagatesToo) {
+  auto re = MakeReturnEverything();
+  Executor executor(&broken_db_);
+  QueryEvaluator evaluator(&broken_db_, &executor, &pl_, fx_.index.get());
+  EXPECT_FALSE(re->Run(pl_, &evaluator).ok());
+}
+
+TEST_F(FailureInjectionTest, HealthyRunAfterFailedRunIsClean) {
+  // A failed run against the broken database must not poison a subsequent
+  // run against the healthy one (fresh executor/evaluator per run).
+  {
+    auto strategy = MakeStrategy(TraversalKind::kScoreBased);
+    Executor executor(&broken_db_);
+    QueryEvaluator evaluator(&broken_db_, &executor, &pl_, fx_.index.get());
+    ASSERT_FALSE(strategy->Run(pl_, &evaluator).ok());
+  }
+  auto strategy = MakeStrategy(TraversalKind::kScoreBased);
+  Executor executor(fx_.db.get());
+  QueryEvaluator evaluator(fx_.db.get(), &executor, &pl_, fx_.index.get());
+  auto result = strategy->Run(pl_, &evaluator);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->outcomes[0].alive);
+  EXPECT_EQ(result->outcomes[0].mpans.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,76 @@
+#include "traversal/node_status.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+class NodeStatusTest : public testing::Test {
+ protected:
+  NodeStatusTest()
+      : pl_(PrunedLattice::Build(
+            *fx_.lattice,
+            KeywordBinding({{"red", {fx_.color, 1}},
+                            {"candle", {fx_.ptype, 1}}}))) {}
+
+  ToyFixture fx_;
+  PrunedLattice pl_;  // retained: P1-I0-C1 with 5 descendants
+};
+
+TEST_F(NodeStatusTest, InitiallyPossiblyAlive) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  for (NodeId n : pl_.retained()) {
+    EXPECT_EQ(status.Get(n), NodeStatus::kPossiblyAlive);
+    EXPECT_FALSE(status.IsKnown(n));
+    EXPECT_FALSE(status.IsAlive(n));
+    EXPECT_FALSE(status.IsDead(n));
+  }
+  EXPECT_EQ(status.num_unknown(), fx_.lattice->num_nodes());
+}
+
+TEST_F(NodeStatusTest, Rule1MarksAllDescendantsAlive) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  NodeId mtn = pl_.mtns()[0];
+  size_t newly = status.MarkAliveWithDescendants(mtn, pl_);
+  EXPECT_EQ(newly, 5u);
+  EXPECT_TRUE(status.IsAlive(mtn));
+  for (NodeId d : pl_.RetainedDescendants(mtn)) {
+    EXPECT_TRUE(status.IsAlive(d));
+  }
+}
+
+TEST_F(NodeStatusTest, Rule2MarksAllAncestorsDead) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  // Kill a base node: both level-2 parents and the MTN die.
+  NodeId i0 = fx_.lattice->FindTree(JoinTree::Single({fx_.item, 0}));
+  ASSERT_NE(i0, kInvalidNode);
+  size_t newly = status.MarkDeadWithAncestors(i0, pl_);
+  EXPECT_EQ(newly, 3u);
+  EXPECT_TRUE(status.IsDead(i0));
+  EXPECT_TRUE(status.IsDead(pl_.mtns()[0]));
+}
+
+TEST_F(NodeStatusTest, PropagationDoesNotOverwriteKnown) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  NodeId mtn = pl_.mtns()[0];
+  NodeId i0 = fx_.lattice->FindTree(JoinTree::Single({fx_.item, 0}));
+  status.Set(i0, NodeStatus::kAlive);
+  // R1 from the MTN: i0 already known, so not counted as newly classified.
+  size_t newly = status.MarkAliveWithDescendants(mtn, pl_);
+  EXPECT_EQ(newly, 4u);
+  EXPECT_TRUE(status.IsAlive(i0));
+}
+
+TEST_F(NodeStatusTest, NumUnknownTracksClassification) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  const size_t total = status.num_unknown();
+  status.Set(pl_.mtns()[0], NodeStatus::kDead);
+  EXPECT_EQ(status.num_unknown(), total - 1);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,117 @@
+#include "traversal/pa_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/return_everything.h"
+#include "test_util.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+class PaEstimatorTest : public testing::Test {
+ protected:
+  PaEstimatorTest()
+      : pl_(PrunedLattice::Build(
+            *fx_.lattice,
+            KeywordBinding({{"saffron", {fx_.color, 1}},
+                            {"scented", {fx_.item, 1}},
+                            {"candle", {fx_.ptype, 1}}}))),
+        executor_(fx_.db.get()),
+        evaluator_(fx_.db.get(), &executor_, &pl_, fx_.index.get()) {}
+
+  ToyFixture fx_;
+  PrunedLattice pl_;
+  Executor executor_;
+  QueryEvaluator evaluator_;
+};
+
+TEST_F(PaEstimatorTest, EstimateReflectsSampledAliveness) {
+  // q1 sub-lattice: {MTN dead, I1C1 dead, P1I1 alive, 3 alive bases} —
+  // sampling everything must yield 4/6 clamped into [0.1, 0.9].
+  PaEstimatorOptions options;
+  options.sample_size = 100;  // capped at |retained| = 6
+  auto estimate = EstimateAliveProbability(pl_, &evaluator_, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->sampled, 6u);
+  EXPECT_EQ(estimate->alive, 4u);
+  EXPECT_NEAR(estimate->alive_probability, 4.0 / 6.0, 1e-9);
+}
+
+TEST_F(PaEstimatorTest, ClampingAppliesAtTheExtremes) {
+  // "red candle": the MTN P1-I0-C1 is alive; everything sampled is alive.
+  PrunedLattice alive_pl = PrunedLattice::Build(
+      *fx_.lattice,
+      KeywordBinding({{"red", {fx_.color, 1}}, {"candle", {fx_.ptype, 1}}}));
+  QueryEvaluator evaluator(fx_.db.get(), &executor_, &alive_pl,
+                           fx_.index.get());
+  PaEstimatorOptions options;
+  options.sample_size = 100;
+  auto estimate = EstimateAliveProbability(alive_pl, &evaluator, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->alive, estimate->sampled);
+  EXPECT_DOUBLE_EQ(estimate->alive_probability, 0.9);  // clamped from 1.0
+}
+
+TEST_F(PaEstimatorTest, DeterministicForSeed) {
+  PaEstimatorOptions options;
+  options.sample_size = 3;
+  auto a = EstimateAliveProbability(pl_, &evaluator_, options);
+  auto b = EstimateAliveProbability(pl_, &evaluator_, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->alive, b->alive);
+  EXPECT_EQ(a->alive_probability, b->alive_probability);
+}
+
+TEST_F(PaEstimatorTest, StatusMapAbsorbsSamples) {
+  NodeStatusMap status(fx_.lattice->num_nodes());
+  PaEstimatorOptions options;
+  options.sample_size = 100;
+  auto estimate =
+      EstimateAliveProbability(pl_, &evaluator_, options, &status);
+  ASSERT_TRUE(estimate.ok());
+  // Everything retained is now classified (the sample covered it all, plus
+  // R1/R2 propagation), and inference made some evaluations free.
+  for (NodeId n : pl_.retained()) {
+    EXPECT_TRUE(status.IsKnown(n));
+  }
+  EXPECT_LE(estimate->sql_executed, estimate->sampled);
+}
+
+TEST_F(PaEstimatorTest, EmptySearchSpaceReturnsPrior) {
+  // Copy 3 does not exist in a 2-copy lattice, so nothing survives Phase 1
+  // and the search space is empty.
+  PrunedLattice no_mtn = PrunedLattice::Build(
+      *fx_.lattice, KeywordBinding({{"red", {fx_.color, 3}}}));
+  ASSERT_TRUE(no_mtn.retained().empty());
+  QueryEvaluator evaluator(fx_.db.get(), &executor_, &no_mtn,
+                           fx_.index.get());
+  auto estimate = EstimateAliveProbability(no_mtn, &evaluator);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->sampled, 0u);
+  EXPECT_DOUBLE_EQ(estimate->alive_probability, 0.5);
+}
+
+TEST_F(PaEstimatorTest, SbhWithEstimationStillCorrect) {
+  auto oracle = MakeReturnEverything();
+  Executor oracle_exec(fx_.db.get());
+  QueryEvaluator oracle_eval(fx_.db.get(), &oracle_exec, &pl_,
+                             fx_.index.get());
+  auto expected = oracle->Run(pl_, &oracle_eval);
+  ASSERT_TRUE(expected.ok());
+
+  SbhOptions options;
+  options.estimate_pa = true;
+  options.estimator_sample_size = 3;
+  auto sbh = MakeScoreBased(options);
+  Executor executor(fx_.db.get());
+  QueryEvaluator evaluator(fx_.db.get(), &executor, &pl_, fx_.index.get());
+  auto got = sbh->Run(pl_, &evaluator);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(testutil::Summarize(*got), testutil::Summarize(*expected));
+}
+
+}  // namespace
+}  // namespace kwsdbg
