@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eval_shortcuts.dir/ablation_eval_shortcuts.cc.o"
+  "CMakeFiles/ablation_eval_shortcuts.dir/ablation_eval_shortcuts.cc.o.d"
+  "ablation_eval_shortcuts"
+  "ablation_eval_shortcuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eval_shortcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

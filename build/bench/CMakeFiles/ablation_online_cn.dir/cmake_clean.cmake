@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online_cn.dir/ablation_online_cn.cc.o"
+  "CMakeFiles/ablation_online_cn.dir/ablation_online_cn.cc.o.d"
+  "ablation_online_cn"
+  "ablation_online_cn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_cn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pa_sensitivity.dir/ablation_pa_sensitivity.cc.o"
+  "CMakeFiles/ablation_pa_sensitivity.dir/ablation_pa_sensitivity.cc.o.d"
+  "ablation_pa_sensitivity"
+  "ablation_pa_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pa_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_lattice_generation.dir/fig09_lattice_generation.cc.o"
+  "CMakeFiles/fig09_lattice_generation.dir/fig09_lattice_generation.cc.o.d"
+  "fig09_lattice_generation"
+  "fig09_lattice_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lattice_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pruning_mtns.dir/fig10_pruning_mtns.cc.o"
+  "CMakeFiles/fig10_pruning_mtns.dir/fig10_pruning_mtns.cc.o.d"
+  "fig10_pruning_mtns"
+  "fig10_pruning_mtns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pruning_mtns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

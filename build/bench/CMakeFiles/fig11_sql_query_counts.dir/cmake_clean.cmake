@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sql_query_counts.dir/fig11_sql_query_counts.cc.o"
+  "CMakeFiles/fig11_sql_query_counts.dir/fig11_sql_query_counts.cc.o.d"
+  "fig11_sql_query_counts"
+  "fig11_sql_query_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sql_query_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

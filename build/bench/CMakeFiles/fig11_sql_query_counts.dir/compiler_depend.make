@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_sql_query_counts.
+# This may be replaced when dependencies are built.

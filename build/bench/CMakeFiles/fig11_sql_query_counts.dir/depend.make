@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_sql_query_counts.
+# This may be replaced when dependencies are built.

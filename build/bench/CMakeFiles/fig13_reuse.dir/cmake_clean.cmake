@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reuse.dir/fig13_reuse.cc.o"
+  "CMakeFiles/fig13_reuse.dir/fig13_reuse.cc.o.d"
+  "fig13_reuse"
+  "fig13_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_alternatives.dir/fig14_15_alternatives.cc.o"
+  "CMakeFiles/fig14_15_alternatives.dir/fig14_15_alternatives.cc.o.d"
+  "fig14_15_alternatives"
+  "fig14_15_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/kwsdbg_bench_util.dir/bench_util.cc.o.d"
+  "libkwsdbg_bench_util.a"
+  "libkwsdbg_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

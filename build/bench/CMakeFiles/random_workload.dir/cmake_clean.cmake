@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_workload.dir/random_workload.cc.o"
+  "CMakeFiles/random_workload.dir/random_workload.cc.o.d"
+  "random_workload"
+  "random_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

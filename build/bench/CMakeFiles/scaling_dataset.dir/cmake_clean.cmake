@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_dataset.dir/scaling_dataset.cc.o"
+  "CMakeFiles/scaling_dataset.dir/scaling_dataset.cc.o.d"
+  "scaling_dataset"
+  "scaling_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

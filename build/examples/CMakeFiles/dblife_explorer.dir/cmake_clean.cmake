@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblife_explorer.dir/dblife_explorer.cpp.o"
+  "CMakeFiles/dblife_explorer.dir/dblife_explorer.cpp.o.d"
+  "dblife_explorer"
+  "dblife_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblife_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

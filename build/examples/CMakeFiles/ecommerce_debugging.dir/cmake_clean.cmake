@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_debugging.dir/ecommerce_debugging.cpp.o"
+  "CMakeFiles/ecommerce_debugging.dir/ecommerce_debugging.cpp.o.d"
+  "ecommerce_debugging"
+  "ecommerce_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

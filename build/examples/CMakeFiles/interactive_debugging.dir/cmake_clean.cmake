@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_debugging.dir/interactive_debugging.cpp.o"
+  "CMakeFiles/interactive_debugging.dir/interactive_debugging.cpp.o.d"
+  "interactive_debugging"
+  "interactive_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

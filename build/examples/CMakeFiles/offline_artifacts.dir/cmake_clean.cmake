@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_artifacts.dir/offline_artifacts.cpp.o"
+  "CMakeFiles/offline_artifacts.dir/offline_artifacts.cpp.o.d"
+  "offline_artifacts"
+  "offline_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

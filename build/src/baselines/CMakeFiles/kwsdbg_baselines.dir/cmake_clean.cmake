@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_baselines.dir/parallel_oracle.cc.o"
+  "CMakeFiles/kwsdbg_baselines.dir/parallel_oracle.cc.o.d"
+  "CMakeFiles/kwsdbg_baselines.dir/return_everything.cc.o"
+  "CMakeFiles/kwsdbg_baselines.dir/return_everything.cc.o.d"
+  "CMakeFiles/kwsdbg_baselines.dir/return_nothing.cc.o"
+  "CMakeFiles/kwsdbg_baselines.dir/return_nothing.cc.o.d"
+  "libkwsdbg_baselines.a"
+  "libkwsdbg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

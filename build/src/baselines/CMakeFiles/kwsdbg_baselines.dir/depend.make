@@ -1,0 +1,2 @@
+# Empty dependencies file for kwsdbg_baselines.
+# This may be replaced when dependencies are built.

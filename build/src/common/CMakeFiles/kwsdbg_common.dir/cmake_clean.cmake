@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_common.dir/logging.cc.o"
+  "CMakeFiles/kwsdbg_common.dir/logging.cc.o.d"
+  "CMakeFiles/kwsdbg_common.dir/rng.cc.o"
+  "CMakeFiles/kwsdbg_common.dir/rng.cc.o.d"
+  "CMakeFiles/kwsdbg_common.dir/status.cc.o"
+  "CMakeFiles/kwsdbg_common.dir/status.cc.o.d"
+  "CMakeFiles/kwsdbg_common.dir/string_util.cc.o"
+  "CMakeFiles/kwsdbg_common.dir/string_util.cc.o.d"
+  "libkwsdbg_common.a"
+  "libkwsdbg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkwsdbg_common.a"
+)

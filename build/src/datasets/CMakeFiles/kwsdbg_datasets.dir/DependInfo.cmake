@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dblife.cc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/dblife.cc.o" "gcc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/dblife.cc.o.d"
+  "/root/repo/src/datasets/ecommerce.cc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/ecommerce.cc.o" "gcc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/ecommerce.cc.o.d"
+  "/root/repo/src/datasets/query_generator.cc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/query_generator.cc.o" "gcc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/query_generator.cc.o.d"
+  "/root/repo/src/datasets/toy_product_db.cc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/toy_product_db.cc.o" "gcc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/toy_product_db.cc.o.d"
+  "/root/repo/src/datasets/workload.cc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/workload.cc.o" "gcc" "src/datasets/CMakeFiles/kwsdbg_datasets.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kwsdbg_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_datasets.dir/dblife.cc.o"
+  "CMakeFiles/kwsdbg_datasets.dir/dblife.cc.o.d"
+  "CMakeFiles/kwsdbg_datasets.dir/ecommerce.cc.o"
+  "CMakeFiles/kwsdbg_datasets.dir/ecommerce.cc.o.d"
+  "CMakeFiles/kwsdbg_datasets.dir/query_generator.cc.o"
+  "CMakeFiles/kwsdbg_datasets.dir/query_generator.cc.o.d"
+  "CMakeFiles/kwsdbg_datasets.dir/toy_product_db.cc.o"
+  "CMakeFiles/kwsdbg_datasets.dir/toy_product_db.cc.o.d"
+  "CMakeFiles/kwsdbg_datasets.dir/workload.cc.o"
+  "CMakeFiles/kwsdbg_datasets.dir/workload.cc.o.d"
+  "libkwsdbg_datasets.a"
+  "libkwsdbg_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

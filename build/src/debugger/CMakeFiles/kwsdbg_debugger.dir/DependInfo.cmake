@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debugger/debug_report.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/debug_report.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/debug_report.cc.o.d"
+  "/root/repo/src/debugger/frontier.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/frontier.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/frontier.cc.o.d"
+  "/root/repo/src/debugger/interactive_session.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/interactive_session.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/interactive_session.cc.o.d"
+  "/root/repo/src/debugger/non_answer_debugger.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/non_answer_debugger.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/non_answer_debugger.cc.o.d"
+  "/root/repo/src/debugger/ranking.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/ranking.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/ranking.cc.o.d"
+  "/root/repo/src/debugger/report_json.cc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/report_json.cc.o" "gcc" "src/debugger/CMakeFiles/kwsdbg_debugger.dir/report_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kws/CMakeFiles/kwsdbg_kws.dir/DependInfo.cmake"
+  "/root/repo/build/src/traversal/CMakeFiles/kwsdbg_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/kwsdbg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kwsdbg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/kwsdbg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

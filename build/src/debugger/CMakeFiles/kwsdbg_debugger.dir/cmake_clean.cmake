@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_debugger.dir/debug_report.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/debug_report.cc.o.d"
+  "CMakeFiles/kwsdbg_debugger.dir/frontier.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/frontier.cc.o.d"
+  "CMakeFiles/kwsdbg_debugger.dir/interactive_session.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/interactive_session.cc.o.d"
+  "CMakeFiles/kwsdbg_debugger.dir/non_answer_debugger.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/non_answer_debugger.cc.o.d"
+  "CMakeFiles/kwsdbg_debugger.dir/ranking.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/ranking.cc.o.d"
+  "CMakeFiles/kwsdbg_debugger.dir/report_json.cc.o"
+  "CMakeFiles/kwsdbg_debugger.dir/report_json.cc.o.d"
+  "libkwsdbg_debugger.a"
+  "libkwsdbg_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

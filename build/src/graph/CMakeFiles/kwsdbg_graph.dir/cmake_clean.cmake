@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_graph.dir/schema_graph.cc.o"
+  "CMakeFiles/kwsdbg_graph.dir/schema_graph.cc.o.d"
+  "libkwsdbg_graph.a"
+  "libkwsdbg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

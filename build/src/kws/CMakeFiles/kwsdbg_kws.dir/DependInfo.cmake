@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kws/keyword_binding.cc" "src/kws/CMakeFiles/kwsdbg_kws.dir/keyword_binding.cc.o" "gcc" "src/kws/CMakeFiles/kwsdbg_kws.dir/keyword_binding.cc.o.d"
+  "/root/repo/src/kws/online_cn_generator.cc" "src/kws/CMakeFiles/kwsdbg_kws.dir/online_cn_generator.cc.o" "gcc" "src/kws/CMakeFiles/kwsdbg_kws.dir/online_cn_generator.cc.o.d"
+  "/root/repo/src/kws/pruned_lattice.cc" "src/kws/CMakeFiles/kwsdbg_kws.dir/pruned_lattice.cc.o" "gcc" "src/kws/CMakeFiles/kwsdbg_kws.dir/pruned_lattice.cc.o.d"
+  "/root/repo/src/kws/query_builder.cc" "src/kws/CMakeFiles/kwsdbg_kws.dir/query_builder.cc.o" "gcc" "src/kws/CMakeFiles/kwsdbg_kws.dir/query_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/kwsdbg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kwsdbg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/kwsdbg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

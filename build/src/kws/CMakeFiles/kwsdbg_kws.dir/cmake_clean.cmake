@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_kws.dir/keyword_binding.cc.o"
+  "CMakeFiles/kwsdbg_kws.dir/keyword_binding.cc.o.d"
+  "CMakeFiles/kwsdbg_kws.dir/online_cn_generator.cc.o"
+  "CMakeFiles/kwsdbg_kws.dir/online_cn_generator.cc.o.d"
+  "CMakeFiles/kwsdbg_kws.dir/pruned_lattice.cc.o"
+  "CMakeFiles/kwsdbg_kws.dir/pruned_lattice.cc.o.d"
+  "CMakeFiles/kwsdbg_kws.dir/query_builder.cc.o"
+  "CMakeFiles/kwsdbg_kws.dir/query_builder.cc.o.d"
+  "libkwsdbg_kws.a"
+  "libkwsdbg_kws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_kws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

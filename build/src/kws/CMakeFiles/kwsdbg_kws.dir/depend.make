@@ -1,0 +1,2 @@
+# Empty dependencies file for kwsdbg_kws.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/canonical_label.cc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/canonical_label.cc.o" "gcc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/canonical_label.cc.o.d"
+  "/root/repo/src/lattice/join_tree.cc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/join_tree.cc.o" "gcc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/join_tree.cc.o.d"
+  "/root/repo/src/lattice/lattice.cc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice.cc.o" "gcc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice.cc.o.d"
+  "/root/repo/src/lattice/lattice_generator.cc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice_generator.cc.o" "gcc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice_generator.cc.o.d"
+  "/root/repo/src/lattice/lattice_io.cc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice_io.cc.o" "gcc" "src/lattice/CMakeFiles/kwsdbg_lattice.dir/lattice_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

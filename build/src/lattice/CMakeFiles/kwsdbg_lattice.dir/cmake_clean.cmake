@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_lattice.dir/canonical_label.cc.o"
+  "CMakeFiles/kwsdbg_lattice.dir/canonical_label.cc.o.d"
+  "CMakeFiles/kwsdbg_lattice.dir/join_tree.cc.o"
+  "CMakeFiles/kwsdbg_lattice.dir/join_tree.cc.o.d"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice.cc.o"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice.cc.o.d"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice_generator.cc.o"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice_generator.cc.o.d"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice_io.cc.o"
+  "CMakeFiles/kwsdbg_lattice.dir/lattice_io.cc.o.d"
+  "libkwsdbg_lattice.a"
+  "libkwsdbg_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

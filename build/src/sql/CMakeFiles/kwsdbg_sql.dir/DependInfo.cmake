@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/join_network.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/join_network.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/join_network.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/like_matcher.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/like_matcher.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/like_matcher.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/row_index.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/row_index.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/row_index.cc.o.d"
+  "/root/repo/src/sql/select_runner.cc" "src/sql/CMakeFiles/kwsdbg_sql.dir/select_runner.cc.o" "gcc" "src/sql/CMakeFiles/kwsdbg_sql.dir/select_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

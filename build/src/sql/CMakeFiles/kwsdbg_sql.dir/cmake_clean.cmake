@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_sql.dir/ast.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/ast.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/executor.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/executor.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/join_network.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/join_network.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/lexer.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/like_matcher.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/like_matcher.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/parser.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/parser.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/row_index.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/row_index.cc.o.d"
+  "CMakeFiles/kwsdbg_sql.dir/select_runner.cc.o"
+  "CMakeFiles/kwsdbg_sql.dir/select_runner.cc.o.d"
+  "libkwsdbg_sql.a"
+  "libkwsdbg_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

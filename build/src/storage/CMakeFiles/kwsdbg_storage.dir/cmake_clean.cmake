@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_storage.dir/csv.cc.o"
+  "CMakeFiles/kwsdbg_storage.dir/csv.cc.o.d"
+  "CMakeFiles/kwsdbg_storage.dir/database.cc.o"
+  "CMakeFiles/kwsdbg_storage.dir/database.cc.o.d"
+  "CMakeFiles/kwsdbg_storage.dir/schema.cc.o"
+  "CMakeFiles/kwsdbg_storage.dir/schema.cc.o.d"
+  "CMakeFiles/kwsdbg_storage.dir/table.cc.o"
+  "CMakeFiles/kwsdbg_storage.dir/table.cc.o.d"
+  "CMakeFiles/kwsdbg_storage.dir/value.cc.o"
+  "CMakeFiles/kwsdbg_storage.dir/value.cc.o.d"
+  "libkwsdbg_storage.a"
+  "libkwsdbg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_text.dir/inverted_index.cc.o"
+  "CMakeFiles/kwsdbg_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/kwsdbg_text.dir/tokenizer.cc.o"
+  "CMakeFiles/kwsdbg_text.dir/tokenizer.cc.o.d"
+  "libkwsdbg_text.a"
+  "libkwsdbg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traversal/bottom_up.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/bottom_up.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/bottom_up.cc.o.d"
+  "/root/repo/src/traversal/bottom_up_reuse.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/bottom_up_reuse.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/bottom_up_reuse.cc.o.d"
+  "/root/repo/src/traversal/evaluator.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/evaluator.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/evaluator.cc.o.d"
+  "/root/repo/src/traversal/node_status.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/node_status.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/node_status.cc.o.d"
+  "/root/repo/src/traversal/pa_estimator.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/pa_estimator.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/pa_estimator.cc.o.d"
+  "/root/repo/src/traversal/score_based.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/score_based.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/score_based.cc.o.d"
+  "/root/repo/src/traversal/strategy.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/strategy.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/strategy.cc.o.d"
+  "/root/repo/src/traversal/top_down.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/top_down.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/top_down.cc.o.d"
+  "/root/repo/src/traversal/top_down_reuse.cc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/top_down_reuse.cc.o" "gcc" "src/traversal/CMakeFiles/kwsdbg_traversal.dir/top_down_reuse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kws/CMakeFiles/kwsdbg_kws.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/kwsdbg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kwsdbg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/kwsdbg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

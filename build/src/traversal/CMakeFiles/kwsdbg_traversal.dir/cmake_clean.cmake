@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwsdbg_traversal.dir/bottom_up.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/bottom_up.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/bottom_up_reuse.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/bottom_up_reuse.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/evaluator.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/evaluator.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/node_status.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/node_status.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/pa_estimator.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/pa_estimator.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/score_based.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/score_based.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/strategy.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/strategy.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/top_down.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/top_down.cc.o.d"
+  "CMakeFiles/kwsdbg_traversal.dir/top_down_reuse.cc.o"
+  "CMakeFiles/kwsdbg_traversal.dir/top_down_reuse.cc.o.d"
+  "libkwsdbg_traversal.a"
+  "libkwsdbg_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwsdbg_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

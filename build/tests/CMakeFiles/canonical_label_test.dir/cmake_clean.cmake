@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonical_label_test.dir/lattice/canonical_label_test.cc.o"
+  "CMakeFiles/canonical_label_test.dir/lattice/canonical_label_test.cc.o.d"
+  "canonical_label_test"
+  "canonical_label_test.pdb"
+  "canonical_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonical_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_predicate_test.dir/sql/constant_predicate_test.cc.o"
+  "CMakeFiles/constant_predicate_test.dir/sql/constant_predicate_test.cc.o.d"
+  "constant_predicate_test"
+  "constant_predicate_test.pdb"
+  "constant_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_test.dir/datasets/ecommerce_test.cc.o"
+  "CMakeFiles/ecommerce_test.dir/datasets/ecommerce_test.cc.o.d"
+  "ecommerce_test"
+  "ecommerce_test.pdb"
+  "ecommerce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_session_test.dir/debugger/interactive_session_test.cc.o"
+  "CMakeFiles/interactive_session_test.dir/debugger/interactive_session_test.cc.o.d"
+  "interactive_session_test"
+  "interactive_session_test.pdb"
+  "interactive_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_network_test.dir/sql/join_network_test.cc.o"
+  "CMakeFiles/join_network_test.dir/sql/join_network_test.cc.o.d"
+  "join_network_test"
+  "join_network_test.pdb"
+  "join_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

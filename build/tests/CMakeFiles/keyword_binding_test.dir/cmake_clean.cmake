@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_binding_test.dir/kws/keyword_binding_test.cc.o"
+  "CMakeFiles/keyword_binding_test.dir/kws/keyword_binding_test.cc.o.d"
+  "keyword_binding_test"
+  "keyword_binding_test.pdb"
+  "keyword_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for keyword_binding_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_closure_test.dir/lattice/lattice_closure_test.cc.o"
+  "CMakeFiles/lattice_closure_test.dir/lattice/lattice_closure_test.cc.o.d"
+  "lattice_closure_test"
+  "lattice_closure_test.pdb"
+  "lattice_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_generator_test.dir/lattice/lattice_generator_test.cc.o"
+  "CMakeFiles/lattice_generator_test.dir/lattice/lattice_generator_test.cc.o.d"
+  "lattice_generator_test"
+  "lattice_generator_test.pdb"
+  "lattice_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

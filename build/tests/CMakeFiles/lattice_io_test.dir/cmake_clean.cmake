@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_io_test.dir/lattice/lattice_io_test.cc.o"
+  "CMakeFiles/lattice_io_test.dir/lattice/lattice_io_test.cc.o.d"
+  "lattice_io_test"
+  "lattice_io_test.pdb"
+  "lattice_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/like_matcher_test.dir/sql/like_matcher_test.cc.o"
+  "CMakeFiles/like_matcher_test.dir/sql/like_matcher_test.cc.o.d"
+  "like_matcher_test"
+  "like_matcher_test.pdb"
+  "like_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/like_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_filter_test.dir/kws/node_filter_test.cc.o"
+  "CMakeFiles/node_filter_test.dir/kws/node_filter_test.cc.o.d"
+  "node_filter_test"
+  "node_filter_test.pdb"
+  "node_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

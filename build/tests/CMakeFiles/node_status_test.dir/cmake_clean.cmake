@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_status_test.dir/traversal/node_status_test.cc.o"
+  "CMakeFiles/node_status_test.dir/traversal/node_status_test.cc.o.d"
+  "node_status_test"
+  "node_status_test.pdb"
+  "node_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

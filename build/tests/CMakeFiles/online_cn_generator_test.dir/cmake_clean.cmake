@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_cn_generator_test.dir/kws/online_cn_generator_test.cc.o"
+  "CMakeFiles/online_cn_generator_test.dir/kws/online_cn_generator_test.cc.o.d"
+  "online_cn_generator_test"
+  "online_cn_generator_test.pdb"
+  "online_cn_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_cn_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

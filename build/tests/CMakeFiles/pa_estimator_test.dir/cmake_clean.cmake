@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_estimator_test.dir/traversal/pa_estimator_test.cc.o"
+  "CMakeFiles/pa_estimator_test.dir/traversal/pa_estimator_test.cc.o.d"
+  "pa_estimator_test"
+  "pa_estimator_test.pdb"
+  "pa_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

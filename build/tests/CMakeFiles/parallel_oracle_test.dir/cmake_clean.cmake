@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_oracle_test.dir/baselines/parallel_oracle_test.cc.o"
+  "CMakeFiles/parallel_oracle_test.dir/baselines/parallel_oracle_test.cc.o.d"
+  "parallel_oracle_test"
+  "parallel_oracle_test.pdb"
+  "parallel_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

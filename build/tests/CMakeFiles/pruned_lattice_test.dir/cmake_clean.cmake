@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruned_lattice_test.dir/kws/pruned_lattice_test.cc.o"
+  "CMakeFiles/pruned_lattice_test.dir/kws/pruned_lattice_test.cc.o.d"
+  "pruned_lattice_test"
+  "pruned_lattice_test.pdb"
+  "pruned_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruned_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

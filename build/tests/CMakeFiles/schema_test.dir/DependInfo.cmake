@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/schema_test.cc" "tests/CMakeFiles/schema_test.dir/storage/schema_test.cc.o" "gcc" "tests/CMakeFiles/schema_test.dir/storage/schema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debugger/CMakeFiles/kwsdbg_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kwsdbg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/traversal/CMakeFiles/kwsdbg_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/kws/CMakeFiles/kwsdbg_kws.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/kwsdbg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/kwsdbg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/kwsdbg_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kwsdbg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kwsdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kwsdbg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kwsdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_runner_test.dir/sql/select_runner_test.cc.o"
+  "CMakeFiles/select_runner_test.dir/sql/select_runner_test.cc.o.d"
+  "select_runner_test"
+  "select_runner_test.pdb"
+  "select_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

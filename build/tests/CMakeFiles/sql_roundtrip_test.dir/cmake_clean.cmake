@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_roundtrip_test.dir/sql/sql_roundtrip_test.cc.o"
+  "CMakeFiles/sql_roundtrip_test.dir/sql/sql_roundtrip_test.cc.o.d"
+  "sql_roundtrip_test"
+  "sql_roundtrip_test.pdb"
+  "sql_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_agreement_test.dir/traversal/strategy_agreement_test.cc.o"
+  "CMakeFiles/strategy_agreement_test.dir/traversal/strategy_agreement_test.cc.o.d"
+  "strategy_agreement_test"
+  "strategy_agreement_test.pdb"
+  "strategy_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
