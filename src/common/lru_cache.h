@@ -1,0 +1,135 @@
+// Thread-safe sharded LRU cache. The key space is partitioned over N shards
+// by hash; each shard serializes access with its own mutex and maintains its
+// own recency list, so concurrent readers/writers on different shards never
+// contend. Within a shard, Get refreshes recency and Put evicts the least
+// recently used entry once the shard is at capacity.
+#ifndef KWSDBG_COMMON_LRU_CACHE_H_
+#define KWSDBG_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kwsdbg {
+
+/// Counters aggregated across shards. Snapshot semantics: values are summed
+/// under the shard locks, so a quiescent cache reports exact numbers.
+struct LruCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;    ///< Get calls that found nothing.
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t entries = 0;   ///< Current live entries across shards.
+};
+
+/// Sharded LRU map from Key to Value. Copies values in and out (intended for
+/// small verdict-style payloads). `Hash` must be cheap and well-distributed;
+/// the same hash picks the shard and buckets within the shard.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards (each
+  /// shard holds at least one entry). `num_shards` is rounded up to 1.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : shards_(std::max<size_t>(1, num_shards)) {
+    const size_t n = shards_.size();
+    const size_t per_shard = std::max<size_t>(1, (capacity + n - 1) / n);
+    for (auto& shard : shards_) shard = std::make_unique<Shard>(per_shard);
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Looks up `key`, refreshing its recency. Returns nullopt on miss.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.hits;
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, making it most recently used. Evicts the
+  /// shard's LRU entry when the shard is full.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.stats.evictions;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.stats.insertions;
+  }
+
+  /// Drops every entry (stats other than `entries` are preserved).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  /// Sums per-shard counters.
+  LruCacheStats stats() const {
+    LruCacheStats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total.hits += shard->stats.hits;
+      total.misses += shard->stats.misses;
+      total.insertions += shard->stats.insertions;
+      total.evictions += shard->stats.evictions;
+      total.entries += shard->lru.size();
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    const size_t capacity;
+    mutable std::mutex mu;
+    std::list<std::pair<Key, Value>> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+    LruCacheStats stats;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Mix the hash before taking the modulus: shard choice must not reuse
+    // the same low bits the shard-local unordered_map buckets on.
+    size_t h = Hash{}(key);
+    h ^= h >> 17;
+    h *= 0x9E3779B97F4A7C15ull;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_COMMON_LRU_CACHE_H_

@@ -1,5 +1,6 @@
 #include "debugger/debug_report.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace kwsdbg {
@@ -30,6 +31,13 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.sql_queries += interp.traversal_stats.sql_queries;
     stats.sql_millis += interp.traversal_stats.sql_millis;
     stats.total_millis += interp.traversal_stats.total_millis;
+    stats.cache_hits += interp.traversal_stats.cache_hits;
+    stats.cache_misses += interp.traversal_stats.cache_misses;
+    stats.cache_evictions += interp.traversal_stats.cache_evictions;
+    stats.parallel_rounds += interp.traversal_stats.parallel_rounds;
+    stats.parallel_nodes += interp.traversal_stats.parallel_nodes;
+    stats.max_batch = std::max(stats.max_batch,
+                               interp.traversal_stats.max_batch);
   }
   return stats;
 }
@@ -57,7 +65,13 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
     out << "   lattice " << rep.prune_stats.lattice_nodes << " -> "
         << rep.prune_stats.surviving_nodes << " nodes after Phase 1, "
         << rep.prune_stats.num_mtns << " MTN(s), "
-        << rep.traversal_stats.sql_queries << " SQL queries\n";
+        << rep.traversal_stats.sql_queries << " SQL queries";
+    if (rep.traversal_stats.cache_hits + rep.traversal_stats.cache_misses >
+        0) {
+      out << " (verdict cache: " << rep.traversal_stats.cache_hits
+          << " hit(s), " << rep.traversal_stats.cache_misses << " miss(es))";
+    }
+    out << "\n";
     size_t shown = 0;
     for (const AnswerReport& ans : rep.answers) {
       if (shown++ >= max_items_per_section) {

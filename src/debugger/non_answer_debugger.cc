@@ -16,6 +16,10 @@ NonAnswerDebugger::NonAnswerDebugger(const Database* db,
       index_(index),
       options_(options),
       executor_(std::make_unique<Executor>(db)),
+      verdict_cache_(options.verdict_cache_capacity > 0
+                         ? std::make_unique<VerdictCache>(
+                               options.verdict_cache_capacity)
+                         : nullptr),
       binder_(&lattice->schema(), index,
               lattice->config().EffectiveKeywordCopies(),
               options.max_interpretations) {}
@@ -50,7 +54,7 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
   if (!report.missing_keywords.empty()) return report;
 
   std::unique_ptr<TraversalStrategy> strategy =
-      MakeStrategy(options_.strategy, options_.sbh);
+      MakeStrategy(options_.strategy, options_.sbh, options_.parallel);
 
   for (const KeywordBinding& binding : binding_result.interpretations) {
     InterpretationReport interp;
@@ -61,7 +65,7 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
     interp.prune_stats = pl.stats();
 
     QueryEvaluator evaluator(db_, executor_.get(), &pl, index_,
-                             options_.eval);
+                             options_.eval, verdict_cache_.get());
     KWSDBG_ASSIGN_OR_RETURN(TraversalResult traversal,
                             strategy->Run(pl, &evaluator));
     interp.traversal_stats = traversal.stats;

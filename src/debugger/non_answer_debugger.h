@@ -14,6 +14,7 @@
 #include "sql/executor.h"
 #include "text/inverted_index.h"
 #include "traversal/strategy.h"
+#include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
 
@@ -22,6 +23,12 @@ struct DebuggerOptions {
   TraversalKind strategy = TraversalKind::kScoreBased;
   SbhOptions sbh;
   EvalOptions eval;
+  /// Session verdict cache capacity (entries); 0 disables caching. The cache
+  /// persists across Debug() calls, so repeated keyword queries skip the SQL
+  /// for every recurring (sub-)network until the database epoch changes.
+  size_t verdict_cache_capacity = VerdictCache::kDefaultCapacity;
+  /// Batched parallel frontier evaluation (default: serial).
+  ParallelOptions parallel;
   /// Sample result tuples fetched per answer query (0 = skip sampling;
   /// sampling issues extra SQL that is *not* counted in traversal stats).
   size_t sample_rows = 0;
@@ -50,6 +57,10 @@ class NonAnswerDebugger {
   /// or inspect caches between runs).
   Executor* executor() { return executor_.get(); }
 
+  /// The session verdict cache, or nullptr when disabled. Exposed so benches
+  /// and tests can inspect hit rates or Clear() between passes.
+  VerdictCache* verdict_cache() { return verdict_cache_.get(); }
+
   const DebuggerOptions& options() const { return options_; }
 
  private:
@@ -58,6 +69,7 @@ class NonAnswerDebugger {
   const InvertedIndex* index_;
   DebuggerOptions options_;
   std::unique_ptr<Executor> executor_;
+  std::unique_ptr<VerdictCache> verdict_cache_;
   KeywordBinder binder_;
 };
 

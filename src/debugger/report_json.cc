@@ -84,7 +84,13 @@ std::string DebugReportToJson(const DebugReport& report) {
         << ",\"mtns\":" << interp.prune_stats.num_mtns
         << ",\"sql_queries\":" << interp.traversal_stats.sql_queries
         << ",\"sql_millis\":" << interp.traversal_stats.sql_millis
-        << ",\"total_millis\":" << interp.traversal_stats.total_millis << '}';
+        << ",\"total_millis\":" << interp.traversal_stats.total_millis
+        << ",\"cache_hits\":" << interp.traversal_stats.cache_hits
+        << ",\"cache_misses\":" << interp.traversal_stats.cache_misses
+        << ",\"cache_evictions\":" << interp.traversal_stats.cache_evictions
+        << ",\"parallel_rounds\":" << interp.traversal_stats.parallel_rounds
+        << ",\"parallel_nodes\":" << interp.traversal_stats.parallel_nodes
+        << ",\"max_batch\":" << interp.traversal_stats.max_batch << '}';
     out << ",\"answers\":[";
     for (size_t a = 0; a < interp.answers.size(); ++a) {
       if (a > 0) out << ',';

@@ -17,6 +17,17 @@ KeywordBinding::KeywordBinding(std::vector<KeywordAssignment> assignments)
         by_vertex_.emplace(std::make_pair(v.relation, v.copy), i);
     KWSDBG_CHECK(inserted) << "two keywords bound to one copy";
   }
+  std::vector<std::string> parts;
+  parts.reserve(assignments_.size());
+  for (const KeywordAssignment& a : assignments_) {
+    parts.push_back(std::to_string(a.vertex.relation) + ":" +
+                    std::to_string(a.vertex.copy) + "=" + a.keyword);
+  }
+  std::sort(parts.begin(), parts.end());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) signature_ += ';';
+    signature_ += parts[i];
+  }
 }
 
 bool KeywordBinding::IsBound(RelationCopy v) const {

@@ -44,8 +44,15 @@ class KeywordBinding {
   /// "widom->Person[1], trio->Topic[1]" for reports.
   std::string ToString(const SchemaGraph& schema) const;
 
+  /// Canonical signature of this binding, independent of assignment order:
+  /// "relation:copy=keyword" entries sorted and ';'-joined. Two bindings with
+  /// equal signatures instantiate identical SQL for every lattice node, which
+  /// makes the signature a sound verdict-cache key component.
+  const std::string& Signature() const { return signature_; }
+
  private:
   std::vector<KeywordAssignment> assignments_;
+  std::string signature_;
   std::unordered_map<std::pair<RelationId, uint16_t>, size_t, PairHash>
       by_vertex_;
 };

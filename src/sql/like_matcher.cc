@@ -11,14 +11,23 @@ inline char Fold(char c, bool ci) {
 bool LikeMatch(std::string_view pattern, std::string_view text,
                bool case_insensitive) {
   // Iterative wildcard matching with single-level backtracking on '%'.
+  // '\' escapes the next character (so '\%', '\_', '\\' match literally);
+  // a trailing lone '\' matches a literal backslash.
   size_t p = 0, t = 0;
   size_t star_p = std::string_view::npos, star_t = 0;
+  auto literal_at = [&](size_t pos, char c) {
+    // pattern[pos] interpreted as a literal (resolving an escape) == c?
+    char pc = pattern[pos];
+    if (pc == '\\' && pos + 1 < pattern.size()) pc = pattern[pos + 1];
+    return Fold(pc, case_insensitive) == Fold(c, case_insensitive);
+  };
+  auto is_escape = [&](size_t pos) {
+    return pattern[pos] == '\\' && pos + 1 < pattern.size();
+  };
   while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' ||
-         Fold(pattern[p], case_insensitive) ==
-             Fold(text[t], case_insensitive))) {
-      ++p;
+    if (p < pattern.size() && pattern[p] != '%' &&
+        (pattern[p] == '_' || literal_at(p, text[t]))) {
+      p += is_escape(p) ? 2 : 1;
       ++t;
     } else if (p < pattern.size() && pattern[p] == '%') {
       star_p = p++;
@@ -34,9 +43,21 @@ bool LikeMatch(std::string_view pattern, std::string_view text,
   return p == pattern.size();
 }
 
+std::string EscapeLikeLiteral(std::string_view literal) {
+  std::string out;
+  out.reserve(literal.size());
+  for (char c : literal) {
+    if (c == '%' || c == '_' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 std::string ContainsPattern(std::string_view keyword) {
+  // Escape wildcard characters so a keyword like "100%" builds a pattern
+  // matching the literal text, not an over-matching prefix scan.
   std::string out = "%";
-  out.append(keyword);
+  out += EscapeLikeLiteral(keyword);
   out += "%";
   return out;
 }
@@ -45,12 +66,22 @@ std::string ExtractContainedKeyword(std::string_view pattern) {
   if (pattern.size() < 2 || pattern.front() != '%' || pattern.back() != '%') {
     return "";
   }
+  // An escaped closing '%' ('%ab\%' is not a containment scan) leaves a
+  // dangling '\' at the end of `inner`, which the loop below rejects.
   std::string_view inner = pattern.substr(1, pattern.size() - 2);
-  if (inner.find('%') != std::string_view::npos ||
-      inner.find('_') != std::string_view::npos) {
-    return "";
+  std::string keyword;
+  keyword.reserve(inner.size());
+  for (size_t i = 0; i < inner.size(); ++i) {
+    const char c = inner[i];
+    if (c == '%' || c == '_') return "";  // unescaped wildcard inside
+    if (c == '\\') {
+      if (i + 1 >= inner.size()) return "";  // dangling escape
+      keyword += inner[++i];
+    } else {
+      keyword += c;
+    }
   }
-  return std::string(inner);
+  return keyword;
 }
 
 }  // namespace kwsdbg

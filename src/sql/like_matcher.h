@@ -1,5 +1,6 @@
 // SQL LIKE pattern matching: '%' matches any sequence, '_' any single
-// character. Case-insensitive by default, matching the paper's use of LIKE
+// character, and '\' escapes the next character (so '\%' is a literal
+// percent). Case-insensitive by default, matching the paper's use of LIKE
 // for keyword containment.
 #ifndef KWSDBG_SQL_LIKE_MATCHER_H_
 #define KWSDBG_SQL_LIKE_MATCHER_H_
@@ -13,11 +14,18 @@ namespace kwsdbg {
 bool LikeMatch(std::string_view pattern, std::string_view text,
                bool case_insensitive = true);
 
+/// Escapes '%', '_' and '\' in `literal` so it matches itself (and nothing
+/// else) when embedded in a LIKE pattern.
+std::string EscapeLikeLiteral(std::string_view literal);
+
 /// Builds the containment pattern '%keyword%' used by generated queries.
+/// Wildcard characters in `keyword` are escaped, so a keyword like "100%"
+/// matches only texts containing the literal string.
 std::string ContainsPattern(std::string_view keyword);
 
-/// If `pattern` has the form '%kw%' with no wildcards inside kw, returns kw;
-/// otherwise an empty string. Used to map parsed SQL back to keywords.
+/// If `pattern` has the form '%kw%' with no unescaped wildcards inside kw,
+/// returns kw with escapes removed; otherwise an empty string. Inverse of
+/// ContainsPattern, used to map parsed SQL back to keywords.
 std::string ExtractContainedKeyword(std::string_view pattern);
 
 }  // namespace kwsdbg

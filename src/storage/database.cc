@@ -11,6 +11,7 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
   order_.push_back(name);
+  BumpEpoch();
   return ptr;
 }
 
@@ -21,6 +22,7 @@ Status Database::AddTable(std::unique_ptr<Table> table) {
   }
   order_.push_back(name);
   tables_.emplace(name, std::move(table));
+  BumpEpoch();
   return Status::OK();
 }
 

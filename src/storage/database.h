@@ -42,9 +42,18 @@ class Database {
   /// Total tuples across all tables (the paper reports 801,189 for DBLife).
   size_t TotalTuples() const;
 
+  /// Monotonic data-version counter. Catalog changes bump it automatically;
+  /// callers that mutate table contents in place (bulk loads, what-if edits
+  /// via Table::SetValue/AppendRow) must call BumpEpoch() afterwards so
+  /// epoch-keyed caches (e.g. the traversal verdict cache) stop serving
+  /// verdicts computed against the old contents.
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> order_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace kwsdbg

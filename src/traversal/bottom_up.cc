@@ -1,10 +1,16 @@
 // BU (paper Sec. 2.5.1): classify one MTN at a time, sweeping the MTN's
 // sub-lattice from the single-table level upward. Shares nothing across
 // MTNs — common descendants are re-evaluated (the contrast with BUWR).
+//
+// Frontier batching: nodes of one level are never ancestor/descendant of one
+// another, so the unknown nodes of a level form an independent batch whose
+// verdicts are evaluated in parallel and then folded in serially via R2 —
+// the classification is bit-identical to the serial sweep.
 #include <algorithm>
 #include <map>
 
 #include "common/timer.h"
+#include "traversal/parallel_frontier.h"
 #include "traversal/strategies.h"
 
 namespace kwsdbg {
@@ -13,14 +19,17 @@ namespace {
 
 class BottomUpStrategy : public TraversalStrategy {
  public:
+  explicit BottomUpStrategy(ParallelOptions parallel) : parallel_(parallel) {}
+
   std::string_view name() const override { return "BU"; }
 
   StatusOr<TraversalResult> Run(const PrunedLattice& pl,
                                 QueryEvaluator* evaluator) override {
     Timer total;
-    const size_t sql_before = evaluator->sql_executed();
-    const double ms_before = evaluator->sql_millis();
     TraversalResult result;
+    FrontierEvaluator frontier(evaluator, parallel_);
+    std::vector<NodeId> batch;
+    std::vector<char> alive;
     for (NodeId m : pl.mtns()) {
       NodeStatusMap status(pl.lattice().num_nodes());
       // The MTN's sub-lattice, grouped by level.
@@ -31,13 +40,16 @@ class BottomUpStrategy : public TraversalStrategy {
       }
       for (auto& [level, nodes] : by_level) {
         std::sort(nodes.begin(), nodes.end());
+        batch.clear();
         for (NodeId n : nodes) {
-          if (status.IsKnown(n)) continue;  // inferred dead via R2
-          KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
-          if (alive) {
-            status.Set(n, NodeStatus::kAlive);
+          if (!status.IsKnown(n)) batch.push_back(n);  // not inferred via R2
+        }
+        KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (alive[i]) {
+            status.Set(batch[i], NodeStatus::kAlive);
           } else {
-            status.MarkDeadWithAncestors(n, pl);
+            status.MarkDeadWithAncestors(batch[i], pl);
           }
         }
       }
@@ -50,17 +62,19 @@ class BottomUpStrategy : public TraversalStrategy {
       }
       result.outcomes.push_back(std::move(outcome));
     }
-    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
-    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
     return result;
   }
+
+ private:
+  ParallelOptions parallel_;
 };
 
 }  // namespace
 
-std::unique_ptr<TraversalStrategy> MakeBottomUp() {
-  return std::make_unique<BottomUpStrategy>();
+std::unique_ptr<TraversalStrategy> MakeBottomUp(ParallelOptions parallel) {
+  return std::make_unique<BottomUpStrategy>(parallel);
 }
 
 }  // namespace kwsdbg

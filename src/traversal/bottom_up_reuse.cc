@@ -1,9 +1,15 @@
 // BUWR (paper Sec. 2.5.2, Algorithm 3): one global bottom-up sweep over the
 // union of all MTNs' sub-lattices with a shared status map, so each common
 // descendant is evaluated at most once.
+//
+// Frontier batching: R2 from a node only reaches strictly higher levels, so
+// the unknown nodes of one level are mutually independent — evaluated as one
+// parallel batch, then folded in serially (bit-identical to the serial sweep,
+// including which nodes get evaluated).
 #include <algorithm>
 
 #include "common/timer.h"
+#include "traversal/parallel_frontier.h"
 #include "traversal/strategies.h"
 
 namespace kwsdbg {
@@ -12,40 +18,50 @@ namespace {
 
 class BottomUpWithReuseStrategy : public TraversalStrategy {
  public:
+  explicit BottomUpWithReuseStrategy(ParallelOptions parallel)
+      : parallel_(parallel) {}
+
   std::string_view name() const override { return "BUWR"; }
 
   StatusOr<TraversalResult> Run(const PrunedLattice& pl,
                                 QueryEvaluator* evaluator) override {
     Timer total;
-    const size_t sql_before = evaluator->sql_executed();
-    const double ms_before = evaluator->sql_millis();
     NodeStatusMap status(pl.lattice().num_nodes());
+    FrontierEvaluator frontier(evaluator, parallel_);
+    std::vector<NodeId> batch;
+    std::vector<char> alive;
     for (size_t level = 1; level <= pl.MaxRetainedLevel(); ++level) {
       std::vector<NodeId> nodes = pl.RetainedAtLevel(level);
       std::sort(nodes.begin(), nodes.end());
+      batch.clear();
       for (NodeId n : nodes) {
-        if (status.IsKnown(n)) continue;  // shared result or inferred dead
-        KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
-        if (alive) {
-          status.Set(n, NodeStatus::kAlive);
+        if (!status.IsKnown(n)) batch.push_back(n);  // shared or inferred
+      }
+      KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (alive[i]) {
+          status.Set(batch[i], NodeStatus::kAlive);
         } else {
-          status.MarkDeadWithAncestors(n, pl);  // R2 (Alg. 3 line 36)
+          status.MarkDeadWithAncestors(batch[i], pl);  // R2 (Alg. 3 line 36)
         }
       }
     }
     KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
                             internal::BuildOutcomes(pl, status));
-    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
-    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
     return result;
   }
+
+ private:
+  ParallelOptions parallel_;
 };
 
 }  // namespace
 
-std::unique_ptr<TraversalStrategy> MakeBottomUpWithReuse() {
-  return std::make_unique<BottomUpWithReuseStrategy>();
+std::unique_ptr<TraversalStrategy> MakeBottomUpWithReuse(
+    ParallelOptions parallel) {
+  return std::make_unique<BottomUpWithReuseStrategy>(parallel);
 }
 
 }  // namespace kwsdbg

@@ -1,8 +1,31 @@
 #include "traversal/evaluator.h"
 
 #include "common/timer.h"
+#include "lattice/canonical_label.h"
 
 namespace kwsdbg {
+
+QueryEvaluator::QueryEvaluator(const Database* db, Executor* executor,
+                               const PrunedLattice* pl,
+                               const InvertedIndex* index, EvalOptions options,
+                               VerdictCache* cache)
+    : db_(db),
+      executor_(executor),
+      pl_(pl),
+      index_(index),
+      options_(options),
+      cache_(cache) {
+  if (cache_ != nullptr) {
+    binding_sig_ = pl_->binding().Signature();
+    canonical_memo_.resize(pl_->lattice().num_nodes());
+  }
+}
+
+const std::string& QueryEvaluator::CanonicalFor(NodeId id) {
+  std::string& memo = canonical_memo_[id];
+  if (memo.empty()) memo = CanonicalLabel(pl_->lattice().node(id).tree);
+  return memo;
+}
 
 StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
   const LatticeNode& node = pl_->lattice().node(id);
@@ -23,6 +46,15 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
     }
     // Unbound keyword copy should have been pruned; fall through to SQL.
   }
+  if (cache_ != nullptr) {
+    std::optional<bool> verdict =
+        cache_->Lookup(CanonicalFor(id), binding_sig_, db_->epoch());
+    if (verdict.has_value()) {
+      ++cache_hits_;
+      return *verdict;
+    }
+    ++cache_misses_;
+  }
   KWSDBG_ASSIGN_OR_RETURN(
       JoinNetworkQuery query,
       BuildNodeQuery(pl_->lattice(), id, pl_->binding()));
@@ -30,6 +62,9 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
   KWSDBG_ASSIGN_OR_RETURN(bool alive, executor_->IsNonEmpty(query));
   ++sql_executed_;
   sql_millis_ += timer.ElapsedMillis();
+  if (cache_ != nullptr) {
+    cache_->Insert(CanonicalFor(id), binding_sig_, db_->epoch(), alive);
+  }
   return alive;
 }
 

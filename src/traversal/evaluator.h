@@ -1,14 +1,19 @@
 // Node aliveness evaluation: executes the node's instantiated SQL query with
 // first-row early exit, with the paper's base-level shortcuts (bound
 // single-table nodes are known alive from the inverted index — Alg. 3
-// GetBaseNodes; free single-table nodes from the catalog).
+// GetBaseNodes; free single-table nodes from the catalog), and an optional
+// session-level verdict cache consulted before any SQL is issued.
 #ifndef KWSDBG_TRAVERSAL_EVALUATOR_H_
 #define KWSDBG_TRAVERSAL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
 
 #include "kws/pruned_lattice.h"
 #include "kws/query_builder.h"
 #include "sql/executor.h"
 #include "text/inverted_index.h"
+#include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
 
@@ -18,38 +23,56 @@ struct EvalOptions {
   bool base_nodes_via_index = true;
 };
 
-/// Evaluates node aliveness for one interpretation. Stateless apart from the
-/// executor's caches; memoization of outcomes belongs to the traversal
-/// strategy (the no-reuse variants deliberately re-execute).
+/// Evaluates node aliveness for one interpretation. Not thread-safe itself
+/// (one evaluator per thread; see FrontierEvaluator), but the optional
+/// VerdictCache it consults is shared and thread-safe. Memoization of
+/// outcomes within a traversal belongs to the strategy (the no-reuse
+/// variants deliberately re-execute); the verdict cache adds the *session*
+/// dimension: verdicts persist across interpretations and repeated queries
+/// until the database epoch changes.
 class QueryEvaluator {
  public:
   QueryEvaluator(const Database* db, Executor* executor,
                  const PrunedLattice* pl, const InvertedIndex* index,
-                 EvalOptions options = {})
-      : db_(db),
-        executor_(executor),
-        pl_(pl),
-        index_(index),
-        options_(options) {}
+                 EvalOptions options = {}, VerdictCache* cache = nullptr);
 
   /// True iff the node's query returns at least one tuple.
   StatusOr<bool> IsAlive(NodeId id);
 
   /// SQL executions performed through this evaluator (base-level shortcut
-  /// evaluations do not count, matching the paper's query counting).
+  /// evaluations and cache hits do not count, matching the paper's query
+  /// counting).
   size_t sql_executed() const { return sql_executed_; }
   double sql_millis() const { return sql_millis_; }
 
+  /// Verdict-cache traffic from this evaluator (zero when no cache is
+  /// attached; base-level shortcuts bypass the cache entirely).
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+
   const Executor* executor() const { return executor_; }
+  const Database* db() const { return db_; }
+  const PrunedLattice* pruned_lattice() const { return pl_; }
+  const InvertedIndex* index() const { return index_; }
+  const EvalOptions& options() const { return options_; }
+  VerdictCache* cache() const { return cache_; }
 
  private:
+  /// Memoized canonical label of the node's join tree.
+  const std::string& CanonicalFor(NodeId id);
+
   const Database* db_;
   Executor* executor_;
   const PrunedLattice* pl_;
   const InvertedIndex* index_;
   EvalOptions options_;
+  VerdictCache* cache_;
+  std::string binding_sig_;  ///< Computed once from pl_->binding().
+  std::vector<std::string> canonical_memo_;  ///< Lazily filled per node.
   size_t sql_executed_ = 0;
   double sql_millis_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
 };
 
 }  // namespace kwsdbg

@@ -35,6 +35,11 @@ StatusOr<PaEstimate> EstimateAliveProbability(const PrunedLattice& pl,
     if (alive) ++estimate.alive;
   }
   estimate.sql_executed = evaluator->sql_executed() - sql_before;
+  if (estimate.sampled == 0) {
+    // sample_size == 0: no evidence — keep the 0.5 prior instead of
+    // computing 0/0 (NaN would poison every SBH score downstream).
+    return estimate;
+  }
   const double raw = static_cast<double>(estimate.alive) /
                      static_cast<double>(estimate.sampled);
   estimate.alive_probability =

@@ -1,0 +1,133 @@
+#include "traversal/parallel_frontier.h"
+
+#include <algorithm>
+
+namespace kwsdbg {
+
+FrontierEvaluator::FrontierEvaluator(QueryEvaluator* main,
+                                     ParallelOptions options)
+    : main_(main),
+      options_(options),
+      main_sql_before_(main->sql_executed()),
+      main_ms_before_(main->sql_millis()),
+      main_hits_before_(main->cache_hits()),
+      main_misses_before_(main->cache_misses()) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.min_batch < 1) options_.min_batch = 1;
+  if (main_->cache() != nullptr) {
+    cache_evictions_before_ = main_->cache()->stats().evictions;
+  }
+}
+
+FrontierEvaluator::~FrontierEvaluator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void FrontierEvaluator::StartWorkers() {
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->executor = std::make_unique<Executor>(main_->db());
+    worker->evaluator = std::make_unique<QueryEvaluator>(
+        main_->db(), worker->executor.get(), main_->pruned_lattice(),
+        main_->index(), main_->options(), main_->cache());
+    worker->thread = std::thread(&FrontierEvaluator::WorkerLoop, this,
+                                 worker.get());
+    workers_.push_back(std::move(worker));
+  }
+}
+
+void FrontierEvaluator::WorkerLoop(Worker* worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    Status status = Status::OK();
+    while (true) {
+      const size_t i = next_.fetch_add(1);
+      if (i >= batch_->size()) break;
+      StatusOr<bool> verdict = worker->evaluator->IsAlive((*batch_)[i]);
+      if (!verdict.ok()) {
+        status = verdict.status();
+        break;
+      }
+      (*results_)[i] = *verdict ? 1 : 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && batch_status_.ok()) batch_status_ = status;
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+Status FrontierEvaluator::EvaluateBatch(const std::vector<NodeId>& nodes,
+                                        std::vector<char>* alive) {
+  alive->assign(nodes.size(), 0);
+  if (nodes.empty()) return Status::OK();
+  if (options_.num_threads <= 1 || nodes.size() < options_.min_batch) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      KWSDBG_ASSIGN_OR_RETURN(bool v, main_->IsAlive(nodes[i]));
+      (*alive)[i] = v ? 1 : 0;
+    }
+    return Status::OK();
+  }
+  if (workers_.empty()) StartWorkers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &nodes;
+    results_ = alive;
+    next_.store(0);
+    pending_ = workers_.size();
+    batch_status_ = Status::OK();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    status = batch_status_;
+  }
+  ++parallel_rounds_;
+  parallel_nodes_ += nodes.size();
+  max_batch_ = std::max(max_batch_, nodes.size());
+  return status;
+}
+
+void FrontierEvaluator::FillStats(TraversalStats* stats) const {
+  stats->sql_queries += main_->sql_executed() - main_sql_before_;
+  stats->sql_millis += main_->sql_millis() - main_ms_before_;
+  stats->cache_hits += main_->cache_hits() - main_hits_before_;
+  stats->cache_misses += main_->cache_misses() - main_misses_before_;
+  for (const auto& worker : workers_) {
+    stats->sql_queries += worker->evaluator->sql_executed();
+    stats->sql_millis += worker->evaluator->sql_millis();
+    stats->cache_hits += worker->evaluator->cache_hits();
+    stats->cache_misses += worker->evaluator->cache_misses();
+  }
+  if (main_->cache() != nullptr) {
+    stats->cache_evictions +=
+        main_->cache()->stats().evictions - cache_evictions_before_;
+  }
+  stats->parallel_rounds += parallel_rounds_;
+  stats->parallel_nodes += parallel_nodes_;
+  stats->max_batch = std::max(stats->max_batch, max_batch_);
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,96 @@
+// Batched parallel frontier evaluation for the traversal strategies. Each
+// traversal round collects the independent nodes it is about to evaluate
+// (nodes of one lattice level are never ancestor/descendant of one another,
+// so their verdicts cannot infer each other via R1/R2) and fans them out
+// over a small pool of workers, each owning its own Executor + evaluator —
+// the per-thread-executor pattern from baselines/parallel_oracle.cc. R1/R2
+// inference is then applied serially by the caller, in the same order as the
+// serial strategies, so classification results stay bit-identical.
+#ifndef KWSDBG_TRAVERSAL_PARALLEL_FRONTIER_H_
+#define KWSDBG_TRAVERSAL_PARALLEL_FRONTIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "traversal/evaluator.h"
+#include "traversal/strategy.h"
+
+namespace kwsdbg {
+
+/// Evaluates traversal frontiers, serially or in parallel, and accounts for
+/// all SQL / cache traffic across the main evaluator and the workers. The
+/// pool is lazy: threads start on the first batch that meets `min_batch`.
+/// Not thread-safe itself — one FrontierEvaluator per strategy run, used
+/// from the strategy's (single) thread.
+class FrontierEvaluator {
+ public:
+  /// `main` must outlive this object; its db/index/options/cache seed the
+  /// per-worker evaluators.
+  FrontierEvaluator(QueryEvaluator* main, ParallelOptions options);
+  ~FrontierEvaluator();
+
+  FrontierEvaluator(const FrontierEvaluator&) = delete;
+  FrontierEvaluator& operator=(const FrontierEvaluator&) = delete;
+
+  /// Evaluates every node of `nodes`; on success `(*alive)[i]` is the
+  /// verdict for `nodes[i]`. Runs on the calling thread when parallelism is
+  /// off or the batch is below `min_batch`.
+  Status EvaluateBatch(const std::vector<NodeId>& nodes,
+                       std::vector<char>* alive);
+
+  /// Single-node evaluation on the calling thread (main evaluator).
+  StatusOr<bool> EvaluateOne(NodeId id) { return main_->IsAlive(id); }
+
+  /// Adds this run's SQL, cache, and parallelism counters (main evaluator
+  /// deltas since construction + all workers) into `stats`. Call once, after
+  /// the last batch.
+  void FillStats(TraversalStats* stats) const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<Executor> executor;
+    std::unique_ptr<QueryEvaluator> evaluator;
+    std::thread thread;
+  };
+
+  void StartWorkers();
+  void WorkerLoop(Worker* worker);
+
+  QueryEvaluator* main_;
+  ParallelOptions options_;
+
+  // Baselines for delta accounting on the main evaluator / shared cache.
+  size_t main_sql_before_;
+  double main_ms_before_;
+  size_t main_hits_before_;
+  size_t main_misses_before_;
+  size_t cache_evictions_before_ = 0;
+
+  // Round-trip state guarded by mu_ (next_ is the only hot-path shared
+  // variable; it is atomic so workers claim indices lock-free).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<NodeId>* batch_ = nullptr;
+  std::vector<char>* results_ = nullptr;
+  std::atomic<size_t> next_{0};
+  size_t pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  Status batch_status_ = Status::OK();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Parallelism counters (main thread only).
+  size_t parallel_rounds_ = 0;
+  size_t parallel_nodes_ = 0;
+  size_t max_batch_ = 0;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_PARALLEL_FRONTIER_H_

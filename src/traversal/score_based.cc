@@ -12,11 +12,21 @@
 // W(n_j) + (1-p_a) A(n_j) + p_a D(n_j), which this implementation maintains
 // incrementally: classifying node u subtracts its old W from the D of its
 // ancestors and the A of its descendants.
+//
+// Parallel mode prefetches verdicts speculatively: the top-K nodes by gain
+// are evaluated as one batch, but verdicts are *applied* one at a time at
+// the exact argmax the serial greedy would pick (a verdict is ground truth,
+// so applying it at the serial selection point reproduces the serial status
+// evolution bit for bit). Prefetched verdicts whose node the greedy never
+// reselects cost extra SQL — that SQL still populates the shared verdict
+// cache, so it is recouped across interpretations and repeated queries.
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "traversal/pa_estimator.h"
+#include "traversal/parallel_frontier.h"
 #include "traversal/strategies.h"
 
 namespace kwsdbg {
@@ -25,15 +35,15 @@ namespace {
 
 class ScoreBasedStrategy : public TraversalStrategy {
  public:
-  explicit ScoreBasedStrategy(SbhOptions options) : options_(options) {}
+  ScoreBasedStrategy(SbhOptions options, ParallelOptions parallel)
+      : options_(options), parallel_(parallel) {}
 
   std::string_view name() const override { return "SBH"; }
 
   StatusOr<TraversalResult> Run(const PrunedLattice& pl,
                                 QueryEvaluator* evaluator) override {
     Timer total;
-    const size_t sql_before = evaluator->sql_executed();
-    const double ms_before = evaluator->sql_millis();
+    FrontierEvaluator frontier(evaluator, parallel_);
     const size_t num_nodes = pl.lattice().num_nodes();
     NodeStatusMap status(num_nodes);
     double pa = options_.alive_probability;
@@ -74,30 +84,70 @@ class ScoreBasedStrategy : public TraversalStrategy {
       }
     }
 
+    auto gain_of = [&](NodeId n) {
+      return static_cast<double>(w[n]) +
+             (1.0 - pa) * static_cast<double>(a_sum[n]) +
+             pa * static_cast<double>(d_sum[n]);
+    };
+    // The speculation depth: enough to keep every worker busy without
+    // evaluating far down a ranking the inference rules may invalidate.
+    const size_t prefetch_depth =
+        parallel_.num_threads > 1 ? 2 * parallel_.num_threads : 0;
+
     std::vector<NodeId> unknown = pl.retained();
     std::sort(unknown.begin(), unknown.end());
+    std::unordered_map<NodeId, bool> prefetched;
+    std::vector<std::pair<double, NodeId>> cands;
+    std::vector<NodeId> batch;
+    std::vector<char> batch_alive;
     while (!unknown.empty()) {
-      // Compact out classified nodes and pick the best candidate in one scan.
+      // Compact out classified nodes and rank the survivors by gain. The
+      // serial argmax is the highest gain, first (= lowest node id) wins
+      // ties — `cands` is built in ascending id order, so strict `>` below
+      // reproduces that tie-break exactly.
       size_t keep = 0;
-      int best = -1;
-      double best_gain = -1.0;
+      cands.clear();
       for (size_t i = 0; i < unknown.size(); ++i) {
         const NodeId n = unknown[i];
         if (status.IsKnown(n)) continue;
         unknown[keep++] = n;
-        const double gain = static_cast<double>(w[n]) +
-                            (1.0 - pa) * static_cast<double>(a_sum[n]) +
-                            pa * static_cast<double>(d_sum[n]);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best = static_cast<int>(keep - 1);
-        }
+        cands.emplace_back(gain_of(n), n);
       }
       unknown.resize(keep);
       if (unknown.empty()) break;
-      const NodeId n = unknown[static_cast<size_t>(best)];
+      size_t best = 0;
+      for (size_t i = 1; i < cands.size(); ++i) {
+        if (cands[i].first > cands[best].first) best = i;
+      }
+      const NodeId n = cands[best].second;
 
-      KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
+      bool alive;
+      auto it = prefetched.find(n);
+      if (it != prefetched.end()) {
+        alive = it->second;
+        prefetched.erase(it);
+      } else if (prefetch_depth == 0) {
+        KWSDBG_ASSIGN_OR_RETURN(alive, frontier.EvaluateOne(n));
+      } else {
+        // Speculate: batch the current top-K by (gain desc, id asc); the
+        // argmax is first, so its verdict is always available below.
+        prefetched.clear();
+        const size_t k = std::min(prefetch_depth, cands.size());
+        std::partial_sort(cands.begin(), cands.begin() + k, cands.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first != b.first ? a.first > b.first
+                                                      : a.second < b.second;
+                          });
+        batch.clear();
+        for (size_t i = 0; i < k; ++i) batch.push_back(cands[i].second);
+        KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &batch_alive));
+        for (size_t i = 0; i < batch.size(); ++i) {
+          prefetched.emplace(batch[i], batch_alive[i] != 0);
+        }
+        alive = prefetched.at(n);
+        prefetched.erase(n);
+      }
+
       if (alive) {
         // R1: n and its unknown descendants become alive.
         std::vector<NodeId> newly = {n};
@@ -119,20 +169,21 @@ class ScoreBasedStrategy : public TraversalStrategy {
 
     KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
                             internal::BuildOutcomes(pl, status));
-    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
-    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
     return result;
   }
 
  private:
   SbhOptions options_;
+  ParallelOptions parallel_;
 };
 
 }  // namespace
 
-std::unique_ptr<TraversalStrategy> MakeScoreBased(SbhOptions options) {
-  return std::make_unique<ScoreBasedStrategy>(options);
+std::unique_ptr<TraversalStrategy> MakeScoreBased(SbhOptions options,
+                                                  ParallelOptions parallel) {
+  return std::make_unique<ScoreBasedStrategy>(options, parallel);
 }
 
 }  // namespace kwsdbg

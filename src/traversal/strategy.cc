@@ -9,18 +9,19 @@
 namespace kwsdbg {
 
 std::unique_ptr<TraversalStrategy> MakeStrategy(TraversalKind kind,
-                                                SbhOptions sbh) {
+                                                SbhOptions sbh,
+                                                ParallelOptions parallel) {
   switch (kind) {
     case TraversalKind::kBottomUp:
-      return MakeBottomUp();
+      return MakeBottomUp(parallel);
     case TraversalKind::kTopDown:
-      return MakeTopDown();
+      return MakeTopDown(parallel);
     case TraversalKind::kBottomUpWithReuse:
-      return MakeBottomUpWithReuse();
+      return MakeBottomUpWithReuse(parallel);
     case TraversalKind::kTopDownWithReuse:
-      return MakeTopDownWithReuse();
+      return MakeTopDownWithReuse(parallel);
     case TraversalKind::kScoreBased:
-      return MakeScoreBased(sbh);
+      return MakeScoreBased(sbh, parallel);
   }
   return nullptr;
 }

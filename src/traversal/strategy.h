@@ -28,9 +28,30 @@ struct MtnOutcome {
 
 /// Work counters for one strategy run.
 struct TraversalStats {
-  size_t sql_queries = 0;   ///< SQL executions (Fig. 11 / Table 4).
-  double sql_millis = 0;    ///< Time inside SQL execution (Fig. 12).
+  size_t sql_queries = 0;   ///< SQL executions (Fig. 11 / Table 4), summed
+                            ///< across the main evaluator and any workers.
+  double sql_millis = 0;    ///< Time inside SQL execution (Fig. 12); with
+                            ///< workers this is CPU-like (can exceed wall).
   double total_millis = 0;  ///< End-to-end traversal time.
+  // Verdict-cache traffic (zero when no cache is attached to the evaluator).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;  ///< Evictions during this run (cache-wide).
+  // Parallel frontier evaluation (zero when running serially).
+  size_t parallel_rounds = 0;  ///< Batches dispatched to the worker pool.
+  size_t parallel_nodes = 0;   ///< Nodes evaluated by the pool.
+  size_t max_batch = 0;        ///< Largest single batch.
+};
+
+/// Frontier-evaluation parallelism knobs (see parallel_frontier.h). The
+/// default is strictly serial, preserving the paper's single-session model.
+struct ParallelOptions {
+  /// Worker threads for batched frontier evaluation; 0 = hardware
+  /// concurrency, 1 = serial (default).
+  size_t num_threads = 1;
+  /// Batches smaller than this run on the calling thread — thread wake-up
+  /// costs more than a couple of first-row-exit probes.
+  size_t min_batch = 2;
 };
 
 /// Result of one strategy run over one interpretation.
@@ -78,9 +99,11 @@ struct SbhOptions {
   uint64_t estimator_seed = 1;
 };
 
-/// Factory.
+/// Factory. `parallel` configures batched frontier evaluation for every
+/// strategy kind; the default is serial.
 std::unique_ptr<TraversalStrategy> MakeStrategy(TraversalKind kind,
-                                                SbhOptions sbh = {});
+                                                SbhOptions sbh = {},
+                                                ParallelOptions parallel = {});
 
 namespace internal {
 

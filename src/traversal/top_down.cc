@@ -1,10 +1,15 @@
 // TD (paper Sec. 2.5.1): classify one MTN at a time, sweeping its sub-lattice
 // from the MTN down to the single-table level; R1 propagates aliveness to all
 // descendants. No sharing across MTNs.
+//
+// Frontier batching: same-level nodes are independent (R1 only reaches
+// strictly lower levels), so each level's unknown nodes are evaluated as one
+// parallel batch and folded in serially — bit-identical to the serial sweep.
 #include <algorithm>
 #include <map>
 
 #include "common/timer.h"
+#include "traversal/parallel_frontier.h"
 #include "traversal/strategies.h"
 
 namespace kwsdbg {
@@ -13,14 +18,17 @@ namespace {
 
 class TopDownStrategy : public TraversalStrategy {
  public:
+  explicit TopDownStrategy(ParallelOptions parallel) : parallel_(parallel) {}
+
   std::string_view name() const override { return "TD"; }
 
   StatusOr<TraversalResult> Run(const PrunedLattice& pl,
                                 QueryEvaluator* evaluator) override {
     Timer total;
-    const size_t sql_before = evaluator->sql_executed();
-    const double ms_before = evaluator->sql_millis();
     TraversalResult result;
+    FrontierEvaluator frontier(evaluator, parallel_);
+    std::vector<NodeId> batch;
+    std::vector<char> alive;
     for (NodeId m : pl.mtns()) {
       NodeStatusMap status(pl.lattice().num_nodes());
       std::map<size_t, std::vector<NodeId>, std::greater<size_t>> by_level;
@@ -30,13 +38,16 @@ class TopDownStrategy : public TraversalStrategy {
       }
       for (auto& [level, nodes] : by_level) {
         std::sort(nodes.begin(), nodes.end());
+        batch.clear();
         for (NodeId n : nodes) {
-          if (status.IsKnown(n)) continue;  // inferred alive via R1
-          KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
-          if (alive) {
-            status.MarkAliveWithDescendants(n, pl);
+          if (!status.IsKnown(n)) batch.push_back(n);  // not inferred via R1
+        }
+        KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (alive[i]) {
+            status.MarkAliveWithDescendants(batch[i], pl);
           } else {
-            status.Set(n, NodeStatus::kDead);
+            status.Set(batch[i], NodeStatus::kDead);
           }
         }
       }
@@ -49,17 +60,19 @@ class TopDownStrategy : public TraversalStrategy {
       }
       result.outcomes.push_back(std::move(outcome));
     }
-    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
-    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
     return result;
   }
+
+ private:
+  ParallelOptions parallel_;
 };
 
 }  // namespace
 
-std::unique_ptr<TraversalStrategy> MakeTopDown() {
-  return std::make_unique<TopDownStrategy>();
+std::unique_ptr<TraversalStrategy> MakeTopDown(ParallelOptions parallel) {
+  return std::make_unique<TopDownStrategy>(parallel);
 }
 
 }  // namespace kwsdbg

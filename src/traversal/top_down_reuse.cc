@@ -1,9 +1,14 @@
 // TDWR (paper Sec. 2.5.2): the top-down twin of BUWR — one global top-down
 // sweep with a shared status map; R1 propagates aliveness downward across
 // all MTNs' sub-lattices at once.
+//
+// Frontier batching: R1 from a node only reaches strictly lower levels, so
+// each level's unknown nodes form an independent parallel batch; serial
+// fold-in keeps the classification bit-identical to the serial sweep.
 #include <algorithm>
 
 #include "common/timer.h"
+#include "traversal/parallel_frontier.h"
 #include "traversal/strategies.h"
 
 namespace kwsdbg {
@@ -12,40 +17,50 @@ namespace {
 
 class TopDownWithReuseStrategy : public TraversalStrategy {
  public:
+  explicit TopDownWithReuseStrategy(ParallelOptions parallel)
+      : parallel_(parallel) {}
+
   std::string_view name() const override { return "TDWR"; }
 
   StatusOr<TraversalResult> Run(const PrunedLattice& pl,
                                 QueryEvaluator* evaluator) override {
     Timer total;
-    const size_t sql_before = evaluator->sql_executed();
-    const double ms_before = evaluator->sql_millis();
     NodeStatusMap status(pl.lattice().num_nodes());
+    FrontierEvaluator frontier(evaluator, parallel_);
+    std::vector<NodeId> batch;
+    std::vector<char> alive;
     for (size_t level = pl.MaxRetainedLevel(); level >= 1; --level) {
       std::vector<NodeId> nodes = pl.RetainedAtLevel(level);
       std::sort(nodes.begin(), nodes.end());
+      batch.clear();
       for (NodeId n : nodes) {
-        if (status.IsKnown(n)) continue;  // shared result or inferred alive
-        KWSDBG_ASSIGN_OR_RETURN(bool alive, evaluator->IsAlive(n));
-        if (alive) {
-          status.MarkAliveWithDescendants(n, pl);  // R1
+        if (!status.IsKnown(n)) batch.push_back(n);  // shared or inferred
+      }
+      KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (alive[i]) {
+          status.MarkAliveWithDescendants(batch[i], pl);  // R1
         } else {
-          status.Set(n, NodeStatus::kDead);
+          status.Set(batch[i], NodeStatus::kDead);
         }
       }
     }
     KWSDBG_ASSIGN_OR_RETURN(TraversalResult result,
                             internal::BuildOutcomes(pl, status));
-    result.stats.sql_queries = evaluator->sql_executed() - sql_before;
-    result.stats.sql_millis = evaluator->sql_millis() - ms_before;
+    frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
     return result;
   }
+
+ private:
+  ParallelOptions parallel_;
 };
 
 }  // namespace
 
-std::unique_ptr<TraversalStrategy> MakeTopDownWithReuse() {
-  return std::make_unique<TopDownWithReuseStrategy>();
+std::unique_ptr<TraversalStrategy> MakeTopDownWithReuse(
+    ParallelOptions parallel) {
+  return std::make_unique<TopDownWithReuseStrategy>(parallel);
 }
 
 }  // namespace kwsdbg

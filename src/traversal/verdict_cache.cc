@@ -1,0 +1,24 @@
+#include "traversal/verdict_cache.h"
+
+namespace kwsdbg {
+
+VerdictCache::VerdictCache(size_t capacity, size_t num_shards)
+    : cache_(capacity, num_shards) {}
+
+std::optional<bool> VerdictCache::Lookup(const std::string& canonical,
+                                         const std::string& binding_sig,
+                                         uint64_t epoch) {
+  return cache_.Get(VerdictKey{canonical, binding_sig, epoch});
+}
+
+void VerdictCache::Insert(const std::string& canonical,
+                          const std::string& binding_sig, uint64_t epoch,
+                          bool alive) {
+  cache_.Put(VerdictKey{canonical, binding_sig, epoch}, alive);
+}
+
+void VerdictCache::Clear() { cache_.Clear(); }
+
+VerdictCacheStats VerdictCache::stats() const { return cache_.stats(); }
+
+}  // namespace kwsdbg

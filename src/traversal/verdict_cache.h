@@ -1,0 +1,72 @@
+// Cross-query verdict cache for node aliveness (the system-level extension
+// of the paper's intra-query reuse, rules R1/R2): the truth of "does this
+// join network return a tuple?" depends only on the network's shape, the
+// keywords bound to its copies, and the database contents. Keying verdicts
+// by (canonical node label, keyword-binding signature, database epoch)
+// therefore lets a session skip the SQL entirely when the same sub-query
+// recurs — across interpretations of one query, across repeated queries,
+// and across concurrent frontier workers. Thread-safe (sharded LRU inside).
+#ifndef KWSDBG_TRAVERSAL_VERDICT_CACHE_H_
+#define KWSDBG_TRAVERSAL_VERDICT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/hash.h"
+#include "common/lru_cache.h"
+
+namespace kwsdbg {
+
+/// Composite cache key. The canonical label (Algorithm 2) identifies the
+/// join network up to isomorphism; the binding signature pins which keyword
+/// each copy carries; the epoch invalidates verdicts on database mutation.
+struct VerdictKey {
+  std::string canonical;    ///< CanonicalLabel of the node's join tree.
+  std::string binding_sig;  ///< KeywordBinding::Signature().
+  uint64_t epoch = 0;       ///< Database::epoch() at evaluation time.
+
+  bool operator==(const VerdictKey&) const = default;
+};
+
+struct VerdictKeyHash {
+  size_t operator()(const VerdictKey& k) const {
+    size_t seed = std::hash<std::string>{}(k.canonical);
+    HashCombine(&seed, std::hash<std::string>{}(k.binding_sig));
+    HashCombine(&seed, std::hash<uint64_t>{}(k.epoch));
+    return seed;
+  }
+};
+
+/// Point-in-time counters (see LruCacheStats for field semantics).
+using VerdictCacheStats = LruCacheStats;
+
+/// Session-scoped aliveness memo shared by evaluators and frontier workers.
+class VerdictCache {
+ public:
+  /// `capacity` bounds resident verdicts; entries are ~100 bytes each.
+  explicit VerdictCache(size_t capacity = kDefaultCapacity,
+                        size_t num_shards = 8);
+
+  /// The verdict recorded for this (node, binding, epoch), if any.
+  std::optional<bool> Lookup(const std::string& canonical,
+                             const std::string& binding_sig, uint64_t epoch);
+
+  /// Records a verdict computed by SQL evaluation.
+  void Insert(const std::string& canonical, const std::string& binding_sig,
+              uint64_t epoch, bool alive);
+
+  /// Drops all entries (e.g. on explicit session reset).
+  void Clear();
+
+  VerdictCacheStats stats() const;
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  ShardedLruCache<VerdictKey, bool, VerdictKeyHash> cache_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TRAVERSAL_VERDICT_CACHE_H_

@@ -1,0 +1,106 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kwsdbg {
+namespace {
+
+TEST(ShardedLruCacheTest, GetMissThenHit) {
+  ShardedLruCache<int, std::string> cache(/*capacity=*/4, /*num_shards=*/1);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  cache.Put(1, "one");
+  EXPECT_EQ(cache.Get(1), "one");
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // Single shard so the whole capacity is one recency list.
+  ShardedLruCache<int, int> cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  ASSERT_EQ(cache.Get(1), 10);  // refresh 1: LRU order is now 2, 3, 1
+  cache.Put(4, 40);             // evicts 2
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(1), 10);
+  EXPECT_EQ(cache.Get(3), 30);
+  EXPECT_EQ(cache.Get(4), 40);
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(ShardedLruCacheTest, PutOverwritesAndRefreshes) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite refreshes 1, so 2 is now the LRU entry
+  cache.Put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(3), 30);
+  EXPECT_EQ(cache.stats().insertions, 3u);  // overwrite is not an insertion
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedLruCache<int, int> cache(/*capacity=*/8, /*num_shards=*/2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_EQ(cache.Get(1), 10);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+TEST(ShardedLruCacheTest, CapacitySplitsAcrossShards) {
+  ShardedLruCache<int, int> cache(/*capacity=*/16, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  for (int i = 0; i < 64; ++i) cache.Put(i, i);
+  // Each shard holds at most capacity/num_shards entries.
+  EXPECT_LE(cache.stats().entries, 16u);
+  EXPECT_GE(cache.stats().evictions, 64u - 16u);
+}
+
+TEST(ShardedLruCacheTest, ZeroShardsRoundsUpToOne) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/0);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), 10);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  ShardedLruCache<int, int> cache(/*capacity=*/64, /*num_shards=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key = (t * 31 + i) % 128;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 2);
+        } else if (auto v = cache.Get(key)) {
+          EXPECT_EQ(*v, key * 2);  // values are a pure function of the key
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -50,6 +50,20 @@ TEST(LikeMatchTest, EmptyPatternMatchesOnlyEmpty) {
   EXPECT_FALSE(LikeMatch("", "x"));
 }
 
+TEST(LikeMatchTest, EscapedWildcardsMatchLiterally) {
+  EXPECT_TRUE(LikeMatch("100\\%", "100%"));
+  EXPECT_FALSE(LikeMatch("100\\%", "100x"));
+  EXPECT_FALSE(LikeMatch("100\\%", "1000"));
+  EXPECT_TRUE(LikeMatch("a\\_b", "a_b"));
+  EXPECT_FALSE(LikeMatch("a\\_b", "axb"));
+  EXPECT_TRUE(LikeMatch("c:\\\\temp", "c:\\temp"));
+  EXPECT_TRUE(LikeMatch("%50\\%%", "save 50% today"));
+  EXPECT_FALSE(LikeMatch("%50\\%%", "save 50 today"));
+  // A trailing lone backslash is a literal backslash.
+  EXPECT_TRUE(LikeMatch("x\\", "x\\"));
+  EXPECT_FALSE(LikeMatch("x\\", "x"));
+}
+
 TEST(ContainsPatternTest, BuildsAndExtracts) {
   EXPECT_EQ(ContainsPattern("saffron"), "%saffron%");
   EXPECT_EQ(ExtractContainedKeyword("%saffron%"), "saffron");
@@ -58,6 +72,32 @@ TEST(ContainsPatternTest, BuildsAndExtracts) {
   EXPECT_EQ(ExtractContainedKeyword("%sa_f%"), "");
   EXPECT_EQ(ExtractContainedKeyword("%%"), "");
   EXPECT_EQ(ExtractContainedKeyword("%"), "");
+}
+
+TEST(ContainsPatternTest, EscapesWildcardKeywords) {
+  // Regression: "100%" used to build the over-matching pattern "%100%%" and
+  // ExtractContainedKeyword could not invert it. Escaping keeps both
+  // directions exact.
+  EXPECT_EQ(ContainsPattern("100%"), "%100\\%%");
+  EXPECT_EQ(ExtractContainedKeyword("%100\\%%"), "100%");
+  EXPECT_EQ(ContainsPattern("a_b"), "%a\\_b%");
+  EXPECT_EQ(ExtractContainedKeyword("%a\\_b%"), "a_b");
+  EXPECT_EQ(ContainsPattern("back\\slash"), "%back\\\\slash%");
+  EXPECT_EQ(ExtractContainedKeyword("%back\\\\slash%"), "back\\slash");
+  // An escaped closing '%' is not a containment scan.
+  EXPECT_EQ(ExtractContainedKeyword("%abc\\%"), "");
+
+  EXPECT_TRUE(LikeMatch(ContainsPattern("100%"), "sale: 100% off"));
+  EXPECT_FALSE(LikeMatch(ContainsPattern("100%"), "sale: 1000 off"));
+  EXPECT_TRUE(LikeMatch(ContainsPattern("a_b"), "xx a_b yy"));
+  EXPECT_FALSE(LikeMatch(ContainsPattern("a_b"), "xx aXb yy"));
+}
+
+TEST(ContainsPatternTest, RoundTripsEveryKeyword) {
+  for (const char* kw : {"plain", "100%", "_", "%", "\\", "a\\%b", "%_%",
+                         "trailing\\"}) {
+    EXPECT_EQ(ExtractContainedKeyword(ContainsPattern(kw)), kw) << kw;
+  }
 }
 
 }  // namespace

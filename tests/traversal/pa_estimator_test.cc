@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/return_everything.h"
 #include "test_util.h"
 #include "traversal/strategies.h"
@@ -91,6 +93,20 @@ TEST_F(PaEstimatorTest, EmptySearchSpaceReturnsPrior) {
   auto estimate = EstimateAliveProbability(no_mtn, &evaluator);
   ASSERT_TRUE(estimate.ok());
   EXPECT_EQ(estimate->sampled, 0u);
+  EXPECT_DOUBLE_EQ(estimate->alive_probability, 0.5);
+}
+
+TEST_F(PaEstimatorTest, ZeroSampleSizeKeepsPriorWithoutNan) {
+  // Regression: sample_size = 0 used to divide 0/0 and return NaN, which
+  // poisoned every downstream gain comparison. An empty sample must keep the
+  // 0.5 prior.
+  PaEstimatorOptions options;
+  options.sample_size = 0;
+  auto estimate = EstimateAliveProbability(pl_, &evaluator_, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->sampled, 0u);
+  EXPECT_EQ(estimate->sql_executed, 0u);
+  EXPECT_FALSE(std::isnan(estimate->alive_probability));
   EXPECT_DOUBLE_EQ(estimate->alive_probability, 0.5);
 }
 
