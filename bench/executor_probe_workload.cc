@@ -1,0 +1,212 @@
+// Executor v1 vs. v2 on the existence-probe workload: every strategy's
+// aliveness probes are re-run twice per environment — once with the v1
+// configuration (LIKE-scan keyword candidates, no semijoin pre-reduction)
+// and once with the v2 configuration (posting-list candidates + semijoin
+// pre-reduction). The session verdict cache is disabled on both sides so
+// each SQL probe really hits the executor.
+//
+// Correctness gate, not just a timing report: the A(K)/N(K)/M(K)
+// classification of every query must be identical between the two
+// configurations for all five strategies — the bench aborts otherwise.
+// On the v2 side the bench additionally checks that the indexed path
+// never fell back to a full keyword scan and that the semijoin pass
+// eliminated at least one probe outright.
+//
+//   ./executor_probe_workload            # DBLife paper workload + e-commerce
+//   ./executor_probe_workload --smoke    # toy product DB only (ctest gate)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "datasets/ecommerce.h"
+#include "datasets/toy_product_db.h"
+#include "datasets/workload.h"
+#include "debugger/non_answer_debugger.h"
+#include "lattice/lattice_generator.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+/// One dataset + lattice + keyword queries to replay.
+struct ProbeEnv {
+  std::string name;
+  const Database* db = nullptr;
+  const Lattice* lattice = nullptr;
+  const InvertedIndex* index = nullptr;
+  std::vector<std::string> queries;
+};
+
+struct VariantRun {
+  std::string signature;  ///< A/N/M classification, bit-for-bit.
+  TraversalStats stats;
+  double millis = 0;
+};
+
+/// Serializes the parts of a report that define the debugging outcome:
+/// per interpretation, the alive networks and the dead networks with
+/// their MPANs and culprits. Any divergence between executor variants
+/// shows up as a signature mismatch.
+void AppendSignature(const DebugReport& report, std::string* out) {
+  out->append("Q ").append(report.keyword_query).append("\n");
+  for (const std::string& missing : report.missing_keywords) {
+    out->append("missing ").append(missing).append("\n");
+  }
+  for (const InterpretationReport& interp : report.interpretations) {
+    out->append("I ").append(interp.binding).append("\n");
+    for (const AnswerReport& a : interp.answers) {
+      out->append("A ").append(a.query.network).append("\n");
+    }
+    for (const NonAnswerReport& na : interp.non_answers) {
+      out->append("N ").append(na.query.network).append("\n");
+      for (const NodeReport& m : na.mpans) {
+        out->append("M ").append(m.network).append("\n");
+      }
+      for (const NodeReport& c : na.culprits) {
+        out->append("C ").append(c.network).append("\n");
+      }
+    }
+  }
+}
+
+VariantRun RunVariant(const ProbeEnv& env, TraversalKind kind, bool v2) {
+  DebuggerOptions options;
+  options.strategy = kind;
+  options.verdict_cache_capacity = 0;  // measure raw probes, not the cache
+  options.executor.use_text_index = v2;
+  options.executor.semijoin_reduction = v2;
+  NonAnswerDebugger debugger(env.db, env.lattice, env.index, options);
+  VariantRun run;
+  Timer timer;
+  for (const std::string& query : env.queries) {
+    auto report = debugger.Debug(query);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    AppendSignature(*report, &run.signature);
+    TraversalStats stats = report->AggregateTraversalStats();
+    run.stats.sql_queries += stats.sql_queries;
+    run.stats.sql_millis += stats.sql_millis;
+    run.stats.posting_hits += stats.posting_hits;
+    run.stats.scan_fallbacks += stats.scan_fallbacks;
+    run.stats.semijoin_eliminations += stats.semijoin_eliminations;
+    run.stats.rows_probed += stats.rows_probed;
+    run.stats.rows_filtered += stats.rows_filtered;
+    run.stats.index_builds += stats.index_builds;
+  }
+  run.millis = timer.ElapsedMillis();
+  return run;
+}
+
+void RunEnv(const ProbeEnv& env, TablePrinter* table, bool require_gains) {
+  const TraversalKind kinds[] = {
+      TraversalKind::kBottomUp, TraversalKind::kTopDown,
+      TraversalKind::kBottomUpWithReuse, TraversalKind::kTopDownWithReuse,
+      TraversalKind::kScoreBased};
+  for (TraversalKind kind : kinds) {
+    VariantRun v1 = RunVariant(env, kind, /*v2=*/false);
+    VariantRun v2 = RunVariant(env, kind, /*v2=*/true);
+    KWSDBG_CHECK(v1.signature == v2.signature)
+        << env.name << "/" << TraversalKindName(kind)
+        << ": v1 and v2 classify the workload differently";
+    KWSDBG_CHECK(v2.stats.scan_fallbacks == 0)
+        << env.name << "/" << TraversalKindName(kind)
+        << ": indexed path fell back to " << v2.stats.scan_fallbacks
+        << " full keyword scan(s)";
+    if (require_gains) {
+      KWSDBG_CHECK(v2.stats.semijoin_eliminations > 0)
+          << env.name << "/" << TraversalKindName(kind)
+          << ": semijoin pre-reduction never fired";
+    }
+    auto add_row = [&](const char* variant, const VariantRun& run) {
+      table->AddRow({env.name, std::string(TraversalKindName(kind)), variant,
+                     std::to_string(run.stats.sql_queries),
+                     std::to_string(run.stats.posting_hits),
+                     std::to_string(run.stats.scan_fallbacks),
+                     std::to_string(run.stats.semijoin_eliminations),
+                     std::to_string(run.stats.rows_probed),
+                     std::to_string(run.stats.rows_filtered),
+                     Fmt(run.millis)});
+    };
+    add_row("v1", v1);
+    add_row("v2", v2);
+  }
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  TablePrinter table({"env", "strategy", "variant", "SQL", "posting",
+                      "scans", "semijoin kills", "rows probed",
+                      "rows filtered", "ms"});
+
+  LatticeConfig small_lattice;
+  small_lattice.max_joins = 2;
+  small_lattice.num_keyword_copies = 2;
+
+  if (smoke) {
+    auto toy = BuildToyProductDatabase();
+    KWSDBG_CHECK(toy.ok()) << toy.status().ToString();
+    auto lattice = LatticeGenerator::Generate(toy->schema, small_lattice);
+    KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+    InvertedIndex index = InvertedIndex::Build(*toy->db);
+    ProbeEnv env;
+    env.name = "toy";
+    env.db = toy->db.get();
+    env.lattice = lattice->get();
+    env.index = &index;
+    env.queries = {"saffron candle", "scented candle", "red candle"};
+    std::printf("Executor probe workload (smoke): toy product DB, %zu "
+                "queries\n", env.queries.size());
+    RunEnv(env, &table, /*require_gains=*/true);
+    table.Print();
+    std::printf("\nsmoke OK: classifications identical, zero scan "
+                "fallbacks on the indexed path\n");
+    return 0;
+  }
+
+  const size_t level = std::min<size_t>(5, EnvMaxLevel());
+  BenchEnv dblife({level});
+  ProbeEnv paper;
+  paper.name = "dblife L" + std::to_string(level);
+  paper.db = &dblife.db();
+  paper.lattice = &dblife.lattice(level);
+  paper.index = &dblife.index();
+  for (const WorkloadQuery& q : PaperWorkload()) paper.queries.push_back(q.text);
+
+  EcommerceConfig shop_config;
+  shop_config.num_items = 500;
+  auto shop = GenerateEcommerce(shop_config);
+  KWSDBG_CHECK(shop.ok()) << shop.status().ToString();
+  auto shop_lattice = LatticeGenerator::Generate(shop->schema, small_lattice);
+  KWSDBG_CHECK(shop_lattice.ok()) << shop_lattice.status().ToString();
+  InvertedIndex shop_index = InvertedIndex::Build(*shop->db);
+  ProbeEnv ecommerce;
+  ecommerce.name = "ecommerce";
+  ecommerce.db = shop->db.get();
+  ecommerce.lattice = shop_lattice->get();
+  ecommerce.index = &shop_index;
+  ecommerce.queries = {"saffron candle", "lavender soap", "azure diffuser",
+                       "handmade crimson candle"};
+
+  std::printf("Executor probe workload: v1 (LIKE scans, no semijoin) vs "
+              "v2 (posting lists + semijoin), verdict cache off\n");
+  RunEnv(paper, &table, /*require_gains=*/true);
+  RunEnv(ecommerce, &table, /*require_gains=*/true);
+  table.Print();
+  std::printf("\nOK: classifications identical across all strategies and "
+              "both datasets\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main(int argc, char** argv) { return kwsdbg::bench::Main(argc, argv); }

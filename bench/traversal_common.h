@@ -35,6 +35,7 @@ inline StrategyRun RunStrategyOnQuery(const BenchEnv& env, size_t level,
                        lattice.config().EffectiveKeywordCopies());
   BindingResult binding_result = binder.Bind(query);
   Executor executor(&env.db());
+  executor.RegisterTextIndex(&env.index());
   for (const KeywordBinding& binding : binding_result.interpretations) {
     PrunedLattice pl = PrunedLattice::Build(lattice, binding);
     if (pl.mtns().empty()) continue;

@@ -38,6 +38,13 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.parallel_nodes += interp.traversal_stats.parallel_nodes;
     stats.max_batch = std::max(stats.max_batch,
                                interp.traversal_stats.max_batch);
+    stats.posting_hits += interp.traversal_stats.posting_hits;
+    stats.scan_fallbacks += interp.traversal_stats.scan_fallbacks;
+    stats.semijoin_eliminations +=
+        interp.traversal_stats.semijoin_eliminations;
+    stats.rows_probed += interp.traversal_stats.rows_probed;
+    stats.rows_filtered += interp.traversal_stats.rows_filtered;
+    stats.index_builds += interp.traversal_stats.index_builds;
   }
   return stats;
 }
@@ -72,6 +79,16 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
           << " hit(s), " << rep.traversal_stats.cache_misses << " miss(es))";
     }
     out << "\n";
+    const TraversalStats& ts = rep.traversal_stats;
+    if (ts.posting_hits + ts.scan_fallbacks + ts.semijoin_eliminations +
+            ts.rows_probed + ts.rows_filtered >
+        0) {
+      out << "   executor: " << ts.posting_hits << " posting-list match set(s), "
+          << ts.scan_fallbacks << " scan fallback(s), "
+          << ts.semijoin_eliminations << " semijoin elimination(s), "
+          << ts.rows_probed << " row(s) probed, " << ts.rows_filtered
+          << " filtered, " << ts.index_builds << " index build(s)\n";
+    }
     size_t shown = 0;
     for (const AnswerReport& ans : rep.answers) {
       if (shown++ >= max_items_per_section) {

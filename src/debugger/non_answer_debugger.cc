@@ -15,14 +15,18 @@ NonAnswerDebugger::NonAnswerDebugger(const Database* db,
       lattice_(lattice),
       index_(index),
       options_(options),
-      executor_(std::make_unique<Executor>(db)),
+      executor_(std::make_unique<Executor>(db, options.executor)),
       verdict_cache_(options.verdict_cache_capacity > 0
                          ? std::make_unique<VerdictCache>(
                                options.verdict_cache_capacity)
                          : nullptr),
       binder_(&lattice->schema(), index,
               lattice->config().EffectiveKeywordCopies(),
-              options.max_interpretations) {}
+              options.max_interpretations) {
+  // The same inverted index that drives Phase 1 binding also serves the
+  // executor's keyword candidates (posting lists instead of LIKE scans).
+  executor_->RegisterTextIndex(index);
+}
 
 namespace {
 

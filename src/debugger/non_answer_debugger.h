@@ -27,6 +27,10 @@ struct DebuggerOptions {
   /// persists across Debug() calls, so repeated keyword queries skip the SQL
   /// for every recurring (sub-)network until the database epoch changes.
   size_t verdict_cache_capacity = VerdictCache::kDefaultCapacity;
+  /// SQL-session knobs: posting-list candidate sourcing and semijoin
+  /// pre-reduction (both on by default; benches flip them off to measure
+  /// the executor-v1 probe path).
+  ExecutorOptions executor;
   /// Batched parallel frontier evaluation (default: serial).
   ParallelOptions parallel;
   /// Sample result tuples fetched per answer query (0 = skip sampling;

@@ -90,7 +90,14 @@ std::string DebugReportToJson(const DebugReport& report) {
         << ",\"cache_evictions\":" << interp.traversal_stats.cache_evictions
         << ",\"parallel_rounds\":" << interp.traversal_stats.parallel_rounds
         << ",\"parallel_nodes\":" << interp.traversal_stats.parallel_nodes
-        << ",\"max_batch\":" << interp.traversal_stats.max_batch << '}';
+        << ",\"max_batch\":" << interp.traversal_stats.max_batch
+        << ",\"posting_hits\":" << interp.traversal_stats.posting_hits
+        << ",\"scan_fallbacks\":" << interp.traversal_stats.scan_fallbacks
+        << ",\"semijoin_eliminations\":"
+        << interp.traversal_stats.semijoin_eliminations
+        << ",\"rows_probed\":" << interp.traversal_stats.rows_probed
+        << ",\"rows_filtered\":" << interp.traversal_stats.rows_filtered
+        << ",\"index_builds\":" << interp.traversal_stats.index_builds << '}';
     out << ",\"answers\":[";
     for (size_t a = 0; a < interp.answers.size(); ++a) {
       if (a > 0) out << ',';

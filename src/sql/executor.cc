@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "sql/like_matcher.h"
+#include "text/tokenizer.h"
 
 namespace kwsdbg {
 
@@ -37,16 +38,39 @@ struct PreparedQuery {
   std::vector<bool> order_connected;  // order[i] joined to a prior instance?
 };
 
+/// Per-vertex candidate rows for one query. A vertex with no keyword and no
+/// selections starts "full" (every row passes trivially) and is only
+/// materialized if a semijoin pass reduces it.
+struct VertexCandidates {
+  bool materialized = false;
+  std::vector<uint32_t> rows;   // ascending
+  std::vector<uint8_t> bitmap;  // sized num_rows; valid iff materialized
+};
+
+/// Adds exec_millis on every exit path, including error returns — the
+/// counters must not drift on invalid queries.
+struct ExecTimeGuard {
+  Timer timer;
+  double* acc;
+  explicit ExecTimeGuard(double* a) : acc(a) {}
+  ~ExecTimeGuard() { *acc += timer.ElapsedMillis(); }
+};
+
 }  // namespace
 
 std::string ResultSet::ToString(size_t max_rows) const {
   std::string out;
+  size_t header_width = 0;
   for (size_t i = 0; i < columns.size(); ++i) {
-    if (i > 0) out += " | ";
+    if (i > 0) {
+      out += " | ";
+      header_width += 3;
+    }
     out += columns[i];
+    header_width += columns[i].size();
   }
   out += "\n";
-  out += std::string(std::min<size_t>(out.size(), 120), '-');
+  out += std::string(std::min<size_t>(header_width, 120), '-');
   out += "\n";
   size_t shown = 0;
   for (const Tuple& row : rows) {
@@ -65,33 +89,82 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
+bool Executor::IndexServable(const std::string& keyword) const {
+  if (text_index_ == nullptr || !options_.use_text_index) return false;
+  // Exactness requires the keyword to be one maximal alphanumeric run: then
+  // any case-insensitive '%keyword%' hit lies inside a single token, and
+  // the dictionary scan over indexed terms finds exactly those rows.
+  const std::vector<std::string> tokens = Tokenize(keyword);
+  return tokens.size() == 1 && tokens[0] == keyword;
+}
+
+const std::vector<const std::vector<Posting>*>& Executor::InfixLists(
+    const std::string& keyword) {
+  auto it = infix_cache_.find(keyword);
+  if (it != infix_cache_.end()) return it->second;
+  return infix_cache_
+      .emplace(keyword, text_index_->PostingListsContaining(keyword))
+      .first->second;
+}
+
 const Executor::KeywordMatches& Executor::GetKeywordMatches(
     const Table* table, const std::string& keyword) {
   auto key = std::make_pair(table, keyword);
   auto it = keyword_cache_.find(key);
   if (it != keyword_cache_.end()) return it->second;
-  ++stats_.keyword_scans;
   KeywordMatches matches;
   matches.bitmap.assign(table->num_rows(), 0);
-  const std::vector<size_t> text_cols = table->schema().TextColumnIndices();
-  for (size_t row = 0; row < table->num_rows(); ++row) {
-    for (size_t col : text_cols) {
-      const Value& v = table->at(row, col);
-      if (v.is_null()) continue;
-      if (ContainsCaseInsensitive(v.AsString(), keyword)) {
-        matches.bitmap[row] = 1;
-        ++matches.count;
-        break;
+  const uint32_t tid = IndexServable(keyword)
+                           ? text_index_->TableIdOf(table->name())
+                           : InvertedIndex::kNoTable;
+  if (tid != InvertedIndex::kNoTable) {
+    // Posting-list path: union the lists of every term containing the
+    // keyword, restricted to this table.
+    ++stats_.posting_hits;
+    for (const std::vector<Posting>* list : InfixLists(keyword)) {
+      for (const Posting& p : *list) {
+        if (p.table_id != tid) continue;
+        if (!matches.bitmap[p.row]) {
+          matches.bitmap[p.row] = 1;
+          ++matches.count;
+        }
       }
     }
+  } else {
+    // Scan fallback: LIKE '%keyword%' over every text column.
+    ++stats_.keyword_scans;
+    const std::vector<size_t> text_cols = table->schema().TextColumnIndices();
+    for (size_t row = 0; row < table->num_rows(); ++row) {
+      for (size_t col : text_cols) {
+        const Value& v = table->at(row, col);
+        if (v.is_null()) continue;
+        if (ContainsCaseInsensitive(v.AsString(), keyword)) {
+          matches.bitmap[row] = 1;
+          ++matches.count;
+          break;
+        }
+      }
+    }
+  }
+  matches.rows.reserve(matches.count);
+  for (size_t row = 0; row < matches.bitmap.size(); ++row) {
+    if (matches.bitmap[row]) matches.rows.push_back(static_cast<uint32_t>(row));
   }
   return keyword_cache_.emplace(std::move(key), std::move(matches))
       .first->second;
 }
 
+const RowIndex& Executor::GetJoinIndex(const Table* table, size_t column) {
+  const size_t before = indexes_.num_indexes();
+  const RowIndex& index = indexes_.GetOrBuild(table, column);
+  stats_.index_builds += indexes_.num_indexes() - before;
+  return index;
+}
+
 void Executor::ClearCaches() {
   indexes_.Clear();
   keyword_cache_.clear();
+  infix_cache_.clear();
 }
 
 namespace {
@@ -144,7 +217,7 @@ void ChooseOrder(PreparedQuery* pq) {
 
 /// Resolves names to indexes, computes candidate counts, and picks the
 /// instance order. `keyword_count` reports how many rows of a table match a
-/// keyword (backed by the executor's scan cache).
+/// keyword (backed by the executor's match-set cache).
 StatusOr<PreparedQuery> PrepareQuery(
     const JoinNetworkQuery& query, const Database& db,
     const std::function<size_t(const Table*, const std::string&)>&
@@ -196,10 +269,10 @@ StatusOr<PreparedQuery> PrepareQuery(
 
 }  // namespace
 
-StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
-                                      size_t limit) {
-  Timer timer;
+StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
+                                 ResultSet* out) {
   ++stats_.queries_executed;
+  ExecTimeGuard time_guard(&stats_.exec_millis);
   auto keyword_count = [this](const Table* table, const std::string& kw) {
     return GetKeywordMatches(table, kw).count;
   };
@@ -207,24 +280,164 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
                           PrepareQuery(query, *db_, keyword_count));
   const size_t n = pq.vertices.size();
 
-  ResultSet result;
-  for (size_t i = 0; i < n; ++i) {
-    for (const Column& col : pq.vertices[i].table->schema().columns()) {
-      result.columns.push_back(query.vertices[i].alias + "." + col.name);
+  if (out != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      for (const Column& col : pq.vertices[i].table->schema().columns()) {
+        out->columns.push_back(query.vertices[i].alias + "." + col.name);
+      }
     }
   }
 
   // Fast reject: a bound instance with zero matching rows.
   for (const PreparedVertex& pv : pq.vertices) {
-    if (pv.candidate_count == 0) {
-      stats_.exec_millis += timer.ElapsedMillis();
-      return result;
+    if (pv.candidate_count == 0) return false;
+  }
+
+  // --- Stage 1: candidate sourcing ---------------------------------------
+  // Materialize the candidate rows of every vertex with any per-row filter
+  // (keyword containment, constant selections, column LIKEs); unfiltered
+  // vertices stay "full" until a semijoin pass touches them.
+  std::vector<VertexCandidates> cand(n);
+  for (size_t v = 0; v < n; ++v) {
+    const PreparedVertex& pv = pq.vertices[v];
+    const bool filtered =
+        pv.has_keyword || !pq.selections[v].empty() || !pq.likes[v].empty();
+    if (!filtered) continue;
+    VertexCandidates& c = cand[v];
+    c.materialized = true;
+    c.bitmap.assign(pv.table->num_rows(), 0);
+    auto residual_ok = [&](uint32_t row) {
+      for (const auto& [col, value] : pq.selections[v]) {
+        if (!pv.table->at(row, col).SqlEquals(*value)) return false;
+      }
+      for (const auto& [col, pattern] : pq.likes[v]) {
+        const Value& cell = pv.table->at(row, col);
+        if (cell.is_null() || !LikeMatch(*pattern, cell.AsString())) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (pv.has_keyword) {
+      for (uint32_t row : GetKeywordMatches(pv.table, pv.keyword).rows) {
+        if (!residual_ok(row)) continue;
+        c.bitmap[row] = 1;
+        c.rows.push_back(row);
+      }
+    } else {
+      const uint32_t num_rows = static_cast<uint32_t>(pv.table->num_rows());
+      for (uint32_t row = 0; row < num_rows; ++row) {
+        if (!residual_ok(row)) continue;
+        c.bitmap[row] = 1;
+        c.rows.push_back(row);
+      }
+    }
+    if (c.rows.empty()) return false;  // a filter matched nothing
+  }
+
+  // --- Stage 2: semijoin pre-reduction -----------------------------------
+  // Intersect each vertex's candidates against its neighbors' join-column
+  // value sets. Only removes rows that can never appear in a result, so
+  // emitted rows and their order are untouched; a set running empty proves
+  // the whole network dead without enumerating a single join path.
+  if (options_.semijoin_reduction && n > 1) {
+    // Filtering costs one hash lookup per candidate row per constraint, and
+    // a large set almost never runs empty — the payoff of the pass. Capping
+    // the filtered-set size keeps nearly all eliminations at a fraction of
+    // the lookups.
+    constexpr size_t kSemijoinFilterCap = 1024;
+    // Unions over a neighbor's values pay one hash lookup per neighbor row;
+    // the sets that go on to kill a network are far smaller than this.
+    constexpr size_t kSemijoinUnionCap = 64;
+    auto same_type = [&](const VertexConstraint& vc, size_t v) {
+      return pq.vertices[v].table->schema().columns()[vc.own_column].type ==
+             pq.vertices[vc.other]
+                 .table->schema()
+                 .columns()[vc.other_column]
+                 .type;
+    };
+    bool changed = true;
+    for (int pass = 0; pass < 2 && changed; ++pass) {
+      changed = false;
+      for (size_t v = 0; v < n; ++v) {
+        for (const VertexConstraint& vc : pq.constraints[v]) {
+          // RowIndex lookups use structural equality; restrict the pass to
+          // same-type column pairs so SqlEquals semantics (int==double)
+          // are never narrowed.
+          if (!same_type(vc, v)) continue;
+          VertexCandidates& cu = cand[v];
+          const VertexCandidates& cv = cand[vc.other];
+          const PreparedVertex& pu = pq.vertices[v];
+          const PreparedVertex& pw = pq.vertices[vc.other];
+          if (!cu.materialized && !cv.materialized) continue;
+          if (!cu.materialized) {
+            // Full vertex reduced by a materialized neighbor: its surviving
+            // rows are the union of index lookups on the neighbor's values.
+            // Only pay for this when the neighbor is small and selective —
+            // the union is then a handful of lookups, and the work stays
+            // proportional to the hits, never to the table.
+            if (cv.rows.size() > kSemijoinUnionCap ||
+                cv.rows.size() * 4 >= pu.table->num_rows()) {
+              continue;
+            }
+            const RowIndex& own = GetJoinIndex(pu.table, vc.own_column);
+            std::vector<uint32_t> hits;
+            for (uint32_t nrow : cv.rows) {
+              const Value& val = pw.table->at(nrow, vc.other_column);
+              const std::vector<uint32_t>& matched = own.Lookup(val);
+              hits.insert(hits.end(), matched.begin(), matched.end());
+            }
+            std::sort(hits.begin(), hits.end());
+            hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+            cu.bitmap.assign(pu.table->num_rows(), 0);
+            for (uint32_t row : hits) cu.bitmap[row] = 1;
+            cu.rows = std::move(hits);
+            cu.materialized = true;
+            stats_.rows_filtered += pu.table->num_rows() - cu.rows.size();
+            changed = true;
+          } else {
+            // Filtering against a full neighbor only catches dangling join
+            // keys — one hash lookup per row for a near-certain match — so
+            // reduce only against materialized (already selective) ones.
+            if (!cv.materialized) continue;
+            if (cu.rows.size() > kSemijoinFilterCap) continue;
+            const RowIndex& other = GetJoinIndex(pw.table, vc.other_column);
+            std::vector<uint32_t> kept;
+            kept.reserve(cu.rows.size());
+            for (uint32_t row : cu.rows) {
+              const Value& val = pu.table->at(row, vc.own_column);
+              bool match = false;
+              for (uint32_t nrow : other.Lookup(val)) {
+                if (cv.bitmap[nrow]) {
+                  match = true;
+                  break;
+                }
+              }
+              if (match) {
+                kept.push_back(row);
+              } else {
+                cu.bitmap[row] = 0;
+              }
+            }
+            if (kept.size() != cu.rows.size()) {
+              stats_.rows_filtered += cu.rows.size() - kept.size();
+              cu.rows = std::move(kept);
+              changed = true;
+            }
+          }
+          if (cu.rows.empty()) {
+            ++stats_.semijoin_eliminations;
+            return false;
+          }
+        }
+      }
     }
   }
 
-  // Backtracking join over the chosen order.
+  // --- Stage 3: backtracking join over the chosen order ------------------
   std::vector<uint32_t> assignment(n, 0);
   std::vector<bool> assigned(n, false);
+  bool found = false;
 
   auto emit = [&]() {
     Tuple row;
@@ -232,18 +445,21 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
       const Tuple& src = pq.vertices[i].table->row(assignment[i]);
       row.insert(row.end(), src.begin(), src.end());
     }
-    result.rows.push_back(std::move(row));
+    out->rows.push_back(std::move(row));
     ++stats_.rows_output;
   };
 
   // Checks all constraints of `v` against already-assigned vertices except
-  // the one used for the index probe (`skip_other`, or -1).
-  auto check_constraints = [&](size_t v, uint32_t row, int skip_other) {
-    for (const VertexConstraint& vc : pq.constraints[v]) {
+  // the specific one used for the index probe (`skip_constraint` is an
+  // index into pq.constraints[v], or -1). Skipping by constraint — not by
+  // the probed vertex — keeps every predicate of a composite or parallel
+  // edge enforced.
+  auto check_constraints = [&](size_t v, uint32_t row, int skip_constraint) {
+    const std::vector<VertexConstraint>& vcs = pq.constraints[v];
+    for (size_t ci = 0; ci < vcs.size(); ++ci) {
+      if (static_cast<int>(ci) == skip_constraint) continue;
+      const VertexConstraint& vc = vcs[ci];
       if (!assigned[vc.other]) continue;
-      if (skip_other >= 0 && vc.other == static_cast<uint16_t>(skip_other)) {
-        continue;
-      }
       const Value& own = pq.vertices[v].table->at(row, vc.own_column);
       const Value& other = pq.vertices[vc.other].table->at(
           assignment[vc.other], vc.other_column);
@@ -252,32 +468,16 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
     return true;
   };
 
-  auto row_ok = [&](size_t v, uint32_t row) {
-    if (pq.vertices[v].has_keyword &&
-        GetKeywordMatches(pq.vertices[v].table, pq.vertices[v].keyword)
-                .bitmap[row] == 0) {
-      return false;
-    }
-    for (const auto& [col, value] : pq.selections[v]) {
-      if (!pq.vertices[v].table->at(row, col).SqlEquals(*value)) return false;
-    }
-    for (const auto& [col, pattern] : pq.likes[v]) {
-      const Value& cell = pq.vertices[v].table->at(row, col);
-      if (cell.is_null() || !LikeMatch(*pattern, cell.AsString())) {
-        return false;
-      }
-    }
-    return true;
-  };
-
   // Iterative depth-first search to avoid recursion-depth concerns and to
-  // allow clean early exit on `limit`.
+  // allow clean early exit on `limit` / the first existence witness.
   struct Frame {
-    const std::vector<uint32_t>* candidates;  // index-probe result, or null
+    const std::vector<uint32_t>* candidates;  // probe/candidate rows, or null
     uint32_t next_pos = 0;                    // position in candidates/rows
   };
   std::vector<Frame> stack(n);
-  std::vector<int> probe_other(n, -1);  // vertex the index probe satisfied
+  // Index into pq.constraints[v] of the constraint the frame's index probe
+  // satisfied (-1 = no probe).
+  std::vector<int> probe_constraint(n, -1);
   size_t depth = 0;
   bool done = false;
 
@@ -286,18 +486,23 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
     Frame& f = stack[d];
     f.next_pos = 0;
     f.candidates = nullptr;
-    probe_other[d] = -1;
+    probe_constraint[d] = -1;
     // Prefer an index probe on a constraint to an assigned vertex.
-    for (const VertexConstraint& vc : pq.constraints[v]) {
+    const std::vector<VertexConstraint>& vcs = pq.constraints[v];
+    for (size_t ci = 0; ci < vcs.size(); ++ci) {
+      const VertexConstraint& vc = vcs[ci];
       if (!assigned[vc.other]) continue;
       const Value& probe = pq.vertices[vc.other].table->at(
           assignment[vc.other], vc.other_column);
       const RowIndex& index =
-          indexes_.GetOrBuild(pq.vertices[v].table, vc.own_column);
+          GetJoinIndex(pq.vertices[v].table, vc.own_column);
       f.candidates = &index.Lookup(probe);
-      probe_other[d] = vc.other;
+      probe_constraint[d] = static_cast<int>(ci);
       return;
     }
+    // No assigned neighbor (root or disconnected component): enumerate the
+    // materialized candidate list instead of scanning the table.
+    if (cand[v].materialized) f.candidates = &cand[v].rows;
   };
 
   init_frame(0);
@@ -316,14 +521,20 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
         if (f.next_pos >= table_rows) break;
         row = f.next_pos++;
       }
-      if (!row_ok(v, row)) continue;
-      if (!check_constraints(v, row, probe_other[depth])) continue;
+      ++stats_.rows_probed;
+      if (cand[v].materialized && !cand[v].bitmap[row]) continue;
+      if (!check_constraints(v, row, probe_constraint[depth])) continue;
       assignment[v] = row;
       assigned[v] = true;
       if (depth + 1 == n) {
+        found = true;
+        if (out == nullptr) {  // existence mode: first witness suffices
+          done = true;
+          break;
+        }
         emit();
         assigned[v] = false;
-        if (limit != 0 && result.rows.size() >= limit) {
+        if (limit != 0 && out->rows.size() >= limit) {
           done = true;
         }
         if (done) break;
@@ -342,13 +553,19 @@ StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
     }
   }
 
-  stats_.exec_millis += timer.ElapsedMillis();
+  return found;
+}
+
+StatusOr<ResultSet> Executor::Execute(const JoinNetworkQuery& query,
+                                      size_t limit) {
+  ResultSet result;
+  KWSDBG_RETURN_NOT_OK(RunJoin(query, limit, &result).status());
   return result;
 }
 
 StatusOr<bool> Executor::IsNonEmpty(const JoinNetworkQuery& query) {
-  KWSDBG_ASSIGN_OR_RETURN(ResultSet rs, Execute(query, /*limit=*/1));
-  return !rs.rows.empty();
+  ++stats_.existence_probes;
+  return RunJoin(query, /*limit=*/1, /*out=*/nullptr);
 }
 
 StatusOr<std::string> Executor::Explain(const JoinNetworkQuery& query) {
@@ -365,8 +582,13 @@ StatusOr<std::string> Executor::Explain(const JoinNetworkQuery& query) {
            " (" + query.vertices[v].table + ", ~" +
            std::to_string(pv.candidate_count) + " candidate rows)";
     if (d == 0) {
-      out += pv.has_keyword ? " via keyword scan '" + pv.keyword + "'"
-                            : " via full scan";
+      if (!pv.has_keyword) {
+        out += " via full scan";
+      } else if (IndexServable(pv.keyword)) {
+        out += " via posting lists for '" + pv.keyword + "'";
+      } else {
+        out += " via keyword scan '" + pv.keyword + "'";
+      }
     } else if (pq.order_connected[d]) {
       out += " via index probe on a join column";
     } else {

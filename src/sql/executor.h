@@ -1,7 +1,20 @@
 // Query executor for join-network queries: index-backed backtracking join
 // with keyword-containment filters, early exit for existence checks, and
-// per-session caches (join-column hash indexes, keyword scan bitmaps) that
+// per-session caches (join-column hash indexes, keyword match sets) that
 // model a warm DBMS.
+//
+// Evaluation pipeline (executor v2):
+//   1. candidate sourcing   — keyword candidates come from the registered
+//      inverted index (posting lists, Lucene-style `*kw*` dictionary scan)
+//      when possible, falling back to a full LIKE scan otherwise;
+//   2. semijoin reduction   — each vertex's candidate set is intersected
+//      against its join neighbors' join-column value sets (via the cached
+//      RowIndex hash indexes) before enumeration, so dead networks die
+//      without a single backtracking step;
+//   3. backtracking join    — smallest-candidate-first instance order with
+//      RowIndex probes on join columns;
+//   4. existence mode       — IsNonEmpty stops at the first witness without
+//      materializing rows or column headers.
 #ifndef KWSDBG_SQL_EXECUTOR_H_
 #define KWSDBG_SQL_EXECUTOR_H_
 
@@ -14,6 +27,7 @@
 #include "sql/join_network.h"
 #include "sql/row_index.h"
 #include "storage/database.h"
+#include "text/inverted_index.h"
 
 namespace kwsdbg {
 
@@ -28,25 +42,56 @@ struct ResultSet {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+/// Executor v2 feature toggles (benchmarks compare the "before" scan-based
+/// path against the index-backed one by flipping these off).
+struct ExecutorOptions {
+  /// Source keyword candidates from a registered inverted index.
+  bool use_text_index = true;
+  /// Run the semijoin pre-reduction pass before the backtracking join.
+  bool semijoin_reduction = true;
+};
+
 /// Accumulated executor counters; the traversal experiments read these.
 struct ExecutorStats {
-  size_t queries_executed = 0;  ///< Execute/IsNonEmpty calls.
-  double exec_millis = 0;       ///< Total wall time inside the executor.
-  size_t keyword_scans = 0;     ///< LIKE scans not served from cache.
+  size_t queries_executed = 0;  ///< Execute/IsNonEmpty calls (failed too).
+  double exec_millis = 0;       ///< Total wall time inside the executor,
+                                ///< accounted on every exit path.
+  size_t keyword_scans = 0;     ///< Keyword match sets built by a full
+                                ///< LIKE scan (index miss or fallback).
+  size_t posting_hits = 0;      ///< Keyword match sets served from the
+                                ///< inverted index's posting lists.
   size_t rows_output = 0;
+  size_t rows_probed = 0;       ///< Rows pulled during backtracking joins.
+  size_t rows_filtered = 0;     ///< Candidate rows removed by semijoin
+                                ///< pre-reduction.
+  size_t semijoin_eliminations = 0;  ///< Queries proven empty by the
+                                     ///< pre-reduction pass alone.
+  size_t index_builds = 0;      ///< Join-column hash indexes built.
+  size_t existence_probes = 0;  ///< IsNonEmpty calls (first-witness mode).
 };
 
 /// One executor = one "database session". Not thread-safe.
 class Executor {
  public:
-  explicit Executor(const Database* db) : db_(db) {}
+  explicit Executor(const Database* db, ExecutorOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Registers the inverted index keyword candidates are sourced from. The
+  /// index must be built over this executor's database and outlive the
+  /// executor; pass nullptr to fall back to LIKE scans (and call
+  /// ClearCaches() if match sets were already built from a previous index).
+  void RegisterTextIndex(const InvertedIndex* index) { text_index_ = index; }
+  const InvertedIndex* text_index() const { return text_index_; }
+
+  const ExecutorOptions& options() const { return options_; }
 
   /// Runs the query; `limit` of 0 means unlimited.
   StatusOr<ResultSet> Execute(const JoinNetworkQuery& query,
                               size_t limit = 0);
 
-  /// Existence check with first-row early exit — how the debugger tests
-  /// node aliveness (R(J) != empty, paper Sec. 2.1).
+  /// Existence check — how the debugger tests node aliveness (R(J) !=
+  /// empty, paper Sec. 2.1). Stops at the first witness without building
+  /// result rows or column headers.
   StatusOr<bool> IsNonEmpty(const JoinNetworkQuery& query);
 
   /// Human-readable execution plan: the chosen instance order with the
@@ -57,24 +102,48 @@ class Executor {
   const ExecutorStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecutorStats{}; }
 
-  /// Drops the index and keyword-scan caches (cold session).
+  /// Drops the index and keyword-match caches (cold session).
   void ClearCaches();
 
  private:
   /// Rows of `table` matching LIKE '%keyword%' on any text column.
   struct KeywordMatches {
     std::vector<uint8_t> bitmap;  ///< bitmap[row] != 0 iff row matches.
+    std::vector<uint32_t> rows;   ///< Matching rows, ascending.
     size_t count = 0;
   };
 
   const KeywordMatches& GetKeywordMatches(const Table* table,
                                           const std::string& keyword);
 
+  /// True iff the registered index can answer '%keyword%' exactly: the
+  /// keyword must tokenize to itself (single alphanumeric run), so every
+  /// LIKE match lies inside one indexed term.
+  bool IndexServable(const std::string& keyword) const;
+
+  /// Posting lists of index terms containing `keyword`, memoized (the
+  /// dictionary scan is per-keyword, not per-table).
+  const std::vector<const std::vector<Posting>*>& InfixLists(
+      const std::string& keyword);
+
+  /// indexes_.GetOrBuild with build accounting.
+  const RowIndex& GetJoinIndex(const Table* table, size_t column);
+
+  /// Shared core of Execute/IsNonEmpty. Returns whether at least one result
+  /// exists; materializes rows into `out` unless it is null (existence
+  /// mode, which stops at the first witness).
+  StatusOr<bool> RunJoin(const JoinNetworkQuery& query, size_t limit,
+                         ResultSet* out);
+
   const Database* db_;
+  ExecutorOptions options_;
+  const InvertedIndex* text_index_ = nullptr;
   RowIndexManager indexes_;
   std::unordered_map<std::pair<const Table*, std::string>, KeywordMatches,
                      PairHash>
       keyword_cache_;
+  std::unordered_map<std::string, std::vector<const std::vector<Posting>*>>
+      infix_cache_;
   ExecutorStats stats_;
 };
 

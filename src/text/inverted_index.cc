@@ -52,6 +52,23 @@ const std::vector<Posting>& InvertedIndex::PostingsFor(
   return it == entries_.end() ? empty_ : it->second.postings;
 }
 
+std::vector<const std::vector<Posting>*> InvertedIndex::PostingListsContaining(
+    const std::string& infix) const {
+  std::vector<const std::vector<Posting>*> out;
+  if (infix.empty()) return out;
+  for (const auto& [term, entry] : entries_) {
+    if (term.find(infix) != std::string::npos) {
+      out.push_back(&entry.postings);
+    }
+  }
+  return out;
+}
+
+uint32_t InvertedIndex::TableIdOf(const std::string& table) const {
+  auto it = table_ids_.find(table);
+  return it == table_ids_.end() ? kNoTable : it->second;
+}
+
 bool InvertedIndex::Contains(const std::string& term) const {
   return entries_.count(term) > 0;
 }

@@ -27,6 +27,9 @@ struct Posting {
 /// periodically rebuilt artifact too).
 class InvertedIndex {
  public:
+  /// Sentinel returned by TableIdOf for tables absent from the index.
+  static constexpr uint32_t kNoTable = 0xFFFFFFFFu;
+
   /// Builds the index over all tables of `db`. The Database must outlive
   /// nothing here — the index copies what it needs (table names only).
   static InvertedIndex Build(const Database& db);
@@ -37,6 +40,18 @@ class InvertedIndex {
 
   /// All occurrences of `term`; empty if absent.
   const std::vector<Posting>& PostingsFor(const std::string& term) const;
+
+  /// Posting lists of every indexed term that contains `infix` as a
+  /// substring — the dictionary scan Lucene performs for `*infix*` wildcard
+  /// queries. Because terms are maximal alphanumeric runs, a row of a table
+  /// matches LIKE '%infix%' (case-insensitively) iff one of these lists has
+  /// a posting for it, provided `infix` itself tokenizes to a single term.
+  /// The returned pointers stay valid for the life of the index.
+  std::vector<const std::vector<Posting>*> PostingListsContaining(
+      const std::string& infix) const;
+
+  /// Id of `table` inside Posting::table_id space, or kNoTable.
+  uint32_t TableIdOf(const std::string& table) const;
 
   /// True iff `term` occurs anywhere in the database.
   bool Contains(const std::string& term) const;

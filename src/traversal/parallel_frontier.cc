@@ -11,7 +11,8 @@ FrontierEvaluator::FrontierEvaluator(QueryEvaluator* main,
       main_sql_before_(main->sql_executed()),
       main_ms_before_(main->sql_millis()),
       main_hits_before_(main->cache_hits()),
-      main_misses_before_(main->cache_misses()) {
+      main_misses_before_(main->cache_misses()),
+      exec_before_(main->executor()->stats()) {
   if (options_.num_threads == 0) {
     options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -36,7 +37,9 @@ void FrontierEvaluator::StartWorkers() {
   workers_.reserve(options_.num_threads);
   for (size_t i = 0; i < options_.num_threads; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->executor = std::make_unique<Executor>(main_->db());
+    worker->executor = std::make_unique<Executor>(
+        main_->db(), main_->executor()->options());
+    worker->executor->RegisterTextIndex(main_->executor()->text_index());
     worker->evaluator = std::make_unique<QueryEvaluator>(
         main_->db(), worker->executor.get(), main_->pruned_lattice(),
         main_->index(), main_->options(), main_->cache());
@@ -115,11 +118,23 @@ void FrontierEvaluator::FillStats(TraversalStats* stats) const {
   stats->sql_millis += main_->sql_millis() - main_ms_before_;
   stats->cache_hits += main_->cache_hits() - main_hits_before_;
   stats->cache_misses += main_->cache_misses() - main_misses_before_;
+  auto add_exec = [stats](const ExecutorStats& now,
+                          const ExecutorStats& before) {
+    stats->posting_hits += now.posting_hits - before.posting_hits;
+    stats->scan_fallbacks += now.keyword_scans - before.keyword_scans;
+    stats->semijoin_eliminations +=
+        now.semijoin_eliminations - before.semijoin_eliminations;
+    stats->rows_probed += now.rows_probed - before.rows_probed;
+    stats->rows_filtered += now.rows_filtered - before.rows_filtered;
+    stats->index_builds += now.index_builds - before.index_builds;
+  };
+  add_exec(main_->executor()->stats(), exec_before_);
   for (const auto& worker : workers_) {
     stats->sql_queries += worker->evaluator->sql_executed();
     stats->sql_millis += worker->evaluator->sql_millis();
     stats->cache_hits += worker->evaluator->cache_hits();
     stats->cache_misses += worker->evaluator->cache_misses();
+    add_exec(worker->executor->stats(), ExecutorStats{});
   }
   if (main_->cache() != nullptr) {
     stats->cache_evictions +=

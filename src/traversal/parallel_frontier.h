@@ -69,6 +69,7 @@ class FrontierEvaluator {
   size_t main_hits_before_;
   size_t main_misses_before_;
   size_t cache_evictions_before_ = 0;
+  ExecutorStats exec_before_;  ///< Main executor's counters at construction.
 
   // Round-trip state guarded by mu_ (next_ is the only hot-path shared
   // variable; it is atomic so workers claim indices lock-free).

@@ -41,6 +41,14 @@ struct TraversalStats {
   size_t parallel_rounds = 0;  ///< Batches dispatched to the worker pool.
   size_t parallel_nodes = 0;   ///< Nodes evaluated by the pool.
   size_t max_batch = 0;        ///< Largest single batch.
+  // Executor v2 probe-path counters for this run (deltas summed over the
+  // main evaluator's executor and any worker executors).
+  size_t posting_hits = 0;     ///< Keyword match sets from posting lists.
+  size_t scan_fallbacks = 0;   ///< Keyword match sets from full LIKE scans.
+  size_t semijoin_eliminations = 0;  ///< Probes killed before enumeration.
+  size_t rows_probed = 0;      ///< Rows pulled during backtracking joins.
+  size_t rows_filtered = 0;    ///< Candidate rows removed by semijoins.
+  size_t index_builds = 0;     ///< Join-column hash indexes built.
 };
 
 /// Frontier-evaluation parallelism knobs (see parallel_frontier.h). The
