@@ -1,0 +1,165 @@
+// Concurrency gate for the DebugService: an N-worker service run must
+// produce bit-identical per-query classifications (answers, non-answers,
+// MPANs, culprits) to a serial NonAnswerDebugger over the same workload —
+// verdicts are ground truth, so neither worker scheduling nor shared-cache
+// state may change what a query reports. Runs the gate on both DBLife and
+// the e-commerce catalog, then prints service throughput/latency stats.
+//
+//   ./concurrent_service_workload --workers=8
+//   ./concurrent_service_workload --smoke        (ctest-sized)
+//
+// Environment knobs: KWSDBG_SEED / KWSDBG_SCALE / KWSDBG_MAX_LEVEL as in
+// bench_util.h, plus KWSDBG_WORKLOAD_SEED (query sampling, default 7).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "datasets/ecommerce.h"
+#include "datasets/query_generator.h"
+#include "service/debug_service.h"
+#include "service/service_json.h"
+#include "traversal_common.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+uint64_t EnvWorkloadSeed() {
+  const char* v = std::getenv("KWSDBG_WORKLOAD_SEED");
+  return v == nullptr ? 7 : static_cast<uint64_t>(std::atoll(v));
+}
+
+/// Runs the parity gate on one dataset; returns the mismatch count.
+size_t RunCase(const char* name, const Database* db, const Lattice* lattice,
+               const InvertedIndex* index,
+               const std::vector<std::string>& queries, size_t workers) {
+  DebuggerOptions debugger_options;  // Defaults: SBH, session cache on.
+
+  // Serial reference: one debugger, queries in order.
+  std::vector<std::string> serial_sigs;
+  serial_sigs.reserve(queries.size());
+  Timer serial_timer;
+  {
+    NonAnswerDebugger serial(db, lattice, index, debugger_options);
+    for (const std::string& q : queries) {
+      auto report = serial.Debug(q);
+      KWSDBG_CHECK(report.ok()) << report.status().ToString();
+      serial_sigs.push_back(report->ClassificationSignature());
+    }
+  }
+  const double serial_millis = serial_timer.ElapsedMillis();
+
+  ServiceOptions service_options;
+  service_options.num_workers = workers;
+  service_options.debugger = debugger_options;
+  DebugService service(db, lattice, index, service_options);
+  BatchResult batch = service.RunBatch(queries);
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult& r = batch.results[i];
+    if (!r.status.ok()) {
+      ++mismatches;
+      std::printf("  [FAIL] %s query \"%s\": %s\n", name, queries[i].c_str(),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    const std::string sig = r.report.ClassificationSignature();
+    if (sig != serial_sigs[i]) {
+      ++mismatches;
+      std::printf("  [FAIL] %s query \"%s\": service classification differs\n"
+                  "    serial:  %s\n    service: %s\n",
+                  name, queries[i].c_str(), serial_sigs[i].c_str(),
+                  sig.c_str());
+    }
+  }
+
+  std::printf("\n%s: %zu queries, %zu workers, %zu mismatch(es)\n", name,
+              queries.size(), workers, mismatches);
+  std::printf("  serial: %.1f ms total; service: %s\n", serial_millis,
+              batch.stats.ToString().c_str());
+  std::printf("  json: %s\n", ServiceStatsToJson(batch.stats).c_str());
+  return mismatches;
+}
+
+int Run(size_t workers, bool smoke) {
+  const uint64_t workload_seed = EnvWorkloadSeed();
+  std::printf("# workload seed: %llu (override with KWSDBG_WORKLOAD_SEED)\n",
+              static_cast<unsigned long long>(workload_seed));
+
+  size_t mismatches = 0;
+
+  // Case 1: DBLife.
+  {
+    const size_t level = std::min<size_t>(smoke ? 3 : 5, EnvMaxLevel());
+    BenchEnv env({level});
+    QueryGeneratorConfig gconfig;
+    gconfig.seed = workload_seed;
+    gconfig.min_keywords = 2;
+    gconfig.max_keywords = 3;
+    RandomQueryGenerator generator(&env.index(), gconfig);
+    const std::vector<std::string> queries =
+        generator.Batch(smoke ? 6 : 24);
+    mismatches += RunCase("DBLife", &env.db(), &env.lattice(level),
+                          &env.index(), queries, workers);
+  }
+
+  // Case 2: e-commerce catalog (Fig. 2 schema shape).
+  {
+    EcommerceConfig config;
+    config.seed = workload_seed;
+    config.num_items = smoke ? 200 : 500;
+    auto dataset = GenerateEcommerce(config);
+    KWSDBG_CHECK(dataset.ok()) << dataset.status().ToString();
+    InvertedIndex index = InvertedIndex::Build(*dataset->db);
+    LatticeConfig lconfig;
+    lconfig.max_joins = 2;
+    lconfig.num_keyword_copies = 2;
+    auto lattice = LatticeGenerator::Generate(dataset->schema, lconfig);
+    KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+    QueryGeneratorConfig gconfig;
+    gconfig.seed = workload_seed + 1;
+    gconfig.min_keywords = 1;
+    gconfig.max_keywords = 2;
+    RandomQueryGenerator generator(&index, gconfig);
+    std::vector<std::string> queries = generator.Batch(smoke ? 5 : 15);
+    // The paper's motivating non-answer rides along so the gate always
+    // covers a dead-MTN frontier (MPANs + culprits), not just answers.
+    queries.push_back("saffron candle");
+    mismatches += RunCase("e-commerce", dataset->db.get(), lattice->get(),
+                          &index, queries, workers);
+  }
+
+  if (mismatches > 0) {
+    std::printf("\nPARITY FAILED: %zu query(ies) classified differently "
+                "under the concurrent service\n", mismatches);
+    return 1;
+  }
+  std::printf("\nPARITY OK: every service classification is bit-identical "
+              "to the serial debugger\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main(int argc, char** argv) {
+  size_t workers = 8;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers=N] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (workers == 0) workers = 1;
+  return kwsdbg::bench::Run(workers, smoke);
+}

@@ -4,6 +4,7 @@
 // performs relatively well in all the cases we tested") past the ten
 // hand-picked queries.
 #include <cstdio>
+#include <cstdlib>
 
 #include "datasets/query_generator.h"
 #include "traversal_common.h"
@@ -16,15 +17,19 @@ void Run() {
   const size_t level = std::min<size_t>(5, EnvMaxLevel());
   BenchEnv env({level});
   QueryGeneratorConfig gconfig;
-  gconfig.seed = 7;
+  const char* seed_env = std::getenv("KWSDBG_WORKLOAD_SEED");
+  gconfig.seed =
+      seed_env == nullptr ? 7 : static_cast<uint64_t>(std::atoll(seed_env));
   gconfig.min_keywords = 2;
   gconfig.max_keywords = 3;
   RandomQueryGenerator generator(&env.index(), gconfig);
   const std::vector<std::string> queries = generator.Batch(40);
   std::printf(
-      "Random workload (level %zu): 40 queries sampled from the %zu-term "
+      "Random workload (level %zu, seed %llu — override with "
+      "KWSDBG_WORKLOAD_SEED): 40 queries sampled from the %zu-term "
       "vocabulary (Zipf theta %.1f)\n",
-      level, generator.vocabulary_size(), gconfig.popularity_theta);
+      level, static_cast<unsigned long long>(gconfig.seed),
+      generator.vocabulary_size(), gconfig.popularity_theta);
 
   struct Totals {
     size_t sql = 0;

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

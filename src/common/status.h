@@ -21,6 +21,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a StatusCode ("InvalidArgument").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

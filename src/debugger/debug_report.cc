@@ -49,6 +49,38 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
   return stats;
 }
 
+std::string DebugReport::ClassificationSignature() const {
+  // Sorted within each section so the signature is insensitive to answer
+  // ranking and to MPAN/culprit emission order, but still distinguishes
+  // which interpretation a verdict belongs to.
+  std::ostringstream out;
+  for (const InterpretationReport& interp : interpretations) {
+    out << "I{" << interp.binding << "}";
+    std::vector<std::string> answers, non_answers;
+    for (const AnswerReport& ans : interp.answers) {
+      answers.push_back(ans.query.network);
+    }
+    for (const NonAnswerReport& na : interp.non_answers) {
+      std::string entry = na.query.network;
+      std::vector<std::string> subs;
+      for (const NodeReport& mpan : na.mpans) subs.push_back("+" + mpan.network);
+      for (const NodeReport& c : na.culprits) subs.push_back("-" + c.network);
+      std::sort(subs.begin(), subs.end());
+      for (const std::string& s : subs) entry += "|" + s;
+      non_answers.push_back(std::move(entry));
+    }
+    std::sort(answers.begin(), answers.end());
+    std::sort(non_answers.begin(), non_answers.end());
+    out << "A[";
+    for (const std::string& a : answers) out << a << ";";
+    out << "]N[";
+    for (const std::string& n : non_answers) out << n << ";";
+    out << "]";
+    if (interp.truncated) out << "T";
+  }
+  return out.str();
+}
+
 std::string DebugReport::ToString(size_t max_items_per_section) const {
   std::ostringstream out;
   out << "Keyword query: \"" << keyword_query << "\"\n";
@@ -63,12 +95,15 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
   if (interpretations_skipped > 0) {
     out << " (+" << interpretations_skipped << " skipped)";
   }
+  if (truncated) out << " [TRUNCATED: deadline exceeded]";
   out << ", answers: " << TotalAnswers()
       << ", non-answers: " << TotalNonAnswers()
       << ", MPANs: " << TotalMpans() << "\n";
   for (size_t i = 0; i < interpretations.size(); ++i) {
     const InterpretationReport& rep = interpretations[i];
-    out << "\n== Interpretation " << (i + 1) << ": " << rep.binding << "\n";
+    out << "\n== Interpretation " << (i + 1) << ": " << rep.binding;
+    if (rep.truncated) out << " (truncated)";
+    out << "\n";
     out << "   lattice " << rep.prune_stats.lattice_nodes << " -> "
         << rep.prune_stats.surviving_nodes << " nodes after Phase 1, "
         << rep.prune_stats.num_mtns << " MTN(s), "

@@ -43,6 +43,10 @@ struct InterpretationReport {
   TraversalStats traversal_stats;
   std::vector<AnswerReport> answers;
   std::vector<NonAnswerReport> non_answers;
+  /// The deadline fired mid-traversal: only the MTNs classified so far are
+  /// listed, and dead MTNs whose sub-lattice was not fully explored carry no
+  /// MPANs/culprits (a partial frontier could misreport maximality).
+  bool truncated = false;
 };
 
 /// The full debugger output for one keyword query.
@@ -51,6 +55,12 @@ struct DebugReport {
   std::vector<std::string> keywords;
   std::vector<std::string> missing_keywords;
   double bind_millis = 0;
+  /// End-to-end wall-clock for the Debug() call (bind + all traversals +
+  /// sampling), as opposed to the per-interpretation traversal stats.
+  double debug_millis = 0;
+  /// Some interpretation hit the per-query deadline; everything present is
+  /// still a ground-truth verdict, but the report is incomplete.
+  bool truncated = false;
   size_t interpretations_skipped = 0;
   std::vector<InterpretationReport> interpretations;
 
@@ -58,6 +68,13 @@ struct DebugReport {
   size_t TotalNonAnswers() const;
   size_t TotalMpans() const;
   TraversalStats AggregateTraversalStats() const;
+
+  /// Canonical one-line fingerprint of the classification: every
+  /// interpretation's answers / non-answers / MPANs / culprits by network
+  /// string, in sorted order. Two reports describe the same debugging
+  /// outcome iff their signatures are byte-identical — the concurrency
+  /// benches gate service-vs-serial parity on this.
+  std::string ClassificationSignature() const;
 
   /// Multi-line human-readable rendering (what the examples print).
   std::string ToString(size_t max_items_per_section = 10) const;

@@ -1,5 +1,6 @@
 #include "debugger/non_answer_debugger.h"
 
+#include "common/timer.h"
 #include "debugger/ranking.h"
 #include "kws/pruned_lattice.h"
 #include "kws/query_builder.h"
@@ -15,17 +16,24 @@ NonAnswerDebugger::NonAnswerDebugger(const Database* db,
       lattice_(lattice),
       index_(index),
       options_(options),
-      executor_(std::make_unique<Executor>(db, options.executor)),
-      verdict_cache_(options.verdict_cache_capacity > 0
-                         ? std::make_unique<VerdictCache>(
-                               options.verdict_cache_capacity)
-                         : nullptr),
       binder_(&lattice->schema(), index,
               lattice->config().EffectiveKeywordCopies(),
               options.max_interpretations) {
+  // The debugger owns the cancellation token so deadlines work without any
+  // caller plumbing; wire its address into the SQL session and evaluator.
+  options_.executor.cancellation = &cancel_;
+  options_.eval.cancellation = &cancel_;
+  executor_ = std::make_unique<Executor>(db, options_.executor);
   // The same inverted index that drives Phase 1 binding also serves the
   // executor's keyword candidates (posting lists instead of LIKE scans).
   executor_->RegisterTextIndex(index);
+  if (options_.shared_verdict_cache != nullptr) {
+    verdict_cache_ = options_.shared_verdict_cache;
+  } else if (options_.verdict_cache_capacity > 0) {
+    owned_verdict_cache_ =
+        std::make_unique<VerdictCache>(options_.verdict_cache_capacity);
+    verdict_cache_ = owned_verdict_cache_.get();
+  }
 }
 
 namespace {
@@ -47,6 +55,11 @@ StatusOr<NodeReport> MakeNodeReport(const Lattice& lattice, NodeId id,
 
 StatusOr<DebugReport> NonAnswerDebugger::Debug(
     const std::string& keyword_query) {
+  Timer debug_timer;
+  // Fresh budget per query. Arm() is safe here: no frontier workers hold
+  // the token between Debug() calls.
+  cancel_.Arm(options_.deadline_millis);
+
   DebugReport report;
   report.keyword_query = keyword_query;
 
@@ -55,7 +68,10 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
   report.missing_keywords = binding_result.missing_keywords;
   report.bind_millis = binding_result.bind_millis;
   report.interpretations_skipped = binding_result.interpretations_skipped;
-  if (!report.missing_keywords.empty()) return report;
+  if (!report.missing_keywords.empty()) {
+    report.debug_millis = debug_timer.ElapsedMillis();
+    return report;
+  }
 
   std::unique_ptr<TraversalStrategy> strategy =
       MakeStrategy(options_.strategy, options_.sbh, options_.parallel);
@@ -69,17 +85,32 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
     interp.prune_stats = pl.stats();
 
     QueryEvaluator evaluator(db_, executor_.get(), &pl, index_,
-                             options_.eval, verdict_cache_.get());
+                             options_.eval, verdict_cache_);
+    StatusOr<TraversalResult> traversal_or = strategy->Run(pl, &evaluator);
+    if (!traversal_or.ok() &&
+        traversal_or.status().code() == StatusCode::kDeadlineExceeded) {
+      // Belt over the strategies' own truncation handling: a deadline that
+      // escapes as a status still degrades to an (empty) truncated
+      // interpretation instead of failing the query.
+      report.truncated = true;
+      interp.truncated = true;
+      report.interpretations.push_back(std::move(interp));
+      break;
+    }
     KWSDBG_ASSIGN_OR_RETURN(TraversalResult traversal,
-                            strategy->Run(pl, &evaluator));
+                            std::move(traversal_or));
     interp.traversal_stats = traversal.stats;
+    interp.truncated = traversal.truncated;
+    if (traversal.truncated) report.truncated = true;
 
     for (const MtnOutcome& outcome : traversal.outcomes) {
       if (outcome.alive) {
         AnswerReport ans;
         KWSDBG_ASSIGN_OR_RETURN(
             ans.query, MakeNodeReport(*lattice_, outcome.mtn, binding, *db_));
-        if (options_.sample_rows > 0) {
+        // Sampling issues fresh SQL; skip it once the budget fired (the
+        // probe would immediately unwind with kDeadlineExceeded anyway).
+        if (options_.sample_rows > 0 && !traversal.truncated) {
           KWSDBG_ASSIGN_OR_RETURN(
               JoinNetworkQuery query,
               BuildNodeQuery(*lattice_, outcome.mtn, binding));
@@ -107,7 +138,11 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
     }
     if (options_.rank_answers) RankAnswers(&interp.answers);
     report.interpretations.push_back(std::move(interp));
+    // Once the budget fires, further interpretations would truncate to
+    // nothing immediately — drop them instead of spinning.
+    if (report.truncated) break;
   }
+  report.debug_millis = debug_timer.ElapsedMillis();
   return report;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancellation.h"
 #include "debugger/debug_report.h"
 #include "graph/schema_graph.h"
 #include "kws/keyword_binding.h"
@@ -27,6 +28,15 @@ struct DebuggerOptions {
   /// persists across Debug() calls, so repeated keyword queries skip the SQL
   /// for every recurring (sub-)network until the database epoch changes.
   size_t verdict_cache_capacity = VerdictCache::kDefaultCapacity;
+  /// Process-wide shared verdict tier. When set, the debugger consults this
+  /// cache (thread-safe, shared with other sessions — the DebugService
+  /// plugs every worker into one) instead of owning a session cache;
+  /// `verdict_cache_capacity` is then ignored. Must outlive the debugger.
+  VerdictCache* shared_verdict_cache = nullptr;
+  /// Per-query wall-clock budget in milliseconds (0 = unbounded). When the
+  /// budget fires mid-query, Debug() returns a partial report with
+  /// `truncated` set — classified verdicts only, never fabricated ones.
+  double deadline_millis = 0;
   /// SQL-session knobs: posting-list candidate sourcing and semijoin
   /// pre-reduction (both on by default; benches flip them off to measure
   /// the executor-v1 probe path).
@@ -54,16 +64,27 @@ class NonAnswerDebugger {
                     const InvertedIndex* index, DebuggerOptions options = {});
 
   /// Runs the full pipeline for `keyword_query`, one interpretation at a
-  /// time, and assembles the report.
+  /// time, and assembles the report. With a deadline configured, a query
+  /// that runs out of budget returns a partial report marked `truncated`
+  /// (remaining interpretations are dropped, classified ones kept).
   StatusOr<DebugReport> Debug(const std::string& keyword_query);
 
   /// The SQL session used for aliveness checks (exposed so benches can reset
   /// or inspect caches between runs).
   Executor* executor() { return executor_.get(); }
 
-  /// The session verdict cache, or nullptr when disabled. Exposed so benches
-  /// and tests can inspect hit rates or Clear() between passes.
-  VerdictCache* verdict_cache() { return verdict_cache_.get(); }
+  /// The verdict cache in effect — the shared tier if one was configured,
+  /// else the owned session cache, or nullptr when disabled. Exposed so
+  /// benches and tests can inspect hit rates or Clear() between passes.
+  VerdictCache* verdict_cache() { return verdict_cache_; }
+
+  /// Overrides the per-query deadline for subsequent Debug() calls (the
+  /// DebugService sets this per request).
+  void set_deadline_millis(double millis) { options_.deadline_millis = millis; }
+
+  /// Fires the current query's cancellation token (thread-safe): the next
+  /// cooperative checkpoint unwinds and Debug() returns truncated.
+  void RequestCancel() { cancel_.RequestCancel(); }
 
   const DebuggerOptions& options() const { return options_; }
 
@@ -72,8 +93,12 @@ class NonAnswerDebugger {
   const Lattice* lattice_;
   const InvertedIndex* index_;
   DebuggerOptions options_;
+  /// Per-query token; owned here so its address can be wired into the
+  /// executor and evaluator options at construction. Re-armed per Debug().
+  CancellationToken cancel_;
   std::unique_ptr<Executor> executor_;
-  std::unique_ptr<VerdictCache> verdict_cache_;
+  std::unique_ptr<VerdictCache> owned_verdict_cache_;
+  VerdictCache* verdict_cache_ = nullptr;  ///< Effective tier (shared/owned).
   KeywordBinder binder_;
 };
 

@@ -73,12 +73,16 @@ std::string DebugReportToJson(const DebugReport& report) {
   out << ",\"missing_keywords\":";
   AppendStringArray(&out, report.missing_keywords);
   out << ",\"interpretations_skipped\":" << report.interpretations_skipped;
+  out << ",\"truncated\":" << (report.truncated ? "true" : "false");
+  out << ",\"bind_millis\":" << report.bind_millis;
+  out << ",\"debug_millis\":" << report.debug_millis;
   out << ",\"interpretations\":[";
   for (size_t i = 0; i < report.interpretations.size(); ++i) {
     const InterpretationReport& interp = report.interpretations[i];
     if (i > 0) out << ',';
     out << "{\"binding\":";
     AppendString(&out, interp.binding);
+    out << ",\"truncated\":" << (interp.truncated ? "true" : "false");
     out << ",\"stats\":{\"lattice_nodes\":" << interp.prune_stats.lattice_nodes
         << ",\"surviving_nodes\":" << interp.prune_stats.surviving_nodes
         << ",\"mtns\":" << interp.prune_stats.num_mtns

@@ -1,0 +1,169 @@
+#include "service/debug_service.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kwsdbg {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (q in [0,1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream out;
+  out << queries << " queries in " << wall_millis << " ms ("
+      << queries_per_second << " qps), " << truncated << " truncated, "
+      << failed << " failed\n";
+  out << "  latency ms: p50=" << p50_millis << " p95=" << p95_millis
+      << " p99=" << p99_millis << " max=" << max_millis
+      << ", mean queue wait=" << mean_queue_millis << " ms\n";
+  out << "  sql: " << sql_queries << " queries, verdict cache "
+      << cache_hits << " hit(s) / " << cache_misses << " miss(es)"
+      << "; shared tier: " << shared_cache.entries << " entries, "
+      << shared_cache.hits << " hit(s), " << shared_cache.evictions
+      << " eviction(s)";
+  return out.str();
+}
+
+DebugService::DebugService(const Database* db, const Lattice* lattice,
+                           const InvertedIndex* index, ServiceOptions options)
+    : db_(db),
+      lattice_(lattice),
+      index_(index),
+      options_(options),
+      shared_cache_(std::max<size_t>(1, options.shared_cache_capacity)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+DebugService::~DebugService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+BatchResult DebugService::RunBatch(const std::vector<std::string>& queries) {
+  return RunBatch(queries, options_.default_deadline_millis);
+}
+
+BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
+                                   double deadline_millis) {
+  Timer wall;
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    batch.results[i].keyword_query = queries[i];
+  }
+  if (!queries.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_queries_ = &queries;
+      batch_results_ = &batch.results;
+      completed_ = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        Task task;
+        task.index = i;
+        task.deadline_millis = deadline_millis;
+        queue_.push_back(std::move(task));  // Timer starts at construction.
+      }
+    }
+    work_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return completed_ == queries.size(); });
+      batch_queries_ = nullptr;
+      batch_results_ = nullptr;
+    }
+  }
+
+  ServiceStats& stats = batch.stats;
+  stats.queries = queries.size();
+  stats.wall_millis = wall.ElapsedMillis();
+  if (stats.wall_millis > 0) {
+    stats.queries_per_second =
+        static_cast<double>(stats.queries) / stats.wall_millis * 1000.0;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(batch.results.size());
+  double queue_sum = 0;
+  for (const QueryResult& r : batch.results) {
+    latencies.push_back(r.exec_millis);
+    queue_sum += r.queue_millis;
+    if (!r.status.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    if (r.report.truncated) ++stats.truncated;
+    const TraversalStats agg = r.report.AggregateTraversalStats();
+    stats.sql_queries += agg.sql_queries;
+    stats.cache_hits += agg.cache_hits;
+    stats.cache_misses += agg.cache_misses;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_millis = Percentile(latencies, 0.50);
+  stats.p95_millis = Percentile(latencies, 0.95);
+  stats.p99_millis = Percentile(latencies, 0.99);
+  stats.max_millis = latencies.empty() ? 0 : latencies.back();
+  if (!latencies.empty()) {
+    stats.mean_queue_millis = queue_sum / static_cast<double>(latencies.size());
+  }
+  stats.shared_cache = shared_cache_.stats();
+  return batch;
+}
+
+void DebugService::WorkerLoop(size_t worker_id) {
+  // The debugger (and with it the SQL session + evaluator) is built on the
+  // worker thread and lives for the pool's lifetime, plugged into the
+  // shared verdict tier instead of a private session cache.
+  DebuggerOptions debugger_options = options_.debugger;
+  debugger_options.shared_verdict_cache = &shared_cache_;
+  debugger_options.deadline_millis = 0;  // Armed per task below.
+  NonAnswerDebugger debugger(db_, lattice_, index_, debugger_options);
+
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryResult& slot = (*batch_results_)[task.index];
+    slot.queue_millis = task.enqueued.ElapsedMillis();
+    slot.worker = worker_id;
+    Timer exec;
+    debugger.set_deadline_millis(task.deadline_millis);
+    StatusOr<DebugReport> report_or =
+        debugger.Debug((*batch_queries_)[task.index]);
+    slot.exec_millis = exec.ElapsedMillis();
+    if (report_or.ok()) {
+      slot.report = std::move(report_or).value();
+    } else {
+      slot.status = report_or.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      if (completed_ == batch_results_->size()) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,148 @@
+// DebugService: a fixed-size worker pool serving batches of keyword-query
+// debugging requests over one shared immutable Lattice + Database. Each
+// worker owns a private NonAnswerDebugger (its own SQL session and
+// evaluator), but all workers share one process-wide verdict cache, so a
+// sub-network classified by any query is free for every later query on any
+// worker — the cross-query tier of the paper's reuse idea (Sec. 2.5.2),
+// promoted from session scope to process scope.
+//
+// Per-query deadlines degrade gracefully: a query that exhausts its budget
+// returns a partial report marked `truncated` containing only ground-truth
+// verdicts (see common/cancellation.h), never a crash or a wrong verdict.
+#ifndef KWSDBG_SERVICE_DEBUG_SERVICE_H_
+#define KWSDBG_SERVICE_DEBUG_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "debugger/non_answer_debugger.h"
+#include "traversal/verdict_cache.h"
+
+namespace kwsdbg {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker pool size (threads); each worker runs whole queries, so this is
+  /// the inter-query parallelism. Intra-query parallelism is configured
+  /// separately via `debugger.parallel` and multiplies with this.
+  size_t num_workers = 4;
+  /// Default per-query wall-clock budget in milliseconds (0 = unbounded);
+  /// RunBatch overloads can override it per batch.
+  double default_deadline_millis = 0;
+  /// Capacity of the process-wide shared verdict cache.
+  size_t shared_cache_capacity = VerdictCache::kDefaultCapacity;
+  /// Template for each worker's debugger. `shared_verdict_cache` and
+  /// `deadline_millis` are overwritten by the service.
+  DebuggerOptions debugger;
+};
+
+/// Outcome of one query in a batch.
+struct QueryResult {
+  std::string keyword_query;
+  /// Non-OK when the pipeline failed outright (deadline expiry is NOT a
+  /// failure — it yields an OK status and `report.truncated`).
+  Status status = Status::OK();
+  DebugReport report;        ///< Valid iff `status.ok()`.
+  double queue_millis = 0;   ///< Enqueue -> worker pickup.
+  double exec_millis = 0;    ///< Worker pickup -> report ready.
+  size_t worker = 0;         ///< Which worker served it.
+};
+
+/// Aggregated batch statistics (the service-level analogue of
+/// TraversalStats, exported via ServiceStatsToJson).
+struct ServiceStats {
+  size_t queries = 0;
+  size_t truncated = 0;      ///< Queries whose report is partial.
+  size_t failed = 0;         ///< Queries with a non-OK status.
+  double wall_millis = 0;    ///< Batch submit -> last query done.
+  double queries_per_second = 0;
+  /// Latency distribution over per-query exec_millis.
+  double p50_millis = 0;
+  double p95_millis = 0;
+  double p99_millis = 0;
+  double max_millis = 0;
+  double mean_queue_millis = 0;  ///< Average time spent waiting for a worker.
+  /// SQL actually issued vs. verdicts answered from cache, summed over the
+  /// batch's traversal stats (hits here include intra-query reuse).
+  size_t sql_queries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Snapshot of the shared tier after the batch (its hits/misses count
+  /// lookups from every worker since service construction).
+  VerdictCacheStats shared_cache;
+
+  /// One-paragraph human-readable rendering for bench/CLI output.
+  std::string ToString() const;
+};
+
+/// A completed batch: per-query results in input order plus the aggregate.
+struct BatchResult {
+  std::vector<QueryResult> results;
+  ServiceStats stats;
+};
+
+/// Thread pool + shared cache over one immutable database/lattice pair.
+/// RunBatch is synchronous and must not be called concurrently with itself
+/// (one batch in flight at a time); the referenced db/lattice/index must
+/// outlive the service and stay unmodified while a batch is running —
+/// mutate + BumpEpoch() only between batches.
+class DebugService {
+ public:
+  DebugService(const Database* db, const Lattice* lattice,
+               const InvertedIndex* index, ServiceOptions options = {});
+  ~DebugService();
+
+  DebugService(const DebugService&) = delete;
+  DebugService& operator=(const DebugService&) = delete;
+
+  /// Runs every query to completion on the pool and returns results in
+  /// input order, using the configured default deadline.
+  BatchResult RunBatch(const std::vector<std::string>& queries);
+
+  /// Same, with an explicit per-query deadline for this batch (0 = none).
+  BatchResult RunBatch(const std::vector<std::string>& queries,
+                       double deadline_millis);
+
+  /// The process-wide verdict tier every worker consults. Exposed so tests
+  /// can inspect hit rates or Clear() after a database mutation epoch.
+  VerdictCache* shared_cache() { return &shared_cache_; }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    size_t index = 0;                 ///< Into the batch's query vector.
+    double deadline_millis = 0;
+    Timer enqueued;                   ///< Started at enqueue time.
+  };
+
+  void WorkerLoop(size_t worker_id);
+
+  const Database* db_;
+  const Lattice* lattice_;
+  const InvertedIndex* index_;
+  ServiceOptions options_;
+  VerdictCache shared_cache_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals queued tasks / shutdown.
+  std::condition_variable done_cv_;   ///< Signals batch completion.
+  std::deque<Task> queue_;
+  const std::vector<std::string>* batch_queries_ = nullptr;  // guarded by mu_
+  std::vector<QueryResult>* batch_results_ = nullptr;        // guarded by mu_
+  size_t completed_ = 0;                                     // guarded by mu_
+  bool stop_ = false;                                        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SERVICE_DEBUG_SERVICE_H_

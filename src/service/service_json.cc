@@ -1,0 +1,57 @@
+#include "service/service_json.h"
+
+#include <sstream>
+
+#include "debugger/report_json.h"
+
+namespace kwsdbg {
+
+std::string ServiceStatsToJson(const ServiceStats& stats) {
+  std::ostringstream out;
+  out << "{\"queries\":" << stats.queries
+      << ",\"truncated\":" << stats.truncated
+      << ",\"failed\":" << stats.failed
+      << ",\"wall_millis\":" << stats.wall_millis
+      << ",\"queries_per_second\":" << stats.queries_per_second
+      << ",\"p50_millis\":" << stats.p50_millis
+      << ",\"p95_millis\":" << stats.p95_millis
+      << ",\"p99_millis\":" << stats.p99_millis
+      << ",\"max_millis\":" << stats.max_millis
+      << ",\"mean_queue_millis\":" << stats.mean_queue_millis
+      << ",\"sql_queries\":" << stats.sql_queries
+      << ",\"cache_hits\":" << stats.cache_hits
+      << ",\"cache_misses\":" << stats.cache_misses
+      << ",\"shared_cache\":{\"entries\":" << stats.shared_cache.entries
+      << ",\"hits\":" << stats.shared_cache.hits
+      << ",\"misses\":" << stats.shared_cache.misses
+      << ",\"insertions\":" << stats.shared_cache.insertions
+      << ",\"evictions\":" << stats.shared_cache.evictions << "}}";
+  return out.str();
+}
+
+std::string BatchResultToJson(const BatchResult& batch, bool include_reports) {
+  std::ostringstream out;
+  out << "{\"stats\":" << ServiceStatsToJson(batch.stats) << ",\"queries\":[";
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const QueryResult& r = batch.results[i];
+    if (i > 0) out << ',';
+    out << "{\"query\":\"" << JsonEscape(r.keyword_query) << '"'
+        << ",\"ok\":" << (r.status.ok() ? "true" : "false");
+    if (!r.status.ok()) {
+      out << ",\"error\":\"" << JsonEscape(r.status.ToString()) << '"';
+    }
+    out << ",\"truncated\":"
+        << (r.status.ok() && r.report.truncated ? "true" : "false")
+        << ",\"worker\":" << r.worker
+        << ",\"queue_millis\":" << r.queue_millis
+        << ",\"exec_millis\":" << r.exec_millis;
+    if (include_reports && r.status.ok()) {
+      out << ",\"report\":" << DebugReportToJson(r.report);
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace kwsdbg

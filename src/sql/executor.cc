@@ -273,6 +273,27 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
                                  ResultSet* out) {
   ++stats_.queries_executed;
   ExecTimeGuard time_guard(&stats_.exec_millis);
+  // Session caches (join indexes, keyword match sets) describe one database
+  // state; a mutation + BumpEpoch() between queries makes them stale, so a
+  // long-lived session (e.g. a service worker) drops them here instead of
+  // serving rows that no longer exist.
+  if (db_->epoch() != cache_epoch_) {
+    ClearCaches();
+    cache_epoch_ = db_->epoch();
+  }
+  // Deadline polling: once at entry (cheap rejection of work already past
+  // its budget) and every kCancelCheckStride probed rows inside the
+  // backtracking loop — the only place a single query's work is unbounded.
+  constexpr size_t kCancelCheckStride = 1024;
+  auto deadline_fired = [this] {
+    if (options_.cancellation == nullptr || !options_.cancellation->Expired())
+      return false;
+    ++stats_.deadline_aborts;
+    return true;
+  };
+  if (deadline_fired()) {
+    return Status::DeadlineExceeded("query cancelled before execution");
+  }
   auto keyword_count = [this](const Table* table, const std::string& kw) {
     return GetKeywordMatches(table, kw).count;
   };
@@ -434,6 +455,10 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     }
   }
 
+  if (deadline_fired()) {
+    return Status::DeadlineExceeded("query cancelled after pre-reduction");
+  }
+
   // --- Stage 3: backtracking join over the chosen order ------------------
   std::vector<uint32_t> assignment(n, 0);
   std::vector<bool> assigned(n, false);
@@ -522,6 +547,9 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
         row = f.next_pos++;
       }
       ++stats_.rows_probed;
+      if (stats_.rows_probed % kCancelCheckStride == 0 && deadline_fired()) {
+        return Status::DeadlineExceeded("query cancelled mid-probe");
+      }
       if (cand[v].materialized && !cand[v].bitmap[row]) continue;
       if (!check_constraints(v, row, probe_constraint[depth])) continue;
       assignment[v] = row;

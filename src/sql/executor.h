@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "sql/join_network.h"
@@ -49,6 +50,12 @@ struct ExecutorOptions {
   bool use_text_index = true;
   /// Run the semijoin pre-reduction pass before the backtracking join.
   bool semijoin_reduction = true;
+  /// Cooperative deadline: when set, long probes poll the token between row
+  /// batches and unwind with kDeadlineExceeded once it fires. A cancelled
+  /// probe produces no verdict and leaves session caches consistent (only
+  /// fully built match sets / indexes are ever cached). The token must
+  /// outlive the executor.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// Accumulated executor counters; the traversal experiments read these.
@@ -68,6 +75,8 @@ struct ExecutorStats {
                                      ///< pre-reduction pass alone.
   size_t index_builds = 0;      ///< Join-column hash indexes built.
   size_t existence_probes = 0;  ///< IsNonEmpty calls (first-witness mode).
+  size_t deadline_aborts = 0;   ///< Probes unwound by a fired cancellation
+                                ///< token (no verdict was produced).
 };
 
 /// One executor = one "database session". Not thread-safe.
@@ -144,6 +153,9 @@ class Executor {
       keyword_cache_;
   std::unordered_map<std::string, std::vector<const std::vector<Posting>*>>
       infix_cache_;
+  /// Database::epoch() the session caches were built against; a mismatch at
+  /// query entry drops them (see RunJoin).
+  uint64_t cache_epoch_ = 0;
   ExecutorStats stats_;
 };
 

@@ -37,7 +37,16 @@ class BottomUpWithReuseStrategy : public TraversalStrategy {
       for (NodeId n : nodes) {
         if (!status.IsKnown(n)) batch.push_back(n);  // shared or inferred
       }
-      KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+      Status st = frontier.cancelled()
+                      ? Status::DeadlineExceeded("traversal cancelled")
+                      : frontier.EvaluateBatch(batch, &alive);
+      if (internal::IsDeadlineExceeded(st)) {
+        TraversalResult partial = internal::BuildTruncatedOutcomes(pl, status);
+        frontier.FillStats(&partial.stats);
+        partial.stats.total_millis = total.ElapsedMillis();
+        return partial;
+      }
+      KWSDBG_RETURN_NOT_OK(st);
       for (size_t i = 0; i < batch.size(); ++i) {
         if (alive[i]) {
           status.Set(batch[i], NodeStatus::kAlive);

@@ -46,14 +46,23 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
     }
     // Unbound keyword copy should have been pruned; fall through to SQL.
   }
+  // Capture the epoch once, before evaluation: a verdict must be keyed
+  // under the epoch whose data produced it. Re-reading the epoch at insert
+  // time would mis-key a verdict as current when a mutation + BumpEpoch
+  // landed between the SQL run and the insert — a stale verdict that every
+  // later reader of the new epoch would then trust.
+  const uint64_t epoch = db_->epoch();
   if (cache_ != nullptr) {
     std::optional<bool> verdict =
-        cache_->Lookup(CanonicalFor(id), binding_sig_, db_->epoch());
+        cache_->Lookup(CanonicalFor(id), binding_sig_, epoch);
     if (verdict.has_value()) {
       ++cache_hits_;
       return *verdict;
     }
     ++cache_misses_;
+  }
+  if (cancelled()) {
+    return Status::DeadlineExceeded("node evaluation cancelled");
   }
   KWSDBG_ASSIGN_OR_RETURN(
       JoinNetworkQuery query,
@@ -63,7 +72,7 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
   ++sql_executed_;
   sql_millis_ += timer.ElapsedMillis();
   if (cache_ != nullptr) {
-    cache_->Insert(CanonicalFor(id), binding_sig_, db_->epoch(), alive);
+    cache_->Insert(CanonicalFor(id), binding_sig_, epoch, alive);
   }
   return alive;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "kws/pruned_lattice.h"
 #include "kws/query_builder.h"
 #include "sql/executor.h"
@@ -21,6 +22,11 @@ namespace kwsdbg {
 struct EvalOptions {
   /// Resolve level-1 nodes from the inverted index / catalog without SQL.
   bool base_nodes_via_index = true;
+  /// Cooperative per-query deadline, shared with the executor and every
+  /// frontier worker (worker evaluators copy these options, so the same
+  /// token reaches all of them). IsAlive polls it before issuing SQL and
+  /// returns kDeadlineExceeded once it fires — never a fabricated verdict.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// Evaluates node aliveness for one interpretation. Not thread-safe itself
@@ -38,6 +44,13 @@ class QueryEvaluator {
 
   /// True iff the node's query returns at least one tuple.
   StatusOr<bool> IsAlive(NodeId id);
+
+  /// True once the attached cancellation token (if any) has fired. The
+  /// strategies poll this at frontier boundaries to degrade to a truncated
+  /// partial result instead of starting work they cannot finish.
+  bool cancelled() const {
+    return options_.cancellation != nullptr && options_.cancellation->Expired();
+  }
 
   /// SQL executions performed through this evaluator (base-level shortcut
   /// evaluations and cache hits do not count, matching the paper's query

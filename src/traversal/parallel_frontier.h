@@ -45,6 +45,11 @@ class FrontierEvaluator {
   /// Single-node evaluation on the calling thread (main evaluator).
   StatusOr<bool> EvaluateOne(NodeId id) { return main_->IsAlive(id); }
 
+  /// Cancellation hook polled by the strategies at frontier boundaries
+  /// (the shared token also reaches every worker through its evaluator, so
+  /// in-flight batches unwind on their own).
+  bool cancelled() const { return main_->cancelled(); }
+
   /// Adds this run's SQL, cache, and parallelism counters (main evaluator
   /// deltas since construction + all workers) into `stats`. Call once, after
   /// the last batch.

@@ -70,13 +70,25 @@ class ScoreBasedStrategy : public TraversalStrategy {
       for (NodeId desc : pl.RetainedDescendants(u)) a_sum[desc] -= delta;
     };
 
+    // Cancellation exit shared by every deadline check below: classified
+    // statuses are all ground truth, so the partial result is safe.
+    auto truncated_result = [&]() -> TraversalResult {
+      TraversalResult partial = internal::BuildTruncatedOutcomes(pl, status);
+      frontier.FillStats(&partial.stats);
+      partial.stats.total_millis = total.ElapsedMillis();
+      return partial;
+    };
+
     if (options_.estimate_pa) {
       PaEstimatorOptions est_options;
       est_options.sample_size = options_.estimator_sample_size;
       est_options.seed = options_.estimator_seed;
-      KWSDBG_ASSIGN_OR_RETURN(
-          PaEstimate estimate,
-          EstimateAliveProbability(pl, evaluator, est_options, &status));
+      StatusOr<PaEstimate> estimate_or =
+          EstimateAliveProbability(pl, evaluator, est_options, &status);
+      if (internal::IsDeadlineExceeded(estimate_or.status())) {
+        return truncated_result();
+      }
+      KWSDBG_ASSIGN_OR_RETURN(PaEstimate estimate, std::move(estimate_or));
       pa = estimate.alive_probability;
       // Fold the sampled classifications into the W/A/D accounting.
       for (NodeId n : pl.retained()) {
@@ -121,13 +133,19 @@ class ScoreBasedStrategy : public TraversalStrategy {
       }
       const NodeId n = cands[best].second;
 
+      if (frontier.cancelled()) return truncated_result();
+
       bool alive;
       auto it = prefetched.find(n);
       if (it != prefetched.end()) {
         alive = it->second;
         prefetched.erase(it);
       } else if (prefetch_depth == 0) {
-        KWSDBG_ASSIGN_OR_RETURN(alive, frontier.EvaluateOne(n));
+        StatusOr<bool> alive_or = frontier.EvaluateOne(n);
+        if (internal::IsDeadlineExceeded(alive_or.status())) {
+          return truncated_result();
+        }
+        KWSDBG_ASSIGN_OR_RETURN(alive, std::move(alive_or));
       } else {
         // Speculate: batch the current top-K by (gain desc, id asc); the
         // argmax is first, so its verdict is always available below.
@@ -140,7 +158,9 @@ class ScoreBasedStrategy : public TraversalStrategy {
                           });
         batch.clear();
         for (size_t i = 0; i < k; ++i) batch.push_back(cands[i].second);
-        KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &batch_alive));
+        Status st = frontier.EvaluateBatch(batch, &batch_alive);
+        if (internal::IsDeadlineExceeded(st)) return truncated_result();
+        KWSDBG_RETURN_NOT_OK(st);
         for (size_t i = 0; i < batch.size(); ++i) {
           prefetched.emplace(batch[i], batch_alive[i] != 0);
         }

@@ -96,6 +96,42 @@ std::vector<NodeId> ExtractMinimalDead(const PrunedLattice& pl,
   return out;
 }
 
+bool IsDeadlineExceeded(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded;
+}
+
+void AppendOutcomeIfKnown(const PrunedLattice& pl, const NodeStatusMap& status,
+                          NodeId m, TraversalResult* result) {
+  if (!status.IsKnown(m)) return;
+  MtnOutcome outcome;
+  outcome.mtn = m;
+  outcome.alive = status.IsAlive(m);
+  if (!outcome.alive) {
+    bool complete = true;
+    for (NodeId d : pl.RetainedDescendants(m)) {
+      if (!status.IsKnown(d)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      outcome.mpans = ExtractMpans(pl, status, m);
+      outcome.culprits = ExtractMinimalDead(pl, status, m);
+    } else {
+      outcome.frontier_complete = false;
+    }
+  }
+  result->outcomes.push_back(std::move(outcome));
+}
+
+TraversalResult BuildTruncatedOutcomes(const PrunedLattice& pl,
+                                       const NodeStatusMap& status) {
+  TraversalResult result;
+  result.truncated = true;
+  for (NodeId m : pl.mtns()) AppendOutcomeIfKnown(pl, status, m, &result);
+  return result;
+}
+
 StatusOr<TraversalResult> BuildOutcomes(const PrunedLattice& pl,
                                         const NodeStatusMap& status) {
   TraversalResult result;

@@ -24,6 +24,11 @@ struct MtnOutcome {
                                  ///< nothing (every proper sub-network of a
                                  ///< culprit is alive); sorted; empty when
                                  ///< alive. The dual frontier of the MPANs.
+  /// False only in truncated runs, for a dead MTN whose sub-lattice was not
+  /// fully classified when the deadline fired: the aliveness verdict is
+  /// still ground truth, but mpans/culprits are left empty because a
+  /// partially classified frontier could report wrong maximality.
+  bool frontier_complete = true;
 };
 
 /// Work counters for one strategy run.
@@ -65,7 +70,13 @@ struct ParallelOptions {
 /// Result of one strategy run over one interpretation.
 struct TraversalResult {
   std::vector<MtnOutcome> outcomes;  ///< In PrunedLattice::mtns() order.
+                                     ///< Truncated runs omit MTNs whose
+                                     ///< status was still unknown.
   TraversalStats stats;
+  /// Set when a cooperative deadline fired mid-run: `outcomes` then covers
+  /// only the MTNs classified before cancellation (every reported verdict
+  /// is still ground truth — truncation never fabricates one).
+  bool truncated = false;
 };
 
 /// The five strategies of Sec. 2.5 (+ Table 4 / Figs. 11-12 labels).
@@ -130,6 +141,25 @@ std::vector<NodeId> ExtractMinimalDead(const PrunedLattice& pl,
 /// Builds per-MTN outcomes from a fully classified global status map.
 StatusOr<TraversalResult> BuildOutcomes(const PrunedLattice& pl,
                                         const NodeStatusMap& status);
+
+/// True for the status a fired cancellation token propagates; the
+/// strategies translate it into a truncated partial result instead of an
+/// error.
+bool IsDeadlineExceeded(const Status& status);
+
+/// Appends the outcome for MTN `m` to `result` if `status` classifies it
+/// (no-op otherwise). For a dead MTN, MPANs/culprits are extracted only
+/// when the MTN's whole retained sub-lattice is classified — a partial
+/// frontier could be wrong, so it is omitted and `frontier_complete`
+/// cleared instead.
+void AppendOutcomeIfKnown(const PrunedLattice& pl, const NodeStatusMap& status,
+                          NodeId m, TraversalResult* result);
+
+/// Builds a truncated result from a partially classified global status map:
+/// outcomes for every classified MTN (via AppendOutcomeIfKnown), with
+/// `truncated` set.
+TraversalResult BuildTruncatedOutcomes(const PrunedLattice& pl,
+                                       const NodeStatusMap& status);
 
 }  // namespace internal
 

@@ -42,7 +42,17 @@ class TopDownStrategy : public TraversalStrategy {
         for (NodeId n : nodes) {
           if (!status.IsKnown(n)) batch.push_back(n);  // not inferred via R1
         }
-        KWSDBG_RETURN_NOT_OK(frontier.EvaluateBatch(batch, &alive));
+        Status st = frontier.cancelled()
+                        ? Status::DeadlineExceeded("traversal cancelled")
+                        : frontier.EvaluateBatch(batch, &alive);
+        if (internal::IsDeadlineExceeded(st)) {
+          internal::AppendOutcomeIfKnown(pl, status, m, &result);
+          result.truncated = true;
+          frontier.FillStats(&result.stats);
+          result.stats.total_millis = total.ElapsedMillis();
+          return result;
+        }
+        KWSDBG_RETURN_NOT_OK(st);
         for (size_t i = 0; i < batch.size(); ++i) {
           if (alive[i]) {
             status.MarkAliveWithDescendants(batch[i], pl);

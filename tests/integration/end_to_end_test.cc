@@ -112,6 +112,8 @@ TEST(EndToEndTest, PersistedArtifactsGiveIdenticalReports) {
   // networks, SQL, counts — must match exactly (timings are wall-clock
   // noise; blank them first).
   auto strip_times = [](DebugReport* report) {
+    report->bind_millis = 0;
+    report->debug_millis = 0;
     for (auto& interp : report->interpretations) {
       interp.traversal_stats.sql_millis = 0;
       interp.traversal_stats.total_millis = 0;
@@ -178,6 +180,8 @@ TEST(EndToEndTest, ReportsAreStrategyInvariant) {
     auto report = debugger.Debug(query);
     KWSDBG_CHECK(report.ok());
     // Blank out the stats (they legitimately differ per strategy).
+    report->bind_millis = 0;
+    report->debug_millis = 0;
     for (auto& interp : report->interpretations) {
       interp.traversal_stats = TraversalStats{};
       interp.prune_stats.prune_millis = 0;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Sanitizer wall for the concurrency-sensitive surface: builds the asan and
+# tsan presets (see CMakePresets.json) and runs the test subset that
+# exercises threads, the shared verdict cache, cancellation, and the
+# service layer under both. The differential fuzzer runs with a raised
+# iteration count; override with KWSDBG_FUZZ_ITERS / KWSDBG_FUZZ_SEED to
+# reproduce a specific failure (each test prints its seeds).
+#
+#   tests/run_sanitizers.sh               # both sanitizers
+#   tests/run_sanitizers.sh tsan          # one of: asan tsan
+#   KWSDBG_FUZZ_ITERS=500 tests/run_sanitizers.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# gtest case names (not binaries): ctest -R matches the discovered tests.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest'
+
+: "${KWSDBG_FUZZ_ITERS:=200}"
+export KWSDBG_FUZZ_ITERS
+
+run_preset() {
+  local preset="$1"
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] ctest -R ($KWSDBG_FUZZ_ITERS fuzz iterations) ==="
+  ctest --preset "$preset" -R "$CONCURRENCY_TESTS" --output-on-failure
+}
+
+presets=("${@:-asan}")
+if [ "$#" -eq 0 ]; then presets=(asan tsan); fi
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    asan|tsan) run_preset "$preset" ;;
+    *) echo "unknown preset '$preset' (want: asan tsan)" >&2; exit 2 ;;
+  esac
+done
+echo "=== sanitizer wall clean ==="

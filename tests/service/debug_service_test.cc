@@ -1,0 +1,189 @@
+// Core DebugService behavior: batch execution over the worker pool, the
+// process-wide verdict tier, deadline-truncated reports, and the JSON
+// export. Classification parity at scale is gated separately by
+// bench/concurrent_service_workload and the differential fuzzer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "debugger/report_json.h"
+#include "service/debug_service.h"
+#include "service/service_json.h"
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+std::vector<std::string> ToyQueries() {
+  return {"saffron candle", "red candle", "vanilla oil", "scented candle"};
+}
+
+TEST(DebugServiceTest, BatchMatchesSerialDebugger) {
+  testutil::ToyFixture fx;
+  const std::vector<std::string> queries = ToyQueries();
+
+  std::vector<std::string> serial_sigs;
+  {
+    NonAnswerDebugger serial(fx.db.get(), fx.lattice.get(), fx.index.get());
+    for (const std::string& q : queries) {
+      auto report = serial.Debug(q);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      serial_sigs.push_back(report->ClassificationSignature());
+    }
+  }
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch(queries);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult& r = batch.results[i];
+    EXPECT_EQ(r.keyword_query, queries[i]);  // Input order preserved.
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.report.truncated);
+    EXPECT_EQ(r.report.ClassificationSignature(), serial_sigs[i])
+        << "query \"" << queries[i] << "\"";
+    EXPECT_GE(r.exec_millis, 0.0);
+    EXPECT_LT(r.worker, options.num_workers);
+  }
+  EXPECT_EQ(batch.stats.queries, queries.size());
+  EXPECT_EQ(batch.stats.failed, 0u);
+  EXPECT_EQ(batch.stats.truncated, 0u);
+  EXPECT_GT(batch.stats.wall_millis, 0.0);
+  EXPECT_GE(batch.stats.p99_millis, batch.stats.p50_millis);
+}
+
+TEST(DebugServiceTest, SharedCacheWarmsAcrossBatches) {
+  testutil::ToyFixture fx;
+  const std::vector<std::string> queries = ToyQueries();
+  ServiceOptions options;
+  options.num_workers = 2;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+
+  BatchResult cold = service.RunBatch(queries);
+  ASSERT_EQ(cold.stats.failed, 0u);
+  EXPECT_GT(cold.stats.sql_queries, 0u);
+
+  // Identical batch, warm shared tier: every verdict is a cache hit, even
+  // though different workers may serve the queries this time.
+  BatchResult warm = service.RunBatch(queries);
+  ASSERT_EQ(warm.stats.failed, 0u);
+  EXPECT_EQ(warm.stats.sql_queries, 0u)
+      << "warm batch should answer every verdict from the shared tier";
+  EXPECT_GT(warm.stats.cache_hits, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(warm.results[i].report.ClassificationSignature(),
+              cold.results[i].report.ClassificationSignature());
+  }
+}
+
+TEST(DebugServiceTest, DeadlineTruncatesInsteadOfFailing) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 2;
+  // A degenerate budget: expired before the first frontier. Every query
+  // must still return OK with a (possibly empty) truncated report.
+  options.default_deadline_millis = 1e-6;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch(ToyQueries());
+  for (const QueryResult& r : batch.results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.report.truncated);
+    // Truncation never fabricates verdicts: anything reported must also be
+    // reported by an unbounded run (subset check via full run).
+  }
+  EXPECT_EQ(batch.stats.truncated, batch.stats.queries);
+
+  // The same batch without a deadline completes fully.
+  BatchResult full = service.RunBatch(ToyQueries(), /*deadline_millis=*/0);
+  for (const QueryResult& r : full.results) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.report.truncated);
+  }
+}
+
+TEST(DebugServiceTest, TruncatedReportsAreVerdictSubsets) {
+  testutil::ToyFixture fx;
+  // Serial debugger with an immediate deadline vs. unbounded: the truncated
+  // report's answers/non-answers must be a subset of the full ones.
+  DebuggerOptions bounded;
+  bounded.deadline_millis = 1e-6;
+  NonAnswerDebugger truncated_dbg(fx.db.get(), fx.lattice.get(),
+                                  fx.index.get(), bounded);
+  NonAnswerDebugger full_dbg(fx.db.get(), fx.lattice.get(), fx.index.get());
+  for (const std::string& q : ToyQueries()) {
+    auto truncated = truncated_dbg.Debug(q);
+    auto full = full_dbg.Debug(q);
+    ASSERT_TRUE(truncated.ok() && full.ok());
+    EXPECT_TRUE(truncated->truncated);
+    EXPECT_FALSE(full->truncated);
+    EXPECT_LE(truncated->TotalAnswers(), full->TotalAnswers());
+    EXPECT_LE(truncated->TotalNonAnswers(), full->TotalNonAnswers());
+    // Every network the truncated run classified appears identically in
+    // the full run (no fabricated or flipped verdicts).
+    for (const auto& interp : truncated->interpretations) {
+      for (const auto& ans : interp.answers) {
+        bool found = false;
+        for (const auto& fi : full->interpretations) {
+          for (const auto& fans : fi.answers) {
+            if (fi.binding == interp.binding &&
+                fans.query.network == ans.query.network) {
+              found = true;
+            }
+          }
+        }
+        EXPECT_TRUE(found) << "truncated run invented answer "
+                           << ans.query.network;
+      }
+      for (const auto& na : interp.non_answers) {
+        bool found = false;
+        for (const auto& fi : full->interpretations) {
+          for (const auto& fna : fi.non_answers) {
+            if (fi.binding == interp.binding &&
+                fna.query.network == na.query.network) {
+              found = true;
+            }
+          }
+        }
+        EXPECT_TRUE(found) << "truncated run invented non-answer "
+                           << na.query.network;
+      }
+    }
+  }
+}
+
+TEST(DebugServiceTest, JsonExportCarriesServiceFields) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 2;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch({"saffron candle"});
+  const std::string stats_json = ServiceStatsToJson(batch.stats);
+  for (const char* field :
+       {"\"queries\":", "\"queries_per_second\":", "\"p50_millis\":",
+        "\"p95_millis\":", "\"p99_millis\":", "\"mean_queue_millis\":",
+        "\"shared_cache\":"}) {
+    EXPECT_NE(stats_json.find(field), std::string::npos) << field;
+  }
+  const std::string batch_json =
+      BatchResultToJson(batch, /*include_reports=*/true);
+  for (const char* field : {"\"stats\":", "\"queries\":[", "\"worker\":",
+                            "\"queue_millis\":", "\"exec_millis\":",
+                            "\"report\":", "\"truncated\":"}) {
+    EXPECT_NE(batch_json.find(field), std::string::npos) << field;
+  }
+  // The per-report JSON path carries the new latency/truncation fields too.
+  ASSERT_TRUE(batch.results[0].status.ok());
+  const std::string report_json = DebugReportToJson(batch.results[0].report);
+  EXPECT_NE(report_json.find("\"debug_millis\":"), std::string::npos);
+  EXPECT_NE(report_json.find("\"truncated\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,195 @@
+// Differential fuzzer over the whole verdict pipeline: seeded random
+// catalogs + keyword queries, asserting that all five traversal strategies,
+// the RE baseline (the SQL-per-node oracle), and the concurrent
+// DebugService produce identical A(K)/N(K)/MPAN sets. Any disagreement is
+// a real bug in inference, caching, cancellation, or the service's
+// threading — verdicts are ground truth and must not depend on the runner.
+//
+// Reproducibility: every failure prints the iteration seed and a minimized
+// query. Re-run one case with
+//   KWSDBG_FUZZ_SEED=<seed> KWSDBG_FUZZ_ITERS=1 ./differential_fuzz_test
+// The default iteration count is CI-cheap; nightly/sanitizer runs raise it
+// via KWSDBG_FUZZ_ITERS (see tests/run_sanitizers.sh and docs/testing.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/return_everything.h"
+#include "common/rng.h"
+#include "datasets/ecommerce.h"
+#include "datasets/query_generator.h"
+#include "kws/keyword_binding.h"
+#include "kws/pruned_lattice.h"
+#include "lattice/lattice_generator.h"
+#include "service/debug_service.h"
+#include "sql/executor.h"
+#include "test_util.h"
+#include "text/inverted_index.h"
+#include "traversal/strategies.h"
+
+namespace kwsdbg {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
+}
+
+/// One generated instance: catalog + lattice + index, all seeded.
+struct FuzzCase {
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+  std::unique_ptr<Lattice> lattice;
+  std::unique_ptr<InvertedIndex> index;
+};
+
+FuzzCase BuildCase(uint64_t seed) {
+  Rng rng(seed);
+  EcommerceConfig config;
+  config.seed = seed;
+  config.num_items = static_cast<size_t>(rng.UniformRange(20, 80));
+  const double null_rates[] = {0.0, 0.1, 0.3};
+  config.null_color_rate = null_rates[rng.Uniform(3)];
+  auto dataset = GenerateEcommerce(config);
+  KWSDBG_CHECK(dataset.ok()) << dataset.status().ToString();
+  FuzzCase fc;
+  fc.db = std::move(dataset->db);
+  fc.schema = std::move(dataset->schema);
+  LatticeConfig lconfig;
+  lconfig.max_joins = 2;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(fc.schema, lconfig);
+  KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+  fc.lattice = std::move(*lattice);
+  fc.index = std::make_unique<InvertedIndex>(InvertedIndex::Build(*fc.db));
+  return fc;
+}
+
+/// Checks one query across all runners. Returns a description of the first
+/// disagreement, or nullopt when every runner agrees.
+std::optional<std::string> Disagreement(const FuzzCase& fc,
+                                        const std::string& query) {
+  KeywordBinder binder(&fc.schema, fc.index.get(), /*copies=*/2,
+                       /*max_interpretations=*/4);
+  BindingResult bound = binder.Bind(query);
+
+  // Layer 1: per interpretation, the five strategies must match the RE
+  // oracle exactly (aliveness, MPANs, culprits).
+  for (const KeywordBinding& binding : bound.interpretations) {
+    PrunedLattice pl = PrunedLattice::Build(*fc.lattice, binding);
+    if (pl.mtns().empty()) continue;
+    auto run = [&](TraversalStrategy* strategy) {
+      Executor executor(fc.db.get());
+      QueryEvaluator evaluator(fc.db.get(), &executor, &pl, fc.index.get());
+      auto result = strategy->Run(pl, &evaluator);
+      KWSDBG_CHECK(result.ok()) << result.status().ToString();
+      return testutil::Summarize(*result);
+    };
+    auto oracle_strategy = MakeReturnEverything();
+    const auto oracle = run(oracle_strategy.get());
+    for (TraversalKind kind : AllTraversalKinds()) {
+      auto strategy = MakeStrategy(kind);
+      const auto got = run(strategy.get());
+      if (got != oracle) {
+        std::ostringstream out;
+        out << "strategy " << strategy->name() << " disagrees with RE on "
+            << "binding " << binding.ToString(fc.schema);
+        return out.str();
+      }
+    }
+  }
+
+  // Layer 2: the concurrent service must classify identically to a serial
+  // debugger (same options, fresh caches) for the full report.
+  std::string serial_sig;
+  {
+    NonAnswerDebugger serial(fc.db.get(), fc.lattice.get(), fc.index.get());
+    auto report = serial.Debug(query);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    serial_sig = report->ClassificationSignature();
+  }
+  ServiceOptions service_options;
+  service_options.num_workers = 4;
+  DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),
+                       service_options);
+  // Submit the query four times in one batch: workers race on the shared
+  // cache, and every copy must still classify identically.
+  BatchResult batch = service.RunBatch({query, query, query, query});
+  for (const QueryResult& r : batch.results) {
+    if (!r.status.ok()) return "service error: " + r.status.ToString();
+    if (r.report.ClassificationSignature() != serial_sig) {
+      return "service classification differs from serial debugger (worker " +
+             std::to_string(r.worker) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+/// Greedy keyword-dropping minimization: keep removing words while the
+/// disagreement persists.
+std::string Minimize(const FuzzCase& fc, std::string query) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::istringstream in(query);
+    std::vector<std::string> words;
+    for (std::string w; in >> w;) words.push_back(w);
+    if (words.size() <= 1) break;
+    for (size_t drop = 0; drop < words.size(); ++drop) {
+      std::string candidate;
+      for (size_t i = 0; i < words.size(); ++i) {
+        if (i == drop) continue;
+        if (!candidate.empty()) candidate += ' ';
+        candidate += words[i];
+      }
+      if (Disagreement(fc, candidate).has_value()) {
+        query = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return query;
+}
+
+TEST(DifferentialFuzzTest, AllRunnersAgreeOnRandomInstances) {
+  const size_t iters = EnvSize("KWSDBG_FUZZ_ITERS", 25);
+  const uint64_t base_seed = EnvSize("KWSDBG_FUZZ_SEED", 1234);
+  std::printf("fuzz: %zu iteration(s), base seed %llu "
+              "(KWSDBG_FUZZ_ITERS / KWSDBG_FUZZ_SEED to override)\n",
+              iters, static_cast<unsigned long long>(base_seed));
+
+  for (size_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = base_seed + iter;
+    FuzzCase fc = BuildCase(seed);
+    Rng rng(seed ^ 0xF00Du);
+    QueryGeneratorConfig gconfig;
+    gconfig.seed = seed;
+    gconfig.min_keywords = 1;
+    gconfig.max_keywords = 3;
+    RandomQueryGenerator generator(fc.index.get(), gconfig);
+    for (size_t q = 0; q < 3; ++q) {
+      std::string query = generator.Next();
+      // Occasionally splice in a vocabulary miss (exercises the
+      // missing-keyword early-out) or the paper's frontier query.
+      if (rng.Bernoulli(0.15)) query += " zzzunbound";
+      if (rng.Bernoulli(0.15)) query = "saffron candle";
+      std::optional<std::string> failure = Disagreement(fc, query);
+      if (failure.has_value()) {
+        const std::string minimized = Minimize(fc, query);
+        FAIL() << "iteration " << iter << ", seed " << seed << ", query \""
+               << query << "\": " << *failure
+               << "\n  minimized repro: KWSDBG_FUZZ_SEED=" << seed
+               << " KWSDBG_FUZZ_ITERS=1, query \"" << minimized << "\"";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kwsdbg
