@@ -1,0 +1,242 @@
+#include "common/fault_injector.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace kwsdbg {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+namespace {
+
+StatusOr<StatusCode> ParseInjectedCode(std::string_view s) {
+  if (s == "unavailable") return StatusCode::kUnavailable;
+  if (s == "resource-exhausted" || s == "resource") {
+    return StatusCode::kResourceExhausted;
+  }
+  if (s == "deadline") return StatusCode::kDeadlineExceeded;
+  if (s == "internal") return StatusCode::kInternal;
+  if (s == "invalid-argument" || s == "invalid") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (s == "notfound") return StatusCode::kNotFound;
+  if (s == "ok" || s == "latency") return StatusCode::kOk;
+  return Status::InvalidArgument("unknown fault code '" + std::string(s) +
+                                 "'");
+}
+
+StatusOr<uint64_t> ParseU64(std::string_view s) {
+  uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("bad integer '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+StatusOr<double> ParseF64(std::string_view s) {
+  const std::string copy(s);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return Status::InvalidArgument("bad number '" + copy + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> FaultInjector::ParseSpec(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fault spec '" + spec +
+                                   "' lacks '<point>=<code>'");
+  }
+  FaultSpec out;
+  out.point = std::string(Trim(spec.substr(0, eq)));
+  const std::vector<std::string> parts = Split(spec.substr(eq + 1), ",");
+  if (parts.empty()) {
+    return Status::InvalidArgument("fault spec '" + spec + "' lacks a code");
+  }
+  KWSDBG_ASSIGN_OR_RETURN(out.code, ParseInjectedCode(Trim(parts[0])));
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view part = Trim(parts[i]);
+    if (part == "once") {
+      out.times = 1;
+      continue;
+    }
+    const size_t kv = part.find('=');
+    if (kv == std::string_view::npos) {
+      return Status::InvalidArgument("bad fault option '" +
+                                     std::string(part) + "'");
+    }
+    const std::string_view key = part.substr(0, kv);
+    const std::string_view value = part.substr(kv + 1);
+    if (key == "p") {
+      KWSDBG_ASSIGN_OR_RETURN(out.probability, ParseF64(value));
+      if (out.probability < 0 || out.probability > 1) {
+        return Status::InvalidArgument("fault probability out of [0,1]: " +
+                                       std::string(value));
+      }
+    } else if (key == "every") {
+      KWSDBG_ASSIGN_OR_RETURN(out.every, ParseU64(value));
+    } else if (key == "after") {
+      KWSDBG_ASSIGN_OR_RETURN(out.after, ParseU64(value));
+    } else if (key == "times") {
+      KWSDBG_ASSIGN_OR_RETURN(out.times, ParseU64(value));
+    } else if (key == "latency") {
+      KWSDBG_ASSIGN_OR_RETURN(out.latency_millis, ParseF64(value));
+    } else if (key == "seed") {
+      KWSDBG_ASSIGN_OR_RETURN(out.seed, ParseU64(value));
+    } else {
+      return Status::InvalidArgument("unknown fault option '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return out;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* env = std::getenv("KWSDBG_FAULTS")) {
+      const Status st = injector->Configure(env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "KWSDBG_FAULTS ignored: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+namespace {
+// The fast-path Enabled() check never touches Global(), so an env-only
+// schedule would otherwise stay uninstalled forever; force the read before
+// main() runs.
+[[maybe_unused]] const bool kEnvScheduleLoaded =
+    (FaultInjector::Global(), true);
+}  // namespace
+
+Status FaultInjector::Configure(const std::string& schedule) {
+  // Parse everything before touching the live schedule, so a bad spec never
+  // leaves a half-installed one.
+  std::vector<FaultSpec> specs;
+  for (const std::string& piece : Split(schedule, ";")) {
+    if (Trim(piece).empty()) continue;
+    KWSDBG_ASSIGN_OR_RETURN(FaultSpec spec,
+                            ParseSpec(std::string(Trim(piece))));
+    specs.push_back(std::move(spec));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points_.clear();
+    for (FaultSpec& spec : specs) {
+      PointState state;
+      state.rng = Rng(spec.seed);
+      const std::string point = spec.point;
+      state.spec = std::move(spec);
+      points_[point] = std::move(state);
+    }
+    enabled_.store(!points_.empty(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Install(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState state;
+  state.rng = Rng(spec.seed);
+  const std::string point = spec.point;
+  state.spec = std::move(spec);
+  points_[point] = std::move(state);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(std::string_view point) {
+  StatusCode code;
+  double latency_millis;
+  uint64_t fire_ordinal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    const FaultSpec& spec = state.spec;
+    const uint64_t hit = ++state.stats.hits;
+    if (hit <= spec.after) return Status::OK();
+    if (spec.times != 0 && state.stats.fires >= spec.times) {
+      return Status::OK();
+    }
+    if (spec.every > 1 && hit % spec.every != 0) return Status::OK();
+    if (spec.probability < 1.0 && !state.rng.Bernoulli(spec.probability)) {
+      return Status::OK();
+    }
+    fire_ordinal = ++state.stats.fires;
+    code = spec.code;
+    latency_millis = spec.latency_millis;
+  }
+  // Sleep outside the lock: a latency fault must not stall other points.
+  if (latency_millis > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_millis));
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, "injected fault at " + std::string(point) + " (fire #" +
+                          std::to_string(fire_ordinal) + ")");
+}
+
+FaultPointStats FaultInjector::StatsFor(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? FaultPointStats{} : it->second.stats;
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, state] : points_) total += state.stats.fires;
+  return total;
+}
+
+std::string FaultInjector::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [point, state] : points_) {
+    if (!first) out << "; ";
+    first = false;
+    out << point << ": hits=" << state.stats.hits
+        << " fires=" << state.stats.fires;
+  }
+  if (first) out << "(no faults armed)";
+  return out.str();
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const std::string& schedule) {
+  const Status st = FaultInjector::Global().Configure(schedule);
+  // A typo'd schedule in a test should fail loudly, not silently no-op.
+  if (!st.ok()) {
+    std::fprintf(stderr, "ScopedFaultInjection: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Global().Clear();
+}
+
+}  // namespace kwsdbg

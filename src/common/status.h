@@ -22,6 +22,8 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kDeadlineExceeded,
+  kUnavailable,        ///< Transient dependency failure; safe to retry.
+  kResourceExhausted,  ///< Over capacity (shed load, quota); safe to retry.
 };
 
 /// Returns a short human-readable name for a StatusCode ("InvalidArgument").
@@ -67,10 +69,27 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for transient failures a caller may retry (with backoff) against
+  /// unchanged inputs: the dependency was momentarily down (kUnavailable) or
+  /// over capacity (kResourceExhausted). Deadline expiry is deliberately
+  /// NOT retryable — the budget is already spent; retrying under the same
+  /// deadline would fail again, and callers with a fresh budget make that
+  /// decision explicitly.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

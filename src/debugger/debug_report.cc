@@ -45,6 +45,8 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.rows_probed += interp.traversal_stats.rows_probed;
     stats.rows_filtered += interp.traversal_stats.rows_filtered;
     stats.index_builds += interp.traversal_stats.index_builds;
+    stats.index_fallbacks += interp.traversal_stats.index_fallbacks;
+    stats.semijoin_fallbacks += interp.traversal_stats.semijoin_fallbacks;
   }
   return stats;
 }
@@ -123,6 +125,11 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
           << ts.semijoin_eliminations << " semijoin elimination(s), "
           << ts.rows_probed << " row(s) probed, " << ts.rows_filtered
           << " filtered, " << ts.index_builds << " index build(s)\n";
+      if (ts.index_fallbacks + ts.semijoin_fallbacks > 0) {
+        out << "   degraded: " << ts.index_fallbacks
+            << " text-index fallback(s), " << ts.semijoin_fallbacks
+            << " semijoin fallback(s)\n";
+      }
     }
     size_t shown = 0;
     for (const AnswerReport& ans : rep.answers) {

@@ -101,7 +101,10 @@ std::string DebugReportToJson(const DebugReport& report) {
         << interp.traversal_stats.semijoin_eliminations
         << ",\"rows_probed\":" << interp.traversal_stats.rows_probed
         << ",\"rows_filtered\":" << interp.traversal_stats.rows_filtered
-        << ",\"index_builds\":" << interp.traversal_stats.index_builds << '}';
+        << ",\"index_builds\":" << interp.traversal_stats.index_builds
+        << ",\"index_fallbacks\":" << interp.traversal_stats.index_fallbacks
+        << ",\"semijoin_fallbacks\":"
+        << interp.traversal_stats.semijoin_fallbacks << '}';
     out << ",\"answers\":[";
     for (size_t a = 0; a < interp.answers.size(); ++a) {
       if (a > 0) out << ',';

@@ -1,7 +1,11 @@
 #include "service/debug_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include "common/rng.h"
 
 namespace kwsdbg {
 
@@ -20,7 +24,15 @@ std::string ServiceStats::ToString() const {
   std::ostringstream out;
   out << queries << " queries in " << wall_millis << " ms ("
       << queries_per_second << " qps), " << truncated << " truncated, "
-      << failed << " failed\n";
+      << failed << " failed";
+  if (retries + shed > 0) {
+    out << " (" << retries << " retried attempt(s), " << shed << " shed)";
+  }
+  out << "\n";
+  if (index_fallbacks + semijoin_fallbacks > 0) {
+    out << "  degraded: " << index_fallbacks << " text-index fallback(s), "
+        << semijoin_fallbacks << " semijoin fallback(s)\n";
+  }
   out << "  latency ms: p50=" << p50_millis << " p95=" << p95_millis
       << " p99=" << p99_millis << " max=" << max_millis
       << ", mean queue wait=" << mean_queue_millis << " ms\n";
@@ -67,26 +79,62 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
   for (size_t i = 0; i < queries.size(); ++i) {
     batch.results[i].keyword_query = queries[i];
   }
+  {
+    // Concurrent-call guard: a second RunBatch while one is in flight used
+    // to silently interleave two batches through the same queue/result
+    // pointers. Reject it wholesale with a typed batch status instead.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch_in_flight_) {
+      batch.status = Status::InvalidArgument(
+          "RunBatch called while another batch is in flight; DebugService "
+          "runs one batch at a time");
+      for (QueryResult& r : batch.results) r.status = batch.status;
+      batch.stats.queries = queries.size();
+      batch.stats.failed = queries.size();
+      return batch;
+    }
+    batch_in_flight_ = true;
+  }
   if (!queries.empty()) {
+    size_t enqueued = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       batch_queries_ = &queries;
       batch_results_ = &batch.results;
       completed_ = 0;
       for (size_t i = 0; i < queries.size(); ++i) {
+        if (options_.max_queue_depth > 0 &&
+            queue_.size() >= options_.max_queue_depth) {
+          // Admission control: over capacity — shed the query now with a
+          // retryable status rather than queue without bound. The caller
+          // can resubmit; nothing partial ever ran.
+          QueryResult& slot = batch.results[i];
+          slot.shed = true;
+          slot.status = Status::ResourceExhausted(
+              "query shed by admission control (queue depth " +
+              std::to_string(queue_.size()) + " >= max_queue_depth " +
+              std::to_string(options_.max_queue_depth) + ")");
+          ++completed_;
+          continue;
+        }
         Task task;
         task.index = i;
         task.deadline_millis = deadline_millis;
         queue_.push_back(std::move(task));  // Timer starts at construction.
+        ++enqueued;
       }
     }
-    work_cv_.notify_all();
+    if (enqueued > 0) work_cv_.notify_all();
     {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] { return completed_ == queries.size(); });
       batch_queries_ = nullptr;
       batch_results_ = nullptr;
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_in_flight_ = false;
   }
 
   ServiceStats& stats = batch.stats;
@@ -102,6 +150,8 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
   for (const QueryResult& r : batch.results) {
     latencies.push_back(r.exec_millis);
     queue_sum += r.queue_millis;
+    stats.retries += r.retries;
+    if (r.shed) ++stats.shed;
     if (!r.status.ok()) {
       ++stats.failed;
       continue;
@@ -111,6 +161,8 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
     stats.sql_queries += agg.sql_queries;
     stats.cache_hits += agg.cache_hits;
     stats.cache_misses += agg.cache_misses;
+    stats.index_fallbacks += agg.index_fallbacks;
+    stats.semijoin_fallbacks += agg.semijoin_fallbacks;
   }
   std::sort(latencies.begin(), latencies.end());
   stats.p50_millis = Percentile(latencies, 0.50);
@@ -132,6 +184,9 @@ void DebugService::WorkerLoop(size_t worker_id) {
   debugger_options.shared_verdict_cache = &shared_cache_;
   debugger_options.deadline_millis = 0;  // Armed per task below.
   NonAnswerDebugger debugger(db_, lattice_, index_, debugger_options);
+  // Backoff jitter source: seeded per worker so a failing run replays the
+  // exact same retry schedule (chaos tests depend on this).
+  Rng backoff_rng(options_.retry_seed + worker_id * 0x9E3779B97F4A7C15ull);
 
   for (;;) {
     Task task;
@@ -152,6 +207,32 @@ void DebugService::WorkerLoop(size_t worker_id) {
     debugger.set_deadline_millis(task.deadline_millis);
     StatusOr<DebugReport> report_or =
         debugger.Debug((*batch_queries_)[task.index]);
+    // Retry transient failures (IsRetryable: kUnavailable /
+    // kResourceExhausted) with exponential backoff + jitter, never past the
+    // query's deadline. Deadline expiry is not retried: Debug() returns an
+    // OK truncated report for it, and a remaining budget too small to back
+    // off into is budget spent, so the last typed error stands.
+    while (!report_or.ok() && report_or.status().IsRetryable() &&
+           slot.retries < options_.max_retries) {
+      const double exp = static_cast<double>(
+          uint64_t{1} << std::min<size_t>(slot.retries, 20));
+      double backoff_millis =
+          std::min(options_.retry_backoff_base_millis * exp,
+                   options_.retry_backoff_max_millis) *
+          (0.5 + 0.5 * backoff_rng.NextDouble());
+      if (backoff_millis < 0) backoff_millis = 0;
+      double remaining = 0;  // 0 = unbounded.
+      if (task.deadline_millis > 0) {
+        remaining = task.deadline_millis - exec.ElapsedMillis();
+        if (remaining <= backoff_millis) break;
+        remaining -= backoff_millis;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_millis));
+      ++slot.retries;
+      debugger.set_deadline_millis(remaining);
+      report_or = debugger.Debug((*batch_queries_)[task.index]);
+    }
     slot.exec_millis = exec.ElapsedMillis();
     if (report_or.ok()) {
       slot.report = std::move(report_or).value();

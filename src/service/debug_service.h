@@ -39,6 +39,22 @@ struct ServiceOptions {
   double default_deadline_millis = 0;
   /// Capacity of the process-wide shared verdict cache.
   size_t shared_cache_capacity = VerdictCache::kDefaultCapacity;
+  /// Admission control: maximum queued (not yet picked up) tasks; queries
+  /// past the bound are shed at enqueue time with kResourceExhausted
+  /// instead of growing the queue without limit. 0 = unbounded (default).
+  size_t max_queue_depth = 0;
+  /// Retry budget for queries failing with a retryable status (IsRetryable:
+  /// kUnavailable / kResourceExhausted — transient dependency outages, not
+  /// deadline expiry or malformed input). 0 disables retries, in which case
+  /// the first transient failure surfaces as the query's typed status.
+  size_t max_retries = 2;
+  /// Exponential backoff between retry attempts: sleep
+  /// min(base * 2^attempt, max) * jitter, jitter uniform in [0.5, 1.0),
+  /// drawn from a per-worker Rng seeded from `retry_seed` (deterministic
+  /// schedules per worker). Backoff never sleeps past the query deadline.
+  double retry_backoff_base_millis = 1.0;
+  double retry_backoff_max_millis = 50.0;
+  uint64_t retry_seed = 0x5EEDu;
   /// Template for each worker's debugger. `shared_verdict_cache` and
   /// `deadline_millis` are overwritten by the service.
   DebuggerOptions debugger;
@@ -54,6 +70,8 @@ struct QueryResult {
   double queue_millis = 0;   ///< Enqueue -> worker pickup.
   double exec_millis = 0;    ///< Worker pickup -> report ready.
   size_t worker = 0;         ///< Which worker served it.
+  size_t retries = 0;        ///< Retry attempts consumed (0 = first try won).
+  bool shed = false;         ///< Rejected by admission control (never ran).
 };
 
 /// Aggregated batch statistics (the service-level analogue of
@@ -62,6 +80,13 @@ struct ServiceStats {
   size_t queries = 0;
   size_t truncated = 0;      ///< Queries whose report is partial.
   size_t failed = 0;         ///< Queries with a non-OK status.
+  size_t retries = 0;        ///< Retry attempts across the batch.
+  size_t shed = 0;           ///< Queries rejected by admission control
+                             ///< (kResourceExhausted; included in failed).
+  /// Degraded-mode executor fallbacks summed over the batch (nonzero only
+  /// under fault injection; see common/fault_injector.h).
+  size_t index_fallbacks = 0;
+  size_t semijoin_fallbacks = 0;
   double wall_millis = 0;    ///< Batch submit -> last query done.
   double queries_per_second = 0;
   /// Latency distribution over per-query exec_millis.
@@ -85,15 +110,20 @@ struct ServiceStats {
 
 /// A completed batch: per-query results in input order plus the aggregate.
 struct BatchResult {
+  /// Batch-level status: kInvalidArgument when RunBatch was called while
+  /// another batch was already in flight (the call is rejected wholesale —
+  /// no query runs); OK otherwise, even if individual queries failed.
+  Status status = Status::OK();
   std::vector<QueryResult> results;
   ServiceStats stats;
 };
 
 /// Thread pool + shared cache over one immutable database/lattice pair.
-/// RunBatch is synchronous and must not be called concurrently with itself
-/// (one batch in flight at a time); the referenced db/lattice/index must
-/// outlive the service and stay unmodified while a batch is running —
-/// mutate + BumpEpoch() only between batches.
+/// RunBatch is synchronous; one batch runs at a time. A concurrent RunBatch
+/// call is detected and rejected with a kInvalidArgument batch status
+/// (previously undefined behavior — silent result corruption). The
+/// referenced db/lattice/index must outlive the service and stay unmodified
+/// while a batch is running — mutate + BumpEpoch() only between batches.
 class DebugService {
  public:
   DebugService(const Database* db, const Lattice* lattice,
@@ -140,6 +170,7 @@ class DebugService {
   std::vector<QueryResult>* batch_results_ = nullptr;        // guarded by mu_
   size_t completed_ = 0;                                     // guarded by mu_
   bool stop_ = false;                                        // guarded by mu_
+  bool batch_in_flight_ = false;                             // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

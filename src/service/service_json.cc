@@ -11,6 +11,10 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
   out << "{\"queries\":" << stats.queries
       << ",\"truncated\":" << stats.truncated
       << ",\"failed\":" << stats.failed
+      << ",\"retries\":" << stats.retries
+      << ",\"shed\":" << stats.shed
+      << ",\"index_fallbacks\":" << stats.index_fallbacks
+      << ",\"semijoin_fallbacks\":" << stats.semijoin_fallbacks
       << ",\"wall_millis\":" << stats.wall_millis
       << ",\"queries_per_second\":" << stats.queries_per_second
       << ",\"p50_millis\":" << stats.p50_millis
@@ -31,7 +35,11 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
 
 std::string BatchResultToJson(const BatchResult& batch, bool include_reports) {
   std::ostringstream out;
-  out << "{\"stats\":" << ServiceStatsToJson(batch.stats) << ",\"queries\":[";
+  out << "{\"ok\":" << (batch.status.ok() ? "true" : "false");
+  if (!batch.status.ok()) {
+    out << ",\"error\":\"" << JsonEscape(batch.status.ToString()) << '"';
+  }
+  out << ",\"stats\":" << ServiceStatsToJson(batch.stats) << ",\"queries\":[";
   for (size_t i = 0; i < batch.results.size(); ++i) {
     const QueryResult& r = batch.results[i];
     if (i > 0) out << ',';
@@ -43,6 +51,8 @@ std::string BatchResultToJson(const BatchResult& batch, bool include_reports) {
     out << ",\"truncated\":"
         << (r.status.ok() && r.report.truncated ? "true" : "false")
         << ",\"worker\":" << r.worker
+        << ",\"retries\":" << r.retries
+        << ",\"shed\":" << (r.shed ? "true" : "false")
         << ",\"queue_millis\":" << r.queue_millis
         << ",\"exec_millis\":" << r.exec_millis;
     if (include_reports && r.status.ok()) {

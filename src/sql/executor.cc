@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -114,9 +115,15 @@ const Executor::KeywordMatches& Executor::GetKeywordMatches(
   if (it != keyword_cache_.end()) return it->second;
   KeywordMatches matches;
   matches.bitmap.assign(table->num_rows(), 0);
-  const uint32_t tid = IndexServable(keyword)
-                           ? text_index_->TableIdOf(table->name())
-                           : InvertedIndex::kNoTable;
+  uint32_t tid = IndexServable(keyword) ? text_index_->TableIdOf(table->name())
+                                        : InvertedIndex::kNoTable;
+  // Degraded mode: a text-index fault (injected, or a future real lookup
+  // failure) falls back to the LIKE scan — same rows, more work, no error.
+  if (tid != InvertedIndex::kNoTable &&
+      FaultPointFires("executor.text_index")) {
+    tid = InvertedIndex::kNoTable;
+    ++stats_.index_fallbacks;
+  }
   if (tid != InvertedIndex::kNoTable) {
     // Posting-list path: union the lists of every term containing the
     // keyword, restricted to this table.
@@ -324,6 +331,8 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     const bool filtered =
         pv.has_keyword || !pq.selections[v].empty() || !pq.likes[v].empty();
     if (!filtered) continue;
+    // Table/row access is about to scan this vertex's table.
+    KWSDBG_FAULT_POINT("storage.table.read");
     VertexCandidates& c = cand[v];
     c.materialized = true;
     c.bitmap.assign(pv.table->num_rows(), 0);
@@ -361,7 +370,15 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   // value sets. Only removes rows that can never appear in a result, so
   // emitted rows and their order are untouched; a set running empty proves
   // the whole network dead without enumerating a single join path.
-  if (options_.semijoin_reduction && n > 1) {
+  // Degraded mode: a semijoin fault skips the pre-reduction pass and runs
+  // the plain backtracking join — the pass only removes rows that can never
+  // appear in a result, so skipping it changes cost, never the outcome.
+  bool semijoin_enabled = options_.semijoin_reduction && n > 1;
+  if (semijoin_enabled && FaultPointFires("executor.semijoin")) {
+    semijoin_enabled = false;
+    ++stats_.semijoin_fallbacks;
+  }
+  if (semijoin_enabled) {
     // Filtering costs one hash lookup per candidate row per constraint, and
     // a large set almost never runs empty — the payoff of the pass. Capping
     // the filtered-set size keeps nearly all eliminations at a fraction of
@@ -401,6 +418,7 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
                 cv.rows.size() * 4 >= pu.table->num_rows()) {
               continue;
             }
+            KWSDBG_FAULT_POINT("executor.index.build");
             const RowIndex& own = GetJoinIndex(pu.table, vc.own_column);
             std::vector<uint32_t> hits;
             for (uint32_t nrow : cv.rows) {
@@ -422,6 +440,7 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
             // reduce only against materialized (already selective) ones.
             if (!cv.materialized) continue;
             if (cu.rows.size() > kSemijoinFilterCap) continue;
+            KWSDBG_FAULT_POINT("executor.index.build");
             const RowIndex& other = GetJoinIndex(pw.table, vc.other_column);
             std::vector<uint32_t> kept;
             kept.reserve(cu.rows.size());
@@ -458,6 +477,7 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   if (deadline_fired()) {
     return Status::DeadlineExceeded("query cancelled after pre-reduction");
   }
+  KWSDBG_FAULT_POINT("executor.join.probe");
 
   // --- Stage 3: backtracking join over the chosen order ------------------
   std::vector<uint32_t> assignment(n, 0);
@@ -547,8 +567,11 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
         row = f.next_pos++;
       }
       ++stats_.rows_probed;
-      if (stats_.rows_probed % kCancelCheckStride == 0 && deadline_fired()) {
-        return Status::DeadlineExceeded("query cancelled mid-probe");
+      if (stats_.rows_probed % kCancelCheckStride == 0) {
+        if (deadline_fired()) {
+          return Status::DeadlineExceeded("query cancelled mid-probe");
+        }
+        KWSDBG_FAULT_POINT("executor.join.probe");
       }
       if (cand[v].materialized && !cand[v].bitmap[row]) continue;
       if (!check_constraints(v, row, probe_constraint[depth])) continue;

@@ -77,6 +77,13 @@ struct ExecutorStats {
   size_t existence_probes = 0;  ///< IsNonEmpty calls (first-witness mode).
   size_t deadline_aborts = 0;   ///< Probes unwound by a fired cancellation
                                 ///< token (no verdict was produced).
+  // Degraded-mode fallbacks (see common/fault_injector.h): a faulted fast
+  // path falls back to a slower correct one instead of failing the query.
+  size_t index_fallbacks = 0;    ///< Keyword match sets that fell back from
+                                 ///< posting lists to a LIKE scan because
+                                 ///< the text-index path faulted.
+  size_t semijoin_fallbacks = 0; ///< Queries that skipped the semijoin pass
+                                 ///< (plain backtracking join) on a fault.
 };
 
 /// One executor = one "database session". Not thread-safe.

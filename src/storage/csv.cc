@@ -1,8 +1,11 @@
 #include "storage/csv.h"
 
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 
 namespace kwsdbg {
@@ -24,12 +27,32 @@ std::string QuoteField(const std::string& s) {
   return out;
 }
 
+/// Truncates a line for inclusion in an error message (corrupt inputs can
+/// be arbitrarily long; errors should not be).
+std::string Excerpt(const std::string& line) {
+  constexpr size_t kMax = 60;
+  if (line.size() <= kMax) return line;
+  return line.substr(0, kMax) + "...";
+}
+
+Status ParseErrorAt(size_t lineno, const std::string& what,
+                    const std::string& line) {
+  return Status::ParseError("CSV line " + std::to_string(lineno) + ": " +
+                            what + " in: " + Excerpt(line));
+}
+
 /// Splits one CSV record (already read as a full line; embedded newlines in
 /// quoted fields are not supported by this reader) into raw fields, tracking
 /// which fields were quoted so "" (quoted empty) can be told apart from an
-/// empty (NULL) field.
-Status ParseCsvLine(const std::string& line, std::vector<std::string>* fields,
+/// empty (NULL) field. Strict about structure: unterminated quotes, text
+/// after a closing quote, quotes opening mid-field, and embedded NUL bytes
+/// are all typed ParseErrors naming the offending line.
+Status ParseCsvLine(const std::string& line, size_t lineno,
+                    std::vector<std::string>* fields,
                     std::vector<bool>* quoted) {
+  if (line.find('\0') != std::string::npos) {
+    return ParseErrorAt(lineno, "embedded NUL byte", line);
+  }
   fields->clear();
   quoted->clear();
   std::string cur;
@@ -48,7 +71,16 @@ Status ParseCsvLine(const std::string& line, std::vector<std::string>* fields,
       } else {
         cur += c;
       }
-    } else if (c == '"' && cur.empty() && !was_quoted) {
+    } else if (c == '"') {
+      if (was_quoted) {
+        // `"a"b` — a closed quoted field followed by more content.
+        return ParseErrorAt(lineno, "text after closing quote", line);
+      }
+      if (!cur.empty()) {
+        // `ab"cd` — the writer always quotes fields containing quotes, so
+        // a bare quote mid-field is corrupt input, not a literal.
+        return ParseErrorAt(lineno, "quote opening mid-field", line);
+      }
       in_quotes = true;
       was_quoted = true;
     } else if (c == ',') {
@@ -57,13 +89,38 @@ Status ParseCsvLine(const std::string& line, std::vector<std::string>* fields,
       cur.clear();
       was_quoted = false;
     } else {
+      if (was_quoted) {
+        return ParseErrorAt(lineno, "text after closing quote", line);
+      }
       cur += c;
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quote in: " + line);
+  if (in_quotes) return ParseErrorAt(lineno, "unterminated quote", line);
   fields->push_back(std::move(cur));
   quoted->push_back(was_quoted);
   return Status::OK();
+}
+
+/// Whole-field integer parse: rejects trailing garbage ("12abc") and
+/// overflow, which std::stoll would silently truncate or accept.
+StatusOr<int64_t> ParseInt64Field(const std::string& s) {
+  int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::ParseError("bad INT '" + s + "'");
+  }
+  return v;
+}
+
+/// Whole-field double parse with the same strictness.
+StatusOr<double> ParseDoubleField(const std::string& s) {
+  if (s.empty()) return Status::ParseError("bad DOUBLE ''");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::ParseError("bad DOUBLE '" + s + "'");
+  }
+  return v;
 }
 
 StatusOr<DataType> ParseDataType(const std::string& s) {
@@ -109,13 +166,14 @@ Status WriteTableCsvFile(const Table& table, const std::string& path) {
 
 StatusOr<Table> ReadTableCsv(const std::string& name, std::istream* in) {
   std::string line;
+  size_t lineno = 1;
   if (!std::getline(*in, line)) {
     return Status::ParseError("empty CSV input");
   }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   std::vector<std::string> fields;
   std::vector<bool> quoted;
-  KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, &fields, &quoted));
+  KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, lineno, &fields, &quoted));
 
   std::vector<Column> columns;
   for (const std::string& f : fields) {
@@ -123,19 +181,32 @@ StatusOr<Table> ReadTableCsv(const std::string& name, std::istream* in) {
     if (colon == std::string::npos) {
       return Status::ParseError("header cell '" + f + "' lacks :TYPE suffix");
     }
+    if (colon == 0) {
+      return Status::ParseError("header cell '" + f + "' has no column name");
+    }
     KWSDBG_ASSIGN_OR_RETURN(DataType t, ParseDataType(f.substr(colon + 1)));
     columns.push_back({f.substr(0, colon), t});
   }
   Table table(name, Schema(std::move(columns)));
 
   while (std::getline(*in, line)) {
+    ++lineno;
+    // Storage fault point: a CSV bulk load is the repro for "source went
+    // away mid-load" — the injected status aborts the load typed, with
+    // nothing half-appended past this row.
+    KWSDBG_FAULT_POINT("storage.csv.load");
     if (!line.empty() && line.back() == '\r') line.pop_back();
     // An empty line is a record (a single NULL field) only for single-column
     // tables; otherwise it can only be a stray separator.
     if (line.empty() && table.schema().num_columns() != 1) continue;
-    KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, &fields, &quoted));
+    KWSDBG_RETURN_NOT_OK(ParseCsvLine(line, lineno, &fields, &quoted));
     if (fields.size() != table.schema().num_columns()) {
-      return Status::ParseError("row arity mismatch in: " + line);
+      return ParseErrorAt(lineno,
+                          "row arity mismatch (want " +
+                              std::to_string(table.schema().num_columns()) +
+                              " fields, got " + std::to_string(fields.size()) +
+                              ")",
+                          line);
     }
     Tuple row;
     row.reserve(fields.size());
@@ -144,17 +215,17 @@ StatusOr<Table> ReadTableCsv(const std::string& name, std::istream* in) {
       if (fields[i].empty() && !quoted[i]) {
         row.emplace_back();  // NULL
       } else if (t == DataType::kInt64) {
-        try {
-          row.emplace_back(Value(static_cast<int64_t>(std::stoll(fields[i]))));
-        } catch (...) {
-          return Status::ParseError("bad INT '" + fields[i] + "'");
+        auto v = ParseInt64Field(fields[i]);
+        if (!v.ok()) {
+          return ParseErrorAt(lineno, v.status().message(), line);
         }
+        row.emplace_back(Value(*v));
       } else if (t == DataType::kDouble) {
-        try {
-          row.emplace_back(Value(std::stod(fields[i])));
-        } catch (...) {
-          return Status::ParseError("bad DOUBLE '" + fields[i] + "'");
+        auto v = ParseDoubleField(fields[i]);
+        if (!v.ok()) {
+          return ParseErrorAt(lineno, v.status().message(), line);
         }
+        row.emplace_back(Value(*v));
       } else {
         row.emplace_back(Value(fields[i]));
       }

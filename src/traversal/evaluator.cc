@@ -1,5 +1,6 @@
 #include "traversal/evaluator.h"
 
+#include "common/fault_injector.h"
 #include "common/timer.h"
 #include "lattice/canonical_label.h"
 
@@ -52,6 +53,10 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
   // landed between the SQL run and the insert — a stale verdict that every
   // later reader of the new epoch would then trust.
   const uint64_t epoch = db_->epoch();
+  // Verdict-tier fault point: sits before both the lookup and the SQL, so
+  // an injected outage fails the evaluation with a typed retryable status
+  // instead of risking a verdict the (faulted) tier could not record.
+  KWSDBG_FAULT_POINT("cache.verdict.lookup");
   if (cache_ != nullptr) {
     std::optional<bool> verdict =
         cache_->Lookup(CanonicalFor(id), binding_sig_, epoch);

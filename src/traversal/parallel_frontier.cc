@@ -127,6 +127,9 @@ void FrontierEvaluator::FillStats(TraversalStats* stats) const {
     stats->rows_probed += now.rows_probed - before.rows_probed;
     stats->rows_filtered += now.rows_filtered - before.rows_filtered;
     stats->index_builds += now.index_builds - before.index_builds;
+    stats->index_fallbacks += now.index_fallbacks - before.index_fallbacks;
+    stats->semijoin_fallbacks +=
+        now.semijoin_fallbacks - before.semijoin_fallbacks;
   };
   add_exec(main_->executor()->stats(), exec_before_);
   for (const auto& worker : workers_) {

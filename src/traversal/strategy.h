@@ -54,6 +54,9 @@ struct TraversalStats {
   size_t rows_probed = 0;      ///< Rows pulled during backtracking joins.
   size_t rows_filtered = 0;    ///< Candidate rows removed by semijoins.
   size_t index_builds = 0;     ///< Join-column hash indexes built.
+  // Degraded-mode fallbacks taken under fault injection (zero otherwise).
+  size_t index_fallbacks = 0;     ///< Posting lists -> LIKE scan fallbacks.
+  size_t semijoin_fallbacks = 0;  ///< Semijoin pass skipped (plain join).
 };
 
 /// Frontier-evaluation parallelism knobs (see parallel_frontier.h). The

@@ -1,0 +1,183 @@
+// Unit tests for the fault-injection framework: spec parsing, trigger
+// semantics (probability / every-Nth / after / times), determinism across
+// identical schedules, latency-only faults, and scoped install/clear.
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace kwsdbg {
+namespace {
+
+TEST(FaultInjectorParseTest, MinimalSpec) {
+  auto spec = FaultInjector::ParseSpec("executor.join.probe=unavailable");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->point, "executor.join.probe");
+  EXPECT_EQ(spec->code, StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(spec->probability, 1.0);
+  EXPECT_EQ(spec->every, 0u);
+  EXPECT_EQ(spec->after, 0u);
+  EXPECT_EQ(spec->times, 0u);
+  EXPECT_DOUBLE_EQ(spec->latency_millis, 0.0);
+}
+
+TEST(FaultInjectorParseTest, AllKeys) {
+  auto spec = FaultInjector::ParseSpec(
+      "cache.verdict.lookup=resource-exhausted,p=0.25,every=3,after=10,"
+      "times=2,latency=5,seed=99");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->point, "cache.verdict.lookup");
+  EXPECT_EQ(spec->code, StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(spec->probability, 0.25);
+  EXPECT_EQ(spec->every, 3u);
+  EXPECT_EQ(spec->after, 10u);
+  EXPECT_EQ(spec->times, 2u);
+  EXPECT_DOUBLE_EQ(spec->latency_millis, 5.0);
+  EXPECT_EQ(spec->seed, 99u);
+}
+
+TEST(FaultInjectorParseTest, AllCodes) {
+  const std::vector<std::pair<std::string, StatusCode>> cases = {
+      {"unavailable", StatusCode::kUnavailable},
+      {"resource-exhausted", StatusCode::kResourceExhausted},
+      {"resource", StatusCode::kResourceExhausted},
+      {"deadline", StatusCode::kDeadlineExceeded},
+      {"internal", StatusCode::kInternal},
+      {"invalid-argument", StatusCode::kInvalidArgument},
+      {"invalid", StatusCode::kInvalidArgument},
+      {"notfound", StatusCode::kNotFound},
+      {"ok", StatusCode::kOk},
+      {"latency", StatusCode::kOk},
+  };
+  for (const auto& [name, code] : cases) {
+    auto spec = FaultInjector::ParseSpec("x=" + name);
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.status().ToString();
+    EXPECT_EQ(spec->code, code) << name;
+  }
+}
+
+TEST(FaultInjectorParseTest, Malformed) {
+  EXPECT_FALSE(FaultInjector::ParseSpec("").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("nocode").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("=unavailable").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("x=bogus-code").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("x=unavailable,p=notanumber").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("x=unavailable,p=1.5").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("x=unavailable,every=abc").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("x=unavailable,unknownkey=1").ok());
+}
+
+TEST(FaultInjectorTest, UnarmedPointNeverFires) {
+  ScopedFaultInjection faults("other.point=unavailable");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultInjector::Global().Hit("this.point").ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().StatsFor("this.point").fires, 0u);
+}
+
+TEST(FaultInjectorTest, AlwaysFiresByDefaultAndNamesThePoint) {
+  ScopedFaultInjection faults("storage.table.read=unavailable");
+  Status s = FaultInjector::Global().Hit("storage.table.read");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_NE(s.message().find("storage.table.read"), std::string::npos)
+      << "injected status must name the fault point: " << s.ToString();
+}
+
+TEST(FaultInjectorTest, EveryNth) {
+  ScopedFaultInjection faults("p=internal,every=3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!FaultInjector::Global().Hit("p").ok());
+  }
+  // Hits are 1-based: fires on hit 3, 6, 9.
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST(FaultInjectorTest, AfterSkipsEarlyHitsAndTimesBoundsFires) {
+  ScopedFaultInjection faults("p=unavailable,after=2,times=3");
+  size_t fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!FaultInjector::Global().Hit("p").ok()) ++fires;
+  }
+  EXPECT_EQ(fires, 3u);
+  const FaultPointStats stats = FaultInjector::Global().StatsFor("p");
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_EQ(stats.fires, 3u);
+  // The first two hits were exempt, so fires are hits 3, 4, 5.
+  EXPECT_EQ(FaultInjector::Global().TotalFires(), 3u);
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicGivenSeed) {
+  auto run = [] {
+    ScopedFaultInjection faults("p=unavailable,p=0.5,seed=7");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FaultInjector::Global().Hit("p").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run();
+  const std::vector<bool> b = run();
+  EXPECT_EQ(a, b) << "same schedule + seed must replay the same fires";
+  const size_t fires = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 16u);  // p=0.5 over 64 draws: loose two-sided bound.
+  EXPECT_LT(fires, 48u);
+}
+
+TEST(FaultInjectorTest, LatencyOnlyFaultSleepsButReturnsOk) {
+  ScopedFaultInjection faults("p=ok,latency=20,times=1");
+  Timer timer;
+  EXPECT_TRUE(FaultInjector::Global().Hit("p").ok());
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);
+  EXPECT_EQ(FaultInjector::Global().StatsFor("p").fires, 1u);
+  // Budget exhausted: no more sleeps.
+  Timer second;
+  EXPECT_TRUE(FaultInjector::Global().Hit("p").ok());
+  EXPECT_LT(second.ElapsedMillis(), 15.0);
+}
+
+TEST(FaultInjectorTest, MultiPointScheduleAndSummary) {
+  ScopedFaultInjection faults(
+      "a=unavailable,times=1;b=internal,every=2,times=1");
+  EXPECT_FALSE(FaultInjector::Global().Hit("a").ok());
+  EXPECT_TRUE(FaultInjector::Global().Hit("b").ok());
+  EXPECT_FALSE(FaultInjector::Global().Hit("b").ok());
+  const std::string summary = FaultInjector::Global().Summary();
+  EXPECT_NE(summary.find("a:"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("b:"), std::string::npos) << summary;
+  EXPECT_EQ(FaultInjector::Global().TotalFires(), 2u);
+}
+
+TEST(FaultInjectorTest, ScopedInjectionClearsOnExit) {
+  {
+    ScopedFaultInjection faults("p=unavailable");
+    EXPECT_TRUE(FaultInjector::Enabled());
+    EXPECT_FALSE(FaultInjector::Global().Hit("p").ok());
+  }
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(FaultInjector::Global().Hit("p").ok());
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsMalformedScheduleAtomically) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.Configure("good=unavailable").ok());
+  // Second spec is broken: the whole schedule must be rejected, keeping the
+  // previous one armed.
+  EXPECT_FALSE(fi.Configure("first=unavailable;second=bogus").ok());
+  EXPECT_FALSE(fi.Hit("good").ok()) << "previous schedule must survive";
+  EXPECT_TRUE(fi.Hit("first").ok());
+  fi.Clear();
+  EXPECT_FALSE(FaultInjector::Enabled());
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -29,6 +29,29 @@ TEST(StatusTest, FactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, RetryableTaxonomy) {
+  // Transient dependency failures and shed load are worth retrying; all
+  // other codes describe conditions a retry cannot fix. kDeadlineExceeded in
+  // particular is NOT retryable — the budget is already spent.
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::ParseError("x").IsRetryable());
+}
+
+TEST(StatusTest, NewCodesRenderDistinctly) {
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -13,7 +13,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # gtest case names (not binaries): ctest -R matches the discovered tests.
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest'
+# resilience_smoke is the fault-schedule replay gate (bench/resilience_workload).
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|resilience_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS

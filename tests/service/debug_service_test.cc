@@ -4,7 +4,9 @@
 // bench/concurrent_service_workload and the differential fuzzer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "debugger/report_json.h"
@@ -183,6 +185,115 @@ TEST(DebugServiceTest, JsonExportCarriesServiceFields) {
   const std::string report_json = DebugReportToJson(batch.results[0].report);
   EXPECT_NE(report_json.find("\"debug_millis\":"), std::string::npos);
   EXPECT_NE(report_json.find("\"truncated\":"), std::string::npos);
+}
+
+TEST(DebugServiceTest, ConcurrentRunBatchIsRejectedTyped) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 2;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  // Race many RunBatch calls: exactly the overlapping ones must come back
+  // kInvalidArgument with every per-query slot failed; the rest succeed.
+  // (Previously two in-flight batches silently corrupted each other's
+  // result vectors.)
+  constexpr int kCallers = 4;
+  std::atomic<int> ok_batches{0};
+  std::atomic<int> rejected_batches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&] {
+      BatchResult batch = service.RunBatch(ToyQueries());
+      if (batch.status.ok()) {
+        ++ok_batches;
+        for (const QueryResult& r : batch.results) {
+          EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+        }
+      } else {
+        ++rejected_batches;
+        EXPECT_EQ(batch.status.code(), StatusCode::kInvalidArgument);
+        EXPECT_EQ(batch.stats.failed, batch.results.size());
+        for (const QueryResult& r : batch.results) {
+          EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_GE(ok_batches.load(), 1) << "at least the first batch must run";
+  EXPECT_EQ(ok_batches.load() + rejected_batches.load(), kCallers);
+
+  // Sequential batches after the race still work (the in-flight flag was
+  // released properly).
+  BatchResult after = service.RunBatch(ToyQueries());
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_EQ(after.stats.failed, 0u);
+}
+
+TEST(DebugServiceTest, AdmissionControlShedsBeyondQueueDepth) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  // 6 queries against a queue bounded at 2: at least 6 - 2 - (ones a worker
+  // dequeued while we were still enqueueing) are shed. Enqueueing happens
+  // under one lock, so at least queries.size() - max_queue_depth - 1 shed.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 6; ++i) {
+    auto toy = ToyQueries();
+    queries.push_back(toy[static_cast<size_t>(i) % toy.size()]);
+  }
+  BatchResult batch = service.RunBatch(queries);
+  ASSERT_TRUE(batch.status.ok());
+  EXPECT_GE(batch.stats.shed, queries.size() - options.max_queue_depth - 1);
+  EXPECT_EQ(batch.stats.failed, batch.stats.shed)
+      << "shed queries are the only failures";
+  size_t shed_seen = 0;
+  for (const QueryResult& r : batch.results) {
+    if (!r.shed) {
+      EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+      continue;
+    }
+    ++shed_seen;
+    EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_TRUE(r.status.IsRetryable())
+        << "shed load must be retryable by the caller: "
+        << r.status.ToString();
+    EXPECT_NE(r.status.message().find("admission control"), std::string::npos);
+  }
+  EXPECT_EQ(shed_seen, batch.stats.shed);
+
+  // Unbounded (default) never sheds.
+  ServiceOptions unbounded;
+  unbounded.num_workers = 1;
+  DebugService service2(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                        unbounded);
+  BatchResult all = service2.RunBatch(queries);
+  EXPECT_EQ(all.stats.shed, 0u);
+  EXPECT_EQ(all.stats.failed, 0u);
+}
+
+TEST(DebugServiceTest, JsonCarriesResilienceFields) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 1;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch({"saffron candle"});
+  const std::string stats_json = ServiceStatsToJson(batch.stats);
+  for (const char* field :
+       {"\"retries\":", "\"shed\":", "\"index_fallbacks\":",
+        "\"semijoin_fallbacks\":"}) {
+    EXPECT_NE(stats_json.find(field), std::string::npos) << field;
+  }
+  const std::string batch_json =
+      BatchResultToJson(batch, /*include_reports=*/false);
+  for (const char* field : {"\"ok\":true", "\"retries\":", "\"shed\":"}) {
+    EXPECT_NE(batch_json.find(field), std::string::npos) << field;
+  }
 }
 
 }  // namespace

@@ -81,6 +81,86 @@ TEST(CsvTest, RejectsEmptyInput) {
   EXPECT_EQ(ReadTableCsv("t", &in).status().code(), StatusCode::kParseError);
 }
 
+// --- Corrupt-input regression fixtures (loader hardening) -----------------
+// Each corrupt shape must surface a typed ParseError naming the line, never
+// an assert, a silent truncation, or a half-loaded table.
+
+Status ReadCorrupt(const std::string& csv) {
+  std::istringstream in(csv);
+  return ReadTableCsv("t", &in).status();
+}
+
+TEST(CsvCorruptTest, UnterminatedQuote) {
+  Status s = ReadCorrupt("s:TEXT\n\"never closed\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("unterminated quote"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+}
+
+TEST(CsvCorruptTest, TextAfterClosingQuote) {
+  Status s = ReadCorrupt("s:TEXT\n\"ab\"cd\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("text after closing quote"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CsvCorruptTest, QuoteOpeningMidField) {
+  Status s = ReadCorrupt("s:TEXT\nab\"cd\"\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("quote opening mid-field"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CsvCorruptTest, EmbeddedNul) {
+  std::string line = "s:TEXT\nab";
+  line += '\0';
+  line += "cd\n";
+  Status s = ReadCorrupt(line);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("embedded NUL"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CsvCorruptTest, RaggedRowNamesLineAndArity) {
+  Status s = ReadCorrupt("a:INT,b:INT\n1,2\n3\n4,5\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("want 2"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("got 1"), std::string::npos) << s.ToString();
+}
+
+TEST(CsvCorruptTest, IntWithTrailingGarbage) {
+  // std::stoll would have accepted "12abc" as 12; the strict parser rejects.
+  Status s = ReadCorrupt("a:INT\n12abc\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("12abc"), std::string::npos) << s.ToString();
+}
+
+TEST(CsvCorruptTest, IntOverflow) {
+  Status s = ReadCorrupt("a:INT\n99999999999999999999999\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(CsvCorruptTest, DoubleWithTrailingGarbage) {
+  Status s = ReadCorrupt("a:DOUBLE\n1.5x\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(CsvCorruptTest, HeaderWithEmptyColumnName) {
+  Status s = ReadCorrupt(":INT\n1\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(CsvCorruptTest, LongCorruptLineIsExcerptedInMessage) {
+  std::string line(500, 'x');
+  Status s = ReadCorrupt("a:INT,b:INT\n" + line + "\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_LT(s.message().size(), 200u)
+      << "corrupt-line excerpt must be capped: " << s.ToString();
+  EXPECT_NE(s.message().find("..."), std::string::npos) << s.ToString();
+}
+
 TEST(CsvTest, FileRoundTrip) {
   Table t = MakeTable();
   const std::string path = testing::TempDir() + "/kwsdbg_csv_test.csv";
