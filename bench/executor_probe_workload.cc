@@ -12,11 +12,17 @@
 // never fell back to a full keyword scan and that the semijoin pass
 // eliminated at least one probe outright.
 //
-//   ./executor_probe_workload            # DBLife paper workload + e-commerce
-//   ./executor_probe_workload --smoke    # toy product DB only (ctest gate)
+//   ./executor_probe_workload [--smoke] [--out=BENCH_executor.json]
+//
+// --smoke replays the toy product DB only (the ctest gate); the default
+// workload is DBLife + e-commerce. Either way the per-variant counters are
+// written as a machine-readable artifact (same schema family as
+// BENCH_resilience.json / BENCH_probe_engine.json).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -74,6 +80,30 @@ void AppendSignature(const DebugReport& report, std::string* out) {
   }
 }
 
+/// One (env, strategy, variant) record for the JSON artifact.
+struct BenchRow {
+  std::string env;
+  std::string strategy;
+  std::string variant;
+  TraversalStats stats;
+  double millis = 0;
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\"env\":\"" << env << "\",\"strategy\":\"" << strategy
+        << "\",\"variant\":\"" << variant
+        << "\",\"sql_queries\":" << stats.sql_queries
+        << ",\"posting_hits\":" << stats.posting_hits
+        << ",\"scan_fallbacks\":" << stats.scan_fallbacks
+        << ",\"semijoin_eliminations\":" << stats.semijoin_eliminations
+        << ",\"rows_probed\":" << stats.rows_probed
+        << ",\"rows_filtered\":" << stats.rows_filtered
+        << ",\"index_builds\":" << stats.index_builds
+        << ",\"millis\":" << millis << "}";
+    return out.str();
+  }
+};
+
 VariantRun RunVariant(const ProbeEnv& env, TraversalKind kind, bool v2) {
   DebuggerOptions options;
   options.strategy = kind;
@@ -101,7 +131,8 @@ VariantRun RunVariant(const ProbeEnv& env, TraversalKind kind, bool v2) {
   return run;
 }
 
-void RunEnv(const ProbeEnv& env, TablePrinter* table, bool require_gains) {
+void RunEnv(const ProbeEnv& env, TablePrinter* table, bool require_gains,
+            std::vector<BenchRow>* rows) {
   const TraversalKind kinds[] = {
       TraversalKind::kBottomUp, TraversalKind::kTopDown,
       TraversalKind::kBottomUpWithReuse, TraversalKind::kTopDownWithReuse,
@@ -130,17 +161,48 @@ void RunEnv(const ProbeEnv& env, TablePrinter* table, bool require_gains) {
                      std::to_string(run.stats.rows_probed),
                      std::to_string(run.stats.rows_filtered),
                      Fmt(run.millis)});
+      rows->push_back({env.name, std::string(TraversalKindName(kind)),
+                       variant, run.stats, run.millis});
     };
     add_row("v1", v1);
     add_row("v2", v2);
   }
 }
 
+/// Writes the collected rows as the BENCH_executor.json artifact.
+void WriteArtifact(const std::string& out_path, bool smoke,
+                   const std::vector<BenchRow>& rows) {
+  std::ostringstream json;
+  json << "{\"bench\":\"executor_probe_workload\",\"smoke\":"
+       << (smoke ? "true" : "false") << ",\"runs\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) json << ',';
+    json << rows[i].ToJson();
+  }
+  json << "]}";
+  std::ofstream f(out_path);
+  if (f) {
+    f << json.str() << '\n';
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
+  std::string out_path = "BENCH_executor.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
   }
+  std::vector<BenchRow> rows;
 
   TablePrinter table({"env", "strategy", "variant", "SQL", "posting",
                       "scans", "semijoin kills", "rows probed",
@@ -164,8 +226,9 @@ int Main(int argc, char** argv) {
     env.queries = {"saffron candle", "scented candle", "red candle"};
     std::printf("Executor probe workload (smoke): toy product DB, %zu "
                 "queries\n", env.queries.size());
-    RunEnv(env, &table, /*require_gains=*/true);
+    RunEnv(env, &table, /*require_gains=*/true, &rows);
     table.Print();
+    WriteArtifact(out_path, smoke, rows);
     std::printf("\nsmoke OK: classifications identical, zero scan "
                 "fallbacks on the indexed path\n");
     return 0;
@@ -197,9 +260,10 @@ int Main(int argc, char** argv) {
 
   std::printf("Executor probe workload: v1 (LIKE scans, no semijoin) vs "
               "v2 (posting lists + semijoin), verdict cache off\n");
-  RunEnv(paper, &table, /*require_gains=*/true);
-  RunEnv(ecommerce, &table, /*require_gains=*/true);
+  RunEnv(paper, &table, /*require_gains=*/true, &rows);
+  RunEnv(ecommerce, &table, /*require_gains=*/true, &rows);
   table.Print();
+  WriteArtifact(out_path, smoke, rows);
   std::printf("\nOK: classifications identical across all strategies and "
               "both datasets\n");
   return 0;

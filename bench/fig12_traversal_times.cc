@@ -1,6 +1,17 @@
 // Reproduces Fig. 12: the time spent executing SQL queries per traversal
 // strategy per workload query at lattice level 5.
+//
+//   ./fig12_traversal_times [--out=BENCH_traversal.json]
+//
+// Besides the figure-shaped table, every (query, strategy) run is written
+// as a machine-readable artifact (same schema family as
+// BENCH_resilience.json / BENCH_executor.json).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "traversal_common.h"
 
@@ -8,13 +19,31 @@ namespace kwsdbg {
 namespace bench {
 namespace {
 
-void Run() {
+struct Fig12Row {
+  std::string query;
+  std::string strategy;
+  StrategyRun run;
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\"query\":\"" << query << "\",\"strategy\":\"" << strategy
+        << "\",\"sql_queries\":" << run.sql_queries
+        << ",\"sql_millis\":" << run.sql_millis
+        << ",\"total_millis\":" << run.total_millis
+        << ",\"mtns\":" << run.mtns << ",\"dead_mtns\":" << run.dead_mtns
+        << ",\"mpans\":" << run.mpans << "}";
+    return out.str();
+  }
+};
+
+void Run(const std::string& out_path) {
   const size_t level = std::min<size_t>(5, EnvMaxLevel());
   BenchEnv env({level});
   std::printf(
       "Fig. 12 (level %zu): SQL execution time (ms) per traversal strategy\n",
       level);
   TablePrinter table({"query", "BU", "BUWR", "TD", "TDWR", "SBH"});
+  std::vector<Fig12Row> rows;
   for (const WorkloadQuery& q : PaperWorkload()) {
     std::vector<std::string> row = {q.id};
     for (TraversalKind kind :
@@ -24,10 +53,28 @@ void Run() {
       auto strategy = MakeStrategy(kind);
       StrategyRun run = RunStrategyOnQuery(env, level, q.text, strategy.get());
       row.push_back(Fmt(run.sql_millis, 2));
+      rows.push_back({q.id, std::string(strategy->name()), run});
     }
     table.AddRow(std::move(row));
   }
   table.Print();
+  {
+    std::ostringstream json;
+    json << "{\"bench\":\"fig12_traversal_times\",\"level\":" << level
+         << ",\"runs\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) json << ',';
+      json << rows[i].ToJson();
+    }
+    json << "]}";
+    std::ofstream f(out_path);
+    if (f) {
+      f << json.str() << '\n';
+      std::printf("\nwrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    }
+  }
   std::printf(
       "\nexpected shape (paper): reuse variants beat their plain "
       "counterparts; times track the query counts of Fig. 11 weighted by "
@@ -38,7 +85,16 @@ void Run() {
 }  // namespace bench
 }  // namespace kwsdbg
 
-int main() {
-  kwsdbg::bench::Run();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_traversal.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  kwsdbg::bench::Run(out_path);
   return 0;
 }

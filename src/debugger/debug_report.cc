@@ -45,6 +45,10 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.rows_probed += interp.traversal_stats.rows_probed;
     stats.rows_filtered += interp.traversal_stats.rows_filtered;
     stats.index_builds += interp.traversal_stats.index_builds;
+    stats.flat_probes += interp.traversal_stats.flat_probes;
+    stats.prefetch_batches += interp.traversal_stats.prefetch_batches;
+    stats.index_build_millis += interp.traversal_stats.index_build_millis;
+    stats.arena_bytes += interp.traversal_stats.arena_bytes;
     stats.index_fallbacks += interp.traversal_stats.index_fallbacks;
     stats.semijoin_fallbacks += interp.traversal_stats.semijoin_fallbacks;
   }
@@ -125,6 +129,11 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
           << ts.semijoin_eliminations << " semijoin elimination(s), "
           << ts.rows_probed << " row(s) probed, " << ts.rows_filtered
           << " filtered, " << ts.index_builds << " index build(s)\n";
+      if (ts.flat_probes > 0) {
+        out << "   probe engine: " << ts.flat_probes << " flat probe(s), "
+            << ts.prefetch_batches << " prefetch batch(es), "
+            << ts.arena_bytes << " arena byte(s)\n";
+      }
       if (ts.index_fallbacks + ts.semijoin_fallbacks > 0) {
         out << "   degraded: " << ts.index_fallbacks
             << " text-index fallback(s), " << ts.semijoin_fallbacks

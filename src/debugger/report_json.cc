@@ -102,6 +102,12 @@ std::string DebugReportToJson(const DebugReport& report) {
         << ",\"rows_probed\":" << interp.traversal_stats.rows_probed
         << ",\"rows_filtered\":" << interp.traversal_stats.rows_filtered
         << ",\"index_builds\":" << interp.traversal_stats.index_builds
+        << ",\"flat_probes\":" << interp.traversal_stats.flat_probes
+        << ",\"prefetch_batches\":"
+        << interp.traversal_stats.prefetch_batches
+        << ",\"index_build_millis\":"
+        << interp.traversal_stats.index_build_millis
+        << ",\"arena_bytes\":" << interp.traversal_stats.arena_bytes
         << ",\"index_fallbacks\":" << interp.traversal_stats.index_fallbacks
         << ",\"semijoin_fallbacks\":"
         << interp.traversal_stats.semijoin_fallbacks << '}';

@@ -163,6 +163,8 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
     stats.cache_misses += agg.cache_misses;
     stats.index_fallbacks += agg.index_fallbacks;
     stats.semijoin_fallbacks += agg.semijoin_fallbacks;
+    stats.flat_probes += agg.flat_probes;
+    stats.prefetch_batches += agg.prefetch_batches;
   }
   std::sort(latencies.begin(), latencies.end());
   stats.p50_millis = Percentile(latencies, 0.50);

@@ -87,6 +87,10 @@ struct ServiceStats {
   /// under fault injection; see common/fault_injector.h).
   size_t index_fallbacks = 0;
   size_t semijoin_fallbacks = 0;
+  /// Probe-engine-v3 traffic summed over the batch (zero when the flat
+  /// engine is disabled in the debugger's executor options).
+  size_t flat_probes = 0;
+  size_t prefetch_batches = 0;
   double wall_millis = 0;    ///< Batch submit -> last query done.
   double queries_per_second = 0;
   /// Latency distribution over per-query exec_millis.

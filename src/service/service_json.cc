@@ -15,6 +15,8 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
       << ",\"shed\":" << stats.shed
       << ",\"index_fallbacks\":" << stats.index_fallbacks
       << ",\"semijoin_fallbacks\":" << stats.semijoin_fallbacks
+      << ",\"flat_probes\":" << stats.flat_probes
+      << ",\"prefetch_batches\":" << stats.prefetch_batches
       << ",\"wall_millis\":" << stats.wall_millis
       << ",\"queries_per_second\":" << stats.queries_per_second
       << ",\"p50_millis\":" << stats.p50_millis

@@ -168,8 +168,30 @@ const RowIndex& Executor::GetJoinIndex(const Table* table, size_t column) {
   return index;
 }
 
+const FlatRowIndex& Executor::GetFlatIndex(const Table* table,
+                                           size_t column) {
+  const size_t before = flat_indexes_.num_indexes();
+  const FlatRowIndex& index = flat_indexes_.GetOrBuild(table, column);
+  if (flat_indexes_.num_indexes() != before) {
+    ++stats_.index_builds;
+    stats_.index_build_millis += index.stats().build_millis;
+    stats_.arena_bytes += index.stats().arena_bytes;
+  }
+  return index;
+}
+
+RowSpan Executor::ProbeJoinIndex(const Table* table, size_t column,
+                                 const Value& v) {
+  if (options_.flat_index) {
+    ++stats_.flat_probes;
+    return GetFlatIndex(table, column).Lookup(v);
+  }
+  return RowSpan::Of(GetJoinIndex(table, column).Lookup(v));
+}
+
 void Executor::ClearCaches() {
   indexes_.Clear();
+  flat_indexes_.Clear();
   keyword_cache_.clear();
   infix_cache_.clear();
 }
@@ -292,6 +314,12 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   // its budget) and every kCancelCheckStride probed rows inside the
   // backtracking loop — the only place a single query's work is unbounded.
   constexpr size_t kCancelCheckStride = 1024;
+  // Batched probe pipeline (engine v3): windows of kPrefetchWindow probe
+  // keys are hashed and their buckets prefetched before the window drains,
+  // engaged only on loops with at least kBatchMinProbes candidates —
+  // below that the window never leaves L1 anyway.
+  constexpr size_t kPrefetchWindow = 16;
+  constexpr size_t kBatchMinProbes = 32;
   auto deadline_fired = [this] {
     if (options_.cancellation == nullptr || !options_.cancellation->Expired())
       return false;
@@ -419,11 +447,11 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
               continue;
             }
             KWSDBG_FAULT_POINT("executor.index.build");
-            const RowIndex& own = GetJoinIndex(pu.table, vc.own_column);
             std::vector<uint32_t> hits;
             for (uint32_t nrow : cv.rows) {
               const Value& val = pw.table->at(nrow, vc.other_column);
-              const std::vector<uint32_t>& matched = own.Lookup(val);
+              const RowSpan matched =
+                  ProbeJoinIndex(pu.table, vc.own_column, val);
               hits.insert(hits.end(), matched.begin(), matched.end());
             }
             std::sort(hits.begin(), hits.end());
@@ -441,22 +469,60 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
             if (!cv.materialized) continue;
             if (cu.rows.size() > kSemijoinFilterCap) continue;
             KWSDBG_FAULT_POINT("executor.index.build");
-            const RowIndex& other = GetJoinIndex(pw.table, vc.other_column);
             std::vector<uint32_t> kept;
             kept.reserve(cu.rows.size());
-            for (uint32_t row : cu.rows) {
-              const Value& val = pu.table->at(row, vc.own_column);
-              bool match = false;
-              for (uint32_t nrow : other.Lookup(val)) {
-                if (cv.bitmap[nrow]) {
-                  match = true;
-                  break;
+            // One probe per candidate row — the batched pipeline's home
+            // turf. Windows are drained strictly in order, so `kept` (and
+            // every downstream verdict) is byte-identical with batching
+            // off; the prefetches only warm the cache.
+            const FlatRowIndex* flat =
+                options_.flat_index ? &GetFlatIndex(pw.table, vc.other_column)
+                                    : nullptr;
+            const RowIndex* legacy =
+                options_.flat_index ? nullptr
+                                    : &GetJoinIndex(pw.table, vc.other_column);
+            const bool batched = flat != nullptr && options_.batched_probe &&
+                                 cu.rows.size() >= kBatchMinProbes;
+            uint64_t win_hash[kPrefetchWindow];
+            for (size_t base = 0; base < cu.rows.size();
+                 base += kPrefetchWindow) {
+              const size_t w =
+                  std::min(kPrefetchWindow, cu.rows.size() - base);
+              if (batched) {
+                ++stats_.prefetch_batches;
+                for (size_t j = 0; j < w; ++j) {
+                  const Value& val =
+                      pu.table->at(cu.rows[base + j], vc.own_column);
+                  if (val.is_null()) continue;
+                  win_hash[j] = val.Hash64();
+                  flat->PrefetchBucket(win_hash[j]);
                 }
               }
-              if (match) {
-                kept.push_back(row);
-              } else {
-                cu.bitmap[row] = 0;
+              for (size_t j = 0; j < w; ++j) {
+                const uint32_t row = cu.rows[base + j];
+                const Value& val = pu.table->at(row, vc.own_column);
+                RowSpan matched;
+                if (flat != nullptr) {
+                  ++stats_.flat_probes;
+                  if (!val.is_null()) {
+                    matched = batched ? flat->LookupHashed(win_hash[j], val)
+                                      : flat->Lookup(val);
+                  }
+                } else {
+                  matched = RowSpan::Of(legacy->Lookup(val));
+                }
+                bool match = false;
+                for (uint32_t nrow : matched) {
+                  if (cv.bitmap[nrow]) {
+                    match = true;
+                    break;
+                  }
+                }
+                if (match) {
+                  kept.push_back(row);
+                } else {
+                  cu.bitmap[row] = 0;
+                }
               }
             }
             if (kept.size() != cu.rows.size()) {
@@ -516,8 +582,15 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   // Iterative depth-first search to avoid recursion-depth concerns and to
   // allow clean early exit on `limit` / the first existence witness.
   struct Frame {
-    const std::vector<uint32_t>* candidates;  // probe/candidate rows, or null
-    uint32_t next_pos = 0;                    // position in candidates/rows
+    RowSpan candidates;           // probe/candidate rows (use_candidates)
+    bool use_candidates = false;  // false: enumerate the whole table
+    uint32_t next_pos = 0;        // position in candidates/rows
+    // Batched child-probe prefetch: set when the next depth will index-probe
+    // on a key column of this frame's table, so every candidate row here
+    // determines one upcoming bucket — prefetched a window ahead.
+    const FlatRowIndex* child_index = nullptr;
+    size_t child_key_col = 0;
+    uint32_t prefetch_pos = 0;
   };
   std::vector<Frame> stack(n);
   // Index into pq.constraints[v] of the constraint the frame's index probe
@@ -530,7 +603,10 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     const uint16_t v = pq.order[d];
     Frame& f = stack[d];
     f.next_pos = 0;
-    f.candidates = nullptr;
+    f.candidates = RowSpan{};
+    f.use_candidates = false;
+    f.child_index = nullptr;
+    f.prefetch_pos = 0;
     probe_constraint[d] = -1;
     // Prefer an index probe on a constraint to an assigned vertex.
     const std::vector<VertexConstraint>& vcs = pq.constraints[v];
@@ -539,15 +615,44 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
       if (!assigned[vc.other]) continue;
       const Value& probe = pq.vertices[vc.other].table->at(
           assignment[vc.other], vc.other_column);
-      const RowIndex& index =
-          GetJoinIndex(pq.vertices[v].table, vc.own_column);
-      f.candidates = &index.Lookup(probe);
+      f.candidates = ProbeJoinIndex(pq.vertices[v].table, vc.own_column,
+                                    probe);
+      f.use_candidates = true;
       probe_constraint[d] = static_cast<int>(ci);
-      return;
+      break;
     }
     // No assigned neighbor (root or disconnected component): enumerate the
     // materialized candidate list instead of scanning the table.
-    if (cand[v].materialized) f.candidates = &cand[v].rows;
+    if (!f.use_candidates && cand[v].materialized) {
+      f.candidates = RowSpan::Of(cand[v].rows);
+      f.use_candidates = true;
+    }
+    const size_t count = f.use_candidates
+                             ? f.candidates.size()
+                             : pq.vertices[v].table->num_rows();
+    if (options_.flat_index && options_.batched_probe && d + 1 < n &&
+        count >= kBatchMinProbes) {
+      // The next depth's probe constraint is deterministic: init_frame(d+1)
+      // picks the first constraint of order[d+1] whose other side lies in
+      // the prefix order[0..d]. When that other side is *this* vertex, each
+      // candidate row here keys the child's index probe, so its bucket can
+      // be prefetched a window ahead. (When it is an earlier vertex the key
+      // is constant across this frame — nothing to pipeline.)
+      const uint16_t child = pq.order[d + 1];
+      for (const VertexConstraint& vc : pq.constraints[child]) {
+        bool in_prefix = false;
+        for (size_t k = 0; k <= d && !in_prefix; ++k) {
+          in_prefix = pq.order[k] == vc.other;
+        }
+        if (!in_prefix) continue;
+        if (vc.other == v) {
+          f.child_index =
+              &GetFlatIndex(pq.vertices[child].table, vc.own_column);
+          f.child_key_col = vc.other_column;
+        }
+        break;  // first in-prefix constraint is the probe; done either way
+      }
+    }
   };
 
   init_frame(0);
@@ -557,14 +662,28 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     Frame& f = stack[depth];
     bool advanced = false;
     const size_t table_rows = pq.vertices[v].table->num_rows();
+    const size_t frame_rows =
+        f.use_candidates ? f.candidates.size() : table_rows;
     while (true) {
-      uint32_t row;
-      if (f.candidates != nullptr) {
-        if (f.next_pos >= f.candidates->size()) break;
-        row = (*f.candidates)[f.next_pos++];
-      } else {
-        if (f.next_pos >= table_rows) break;
-        row = f.next_pos++;
+      if (f.next_pos >= frame_rows) break;
+      const uint32_t row =
+          f.use_candidates ? f.candidates[f.next_pos++] : f.next_pos++;
+      if (f.child_index != nullptr) {
+        // Keep the child-probe window kPrefetchWindow keys ahead of the
+        // cursor: hash the join key of upcoming candidates and prefetch the
+        // child bucket each will probe on descent.
+        const bool window_open = f.prefetch_pos == 0;
+        const size_t horizon =
+            std::min(frame_rows, f.next_pos + kPrefetchWindow);
+        while (f.prefetch_pos < horizon) {
+          const uint32_t pr = f.use_candidates ? f.candidates[f.prefetch_pos]
+                                               : f.prefetch_pos;
+          ++f.prefetch_pos;
+          const Value& key =
+              pq.vertices[v].table->at(pr, f.child_key_col);
+          if (!key.is_null()) f.child_index->PrefetchBucket(key.Hash64());
+        }
+        if (window_open) ++stats_.prefetch_batches;
       }
       ++stats_.rows_probed;
       if (stats_.rows_probed % kCancelCheckStride == 0) {

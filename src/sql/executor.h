@@ -12,9 +12,19 @@
 //      RowIndex hash indexes) before enumeration, so dead networks die
 //      without a single backtracking step;
 //   3. backtracking join    — smallest-candidate-first instance order with
-//      RowIndex probes on join columns;
+//      join-column index probes;
 //   4. existence mode       — IsNonEmpty stops at the first witness without
 //      materializing rows or column headers.
+//
+// Probe engine v3 (default; see sql/flat_row_index.h): join-column probes go
+// to flat open-addressing hash indexes over 64-bit key hashes with row-id
+// runs in one contiguous arena, and hot probe loops run a DRAMHiT-style
+// batched pipeline — hash a window of upcoming probe keys, software-prefetch
+// their buckets, then drain the window in order. Result rows, their order,
+// the kCancelCheckStride cancellation points, and the executor.join.probe
+// fault point are all bit-identical to the v2 unordered_map path
+// (`flat_index`/`batched_probe` toggles select the engine; the
+// probe_engine_workload bench gates the parity).
 #ifndef KWSDBG_SQL_EXECUTOR_H_
 #define KWSDBG_SQL_EXECUTOR_H_
 
@@ -25,6 +35,7 @@
 #include "common/cancellation.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "sql/flat_row_index.h"
 #include "sql/join_network.h"
 #include "sql/row_index.h"
 #include "storage/database.h"
@@ -50,6 +61,14 @@ struct ExecutorOptions {
   bool use_text_index = true;
   /// Run the semijoin pre-reduction pass before the backtracking join.
   bool semijoin_reduction = true;
+  /// Probe engine v3: join-column probes via FlatRowIndex (open-addressing
+  /// buckets + contiguous row arena) instead of the v2 unordered_map-based
+  /// RowIndex. Identical results and order; different memory layout.
+  bool flat_index = true;
+  /// Batched probe pipeline (requires flat_index): when a probe loop's
+  /// candidate set is large enough, hash a window of upcoming probe keys and
+  /// software-prefetch their buckets before draining the window in order.
+  bool batched_probe = true;
   /// Cooperative deadline: when set, long probes poll the token between row
   /// batches and unwind with kDeadlineExceeded once it fires. A cancelled
   /// probe produces no verdict and leaves session caches consistent (only
@@ -74,6 +93,13 @@ struct ExecutorStats {
   size_t semijoin_eliminations = 0;  ///< Queries proven empty by the
                                      ///< pre-reduction pass alone.
   size_t index_builds = 0;      ///< Join-column hash indexes built.
+  // Probe engine v3 (zero when flat_index is off).
+  size_t flat_probes = 0;       ///< Lookups answered by a FlatRowIndex.
+  size_t prefetch_batches = 0;  ///< Prefetch windows issued by the batched
+                                ///< probe pipeline.
+  double index_build_millis = 0; ///< Wall time building flat indexes.
+  size_t arena_bytes = 0;       ///< Row-id arena bytes across flat indexes
+                                ///< built by this session.
   size_t existence_probes = 0;  ///< IsNonEmpty calls (first-witness mode).
   size_t deadline_aborts = 0;   ///< Probes unwound by a fired cancellation
                                 ///< token (no verdict was produced).
@@ -142,8 +168,15 @@ class Executor {
   const std::vector<const std::vector<Posting>*>& InfixLists(
       const std::string& keyword);
 
-  /// indexes_.GetOrBuild with build accounting.
+  /// indexes_.GetOrBuild with build accounting (v2 engine).
   const RowIndex& GetJoinIndex(const Table* table, size_t column);
+
+  /// flat_indexes_.GetOrBuild with build accounting (v3 engine).
+  const FlatRowIndex& GetFlatIndex(const Table* table, size_t column);
+
+  /// Engine-dispatching probe: rows of (table, column) structurally equal
+  /// to `v`, through whichever index the options select.
+  RowSpan ProbeJoinIndex(const Table* table, size_t column, const Value& v);
 
   /// Shared core of Execute/IsNonEmpty. Returns whether at least one result
   /// exists; materializes rows into `out` unless it is null (existence
@@ -155,6 +188,7 @@ class Executor {
   ExecutorOptions options_;
   const InvertedIndex* text_index_ = nullptr;
   RowIndexManager indexes_;
+  FlatRowIndexManager flat_indexes_;
   std::unordered_map<std::pair<const Table*, std::string>, KeywordMatches,
                      PairHash>
       keyword_cache_;

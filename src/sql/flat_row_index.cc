@@ -1,0 +1,146 @@
+#include "sql/flat_row_index.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace kwsdbg {
+
+namespace {
+
+/// Smallest power of two >= v (and >= 16).
+uint64_t NextPow2(uint64_t v) {
+  uint64_t c = 16;
+  while (c < v) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+FlatRowIndex FlatRowIndex::Build(const Table& table, size_t column) {
+  Timer timer;
+  FlatRowIndex index;
+  index.table_ = &table;
+  index.column_ = column;
+
+  // Hash every non-NULL cell once up front; the two placement passes below
+  // re-use these instead of touching Value again.
+  const size_t num_rows = table.num_rows();
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> rows;
+  hashes.reserve(num_rows);
+  rows.reserve(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    const Value& v = table.at(row, column);
+    if (v.is_null()) continue;
+    hashes.push_back(v.Hash64());
+    rows.push_back(static_cast<uint32_t>(row));
+  }
+
+  // Load factor <= 0.5 even if every key is distinct; linear probing stays
+  // short and a probe window prefetching one line per key almost never
+  // walks past it.
+  const uint64_t capacity = NextPow2(rows.size() * 2);
+  index.mask_ = capacity - 1;
+  index.buckets_.assign(capacity, Bucket{});
+
+  // Pass A: find-or-claim a bucket per row, counting run lengths. During
+  // this pass run_begin temporarily holds the run's representative row id
+  // (needed to verify hash-colliding keys against the column).
+  auto& buckets = index.buckets_;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const uint64_t h = hashes[i];
+    uint64_t slot = h & index.mask_;
+    while (true) {
+      Bucket& b = buckets[slot];
+      if (b.run_len == 0) {
+        b.hash = h;
+        b.run_begin = rows[i];  // representative row
+        b.run_len = 1;
+        break;
+      }
+      if (b.hash == h &&
+          table.at(b.run_begin, column) == table.at(rows[i], column)) {
+        ++b.run_len;
+        break;
+      }
+      slot = (slot + 1) & index.mask_;
+    }
+  }
+
+  // Prefix sums: assign each occupied bucket its arena run, remembering the
+  // representative row for pass B's verification.
+  uint32_t offset = 0;
+  std::vector<uint32_t> rep_rows(capacity, 0);
+  std::vector<uint32_t> cursors(capacity, 0);
+  for (uint64_t slot = 0; slot < capacity; ++slot) {
+    Bucket& b = buckets[slot];
+    if (b.run_len == 0) continue;
+    ++index.stats_.distinct_keys;
+    index.stats_.max_run_length =
+        std::max<size_t>(index.stats_.max_run_length, b.run_len);
+    rep_rows[slot] = b.run_begin;
+    b.run_begin = offset;
+    cursors[slot] = offset;
+    offset += b.run_len;
+  }
+  index.arena_.resize(offset);
+
+  // Pass B: re-probe each row (same probe sequence, so it lands on the same
+  // bucket) and append it to the run. Rows are visited in ascending order,
+  // so every run ends up ascending — exactly the order the v2 per-key
+  // vectors accumulated, which the parity gates depend on.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const uint64_t h = hashes[i];
+    uint64_t slot = h & index.mask_;
+    while (true) {
+      const Bucket& b = buckets[slot];
+      if (b.hash == h && b.run_len != 0 &&
+          table.at(rep_rows[slot], column) == table.at(rows[i], column)) {
+        index.arena_[cursors[slot]++] = rows[i];
+        break;
+      }
+      slot = (slot + 1) & index.mask_;
+    }
+  }
+
+  index.stats_.arena_bytes = index.arena_.size() * sizeof(uint32_t);
+  index.stats_.bucket_bytes = capacity * sizeof(Bucket);
+  index.stats_.build_millis = timer.ElapsedMillis();
+  return index;
+}
+
+RowSpan FlatRowIndex::LookupHashed(uint64_t hash, const Value& v) const {
+  uint64_t slot = hash & mask_;
+  while (true) {
+    const Bucket& b = buckets_[slot];
+    if (b.run_len == 0) return RowSpan{};  // empty slot: key absent
+    if (b.hash == hash &&
+        table_->at(arena_[b.run_begin], column_) == v) {
+      return RowSpan{arena_.data() + b.run_begin, b.run_len};
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+const FlatRowIndex& FlatRowIndexManager::GetOrBuild(const Table* table,
+                                                    size_t column) {
+  auto key = std::make_pair(table, column);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key, std::make_unique<FlatRowIndex>(
+                               FlatRowIndex::Build(*table, column)))
+             .first;
+    const FlatIndexStats& s = it->second->stats();
+    totals_.build_millis += s.build_millis;
+    totals_.distinct_keys += s.distinct_keys;
+    totals_.max_run_length =
+        std::max(totals_.max_run_length, s.max_run_length);
+    totals_.arena_bytes += s.arena_bytes;
+    totals_.bucket_bytes += s.bucket_bytes;
+  }
+  return *it->second;
+}
+
+}  // namespace kwsdbg

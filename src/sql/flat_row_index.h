@@ -1,0 +1,136 @@
+// Probe engine v3: cache-conscious join-column indexes.
+//
+// `FlatRowIndex` replaces the v2 `RowIndex`
+// (std::unordered_map<Value, std::vector<uint32_t>>) with an open-addressing,
+// power-of-two, linear-probing hash table over 64-bit type-tagged key hashes
+// (storage/value.h Hash64). Row ids live in one contiguous uint32_t arena —
+// one run per distinct key, rows ascending — instead of per-key vectors, so a
+// probe is: one bucket cache line, one verification cell, one arena run.
+// Hash collisions are resolved DRAMHiT-style by verifying the probe value
+// against the indexed column itself (the run's first row is the
+// representative), which keeps buckets at 16 bytes with no stored keys and
+// makes lookups exact for every value type, including strings.
+//
+// The bucket array and the arena are the only allocations, both contiguous,
+// so callers can hide DRAM latency with software prefetching: hash a window
+// of upcoming probe keys, PrefetchBucket() each, then drain the window in
+// order (see Executor::RunJoin's batched probe pipeline).
+#ifndef KWSDBG_SQL_FLAT_ROW_INDEX_H_
+#define KWSDBG_SQL_FLAT_ROW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace kwsdbg {
+
+/// A borrowed, immutable run of row ids (a view into the index arena or any
+/// other contiguous row-id storage). Never owns; valid while the owner lives.
+struct RowSpan {
+  const uint32_t* data = nullptr;
+  uint32_t count = 0;
+
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + count; }
+  uint32_t operator[](size_t i) const { return data[i]; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+
+  static RowSpan Of(const std::vector<uint32_t>& v) {
+    return RowSpan{v.data(), static_cast<uint32_t>(v.size())};
+  }
+};
+
+/// Per-index build/shape statistics (ursadb-profile-style cheap metadata:
+/// knowing the worst run and the key count up front lets callers order and
+/// batch probes without touching the table).
+struct FlatIndexStats {
+  double build_millis = 0;   ///< Wall time of Build().
+  size_t distinct_keys = 0;  ///< Occupied buckets (= arena runs).
+  size_t max_run_length = 0; ///< Longest row run (worst-case fan-out).
+  size_t arena_bytes = 0;    ///< Row-id arena allocation.
+  size_t bucket_bytes = 0;   ///< Bucket-array allocation.
+};
+
+/// value -> row-id run for one (table, column). NULL cells are not indexed
+/// (SQL equality never matches NULL). Lookup uses structural equality
+/// (Value::operator==), exactly like the v2 RowIndex.
+class FlatRowIndex {
+ public:
+  /// Hash of one bucket slot: 64-bit key hash + [run_begin, run_begin+len)
+  /// into the arena. len == 0 marks an empty slot (a real run has >= 1 row).
+  struct Bucket {
+    uint64_t hash = 0;
+    uint32_t run_begin = 0;
+    uint32_t run_len = 0;
+  };
+  static_assert(sizeof(Bucket) == 16, "bucket must stay two per cache line");
+
+  static FlatRowIndex Build(const Table& table, size_t column);
+
+  /// Rows whose column structurally equals `v`, ascending. NULL probes and
+  /// misses return an empty span.
+  RowSpan Lookup(const Value& v) const {
+    if (v.is_null() || buckets_.empty()) return RowSpan{};
+    return LookupHashed(v.Hash64(), v);
+  }
+
+  /// Lookup with the key hash already computed (batched pipelines hash a
+  /// window ahead of the drain). `hash` must equal `v.Hash64()`.
+  RowSpan LookupHashed(uint64_t hash, const Value& v) const;
+
+  /// Prefetches the bucket cache line a probe for `hash` starts at. The
+  /// DRAMHiT trick: issued a window ahead, the dependent load in
+  /// LookupHashed hits L1/L2 instead of DRAM.
+  void PrefetchBucket(uint64_t hash) const {
+    if (!buckets_.empty()) {
+      __builtin_prefetch(&buckets_[hash & mask_], /*rw=*/0, /*locality=*/1);
+    }
+  }
+
+  /// Prefetches the head of a run returned by a bucket hit, for pipelines
+  /// that resolve buckets one window before consuming row ids.
+  void PrefetchRun(const RowSpan& run) const {
+    if (!run.empty()) __builtin_prefetch(run.data, /*rw=*/0, /*locality=*/1);
+  }
+
+  const FlatIndexStats& stats() const { return stats_; }
+  size_t num_keys() const { return stats_.distinct_keys; }
+  size_t capacity() const { return buckets_.size(); }
+
+ private:
+  const Table* table_ = nullptr;
+  size_t column_ = 0;
+  uint64_t mask_ = 0;               ///< buckets_.size() - 1 (power of two).
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> arena_;     ///< All runs, back to back.
+  FlatIndexStats stats_;
+};
+
+/// Lazy cache of FlatRowIndex instances keyed by (table, column), with
+/// accumulated build-cost stats across every index it owns.
+class FlatRowIndexManager {
+ public:
+  const FlatRowIndex& GetOrBuild(const Table* table, size_t column);
+
+  void Clear() { cache_.clear(); }
+  size_t num_indexes() const { return cache_.size(); }
+
+  /// Sum of per-index stats over everything built so far (survives Clear()
+  /// is NOT required — counters are harvested into ExecutorStats on build).
+  const FlatIndexStats& totals() const { return totals_; }
+
+ private:
+  std::unordered_map<std::pair<const Table*, size_t>,
+                     std::unique_ptr<FlatRowIndex>, PairHash>
+      cache_;
+  FlatIndexStats totals_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SQL_FLAT_ROW_INDEX_H_

@@ -71,16 +71,51 @@ std::string Value::ToString() const {
   return AsString();
 }
 
-size_t Value::Hash() const {
-  size_t seed = v_.index();
-  if (is_int()) {
-    HashCombine(&seed, std::hash<int64_t>{}(AsInt()));
-  } else if (is_double()) {
-    HashCombine(&seed, std::hash<double>{}(AsDouble()));
-  } else if (is_string()) {
-    HashCombine(&seed, std::hash<std::string>{}(AsString()));
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes, then mixed — cheap, deterministic, and reads the
+/// string storage directly.
+inline uint64_t HashBytes(const char* data, size_t size, uint64_t seed) {
+  uint64_t h = 0xCBF29CE484222325ull ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ull;
   }
-  return seed;
+  return Mix64(h);
+}
+
+}  // namespace
+
+uint64_t Value::Hash64() const {
+  // The variant alternative index is the type tag, so values that are not
+  // operator== equal (e.g. int64 5 vs double 5.0) hash independently.
+  const uint64_t tag = static_cast<uint64_t>(v_.index()) << 56;
+  if (is_int()) {
+    return Mix64(tag ^ static_cast<uint64_t>(AsInt()));
+  }
+  if (is_double()) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double));
+    // -0.0 == 0.0 under operator==, so they must hash alike: canonicalize
+    // the zero before taking the bit pattern.
+    const double raw = AsDouble();
+    const double d = raw == 0.0 ? 0.0 : raw;
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return Mix64(tag ^ bits);
+  }
+  if (is_string()) {
+    const std::string& s = AsString();
+    return HashBytes(s.data(), s.size(), tag);
+  }
+  return Mix64(tag);  // NULL
 }
 
 }  // namespace kwsdbg

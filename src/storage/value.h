@@ -54,7 +54,16 @@ class Value {
   std::string ToString() const;
 
   /// A hash consistent with operator==.
-  size_t Hash() const;
+  size_t Hash() const { return static_cast<size_t>(Hash64()); }
+
+  /// Deterministic 64-bit hash consistent with operator== (structural:
+  /// int64 5 and double 5.0 are distinct), computed directly over the raw
+  /// cell bytes — a splitmix64 finalizer for inline numerics, FNV-1a over
+  /// the character data for strings — with the variant alternative folded
+  /// in as a type tag. No materialization, no std::hash indirection; this
+  /// is the probe-engine key (sql/flat_row_index.h), so it is stable
+  /// across runs and platforms.
+  uint64_t Hash64() const;
 
  private:
   std::variant<std::monostate, int64_t, double, std::string> v_;

@@ -127,6 +127,11 @@ void FrontierEvaluator::FillStats(TraversalStats* stats) const {
     stats->rows_probed += now.rows_probed - before.rows_probed;
     stats->rows_filtered += now.rows_filtered - before.rows_filtered;
     stats->index_builds += now.index_builds - before.index_builds;
+    stats->flat_probes += now.flat_probes - before.flat_probes;
+    stats->prefetch_batches += now.prefetch_batches - before.prefetch_batches;
+    stats->index_build_millis +=
+        now.index_build_millis - before.index_build_millis;
+    stats->arena_bytes += now.arena_bytes - before.arena_bytes;
     stats->index_fallbacks += now.index_fallbacks - before.index_fallbacks;
     stats->semijoin_fallbacks +=
         now.semijoin_fallbacks - before.semijoin_fallbacks;

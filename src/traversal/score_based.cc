@@ -21,7 +21,6 @@
 // reselects cost extra SQL — that SQL still populates the shared verdict
 // cache, so it is recouped across interpretations and repeated queries.
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -108,10 +107,25 @@ class ScoreBasedStrategy : public TraversalStrategy {
 
     std::vector<NodeId> unknown = pl.retained();
     std::sort(unknown.begin(), unknown.end());
-    std::unordered_map<NodeId, bool> prefetched;
+    // Prefetched verdicts keyed by batch position: `batch` holds the
+    // speculated nodes, `batch_alive` their verdicts, `batch_consumed`
+    // marks entries already applied. The batch is at most
+    // 2 * num_threads entries, so a linear scan beats a hash map (and
+    // allocates nothing per round).
     std::vector<std::pair<double, NodeId>> cands;
     std::vector<NodeId> batch;
     std::vector<char> batch_alive;
+    std::vector<char> batch_consumed;
+    auto take_prefetched = [&](NodeId n, bool* alive) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i] == n && !batch_consumed[i]) {
+          batch_consumed[i] = 1;
+          *alive = batch_alive[i] != 0;
+          return true;
+        }
+      }
+      return false;
+    };
     while (!unknown.empty()) {
       // Compact out classified nodes and rank the survivors by gain. The
       // serial argmax is the highest gain, first (= lowest node id) wins
@@ -136,10 +150,9 @@ class ScoreBasedStrategy : public TraversalStrategy {
       if (frontier.cancelled()) return truncated_result();
 
       bool alive;
-      auto it = prefetched.find(n);
-      if (it != prefetched.end()) {
-        alive = it->second;
-        prefetched.erase(it);
+      if (take_prefetched(n, &alive)) {
+        // Speculated verdict from an earlier batch — apply it here, at the
+        // exact serial selection point.
       } else if (prefetch_depth == 0) {
         StatusOr<bool> alive_or = frontier.EvaluateOne(n);
         if (internal::IsDeadlineExceeded(alive_or.status())) {
@@ -149,7 +162,6 @@ class ScoreBasedStrategy : public TraversalStrategy {
       } else {
         // Speculate: batch the current top-K by (gain desc, id asc); the
         // argmax is first, so its verdict is always available below.
-        prefetched.clear();
         const size_t k = std::min(prefetch_depth, cands.size());
         std::partial_sort(cands.begin(), cands.begin() + k, cands.end(),
                           [](const auto& a, const auto& b) {
@@ -161,11 +173,9 @@ class ScoreBasedStrategy : public TraversalStrategy {
         Status st = frontier.EvaluateBatch(batch, &batch_alive);
         if (internal::IsDeadlineExceeded(st)) return truncated_result();
         KWSDBG_RETURN_NOT_OK(st);
-        for (size_t i = 0; i < batch.size(); ++i) {
-          prefetched.emplace(batch[i], batch_alive[i] != 0);
-        }
-        alive = prefetched.at(n);
-        prefetched.erase(n);
+        batch_consumed.assign(batch.size(), 0);
+        const bool hit = take_prefetched(n, &alive);
+        KWSDBG_CHECK(hit) << "argmax missing from its own batch";
       }
 
       if (alive) {

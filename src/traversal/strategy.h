@@ -54,6 +54,12 @@ struct TraversalStats {
   size_t rows_probed = 0;      ///< Rows pulled during backtracking joins.
   size_t rows_filtered = 0;    ///< Candidate rows removed by semijoins.
   size_t index_builds = 0;     ///< Join-column hash indexes built.
+  // Probe engine v3 counters (zero when the flat engine is off).
+  size_t flat_probes = 0;       ///< Lookups served by flat indexes.
+  size_t prefetch_batches = 0;  ///< Prefetch windows issued by the batched
+                                ///< probe pipeline.
+  double index_build_millis = 0;  ///< Wall time building flat indexes.
+  size_t arena_bytes = 0;       ///< Flat-index row-arena bytes built.
   // Degraded-mode fallbacks taken under fault injection (zero otherwise).
   size_t index_fallbacks = 0;     ///< Posting lists -> LIKE scan fallbacks.
   size_t semijoin_fallbacks = 0;  ///< Semijoin pass skipped (plain join).

@@ -117,6 +117,7 @@ TEST(EndToEndTest, PersistedArtifactsGiveIdenticalReports) {
     for (auto& interp : report->interpretations) {
       interp.traversal_stats.sql_millis = 0;
       interp.traversal_stats.total_millis = 0;
+      interp.traversal_stats.index_build_millis = 0;
       interp.prune_stats.prune_millis = 0;
       interp.prune_stats.mtn_millis = 0;
     }

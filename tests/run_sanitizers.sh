@@ -13,8 +13,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # gtest case names (not binaries): ctest -R matches the discovered tests.
-# resilience_smoke is the fault-schedule replay gate (bench/resilience_workload).
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|resilience_smoke'
+# resilience_smoke is the fault-schedule replay gate (bench/resilience_workload)
+# and probe_engine_smoke the v2-vs-v3 probe-engine parity gate
+# (bench/probe_engine_workload); both only exist when benchmarks are built.
+# FlatRowIndexTest covers the flat probe engine the batched join pipeline and
+# the differential fuzzer lean on.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|resilience_smoke|probe_engine_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS

@@ -113,6 +113,33 @@ std::optional<std::string> Disagreement(const FuzzCase& fc,
     KWSDBG_CHECK(report.ok()) << report.status().ToString();
     serial_sig = report->ClassificationSignature();
   }
+
+  // Layer 2b: probe engine differential — the default run above used the
+  // v3 flat indexes + batched prefetch pipeline; re-run with the v2
+  // unordered_map engine and with batching alone disabled. All three must
+  // classify bit-identically (the flat engine and the prefetch window must
+  // never change a verdict, only its cost).
+  {
+    DebuggerOptions v2_options;
+    v2_options.executor.flat_index = false;
+    NonAnswerDebugger v2(fc.db.get(), fc.lattice.get(), fc.index.get(),
+                         v2_options);
+    auto report = v2.Debug(query);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    if (report->ClassificationSignature() != serial_sig) {
+      return "v2 (unordered_map) engine classification differs from v3";
+    }
+    DebuggerOptions unbatched_options;
+    unbatched_options.executor.batched_probe = false;
+    NonAnswerDebugger unbatched(fc.db.get(), fc.lattice.get(),
+                                fc.index.get(), unbatched_options);
+    auto unbatched_report = unbatched.Debug(query);
+    KWSDBG_CHECK(unbatched_report.ok())
+        << unbatched_report.status().ToString();
+    if (unbatched_report->ClassificationSignature() != serial_sig) {
+      return "flat engine with batching off differs from batched run";
+    }
+  }
   ServiceOptions service_options;
   service_options.num_workers = 4;
   DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),

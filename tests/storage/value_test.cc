@@ -52,6 +52,58 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
 }
 
+// Hash64 is the probe-engine key: any pair that operator== calls equal must
+// hash identically, across every alternative, and equal-looking values of
+// different alternatives must not coincide by construction (the type tag).
+TEST(ValueTest, Hash64AgreesWithStructuralEquality) {
+  const Value samples[] = {
+      Value::Null(),        Value(int64_t{0}),   Value(int64_t{-1}),
+      Value(int64_t{7}),    Value(0.0),          Value(-0.0),
+      Value(7.0),           Value(2.5),          Value(""),
+      Value("7"),           Value("abc"),        Value("abd"),
+      Value(std::string("abc")),
+  };
+  for (const Value& a : samples) {
+    for (const Value& b : samples) {
+      if (a == b) {
+        EXPECT_EQ(a.Hash64(), b.Hash64())
+            << a.ToString() << " == " << b.ToString() << " but hashes differ";
+      }
+    }
+  }
+}
+
+TEST(ValueTest, Hash64SignedZeroCanonicalized) {
+  // -0.0 == 0.0 under the variant's double comparison, so the bit patterns
+  // must be canonicalized before hashing.
+  ASSERT_EQ(Value(0.0), Value(-0.0));
+  EXPECT_EQ(Value(0.0).Hash64(), Value(-0.0).Hash64());
+}
+
+TEST(ValueTest, Hash64TypeTagSeparatesAlternatives) {
+  // Structural (not SQL) semantics: int 7 and double 7.0 are different keys,
+  // and the string "7" is a third. NULL hashes are stable but distinct too.
+  EXPECT_NE(Value(int64_t{7}).Hash64(), Value(7.0).Hash64());
+  EXPECT_NE(Value(int64_t{7}).Hash64(), Value("7").Hash64());
+  EXPECT_NE(Value(7.0).Hash64(), Value("7").Hash64());
+  EXPECT_NE(Value::Null().Hash64(), Value(int64_t{0}).Hash64());
+  EXPECT_EQ(Value::Null().Hash64(), Value::Null().Hash64());
+}
+
+TEST(ValueTest, Hash64SpreadsNearbyKeys) {
+  // Sequential surrogate keys are the common join-column shape; the
+  // finalizer must not map them to sequential hashes (that would cluster
+  // linear-probing buckets). Checking all pairs distinct + high bits used.
+  uint64_t or_of_high_bits = 0;
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = i + 1; j < 64; ++j) {
+      EXPECT_NE(Value(i).Hash64(), Value(j).Hash64());
+    }
+    or_of_high_bits |= Value(i).Hash64() >> 32;
+  }
+  EXPECT_NE(or_of_high_bits, 0u);
+}
+
 TEST(ValueTest, DoubleToStringTrimsZeros) {
   EXPECT_EQ(Value(4.99).ToString().substr(0, 4), "4.99");
   EXPECT_EQ(Value(3.0).ToString(), "3.0");

@@ -79,6 +79,37 @@ TEST(ParallelAgreementTest, AllStrategiesMatchSerialOnToyDb) {
   }
 }
 
+// SBH's speculation bookkeeping (the batch-position vector that replaced a
+// per-round hash map) must not change a single verdict: leftover prefetched
+// entries are consumed across later rounds, and a stale entry for a node the
+// inference rules already classified must never be re-applied. Sweep the
+// speculation depth (2 * num_threads) so batches of several sizes, including
+// ones larger than the surviving frontier, all reproduce the serial run.
+TEST(ParallelAgreementTest, SbhBatchBookkeepingPreservesClassification) {
+  testutil::ToyFixture fx;
+  const KeywordBinding bindings[] = {
+      KeywordBinding({{"saffron", {fx.color, 1}},
+                      {"scented", {fx.item, 1}},
+                      {"candle", {fx.ptype, 1}}}),
+      KeywordBinding({{"red", {fx.color, 1}}, {"candle", {fx.ptype, 1}}}),
+  };
+  for (const KeywordBinding& binding : bindings) {
+    PrunedLattice pl = PrunedLattice::Build(*fx.lattice, binding);
+    if (pl.mtns().empty()) continue;
+    const TraversalResult serial =
+        RunKind(fx, pl, TraversalKind::kScoreBased, ParallelOptions{});
+    for (size_t threads : {2u, 3u, 4u, 8u}) {
+      ParallelOptions parallel;
+      parallel.num_threads = threads;
+      const TraversalResult speculated =
+          RunKind(fx, pl, TraversalKind::kScoreBased, parallel);
+      EXPECT_EQ(Summarize(speculated), Summarize(serial))
+          << "num_threads " << threads << ", binding "
+          << binding.ToString(fx.schema);
+    }
+  }
+}
+
 TEST(ParallelAgreementTest, SharedCacheMakesParallelRerunsSqlFree) {
   testutil::ToyFixture fx;
   KeywordBinding binding({{"saffron", {fx.color, 1}},
