@@ -18,6 +18,22 @@
 
 namespace kwsdbg {
 
+/// Maps a (possibly weak) key hash to a shard index in [0, num_shards).
+/// Promotes to 64 bits, runs a full-avalanche finalizer (splitmix64), and
+/// folds the high half into the low half before the modulus, so the choice
+/// is well-defined and near-uniform on every platform. The previous
+/// `(h >> 32) % n` read only the high half of a size_t — on 32-bit targets
+/// that shift equals the operand width (undefined behavior, and in practice
+/// every key collapses onto shard 0).
+inline size_t ShardIndexForHash(uint64_t h, size_t num_shards) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return static_cast<size_t>(((h >> 32) ^ h) % num_shards);
+}
+
 /// Counters aggregated across shards. Snapshot semantics: values are summed
 /// under the shard locks, so a quiescent cache reports exact numbers.
 struct LruCacheStats {
@@ -106,6 +122,18 @@ class ShardedLruCache {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Per-shard live entry counts — an occupancy snapshot for tests (the
+  /// shard-mixer regression gate) and for per-shard telemetry.
+  std::vector<size_t> ShardSizes() const {
+    std::vector<size_t> sizes;
+    sizes.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      sizes.push_back(shard->lru.size());
+    }
+    return sizes;
+  }
+
  private:
   struct Shard {
     explicit Shard(size_t cap) : capacity(cap) {}
@@ -119,12 +147,10 @@ class ShardedLruCache {
   };
 
   Shard& ShardFor(const Key& key) {
-    // Mix the hash before taking the modulus: shard choice must not reuse
+    // Remix the hash before taking the modulus: shard choice must not reuse
     // the same low bits the shard-local unordered_map buckets on.
-    size_t h = Hash{}(key);
-    h ^= h >> 17;
-    h *= 0x9E3779B97F4A7C15ull;
-    return *shards_[(h >> 32) % shards_.size()];
+    return *shards_[ShardIndexForHash(static_cast<uint64_t>(Hash{}(key)),
+                                      shards_.size())];
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

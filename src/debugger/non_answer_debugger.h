@@ -78,6 +78,16 @@ class NonAnswerDebugger {
   /// benches and tests can inspect hit rates or Clear() between passes.
   VerdictCache* verdict_cache() { return verdict_cache_; }
 
+  /// Swaps the verdict tier consulted by subsequent Debug() calls. The
+  /// sharded DebugService points a stealing worker at the stolen query's
+  /// home-shard partition so verdicts stay resident where routing sends
+  /// them; verdicts are ground truth, so which tier answers them never
+  /// changes a classification. Pass nullptr to restore the owned session
+  /// cache (if any). Must not be called while Debug() is running.
+  void set_verdict_cache(VerdictCache* cache) {
+    verdict_cache_ = cache != nullptr ? cache : owned_verdict_cache_.get();
+  }
+
   /// Overrides the per-query deadline for subsequent Debug() calls (the
   /// DebugService sets this per request).
   void set_deadline_millis(double millis) { options_.deadline_millis = millis; }

@@ -5,7 +5,8 @@
 #include <sstream>
 #include <thread>
 
-#include "common/rng.h"
+#include "common/lru_cache.h"
+#include "text/tokenizer.h"
 
 namespace kwsdbg {
 
@@ -16,6 +17,18 @@ double Percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0;
   const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+LruCacheStats SumCacheStats(const std::vector<ShardStats>& shards) {
+  LruCacheStats total;
+  for (const ShardStats& s : shards) {
+    total.hits += s.cache.hits;
+    total.misses += s.cache.misses;
+    total.insertions += s.cache.insertions;
+    total.evictions += s.cache.evictions;
+    total.entries += s.cache.entries;
+  }
+  return total;
 }
 
 }  // namespace
@@ -34,8 +47,21 @@ std::string ServiceStats::ToString() const {
         << semijoin_fallbacks << " semijoin fallback(s)\n";
   }
   out << "  latency ms: p50=" << p50_millis << " p95=" << p95_millis
-      << " p99=" << p99_millis << " max=" << max_millis
-      << ", mean queue wait=" << mean_queue_millis << " ms\n";
+      << " p99=" << p99_millis << " p999=" << p999_millis
+      << " max=" << max_millis << ", mean queue wait=" << mean_queue_millis
+      << " ms\n";
+  if (num_shards > 1) {
+    out << "  shards: " << num_shards << ", " << steals << " steal(s)";
+    for (size_t s = 0; s < shards.size(); ++s) {
+      out << (s == 0 ? " [" : " | ") << "s" << s << ": ran "
+          << shards[s].executed << ", stole " << shards[s].steals
+          << ", depth<=" << shards[s].max_queue_depth << ", hits "
+          << shards[s].local_cache_hits << "+" << shards[s].remote_cache_hits
+          << "r";
+    }
+    if (!shards.empty()) out << "]";
+    out << "\n";
+  }
   out << "  sql: " << sql_queries << " queries, verdict cache "
       << cache_hits << " hit(s) / " << cache_misses << " miss(es)"
       << "; shared tier: " << shared_cache.entries << " entries, "
@@ -44,27 +70,216 @@ std::string ServiceStats::ToString() const {
   return out.str();
 }
 
+ServiceStats ComputeServiceStats(const std::vector<QueryResult>& results,
+                                 double wall_millis) {
+  ServiceStats stats;
+  stats.queries = results.size();
+  stats.wall_millis = wall_millis;
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  double queue_sum = 0;
+  for (const QueryResult& r : results) {
+    stats.retries += r.retries;
+    if (r.stolen) ++stats.steals;
+    if (r.shed) {
+      // Shed queries never ran: their zero exec/queue times are admission
+      // outcomes, not latencies. Folding them into the sample dragged
+      // p50/p95 toward zero exactly when the service was overloaded.
+      ++stats.shed;
+      ++stats.failed;
+      continue;
+    }
+    latencies.push_back(r.exec_millis);
+    queue_sum += r.queue_millis;
+    if (!r.status.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    if (r.report.truncated) ++stats.truncated;
+    const TraversalStats agg = r.report.AggregateTraversalStats();
+    stats.sql_queries += agg.sql_queries;
+    stats.cache_hits += agg.cache_hits;
+    stats.cache_misses += agg.cache_misses;
+    stats.index_fallbacks += agg.index_fallbacks;
+    stats.semijoin_fallbacks += agg.semijoin_fallbacks;
+    stats.flat_probes += agg.flat_probes;
+    stats.prefetch_batches += agg.prefetch_batches;
+  }
+  if (stats.queries > 0) {
+    // Tiny batches can finish inside the timer's microsecond resolution; a
+    // zero denominator reported 0 QPS and made ">= floor" gates vacuous.
+    stats.queries_per_second = static_cast<double>(stats.queries) /
+                               std::max(wall_millis, 0.001) * 1000.0;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_millis = Percentile(latencies, 0.50);
+  stats.p95_millis = Percentile(latencies, 0.95);
+  stats.p99_millis = Percentile(latencies, 0.99);
+  stats.p999_millis = Percentile(latencies, 0.999);
+  stats.max_millis = latencies.empty() ? 0 : latencies.back();
+  if (!latencies.empty()) {
+    stats.mean_queue_millis = queue_sum / static_cast<double>(latencies.size());
+  }
+  return stats;
+}
+
 DebugService::DebugService(const Database* db, const Lattice* lattice,
                            const InvertedIndex* index, ServiceOptions options)
-    : db_(db),
-      lattice_(lattice),
-      index_(index),
-      options_(options),
-      shared_cache_(std::max<size_t>(1, options.shared_cache_capacity)) {
+    : db_(db), lattice_(lattice), index_(index), options_(options) {
   if (options_.num_workers == 0) options_.num_workers = 1;
+  size_t num_shards = options_.num_shards == 0 ? options_.num_workers
+                                               : options_.num_shards;
+  num_shards = std::min(num_shards, options_.num_workers);
+  options_.num_shards = num_shards;
+  if (options_.handoff_batch == 0) options_.handoff_batch = 1;
+  // The total verdict budget splits across partitions so N shards cost the
+  // same memory as the old single tier.
+  const size_t per_shard_capacity = std::max<size_t>(
+      1, std::max<size_t>(1, options_.shared_cache_capacity) / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard_capacity));
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
+    shards_[i % num_shards]->workers.fetch_add(1, std::memory_order_relaxed);
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 DebugService::~DebugService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(idle_mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  idle_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+size_t DebugService::HomeShard(const std::string& query, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Canonical keyword label: sorted unique tokens. Two queries with the
+  // same keyword multiset generate the same interpretations, hence the same
+  // (canonical label, binding signature) verdict keys — hashing the label
+  // co-locates them regardless of keyword order, case, or punctuation.
+  std::vector<std::string> tokens = TokenizeUnique(query);
+  std::sort(tokens.begin(), tokens.end());
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over label bytes.
+  for (const std::string& token : tokens) {
+    for (const char c : token) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ull;
+    }
+    h ^= 0x1F;  // Unambiguous token separator.
+    h *= 0x100000001B3ull;
+  }
+  return ShardIndexForHash(h, num_shards);
+}
+
+bool DebugService::Enqueue(Task task) {
+  Shard& shard = *shards_[task.home_shard];
+  shard.routed.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (options_.max_queue_depth > 0 &&
+        shard.queue.size() >= options_.max_queue_depth) {
+      shard.shed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.queue.push_back(std::move(task));
+    shard.max_depth = std::max(shard.max_depth, shard.queue.size());
+    shard.queued.fetch_add(1, std::memory_order_release);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+size_t DebugService::EnqueueGroup(size_t shard_id, std::vector<Task>* tasks,
+                                  std::vector<Task>* rejected) {
+  Shard& shard = *shards_[shard_id];
+  shard.routed.fetch_add(tasks->size(), std::memory_order_relaxed);
+  size_t accepted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Task& task : *tasks) {
+      if (options_.max_queue_depth > 0 &&
+          shard.queue.size() >= options_.max_queue_depth) {
+        shard.shed.fetch_add(1, std::memory_order_relaxed);
+        rejected->push_back(std::move(task));
+        continue;
+      }
+      shard.queue.push_back(std::move(task));
+      shard.max_depth = std::max(shard.max_depth, shard.queue.size());
+      ++accepted;
+    }
+    if (accepted > 0) {
+      shard.queued.fetch_add(accepted, std::memory_order_release);
+    }
+  }
+  tasks->clear();
+  if (accepted > 0) pending_.fetch_add(accepted, std::memory_order_release);
+  return accepted;
+}
+
+void DebugService::NotifyWorkers(size_t tasks) {
+  // Taking the idle mutex pairs the notify with the waiters' predicate
+  // check, so a worker that just found every queue empty cannot miss it.
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  if (tasks == 1) {
+    idle_cv_.notify_one();
+  } else {
+    idle_cv_.notify_all();
+  }
+}
+
+void DebugService::PopBatch(size_t shard_id, std::vector<Task>* out) {
+  Shard& shard = *shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const size_t n = std::min(options_.handoff_batch, shard.queue.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(shard.queue.front()));
+    shard.queue.pop_front();
+  }
+  if (n > 0) {
+    shard.queued.fetch_sub(n, std::memory_order_release);
+    pending_.fetch_sub(n, std::memory_order_release);
+  }
+}
+
+void DebugService::StealBatch(size_t thief, std::vector<Task>* out) {
+  // Lock-free victim selection over the queue-depth mirrors, then one lock
+  // on the deepest queue. Oldest-first, steal-half: the stolen tasks are
+  // the ones that have waited longest, and halving the backlog in one
+  // handoff drains skew faster than one-at-a-time stealing.
+  size_t victim = thief;
+  size_t victim_depth = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s == thief) continue;
+    const size_t depth = shards_[s]->queued.load(std::memory_order_acquire);
+    if (depth > victim_depth) {
+      victim_depth = depth;
+      victim = s;
+    }
+  }
+  if (victim == thief) return;
+  Shard& shard = *shards_[victim];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const size_t n = std::min(options_.handoff_batch,
+                            (shard.queue.size() + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(shard.queue.front()));
+    shard.queue.pop_front();
+  }
+  if (n > 0) {
+    shard.queued.fetch_sub(n, std::memory_order_release);
+    pending_.fetch_sub(n, std::memory_order_release);
+  }
+}
+
+bool DebugService::HasVisibleWork(size_t shard) const {
+  if (shards_[shard]->queued.load(std::memory_order_acquire) > 0) return true;
+  return options_.work_stealing && shards_.size() > 1 &&
+         pending_.load(std::memory_order_acquire) > 0;
 }
 
 BatchResult DebugService::RunBatch(const std::vector<std::string>& queries) {
@@ -81,8 +296,8 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
   }
   {
     // Concurrent-call guard: a second RunBatch while one is in flight used
-    // to silently interleave two batches through the same queue/result
-    // pointers. Reject it wholesale with a typed batch status instead.
+    // to silently interleave two batches through the same completion
+    // counter. Reject it wholesale with a typed batch status instead.
     std::lock_guard<std::mutex> lock(mu_);
     if (batch_in_flight_) {
       batch.status = Status::InvalidArgument(
@@ -94,159 +309,247 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
       return batch;
     }
     batch_in_flight_ = true;
+    completed_ = 0;
   }
-  if (!queries.empty()) {
-    size_t enqueued = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      batch_queries_ = &queries;
-      batch_results_ = &batch.results;
-      completed_ = 0;
-      for (size_t i = 0; i < queries.size(); ++i) {
-        if (options_.max_queue_depth > 0 &&
-            queue_.size() >= options_.max_queue_depth) {
-          // Admission control: over capacity — shed the query now with a
-          // retryable status rather than queue without bound. The caller
-          // can resubmit; nothing partial ever ran.
-          QueryResult& slot = batch.results[i];
-          slot.shed = true;
-          slot.status = Status::ResourceExhausted(
-              "query shed by admission control (queue depth " +
-              std::to_string(queue_.size()) + " >= max_queue_depth " +
-              std::to_string(options_.max_queue_depth) + ")");
-          ++completed_;
-          continue;
-        }
-        Task task;
-        task.index = i;
-        task.deadline_millis = deadline_millis;
-        queue_.push_back(std::move(task));  // Timer starts at construction.
-        ++enqueued;
-      }
+  ResetShardCounters();
+  const size_t total = queries.size();
+  if (total > 0) {
+    // Route first, then hand each shard its whole group under one lock
+    // (batched handoff): with S shards a batch costs S lock acquisitions,
+    // not |batch|, and admission decisions for one shard are atomic across
+    // the batch.
+    std::vector<std::vector<Task>> groups(shards_.size());
+    for (size_t i = 0; i < total; ++i) {
+      QueryResult* slot = &batch.results[i];
+      Task task;
+      task.query = queries[i];
+      task.deadline_millis = deadline_millis;
+      task.home_shard = HomeShard(queries[i], shards_.size());
+      slot->shard = task.home_shard;
+      task.done = [this, slot, total](QueryResult&& r) {
+        *slot = std::move(r);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (++completed_ == total) done_cv_.notify_all();
+      };
+      groups[task.home_shard].push_back(std::move(task));
     }
-    if (enqueued > 0) work_cv_.notify_all();
+    size_t enqueued = 0;
+    std::vector<Task> rejected;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (groups[s].empty()) continue;
+      enqueued += EnqueueGroup(s, &groups[s], &rejected);
+    }
+    if (enqueued > 0) NotifyWorkers(enqueued);
+    // Admission control: queries that did not fit under their home shard's
+    // max_queue_depth are shed with a retryable status rather than queued
+    // without bound. The caller can resubmit; nothing partial ever ran.
+    for (Task& task : rejected) {
+      QueryResult r;
+      r.keyword_query = std::move(task.query);
+      r.shard = task.home_shard;
+      r.shed = true;
+      r.status = Status::ResourceExhausted(
+          "query shed by admission control (shard " +
+          std::to_string(task.home_shard) +
+          " queue full at max_queue_depth " +
+          std::to_string(options_.max_queue_depth) + ")");
+      task.done(std::move(r));
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&] { return completed_ == queries.size(); });
-      batch_queries_ = nullptr;
-      batch_results_ = nullptr;
+      done_cv_.wait(lock, [&] { return completed_ == total; });
     }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch_in_flight_ = false;
   }
-
-  ServiceStats& stats = batch.stats;
-  stats.queries = queries.size();
-  stats.wall_millis = wall.ElapsedMillis();
-  if (stats.wall_millis > 0) {
-    stats.queries_per_second =
-        static_cast<double>(stats.queries) / stats.wall_millis * 1000.0;
-  }
-  std::vector<double> latencies;
-  latencies.reserve(batch.results.size());
-  double queue_sum = 0;
-  for (const QueryResult& r : batch.results) {
-    latencies.push_back(r.exec_millis);
-    queue_sum += r.queue_millis;
-    stats.retries += r.retries;
-    if (r.shed) ++stats.shed;
-    if (!r.status.ok()) {
-      ++stats.failed;
-      continue;
-    }
-    if (r.report.truncated) ++stats.truncated;
-    const TraversalStats agg = r.report.AggregateTraversalStats();
-    stats.sql_queries += agg.sql_queries;
-    stats.cache_hits += agg.cache_hits;
-    stats.cache_misses += agg.cache_misses;
-    stats.index_fallbacks += agg.index_fallbacks;
-    stats.semijoin_fallbacks += agg.semijoin_fallbacks;
-    stats.flat_probes += agg.flat_probes;
-    stats.prefetch_batches += agg.prefetch_batches;
-  }
-  std::sort(latencies.begin(), latencies.end());
-  stats.p50_millis = Percentile(latencies, 0.50);
-  stats.p95_millis = Percentile(latencies, 0.95);
-  stats.p99_millis = Percentile(latencies, 0.99);
-  stats.max_millis = latencies.empty() ? 0 : latencies.back();
-  if (!latencies.empty()) {
-    stats.mean_queue_millis = queue_sum / static_cast<double>(latencies.size());
-  }
-  stats.shared_cache = shared_cache_.stats();
+  batch.stats = ComputeServiceStats(batch.results, wall.ElapsedMillis());
+  batch.stats.num_shards = shards_.size();
+  batch.stats.shards = ShardSnapshot();
+  batch.stats.shared_cache = SumCacheStats(batch.stats.shards);
   return batch;
+}
+
+Status DebugService::Submit(std::string query, double deadline_millis,
+                            std::function<void(QueryResult)> done) {
+  Task task;
+  task.deadline_millis = deadline_millis;
+  task.home_shard = HomeShard(query, shards_.size());
+  task.query = std::move(query);
+  outstanding_submits_.fetch_add(1, std::memory_order_acq_rel);
+  task.done = [this, done = std::move(done)](QueryResult&& r) {
+    done(std::move(r));
+    if (outstanding_submits_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  };
+  const size_t home = task.home_shard;
+  if (!Enqueue(std::move(task))) {
+    outstanding_submits_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::ResourceExhausted(
+        "query shed by admission control (shard " + std::to_string(home) +
+        " queue full at max_queue_depth " +
+        std::to_string(options_.max_queue_depth) + ")");
+  }
+  NotifyWorkers(1);
+  return Status::OK();
+}
+
+void DebugService::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return outstanding_submits_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::vector<ShardStats> DebugService::ShardSnapshot() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.workers = shard->workers.load(std::memory_order_relaxed);
+    s.routed = shard->routed.load(std::memory_order_relaxed);
+    s.executed = shard->executed.load(std::memory_order_relaxed);
+    s.steals = shard->steals.load(std::memory_order_relaxed);
+    s.stolen_away = shard->stolen_away.load(std::memory_order_relaxed);
+    s.shed = shard->shed.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      s.max_queue_depth = shard->max_depth;
+    }
+    s.local_cache_hits = shard->local_cache_hits.load(std::memory_order_relaxed);
+    s.remote_cache_hits =
+        shard->remote_cache_hits.load(std::memory_order_relaxed);
+    s.cache = shard->cache.stats();
+    out.push_back(s);
+  }
+  return out;
+}
+
+void DebugService::ResetShardCounters() {
+  for (const auto& shard : shards_) {
+    shard->routed.store(0, std::memory_order_relaxed);
+    shard->executed.store(0, std::memory_order_relaxed);
+    shard->steals.store(0, std::memory_order_relaxed);
+    shard->stolen_away.store(0, std::memory_order_relaxed);
+    shard->shed.store(0, std::memory_order_relaxed);
+    shard->local_cache_hits.store(0, std::memory_order_relaxed);
+    shard->remote_cache_hits.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->max_depth = shard->queue.size();
+  }
+}
+
+void DebugService::ClearCaches() {
+  for (const auto& shard : shards_) {
+    shard->cache.Clear();
+    shard->flat_indexes.Clear();
+  }
 }
 
 void DebugService::WorkerLoop(size_t worker_id) {
   // The debugger (and with it the SQL session + evaluator) is built on the
-  // worker thread and lives for the pool's lifetime, plugged into the
-  // shared verdict tier instead of a private session cache.
+  // worker thread and lives for the pool's lifetime, plugged into its home
+  // shard's verdict partition and flat-index tier.
+  const size_t my_shard = worker_id % shards_.size();
+  Shard& home = *shards_[my_shard];
   DebuggerOptions debugger_options = options_.debugger;
-  debugger_options.shared_verdict_cache = &shared_cache_;
+  debugger_options.shared_verdict_cache = &home.cache;
+  debugger_options.executor.shared_flat_indexes = &home.flat_indexes;
   debugger_options.deadline_millis = 0;  // Armed per task below.
   NonAnswerDebugger debugger(db_, lattice_, index_, debugger_options);
   // Backoff jitter source: seeded per worker so a failing run replays the
   // exact same retry schedule (chaos tests depend on this).
   Rng backoff_rng(options_.retry_seed + worker_id * 0x9E3779B97F4A7C15ull);
 
+  std::vector<Task> run;
+  run.reserve(options_.handoff_batch);
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    run.clear();
+    PopBatch(my_shard, &run);
+    if (run.empty() && options_.work_stealing && shards_.size() > 1) {
+      StealBatch(my_shard, &run);
     }
-    QueryResult& slot = (*batch_results_)[task.index];
-    slot.queue_millis = task.enqueued.ElapsedMillis();
-    slot.worker = worker_id;
-    Timer exec;
-    debugger.set_deadline_millis(task.deadline_millis);
-    StatusOr<DebugReport> report_or =
-        debugger.Debug((*batch_queries_)[task.index]);
-    // Retry transient failures (IsRetryable: kUnavailable /
-    // kResourceExhausted) with exponential backoff + jitter, never past the
-    // query's deadline. Deadline expiry is not retried: Debug() returns an
-    // OK truncated report for it, and a remaining budget too small to back
-    // off into is budget spent, so the last typed error stands.
-    while (!report_or.ok() && report_or.status().IsRetryable() &&
-           slot.retries < options_.max_retries) {
-      const double exp = static_cast<double>(
-          uint64_t{1} << std::min<size_t>(slot.retries, 20));
-      double backoff_millis =
-          std::min(options_.retry_backoff_base_millis * exp,
-                   options_.retry_backoff_max_millis) *
-          (0.5 + 0.5 * backoff_rng.NextDouble());
-      if (backoff_millis < 0) backoff_millis = 0;
-      double remaining = 0;  // 0 = unbounded.
-      if (task.deadline_millis > 0) {
-        remaining = task.deadline_millis - exec.ElapsedMillis();
-        if (remaining <= backoff_millis) break;
-        remaining -= backoff_millis;
-      }
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_millis));
-      ++slot.retries;
-      debugger.set_deadline_millis(remaining);
-      report_or = debugger.Debug((*batch_queries_)[task.index]);
+    if (run.empty()) {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      if (stop_ && !HasVisibleWork(my_shard)) return;
+      idle_cv_.wait(lock, [&] { return stop_ || HasVisibleWork(my_shard); });
+      if (stop_ && !HasVisibleWork(my_shard)) return;
+      continue;
     }
-    slot.exec_millis = exec.ElapsedMillis();
-    if (report_or.ok()) {
-      slot.report = std::move(report_or).value();
-    } else {
-      slot.status = report_or.status();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++completed_;
-      if (completed_ == batch_results_->size()) done_cv_.notify_all();
+    for (Task& task : run) {
+      ExecuteTask(&debugger, &backoff_rng, worker_id, my_shard,
+                  std::move(task));
     }
   }
+}
+
+void DebugService::ExecuteTask(NonAnswerDebugger* debugger, Rng* backoff_rng,
+                               size_t worker_id, size_t my_shard, Task task) {
+  Shard& home = *shards_[task.home_shard];
+  Shard& mine = *shards_[my_shard];
+  QueryResult result;
+  result.keyword_query = task.query;
+  result.queue_millis = task.enqueued.ElapsedMillis();
+  result.worker = worker_id;
+  result.shard = task.home_shard;
+  result.stolen = task.home_shard != my_shard;
+  // A stolen query still reads/writes its home shard's verdict partition,
+  // so a sub-network's verdicts stay resident where routing sends the next
+  // query with the same keywords. Flat indexes stay thief-local: their
+  // contents are a pure function of the database, identical on every shard.
+  if (result.stolen) debugger->set_verdict_cache(&home.cache);
+  Timer exec;
+  debugger->set_deadline_millis(task.deadline_millis);
+  StatusOr<DebugReport> report_or = debugger->Debug(task.query);
+  // Retry transient failures (IsRetryable: kUnavailable /
+  // kResourceExhausted) with exponential backoff + jitter, never past the
+  // query's deadline. Deadline expiry is not retried: Debug() returns an
+  // OK truncated report for it, and a remaining budget too small to back
+  // off into is budget spent, so the last typed error stands.
+  while (!report_or.ok() && report_or.status().IsRetryable() &&
+         result.retries < options_.max_retries) {
+    const double exp = static_cast<double>(
+        uint64_t{1} << std::min<size_t>(result.retries, 20));
+    double backoff_millis =
+        std::min(options_.retry_backoff_base_millis * exp,
+                 options_.retry_backoff_max_millis) *
+        (0.5 + 0.5 * backoff_rng->NextDouble());
+    if (backoff_millis < 0) backoff_millis = 0;
+    double remaining = 0;  // 0 = unbounded.
+    if (task.deadline_millis > 0) {
+      remaining = task.deadline_millis - exec.ElapsedMillis();
+      if (remaining <= backoff_millis) break;
+      remaining -= backoff_millis;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_millis));
+    ++result.retries;
+    debugger->set_deadline_millis(remaining);
+    report_or = debugger->Debug(task.query);
+  }
+  result.exec_millis = exec.ElapsedMillis();
+  if (result.stolen) debugger->set_verdict_cache(&mine.cache);
+  if (report_or.ok()) {
+    result.report = std::move(report_or).value();
+  } else {
+    result.status = report_or.status();
+  }
+  mine.executed.fetch_add(1, std::memory_order_relaxed);
+  if (result.stolen) {
+    mine.steals.fetch_add(1, std::memory_order_relaxed);
+    home.stolen_away.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.status.ok()) {
+    const size_t hits = result.report.AggregateTraversalStats().cache_hits;
+    if (hits > 0) {
+      (result.stolen ? home.remote_cache_hits : home.local_cache_hits)
+          .fetch_add(hits, std::memory_order_relaxed);
+    }
+  }
+  task.done(std::move(result));
 }
 
 }  // namespace kwsdbg

@@ -1,10 +1,19 @@
-// DebugService: a fixed-size worker pool serving batches of keyword-query
-// debugging requests over one shared immutable Lattice + Database. Each
-// worker owns a private NonAnswerDebugger (its own SQL session and
-// evaluator), but all workers share one process-wide verdict cache, so a
-// sub-network classified by any query is free for every later query on any
-// worker — the cross-query tier of the paper's reuse idea (Sec. 2.5.2),
-// promoted from session scope to process scope.
+// DebugService: a sharded worker pool serving keyword-query debugging
+// requests over one shared immutable Lattice + Database. The engine is
+// partitioned DRAMHiT-style: each shard owns a bounded task queue (batched
+// handoff in and out), a verdict-cache partition, and a flat-index tier
+// shared by the shard's workers — no shared lock sits on the hot path.
+// Queries route to shards by canonical-keyword-label hash, so every verdict
+// key a query can touch — (canonical label, binding signature, epoch) pairs
+// are a pure function of its keyword multiset — lives on the shard (core)
+// that computes it. Idle workers steal the oldest half of the deepest other
+// queue, so a skewed routing distribution cannot idle cores; stolen queries
+// still read/write their home shard's caches.
+//
+// Two entry points: synchronous RunBatch (results in input order plus the
+// batch aggregate) and asynchronous Submit (open-loop load generation —
+// callers inject at their own arrival rate and collect completions from a
+// callback; see bench/service_scale_workload).
 //
 // Per-query deadlines degrade gracefully: a query that exhausts its budget
 // returns a partial report marked `truncated` containing only ground-truth
@@ -12,18 +21,22 @@
 #ifndef KWSDBG_SERVICE_DEBUG_SERVICE_H_
 #define KWSDBG_SERVICE_DEBUG_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "debugger/non_answer_debugger.h"
+#include "sql/flat_row_index.h"
 #include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
@@ -34,14 +47,30 @@ struct ServiceOptions {
   /// the inter-query parallelism. Intra-query parallelism is configured
   /// separately via `debugger.parallel` and multiplies with this.
   size_t num_workers = 4;
+  /// Engine shards. Workers are assigned round-robin (worker i serves shard
+  /// i % num_shards); each shard owns a task queue, a verdict-cache
+  /// partition, and a flat-index tier shared by its workers. 1 (default)
+  /// reproduces the pre-sharding single-queue, single-cache service; 0
+  /// means one shard per worker. Values above num_workers are clamped to
+  /// num_workers (a shard with no worker would drain only via stealing).
+  size_t num_shards = 1;
+  /// Cross-shard work stealing: a worker whose own queue is empty takes the
+  /// oldest half of the deepest other queue (capped at handoff_batch), so
+  /// skewed workloads cannot idle cores while one shard backs up.
+  bool work_stealing = true;
+  /// Batched handoff: the most tasks a worker drains from a queue (its own
+  /// or a steal victim's) per lock acquisition.
+  size_t handoff_batch = 8;
   /// Default per-query wall-clock budget in milliseconds (0 = unbounded);
   /// RunBatch overloads can override it per batch.
   double default_deadline_millis = 0;
-  /// Capacity of the process-wide shared verdict cache.
+  /// Total verdict-cache entry budget, split evenly across shards.
   size_t shared_cache_capacity = VerdictCache::kDefaultCapacity;
-  /// Admission control: maximum queued (not yet picked up) tasks; queries
-  /// past the bound are shed at enqueue time with kResourceExhausted
-  /// instead of growing the queue without limit. 0 = unbounded (default).
+  /// Admission control: maximum queued (not yet picked up) tasks per shard;
+  /// queries routed to a full shard are shed at enqueue time with
+  /// kResourceExhausted instead of growing the queue without limit.
+  /// 0 = unbounded (default). With one shard this bounds the whole queue,
+  /// matching the pre-sharding behavior.
   size_t max_queue_depth = 0;
   /// Retry budget for queries failing with a retryable status (IsRetryable:
   /// kUnavailable / kResourceExhausted — transient dependency outages, not
@@ -55,12 +84,13 @@ struct ServiceOptions {
   double retry_backoff_base_millis = 1.0;
   double retry_backoff_max_millis = 50.0;
   uint64_t retry_seed = 0x5EEDu;
-  /// Template for each worker's debugger. `shared_verdict_cache` and
-  /// `deadline_millis` are overwritten by the service.
+  /// Template for each worker's debugger. `shared_verdict_cache`,
+  /// `executor.shared_flat_indexes`, and `deadline_millis` are overwritten
+  /// by the service (wired to the worker's shard).
   DebuggerOptions debugger;
 };
 
-/// Outcome of one query in a batch.
+/// Outcome of one query.
 struct QueryResult {
   std::string keyword_query;
   /// Non-OK when the pipeline failed outright (deadline expiry is NOT a
@@ -70,8 +100,26 @@ struct QueryResult {
   double queue_millis = 0;   ///< Enqueue -> worker pickup.
   double exec_millis = 0;    ///< Worker pickup -> report ready.
   size_t worker = 0;         ///< Which worker served it.
+  size_t shard = 0;          ///< Home shard (canonical-label routing).
+  bool stolen = false;       ///< Served by another shard's worker.
   size_t retries = 0;        ///< Retry attempts consumed (0 = first try won).
   bool shed = false;         ///< Rejected by admission control (never ran).
+};
+
+/// Per-shard telemetry (ServiceStats::shards, service_json "shards").
+struct ShardStats {
+  size_t workers = 0;          ///< Workers homed on this shard.
+  size_t routed = 0;           ///< Queries whose label hash routed here.
+  size_t executed = 0;         ///< Queries run by this shard's workers.
+  size_t steals = 0;           ///< Queries this shard's workers stole.
+  size_t stolen_away = 0;      ///< Home queries run by another shard.
+  size_t shed = 0;             ///< Admission rejects at this shard's queue.
+  size_t max_queue_depth = 0;  ///< Enqueue-time high-water mark.
+  /// Verdict hits against this shard's cache partition, split by whether
+  /// the probing worker was home (local) or stealing (remote).
+  size_t local_cache_hits = 0;
+  size_t remote_cache_hits = 0;
+  VerdictCacheStats cache;     ///< This shard's verdict partition.
 };
 
 /// Aggregated batch statistics (the service-level analogue of
@@ -83,6 +131,7 @@ struct ServiceStats {
   size_t retries = 0;        ///< Retry attempts across the batch.
   size_t shed = 0;           ///< Queries rejected by admission control
                              ///< (kResourceExhausted; included in failed).
+  size_t steals = 0;         ///< Queries served by a non-home shard.
   /// Degraded-mode executor fallbacks summed over the batch (nonzero only
   /// under fault injection; see common/fault_injector.h).
   size_t index_fallbacks = 0;
@@ -93,24 +142,45 @@ struct ServiceStats {
   size_t prefetch_batches = 0;
   double wall_millis = 0;    ///< Batch submit -> last query done.
   double queries_per_second = 0;
-  /// Latency distribution over per-query exec_millis.
+  /// Latency distribution over exec_millis of queries that actually ran
+  /// (shed queries never ran and are excluded — see ComputeServiceStats).
   double p50_millis = 0;
   double p95_millis = 0;
   double p99_millis = 0;
+  double p999_millis = 0;
   double max_millis = 0;
-  double mean_queue_millis = 0;  ///< Average time spent waiting for a worker.
+  double mean_queue_millis = 0;  ///< Average worker wait (ran queries only).
   /// SQL actually issued vs. verdicts answered from cache, summed over the
   /// batch's traversal stats (hits here include intra-query reuse).
   size_t sql_queries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
-  /// Snapshot of the shared tier after the batch (its hits/misses count
-  /// lookups from every worker since service construction).
+  /// Aggregate of every shard's verdict partition after the batch (hits /
+  /// misses count lookups from every worker since service construction).
   VerdictCacheStats shared_cache;
+  size_t num_shards = 1;
+  /// Per-shard counters for this batch (reset at batch start); the cache
+  /// field inside is the partition's lifetime counters.
+  std::vector<ShardStats> shards;
 
   /// One-paragraph human-readable rendering for bench/CLI output.
   std::string ToString() const;
 };
+
+/// Builds the aggregate over per-query results. Two correctness rules live
+/// here (regression-tested in tests/service/service_stats_test.cc):
+///   * Shed queries never ran — their zero exec/queue times are admission
+///     outcomes, not latencies, and are excluded from the percentile sample
+///     and the mean-queue-wait denominator (folding them in dragged
+///     p50/p95 toward zero exactly when the service was overloaded).
+///   * queries_per_second divides by a nonzero-clamped wall time, so tiny
+///     batches that complete inside the timer's resolution report a finite
+///     QPS instead of a vacuous 0 that slips through >= gates.
+/// Shard-level fields (num_shards, shards, shared_cache) are filled by the
+/// service, not here. Also used by the open-loop harness for per-sweep
+/// windows.
+ServiceStats ComputeServiceStats(const std::vector<QueryResult>& results,
+                                 double wall_millis);
 
 /// A completed batch: per-query results in input order plus the aggregate.
 struct BatchResult {
@@ -122,12 +192,12 @@ struct BatchResult {
   ServiceStats stats;
 };
 
-/// Thread pool + shared cache over one immutable database/lattice pair.
-/// RunBatch is synchronous; one batch runs at a time. A concurrent RunBatch
-/// call is detected and rejected with a kInvalidArgument batch status
-/// (previously undefined behavior — silent result corruption). The
-/// referenced db/lattice/index must outlive the service and stay unmodified
-/// while a batch is running — mutate + BumpEpoch() only between batches.
+/// Sharded thread pool over one immutable database/lattice pair. RunBatch
+/// is synchronous; one batch runs at a time (a concurrent RunBatch call is
+/// rejected with a kInvalidArgument batch status). Submit is asynchronous
+/// and may be called from any thread; pair it with WaitIdle. The referenced
+/// db/lattice/index must outlive the service and stay unmodified while
+/// queries are in flight — mutate + BumpEpoch() only while quiescent.
 class DebugService {
  public:
   DebugService(const Database* db, const Lattice* lattice,
@@ -145,36 +215,125 @@ class DebugService {
   BatchResult RunBatch(const std::vector<std::string>& queries,
                        double deadline_millis);
 
-  /// The process-wide verdict tier every worker consults. Exposed so tests
-  /// can inspect hit rates or Clear() after a database mutation epoch.
-  VerdictCache* shared_cache() { return &shared_cache_; }
+  /// Asynchronous single-query submission for open-loop load generation:
+  /// routes to the home shard and returns immediately. On acceptance,
+  /// `done` is invoked exactly once, on the executing worker's thread, with
+  /// the completed result. When the home shard's queue is at
+  /// max_queue_depth the query is shed: kResourceExhausted is returned and
+  /// `done` is never called. Callers must WaitIdle() (or otherwise observe
+  /// every callback) before destroying the service.
+  Status Submit(std::string query, double deadline_millis,
+                std::function<void(QueryResult)> done);
+
+  /// Blocks until every accepted Submit has completed. (RunBatch callers
+  /// don't need this — RunBatch waits for its own batch.)
+  void WaitIdle();
+
+  /// Home shard for `query` under `num_shards`: a hash of the canonical
+  /// keyword label (sorted, deduplicated tokens). Queries sharing a keyword
+  /// multiset share every (canonical label, binding signature) verdict key
+  /// they can generate, so label routing pins a sub-network's verdicts and
+  /// the shard's flat indexes to the core that computes them. Exposed for
+  /// tests and the load harness.
+  static size_t HomeShard(const std::string& query, size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard `i`'s verdict partition (tests: inspect hit rates, Clear()).
+  VerdictCache* shard_cache(size_t shard) { return &shards_[shard]->cache; }
+
+  /// Back-compat accessor: shard 0's partition — with the default single
+  /// shard, the process-wide tier every worker consults.
+  VerdictCache* shared_cache() { return shard_cache(0); }
+
+  /// Point-in-time per-shard counters accumulated since construction or
+  /// the last ResetShardCounters()/RunBatch (RunBatch resets on entry so
+  /// its aggregate reports per-batch deltas).
+  std::vector<ShardStats> ShardSnapshot() const;
+
+  /// Zeroes the per-shard routed/executed/steal/shed/depth counters
+  /// (verdict-partition cache counters are lifetime and unaffected).
+  void ResetShardCounters();
+
+  /// Drops every shard's verdict partition and flat-index tier (e.g. after
+  /// a database mutation epoch, to reclaim memory from dead-epoch entries).
+  void ClearCaches();
 
   const ServiceOptions& options() const { return options_; }
 
  private:
   struct Task {
-    size_t index = 0;                 ///< Into the batch's query vector.
+    std::string query;
     double deadline_millis = 0;
-    Timer enqueued;                   ///< Started at enqueue time.
+    size_t home_shard = 0;
+    Timer enqueued;  ///< Started at enqueue time.
+    /// Completion sink: writes a batch slot or runs a Submit callback.
+    std::function<void(QueryResult&&)> done;
+  };
+
+  /// One engine partition: queue + verdict cache + flat-index tier. The
+  /// queue mutex is per-shard, so enqueue/dequeue on different shards never
+  /// contend; counters are relaxed atomics read by ShardSnapshot.
+  struct Shard {
+    explicit Shard(size_t cache_capacity) : cache(cache_capacity) {}
+    mutable std::mutex mu;
+    std::deque<Task> queue;       // guarded by mu
+    size_t max_depth = 0;         // guarded by mu
+    std::atomic<size_t> queued{0};  ///< queue.size() mirror for lock-free
+                                    ///< victim selection and idle checks.
+    VerdictCache cache;
+    SharedFlatRowIndexManager flat_indexes;
+    std::atomic<size_t> workers{0};
+    std::atomic<size_t> routed{0};
+    std::atomic<size_t> executed{0};
+    std::atomic<size_t> steals{0};
+    std::atomic<size_t> stolen_away{0};
+    std::atomic<size_t> shed{0};
+    std::atomic<size_t> local_cache_hits{0};
+    std::atomic<size_t> remote_cache_hits{0};
   };
 
   void WorkerLoop(size_t worker_id);
+  void ExecuteTask(NonAnswerDebugger* debugger, Rng* backoff_rng,
+                   size_t worker_id, size_t my_shard, Task task);
+  /// Pushes one task onto its home shard's queue; false = shed (queue at
+  /// max_queue_depth). Callers notify workers after a successful push.
+  bool Enqueue(Task task);
+  /// Batched handoff (enqueue side): pushes a whole routed group under one
+  /// shard-lock acquisition. Tasks that do not fit under max_queue_depth
+  /// move to `rejected` (admission order = batch order). Returns the number
+  /// accepted; callers notify workers afterwards.
+  size_t EnqueueGroup(size_t shard, std::vector<Task>* tasks,
+                      std::vector<Task>* rejected);
+  /// Drains up to handoff_batch tasks from the front of `shard`'s queue.
+  void PopBatch(size_t shard, std::vector<Task>* out);
+  /// Steals the oldest ceil(depth/2) tasks (capped at handoff_batch) from
+  /// the deepest non-`thief` queue. Oldest-first keeps stealing a tail-
+  /// latency rescue, not a LIFO cache optimization.
+  void StealBatch(size_t thief, std::vector<Task>* out);
+  /// True when `shard`'s worker can find work without sleeping.
+  bool HasVisibleWork(size_t shard) const;
+  void NotifyWorkers(size_t tasks);
 
   const Database* db_;
   const Lattice* lattice_;
   const InvertedIndex* index_;
   ServiceOptions options_;
-  VerdictCache shared_cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals queued tasks / shutdown.
-  std::condition_variable done_cv_;   ///< Signals batch completion.
-  std::deque<Task> queue_;
-  const std::vector<std::string>* batch_queries_ = nullptr;  // guarded by mu_
-  std::vector<QueryResult>* batch_results_ = nullptr;        // guarded by mu_
-  size_t completed_ = 0;                                     // guarded by mu_
-  bool stop_ = false;                                        // guarded by mu_
-  bool batch_in_flight_ = false;                             // guarded by mu_
+  /// Total queued-but-not-picked-up tasks across shards (stealing workers
+  /// wait on this; per-shard `queued` serves the non-stealing predicate).
+  std::atomic<size_t> pending_{0};
+  std::mutex idle_mu_;                ///< Guards stop_; pairs with idle_cv_.
+  std::condition_variable idle_cv_;   ///< Wakes sleeping workers.
+  bool stop_ = false;                 // guarded by idle_mu_
+
+  std::mutex mu_;                     ///< Batch/Submit completion tracking.
+  std::condition_variable done_cv_;
+  size_t completed_ = 0;              // guarded by mu_
+  bool batch_in_flight_ = false;      // guarded by mu_
+  std::atomic<size_t> outstanding_submits_{0};
+
   std::vector<std::thread> workers_;
 };
 

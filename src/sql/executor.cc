@@ -170,6 +170,19 @@ const RowIndex& Executor::GetJoinIndex(const Table* table, size_t column) {
 
 const FlatRowIndex& Executor::GetFlatIndex(const Table* table,
                                            size_t column) {
+  if (options_.shared_flat_indexes != nullptr) {
+    // Shard-shared tier: the build cost is charged to whichever session
+    // triggered the build; every other session on the shard probes for free.
+    bool built = false;
+    const FlatRowIndex& index = options_.shared_flat_indexes->GetOrBuild(
+        table, column, cache_epoch_, &built);
+    if (built) {
+      ++stats_.index_builds;
+      stats_.index_build_millis += index.stats().build_millis;
+      stats_.arena_bytes += index.stats().arena_bytes;
+    }
+    return index;
+  }
   const size_t before = flat_indexes_.num_indexes();
   const FlatRowIndex& index = flat_indexes_.GetOrBuild(table, column);
   if (flat_indexes_.num_indexes() != before) {

@@ -143,4 +143,46 @@ const FlatRowIndex& FlatRowIndexManager::GetOrBuild(const Table* table,
   return *it->second;
 }
 
+const FlatRowIndex& SharedFlatRowIndexManager::GetOrBuild(const Table* table,
+                                                          size_t column,
+                                                          uint64_t epoch,
+                                                          bool* built) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    // Lazy epoch invalidation: the first probe against a mutated database
+    // drops every index built against the old state. Safe because epochs
+    // only move while the shard is quiescent (no concurrent probes).
+    manager_.Clear();
+    epoch_ = epoch;
+  }
+  const size_t before = manager_.num_indexes();
+  const FlatRowIndex& index = manager_.GetOrBuild(table, column);
+  const bool did_build = manager_.num_indexes() != before;
+  if (did_build) {
+    const FlatIndexStats& s = index.stats();
+    totals_.build_millis += s.build_millis;
+    totals_.distinct_keys += s.distinct_keys;
+    totals_.max_run_length = std::max(totals_.max_run_length, s.max_run_length);
+    totals_.arena_bytes += s.arena_bytes;
+    totals_.bucket_bytes += s.bucket_bytes;
+  }
+  if (built != nullptr) *built = did_build;
+  return index;
+}
+
+void SharedFlatRowIndexManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  manager_.Clear();
+}
+
+size_t SharedFlatRowIndexManager::num_indexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.num_indexes();
+}
+
+FlatIndexStats SharedFlatRowIndexManager::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
 }  // namespace kwsdbg

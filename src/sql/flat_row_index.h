@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -129,6 +130,35 @@ class FlatRowIndexManager {
                      std::unique_ptr<FlatRowIndex>, PairHash>
       cache_;
   FlatIndexStats totals_;
+};
+
+/// Thread-safe, epoch-aware flat-index tier shared by the workers of one
+/// service shard (see service/debug_service.h): one shard = one manager, so
+/// arenas are partitioned per shard and no lock is global. Indexes are
+/// immutable once built and held behind stable pointers, so the returned
+/// reference outlives the lock; the mutex only serializes the map lookup
+/// and the (rare) build. Epoch invalidation is lazy: a GetOrBuild carrying
+/// a newer database epoch drops everything built against the old one —
+/// callers must only bump epochs while the shard is quiescent (the
+/// DebugService contract: mutate + BumpEpoch() between batches).
+class SharedFlatRowIndexManager {
+ public:
+  /// The index for (table, column), built on first use. `built` (optional)
+  /// is set to whether *this call* built it, so only the building session
+  /// accounts the build cost into its ExecutorStats.
+  const FlatRowIndex& GetOrBuild(const Table* table, size_t column,
+                                 uint64_t epoch, bool* built = nullptr);
+
+  void Clear();
+  size_t num_indexes() const;
+  /// Accumulated build-cost stats over every index built (any epoch).
+  FlatIndexStats totals() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;           // guarded by mu_
+  FlatRowIndexManager manager_;  // guarded by mu_
+  FlatIndexStats totals_;        // guarded by mu_; survives epoch clears
 };
 
 }  // namespace kwsdbg

@@ -79,6 +79,60 @@ TEST(ShardedLruCacheTest, ZeroShardsRoundsUpToOne) {
   EXPECT_EQ(cache.Get(1), 10);
 }
 
+// Regression: ShardFor used to pick the shard as `(h >> 32) % num_shards`.
+// Wherever size_t (and std::hash) is 32-bit, `h >> 32` is undefined behavior
+// that in practice yields 0, collapsing every key onto shard 0 — one mutex,
+// one recency list, no sharding at all. Even on 64-bit platforms, identity
+// hashes (libstdc++ hashes integers to themselves) left the high word 0 with
+// the same collapse. ShardIndexForHash mixes the full word and folds both
+// halves, so either half of the hash alone still spreads keys.
+TEST(ShardIndexForHashTest, SpreadsHashesWithEntropyInEitherHalf) {
+  constexpr size_t kShards = 8;
+  constexpr size_t kKeys = 4096;
+  std::vector<size_t> low_only(kShards, 0);   // entropy only in bits 0..31
+  std::vector<size_t> high_only(kShards, 0);  // entropy only in bits 32..63
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    ++low_only[ShardIndexForHash(i, kShards)];
+    ++high_only[ShardIndexForHash(i << 32, kShards)];
+  }
+  const size_t expected = kKeys / kShards;
+  for (size_t s = 0; s < kShards; ++s) {
+    // Near-uniform: every shard within 50% of the ideal share. The broken
+    // formula put all 4096 low-entropy keys on shard 0.
+    EXPECT_GT(low_only[s], expected / 2) << "shard " << s;
+    EXPECT_LT(low_only[s], expected * 2) << "shard " << s;
+    EXPECT_GT(high_only[s], expected / 2) << "shard " << s;
+    EXPECT_LT(high_only[s], expected * 2) << "shard " << s;
+  }
+}
+
+TEST(ShardIndexForHashTest, DeterministicAndInRange) {
+  for (uint64_t h : {uint64_t{0}, uint64_t{1}, ~uint64_t{0},
+                     uint64_t{0x9E3779B97F4A7C15ull}}) {
+    for (size_t shards : {size_t{1}, size_t{3}, size_t{8}}) {
+      const size_t a = ShardIndexForHash(h, shards);
+      EXPECT_EQ(a, ShardIndexForHash(h, shards));
+      EXPECT_LT(a, shards);
+    }
+  }
+}
+
+TEST(ShardedLruCacheTest, ShardOccupancyNearUniformForSequentialKeys) {
+  // End-to-end distribution check: sequential int keys hash to themselves
+  // under libstdc++, so this exercises exactly the identity-hash collapse.
+  constexpr size_t kShards = 8;
+  ShardedLruCache<int, int> cache(/*capacity=*/1 << 16, kShards);
+  constexpr int kKeys = 4096;
+  for (int i = 0; i < kKeys; ++i) cache.Put(i, i);
+  const std::vector<size_t> sizes = cache.ShardSizes();
+  ASSERT_EQ(sizes.size(), kShards);
+  const size_t expected = kKeys / kShards;
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(sizes[s], expected / 2) << "shard " << s << " starved";
+    EXPECT_LT(sizes[s], expected * 2) << "shard " << s << " overloaded";
+  }
+}
+
 TEST(ShardedLruCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
   ShardedLruCache<int, int> cache(/*capacity=*/64, /*num_shards=*/8);
   constexpr int kThreads = 4;

@@ -1,0 +1,389 @@
+// Sharded DebugService behavior: canonical-label routing, serial-vs-sharded
+// classification parity under every traversal strategy, cross-shard work
+// stealing, home-partition cache residency for stolen queries, and the
+// asynchronous Submit/WaitIdle path the open-loop load harness drives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/dblife.h"
+#include "datasets/ecommerce.h"
+#include "datasets/query_generator.h"
+#include "lattice/lattice_generator.h"
+#include "service/debug_service.h"
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+constexpr TraversalKind kAllStrategies[] = {
+    TraversalKind::kBottomUp, TraversalKind::kTopDown,
+    TraversalKind::kBottomUpWithReuse, TraversalKind::kTopDownWithReuse,
+    TraversalKind::kScoreBased};
+
+TEST(HomeShardTest, DeterministicAndInRange) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{5}, size_t{8}}) {
+    for (const char* q : {"saffron candle", "red", "a b c", ""}) {
+      const size_t home = DebugService::HomeShard(q, shards);
+      EXPECT_LT(home, shards);
+      EXPECT_EQ(home, DebugService::HomeShard(q, shards));
+    }
+  }
+  EXPECT_EQ(DebugService::HomeShard("anything", 1), 0u);
+}
+
+TEST(HomeShardTest, CanonicalLabelIgnoresOrderCaseAndDuplicates) {
+  // Queries with the same keyword multiset share every verdict key they can
+  // generate, so they must route to the same shard regardless of surface
+  // form (the tokenizer lowercases and TokenizeUnique deduplicates).
+  constexpr size_t kShards = 8;
+  const size_t home = DebugService::HomeShard("saffron candle", kShards);
+  EXPECT_EQ(DebugService::HomeShard("candle saffron", kShards), home);
+  EXPECT_EQ(DebugService::HomeShard("Saffron CANDLE", kShards), home);
+  EXPECT_EQ(DebugService::HomeShard("candle saffron candle", kShards), home);
+  EXPECT_EQ(DebugService::HomeShard("saffron, candle!", kShards), home);
+}
+
+TEST(HomeShardTest, SpreadsDistinctLabels) {
+  constexpr size_t kShards = 8;
+  std::vector<size_t> counts(kShards, 0);
+  for (int i = 0; i < 4096; ++i) {
+    ++counts[DebugService::HomeShard("kw" + std::to_string(i), kShards)];
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], 4096u / kShards / 2) << "shard " << s;
+    EXPECT_LT(counts[s], 4096u / kShards * 2) << "shard " << s;
+  }
+}
+
+/// Serial reference signatures vs. a sharded service run, one strategy.
+void ExpectParity(const Database* db, const Lattice* lattice,
+                  const InvertedIndex* index,
+                  const std::vector<std::string>& queries,
+                  TraversalKind strategy) {
+  DebuggerOptions debugger_options;
+  debugger_options.strategy = strategy;
+
+  std::vector<std::string> serial_sigs;
+  {
+    NonAnswerDebugger serial(db, lattice, index, debugger_options);
+    for (const std::string& q : queries) {
+      auto report = serial.Debug(q);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      serial_sigs.push_back(report->ClassificationSignature());
+    }
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.num_shards = 4;
+  options.work_stealing = true;
+  options.handoff_batch = 2;
+  options.debugger = debugger_options;
+  DebugService service(db, lattice, index, options);
+  // Two passes: cold partitions, then warm (verdicts answered from the
+  // per-shard tiers) — both must match the serial classifications.
+  for (int pass = 0; pass < 2; ++pass) {
+    BatchResult batch = service.RunBatch(queries);
+    ASSERT_TRUE(batch.status.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryResult& r = batch.results[i];
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_EQ(r.report.ClassificationSignature(), serial_sigs[i])
+          << TraversalKindName(strategy) << " pass " << pass << " query \""
+          << queries[i] << "\"";
+    }
+  }
+}
+
+TEST(ShardedParityTest, EcommerceAllStrategies) {
+  EcommerceConfig config;
+  config.num_items = 150;
+  auto dataset = GenerateEcommerce(config);
+  ASSERT_TRUE(dataset.ok());
+  InvertedIndex index = InvertedIndex::Build(*dataset->db);
+  LatticeConfig lconfig;
+  lconfig.max_joins = 2;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(dataset->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  QueryGeneratorConfig gconfig;
+  gconfig.min_keywords = 1;
+  gconfig.max_keywords = 2;
+  RandomQueryGenerator generator(&index, gconfig);
+  std::vector<std::string> queries = generator.Batch(6);
+  queries.push_back("saffron candle");  // always cover a dead-MTN frontier
+  for (TraversalKind strategy : kAllStrategies) {
+    ExpectParity(dataset->db.get(), lattice->get(), &index, queries,
+                 strategy);
+  }
+}
+
+TEST(ShardedParityTest, DblifeAllStrategies) {
+  auto dataset = GenerateDblife(DblifeConfig{}.Scaled(0.05));
+  ASSERT_TRUE(dataset.ok());
+  InvertedIndex index = InvertedIndex::Build(*dataset->db);
+  LatticeConfig lconfig;
+  lconfig.max_joins = 2;  // level-3 lattice
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(dataset->schema, lconfig);
+  ASSERT_TRUE(lattice.ok());
+  QueryGeneratorConfig gconfig;
+  gconfig.min_keywords = 2;
+  gconfig.max_keywords = 3;
+  RandomQueryGenerator generator(&index, gconfig);
+  const std::vector<std::string> queries = generator.Batch(6);
+  for (TraversalKind strategy : kAllStrategies) {
+    ExpectParity(dataset->db.get(), lattice->get(), &index, queries,
+                 strategy);
+  }
+}
+
+/// Queries from the toy vocabulary that all route to one home shard under
+/// `shards` — the adversarial skew for the stealing tests.
+std::vector<std::string> SkewedQueries(size_t shards, size_t count,
+                                       size_t* home_out) {
+  const std::vector<std::string> vocabulary = {
+      "saffron", "candle", "red", "vanilla", "oil", "scented", "yellow",
+      "wax", "holder", "blue"};
+  // Pick the home shard of the first two-keyword combination, then keep
+  // only combinations sharing it.
+  std::vector<std::string> out;
+  size_t home = 0;
+  bool have_home = false;
+  for (size_t i = 0; i < vocabulary.size() && out.size() < count; ++i) {
+    for (size_t j = i + 1; j < vocabulary.size() && out.size() < count; ++j) {
+      const std::string q = vocabulary[i] + " " + vocabulary[j];
+      const size_t h = DebugService::HomeShard(q, shards);
+      if (!have_home) {
+        home = h;
+        have_home = true;
+      }
+      if (h == home) out.push_back(q);
+    }
+  }
+  *home_out = home;
+  return out;
+}
+
+TEST(WorkStealingTest, SkewedWorkloadIsStolenAcrossShards) {
+  testutil::ToyFixture fx;
+  constexpr size_t kShards = 4;
+  size_t home = 0;
+  const std::vector<std::string> queries =
+      SkewedQueries(kShards, 12, &home);
+  ASSERT_GE(queries.size(), 4u) << "need a few same-shard queries";
+
+  ServiceOptions options;
+  options.num_workers = kShards;
+  options.num_shards = kShards;
+  options.work_stealing = true;
+  options.handoff_batch = 1;  // one query per pickup maximizes steal windows
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+
+  // Stealing is a race by design: retry a few rounds until some off-home
+  // worker stole (with every query routed to one shard and handoff_batch 1,
+  // three idle workers contend for the backlog every round).
+  size_t steals = 0;
+  for (int attempt = 0; attempt < 8 && steals == 0; ++attempt) {
+    BatchResult batch = service.RunBatch(queries);
+    ASSERT_TRUE(batch.status.ok());
+    for (const QueryResult& r : batch.results) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_EQ(r.shard, home) << "skew premise violated";
+      if (r.stolen) ++steals;
+    }
+  }
+  EXPECT_GT(steals, 0u)
+      << "12 same-shard queries, 4 single-shard workers, 8 rounds: an idle "
+         "worker never stole";
+}
+
+TEST(WorkStealingTest, DisabledStealingKeepsWorkOnHomeShard) {
+  testutil::ToyFixture fx;
+  constexpr size_t kShards = 2;
+  size_t home = 0;
+  const std::vector<std::string> queries = SkewedQueries(kShards, 8, &home);
+
+  ServiceOptions options;
+  options.num_workers = kShards;
+  options.num_shards = kShards;
+  options.work_stealing = false;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch(queries);
+  ASSERT_TRUE(batch.status.ok());
+  for (const QueryResult& r : batch.results) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.stolen);
+    EXPECT_EQ(r.worker % kShards, home)
+        << "with stealing off only the home shard's worker may serve";
+  }
+  EXPECT_EQ(batch.stats.steals, 0u);
+}
+
+TEST(WorkStealingTest, StolenQueriesWriteHomeShardPartition) {
+  testutil::ToyFixture fx;
+  constexpr size_t kShards = 4;
+  size_t home = 0;
+  const std::vector<std::string> queries = SkewedQueries(kShards, 10, &home);
+
+  ServiceOptions options;
+  options.num_workers = kShards;
+  options.num_shards = kShards;
+  options.work_stealing = true;
+  options.handoff_batch = 1;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  BatchResult batch = service.RunBatch(queries);
+  ASSERT_TRUE(batch.status.ok());
+  // Every verdict — including ones computed by stealing workers — must land
+  // in the home shard's partition; the other partitions stay empty. This is
+  // the residency invariant that makes label routing pay off.
+  for (size_t s = 0; s < kShards; ++s) {
+    const VerdictCacheStats cache = service.shard_cache(s)->stats();
+    if (s == home) {
+      EXPECT_GT(cache.insertions, 0u) << "home partition never written";
+    } else {
+      EXPECT_EQ(cache.insertions, 0u)
+          << "shard " << s << " cached a verdict for a query homed on "
+          << home;
+    }
+  }
+}
+
+TEST(SubmitTest, OpenLoopSubmissionsCompleteAndMatchBatch) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.num_shards = 3;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  const std::vector<std::string> queries = {
+      "saffron candle", "red candle", "vanilla oil", "scented candle",
+      "saffron candle", "red candle"};
+
+  // Reference signatures from the synchronous path.
+  BatchResult reference = service.RunBatch(queries);
+  ASSERT_TRUE(reference.status.ok());
+
+  std::atomic<size_t> completions{0};
+  std::vector<QueryResult> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Status accepted = service.Submit(
+        queries[i], /*deadline_millis=*/0, [&results, &completions, i](QueryResult r) {
+          results[i] = std::move(r);
+          completions.fetch_add(1);
+        });
+    ASSERT_TRUE(accepted.ok()) << accepted.ToString();
+  }
+  service.WaitIdle();
+  ASSERT_EQ(completions.load(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+    EXPECT_EQ(results[i].report.ClassificationSignature(),
+              reference.results[i].report.ClassificationSignature())
+        << "Submit and RunBatch disagree on \"" << queries[i] << "\"";
+    EXPECT_EQ(results[i].shard,
+              DebugService::HomeShard(queries[i], service.num_shards()));
+  }
+}
+
+TEST(SubmitTest, OverloadedShardShedsWithRetryableStatus) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.num_shards = 1;
+  options.max_queue_depth = 1;
+  options.work_stealing = false;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  std::atomic<size_t> completions{0};
+  size_t accepted = 0;
+  size_t shed = 0;
+  constexpr size_t kSubmits = 200;
+  for (size_t i = 0; i < kSubmits; ++i) {
+    const Status s = service.Submit(
+        "saffron candle", /*deadline_millis=*/0,
+        [&completions](QueryResult) { completions.fetch_add(1); });
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      ++shed;
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(s.IsRetryable());
+      EXPECT_NE(s.message().find("admission control"), std::string::npos);
+    }
+  }
+  service.WaitIdle();
+  EXPECT_EQ(accepted + shed, kSubmits);
+  EXPECT_EQ(completions.load(), accepted)
+      << "done must run exactly once per accepted submit, never for shed";
+  EXPECT_GT(shed, 0u)
+      << "a depth-1 queue on one worker cannot absorb a 200-submit burst";
+}
+
+TEST(ShardedServiceTest, ShardCountClampsAndDefaults) {
+  testutil::ToyFixture fx;
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.num_shards = 8;  // clamped: a worker-less shard only drains by theft
+    DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                         options);
+    EXPECT_EQ(service.num_shards(), 2u);
+  }
+  {
+    ServiceOptions options;
+    options.num_workers = 3;
+    options.num_shards = 0;  // 0 = one shard per worker
+    DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                         options);
+    EXPECT_EQ(service.num_shards(), 3u);
+  }
+  {
+    DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(), {});
+    EXPECT_EQ(service.num_shards(), 1u) << "default reproduces the "
+                                           "pre-sharding service";
+  }
+}
+
+TEST(ShardedServiceTest, ShardSnapshotAccountsEveryQuery) {
+  testutil::ToyFixture fx;
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.num_shards = 4;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       options);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back("kw" + std::to_string(i) + " candle");
+  }
+  BatchResult batch = service.RunBatch(queries);
+  ASSERT_TRUE(batch.status.ok());
+  ASSERT_EQ(batch.stats.shards.size(), 4u);
+  size_t routed = 0;
+  size_t executed = 0;
+  for (const ShardStats& s : batch.stats.shards) {
+    routed += s.routed;
+    executed += s.executed;
+    EXPECT_EQ(s.workers, 1u);
+  }
+  EXPECT_EQ(routed, queries.size());
+  EXPECT_EQ(executed, queries.size());
+  // The aggregate shared_cache is the sum over partitions.
+  size_t insertions = 0;
+  for (const ShardStats& s : batch.stats.shards) {
+    insertions += s.cache.insertions;
+  }
+  EXPECT_EQ(batch.stats.shared_cache.insertions, insertions);
+}
+
+}  // namespace
+}  // namespace kwsdbg
