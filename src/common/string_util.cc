@@ -77,4 +77,30 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+size_t ParseByteSize(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return 0;
+  size_t value = 0;
+  size_t i = 0;
+  bool any_digit = false;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<size_t>(s[i] - '0');
+    any_digit = true;
+    ++i;
+  }
+  if (!any_digit) return 0;
+  size_t mult = 1;
+  if (i < s.size()) {
+    switch (LowerChar(s[i])) {
+      case 'k': mult = size_t{1} << 10; ++i; break;
+      case 'm': mult = size_t{1} << 20; ++i; break;
+      case 'g': mult = size_t{1} << 30; ++i; break;
+      default: return 0;
+    }
+    if (i < s.size() && LowerChar(s[i]) == 'b') ++i;
+  }
+  if (i != s.size()) return 0;
+  return value * mult;
+}
+
 }  // namespace kwsdbg

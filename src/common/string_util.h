@@ -33,6 +33,12 @@ bool EqualsCaseInsensitive(std::string_view a, std::string_view b);
 /// True iff `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// Parses a byte-size string: a non-negative integer with an optional
+/// K/M/G suffix (powers of 1024, case-insensitive, optional trailing "B").
+/// "64M" -> 67108864, "8192" -> 8192. Returns 0 on empty/malformed input
+/// (callers treat 0 as "unset").
+size_t ParseByteSize(std::string_view s);
+
 }  // namespace kwsdbg
 
 #endif  // KWSDBG_COMMON_STRING_UTIL_H_

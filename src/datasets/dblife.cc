@@ -366,6 +366,8 @@ StatusOr<DblifeDataset> GenerateDblife(const DblifeConfig& config) {
         ds.schema.AddJoin(fk.table, fk.column, fk.target, "id"));
   }
   KWSDBG_RETURN_NOT_OK(ds.schema.ValidateAgainst(*ds.db));
+  // Opt-in out-of-core mode: spill under KWSDBG_MEMORY_BUDGET if set.
+  KWSDBG_RETURN_NOT_OK(ds.db->ApplyEnvMemoryBudget());
   return ds;
 }
 

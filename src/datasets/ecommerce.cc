@@ -140,6 +140,8 @@ StatusOr<EcommerceDataset> GenerateEcommerce(const EcommerceConfig& config) {
   KWSDBG_CHECK_OK_OR_RETURN(
       ds.schema.AddJoin("Item", "attr", "Attribute", "id"));
   KWSDBG_RETURN_NOT_OK(ds.schema.ValidateAgainst(*ds.db));
+  // Opt-in out-of-core mode: spill under KWSDBG_MEMORY_BUDGET if set.
+  KWSDBG_RETURN_NOT_OK(ds.db->ApplyEnvMemoryBudget());
   return ds;
 }
 

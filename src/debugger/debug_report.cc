@@ -51,6 +51,10 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.arena_bytes += interp.traversal_stats.arena_bytes;
     stats.index_fallbacks += interp.traversal_stats.index_fallbacks;
     stats.semijoin_fallbacks += interp.traversal_stats.semijoin_fallbacks;
+    stats.page_hits += interp.traversal_stats.page_hits;
+    stats.page_reads += interp.traversal_stats.page_reads;
+    stats.page_evictions += interp.traversal_stats.page_evictions;
+    stats.posting_reads += interp.traversal_stats.posting_reads;
   }
   return stats;
 }
@@ -133,6 +137,12 @@ std::string DebugReport::ToString(size_t max_items_per_section) const {
         out << "   probe engine: " << ts.flat_probes << " flat probe(s), "
             << ts.prefetch_batches << " prefetch batch(es), "
             << ts.arena_bytes << " arena byte(s)\n";
+      }
+      if (ts.page_hits + ts.page_reads + ts.posting_reads > 0) {
+        out << "   storage: " << ts.page_reads << " page read(s), "
+            << ts.page_hits << " page hit(s), " << ts.page_evictions
+            << " eviction(s), " << ts.posting_reads
+            << " posting-list read(s)\n";
       }
       if (ts.index_fallbacks + ts.semijoin_fallbacks > 0) {
         out << "   degraded: " << ts.index_fallbacks

@@ -110,7 +110,12 @@ std::string DebugReportToJson(const DebugReport& report) {
         << ",\"arena_bytes\":" << interp.traversal_stats.arena_bytes
         << ",\"index_fallbacks\":" << interp.traversal_stats.index_fallbacks
         << ",\"semijoin_fallbacks\":"
-        << interp.traversal_stats.semijoin_fallbacks << '}';
+        << interp.traversal_stats.semijoin_fallbacks
+        << ",\"page_hits\":" << interp.traversal_stats.page_hits
+        << ",\"page_reads\":" << interp.traversal_stats.page_reads
+        << ",\"page_evictions\":" << interp.traversal_stats.page_evictions
+        << ",\"posting_reads\":" << interp.traversal_stats.posting_reads
+        << '}';
     out << ",\"answers\":[";
     for (size_t a = 0; a < interp.answers.size(); ++a) {
       if (a > 0) out << ',';

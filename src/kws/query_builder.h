@@ -21,6 +21,16 @@ StatusOr<JoinNetworkQuery> BuildNodeQuery(const JoinTree& tree,
 StatusOr<JoinNetworkQuery> BuildNodeQuery(const Lattice& lattice, NodeId id,
                                           const KeywordBinding& binding);
 
+/// Returns the query's vertex indices ordered most-selective-first: keyword
+/// vertices ascending by the index's estimated matching-row count (a spill-safe
+/// upper bound from the term profile — no posting lists are materialized),
+/// then free vertices ascending by table cardinality. Out-of-core probing
+/// wants this order so the cheapest candidate sets page in first; ties and
+/// unknown tables keep their original relative order.
+std::vector<uint16_t> SelectivityProbeOrder(const JoinNetworkQuery& query,
+                                            const Database& db,
+                                            const InvertedIndex& index);
+
 }  // namespace kwsdbg
 
 #endif  // KWSDBG_KWS_QUERY_BUILDER_H_

@@ -46,6 +46,11 @@ std::string ServiceStats::ToString() const {
     out << "  degraded: " << index_fallbacks << " text-index fallback(s), "
         << semijoin_fallbacks << " semijoin fallback(s)\n";
   }
+  if (page_hits + page_reads + posting_reads > 0) {
+    out << "  storage: " << page_reads << " page read(s), " << page_hits
+        << " page hit(s), " << page_evictions << " eviction(s), "
+        << posting_reads << " posting-list read(s)\n";
+  }
   out << "  latency ms: p50=" << p50_millis << " p95=" << p95_millis
       << " p99=" << p99_millis << " p999=" << p999_millis
       << " max=" << max_millis << ", mean queue wait=" << mean_queue_millis
@@ -104,6 +109,10 @@ ServiceStats ComputeServiceStats(const std::vector<QueryResult>& results,
     stats.semijoin_fallbacks += agg.semijoin_fallbacks;
     stats.flat_probes += agg.flat_probes;
     stats.prefetch_batches += agg.prefetch_batches;
+    stats.page_hits += agg.page_hits;
+    stats.page_reads += agg.page_reads;
+    stats.page_evictions += agg.page_evictions;
+    stats.posting_reads += agg.posting_reads;
   }
   if (stats.queries > 0) {
     // Tiny batches can finish inside the timer's microsecond resolution; a

@@ -140,6 +140,12 @@ struct ServiceStats {
   /// engine is disabled in the debugger's executor options).
   size_t flat_probes = 0;
   size_t prefetch_batches = 0;
+  /// Out-of-core I/O summed over the batch (zero when every table and the
+  /// index are resident, the usual service configuration).
+  size_t page_hits = 0;
+  size_t page_reads = 0;
+  size_t page_evictions = 0;
+  size_t posting_reads = 0;
   double wall_millis = 0;    ///< Batch submit -> last query done.
   double queries_per_second = 0;
   /// Latency distribution over exec_millis of queries that actually ran

@@ -17,6 +17,10 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
       << ",\"semijoin_fallbacks\":" << stats.semijoin_fallbacks
       << ",\"flat_probes\":" << stats.flat_probes
       << ",\"prefetch_batches\":" << stats.prefetch_batches
+      << ",\"page_hits\":" << stats.page_hits
+      << ",\"page_reads\":" << stats.page_reads
+      << ",\"page_evictions\":" << stats.page_evictions
+      << ",\"posting_reads\":" << stats.posting_reads
       << ",\"wall_millis\":" << stats.wall_millis
       << ",\"queries_per_second\":" << stats.queries_per_second
       << ",\"p50_millis\":" << stats.p50_millis

@@ -57,6 +57,29 @@ struct ExecTimeGuard {
   ~ExecTimeGuard() { *acc += timer.ElapsedMillis(); }
 };
 
+/// Harvests the out-of-core I/O this query caused as deltas of the global
+/// storage/index counters, on every exit path (like ExecTimeGuard).
+struct StorageIoGuard {
+  const Database* db;
+  const InvertedIndex* index;
+  ExecutorStats* stats;
+  StorageStats before;
+  PostingIoStats posting_before;
+  StorageIoGuard(const Database* d, const InvertedIndex* i, ExecutorStats* s)
+      : db(d), index(i), stats(s), before(d->storage_stats()),
+        posting_before(i != nullptr ? i->io_stats() : PostingIoStats{}) {}
+  ~StorageIoGuard() {
+    const StorageStats now = db->storage_stats();
+    stats->page_hits += now.page_hits - before.page_hits;
+    stats->page_reads += now.page_reads - before.page_reads;
+    stats->page_evictions += now.page_evictions - before.page_evictions;
+    if (index != nullptr) {
+      stats->posting_reads +=
+          index->io_stats().posting_reads - posting_before.posting_reads;
+    }
+  }
+};
+
 }  // namespace
 
 std::string ResultSet::ToString(size_t max_rows) const {
@@ -99,12 +122,12 @@ bool Executor::IndexServable(const std::string& keyword) const {
   return tokens.size() == 1 && tokens[0] == keyword;
 }
 
-const std::vector<const std::vector<Posting>*>& Executor::InfixLists(
+const std::vector<uint32_t>& Executor::InfixTermIds(
     const std::string& keyword) {
   auto it = infix_cache_.find(keyword);
   if (it != infix_cache_.end()) return it->second;
   return infix_cache_
-      .emplace(keyword, text_index_->PostingListsContaining(keyword))
+      .emplace(keyword, text_index_->TermIdsContaining(keyword))
       .first->second;
 }
 
@@ -126,10 +149,15 @@ const Executor::KeywordMatches& Executor::GetKeywordMatches(
   }
   if (tid != InvertedIndex::kNoTable) {
     // Posting-list path: union the lists of every term containing the
-    // keyword, restricted to this table.
+    // keyword, restricted to this table. Lists are resolved one term id at
+    // a time and fully consumed before the next fetch — the contract that
+    // keeps references valid when the index serves them from disk.
     ++stats_.posting_hits;
-    for (const std::vector<Posting>* list : InfixLists(keyword)) {
-      for (const Posting& p : *list) {
+    for (uint32_t term_id : InfixTermIds(keyword)) {
+      // Profile-guided skip: the term has no postings in this table, so the
+      // fetch (a disk read when spilled) would contribute nothing.
+      if (text_index_->ProfileRowCount(term_id, tid) == 0) continue;
+      for (const Posting& p : text_index_->PostingsForTermId(term_id)) {
         if (p.table_id != tid) continue;
         if (!matches.bitmap[p.row]) {
           matches.bitmap[p.row] = 1;
@@ -274,6 +302,8 @@ StatusOr<PreparedQuery> PrepareQuery(
   for (size_t i = 0; i < n; ++i) {
     PreparedVertex& pv = pq.vertices[i];
     pv.table = db.FindTable(query.vertices[i].table);
+    // Non-null: Validate() above resolved every vertex table via GetTable.
+    KWSDBG_CHECK(pv.table != nullptr);
 
     if (!query.vertices[i].keyword.empty()) {
       pv.has_keyword = true;
@@ -315,6 +345,14 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
                                  ResultSet* out) {
   ++stats_.queries_executed;
   ExecTimeGuard time_guard(&stats_.exec_millis);
+  StorageIoGuard io_guard(db_, text_index_, &stats_);
+  // Out-of-core mode: some table (or the index) serves from disk. Two
+  // behavioral changes hang off this flag — `const Value&` references that
+  // straddle an unbounded index build are copied, and candidate sourcing
+  // runs most-selective-first — both no-ops for resident databases, keeping
+  // the in-memory hot path byte-identical to the previous engine.
+  spill_mode_ =
+      db_->AnySpilled() || (text_index_ != nullptr && text_index_->spilled());
   // Session caches (join indexes, keyword match sets) describe one database
   // state; a mutation + BumpEpoch() between queries makes them stale, so a
   // long-lived session (e.g. a service worker) drops them here instead of
@@ -342,7 +380,17 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   if (deadline_fired()) {
     return Status::DeadlineExceeded("query cancelled before execution");
   }
-  auto keyword_count = [this](const Table* table, const std::string& kw) {
+  auto keyword_count = [this](const Table* table,
+                              const std::string& kw) -> size_t {
+    // Spilled index: plan from the RAM-resident selectivity profile instead
+    // of materializing the match set (which costs posting I/O). The profile
+    // sum is an upper bound — exact when zero, which is what the fast-reject
+    // below relies on; the true set is only materialized for the vertices
+    // that survive, cheapest first.
+    if (spill_mode_ && text_index_ != nullptr && text_index_->spilled() &&
+        options_.use_text_index && IndexServable(kw)) {
+      return text_index_->EstimatedInfixRows(kw, table->name());
+    }
     return GetKeywordMatches(table, kw).count;
   };
   KWSDBG_ASSIGN_OR_RETURN(PreparedQuery pq,
@@ -367,7 +415,22 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
   // (keyword containment, constant selections, column LIKEs); unfiltered
   // vertices stay "full" until a semijoin pass touches them.
   std::vector<VertexCandidates> cand(n);
-  for (size_t v = 0; v < n; ++v) {
+  // Selectivity-first sourcing: under spill, materialize the cheapest
+  // vertex (by profile estimate) first, so a network killed by an empty
+  // filter dies on the least posting/page I/O. Resident databases keep
+  // vertex order — their match sets were already built during planning, so
+  // reordering would change nothing but is kept off to leave the in-memory
+  // engine untouched.
+  std::vector<uint16_t> source_order(n);
+  for (size_t v = 0; v < n; ++v) source_order[v] = static_cast<uint16_t>(v);
+  if (spill_mode_) {
+    std::stable_sort(source_order.begin(), source_order.end(),
+                     [&](uint16_t a, uint16_t b) {
+                       return pq.vertices[a].candidate_count <
+                              pq.vertices[b].candidate_count;
+                     });
+  }
+  for (uint16_t v : source_order) {
     const PreparedVertex& pv = pq.vertices[v];
     const bool filtered =
         pv.has_keyword || !pq.selections[v].empty() || !pq.likes[v].empty();
@@ -462,9 +525,17 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
             KWSDBG_FAULT_POINT("executor.index.build");
             std::vector<uint32_t> hits;
             for (uint32_t nrow : cv.rows) {
-              const Value& val = pw.table->at(nrow, vc.other_column);
-              const RowSpan matched =
-                  ProbeJoinIndex(pu.table, vc.own_column, val);
+              RowSpan matched;
+              if (spill_mode_) {
+                // The probe may lazily build an index over pu.table — an
+                // unbounded scan that can evict the page frame a reference
+                // into pw.table points at. Copy the key first.
+                const Value val = pw.table->at(nrow, vc.other_column);
+                matched = ProbeJoinIndex(pu.table, vc.own_column, val);
+              } else {
+                const Value& val = pw.table->at(nrow, vc.other_column);
+                matched = ProbeJoinIndex(pu.table, vc.own_column, val);
+              }
               hits.insert(hits.end(), matched.begin(), matched.end());
             }
             std::sort(hits.begin(), hits.end());
@@ -626,10 +697,20 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     for (size_t ci = 0; ci < vcs.size(); ++ci) {
       const VertexConstraint& vc = vcs[ci];
       if (!assigned[vc.other]) continue;
-      const Value& probe = pq.vertices[vc.other].table->at(
-          assignment[vc.other], vc.other_column);
-      f.candidates = ProbeJoinIndex(pq.vertices[v].table, vc.own_column,
-                                    probe);
+      if (spill_mode_) {
+        // Same copy rule as the semijoin union: the probe may trigger an
+        // index build over this vertex's table, invalidating a page-frame
+        // reference into the neighbor's.
+        const Value probe = pq.vertices[vc.other].table->at(
+            assignment[vc.other], vc.other_column);
+        f.candidates = ProbeJoinIndex(pq.vertices[v].table, vc.own_column,
+                                      probe);
+      } else {
+        const Value& probe = pq.vertices[vc.other].table->at(
+            assignment[vc.other], vc.other_column);
+        f.candidates = ProbeJoinIndex(pq.vertices[v].table, vc.own_column,
+                                      probe);
+      }
       f.use_candidates = true;
       probe_constraint[d] = static_cast<int>(ci);
       break;

@@ -117,6 +117,11 @@ struct ExecutorStats {
                                  ///< the text-index path faulted.
   size_t semijoin_fallbacks = 0; ///< Queries that skipped the semijoin pass
                                  ///< (plain backtracking join) on a fault.
+  // Out-of-core tier (all zero for a fully resident database + index).
+  size_t page_hits = 0;       ///< Table page fetches served by the pool.
+  size_t page_reads = 0;      ///< Table pages read from disk.
+  size_t page_evictions = 0;  ///< Buffer-pool frames displaced.
+  size_t posting_reads = 0;   ///< Posting lists fetched from disk.
 };
 
 /// One executor = one "database session". Not thread-safe.
@@ -170,10 +175,11 @@ class Executor {
   /// LIKE match lies inside one indexed term.
   bool IndexServable(const std::string& keyword) const;
 
-  /// Posting lists of index terms containing `keyword`, memoized (the
-  /// dictionary scan is per-keyword, not per-table).
-  const std::vector<const std::vector<Posting>*>& InfixLists(
-      const std::string& keyword);
+  /// Dictionary ids of index terms containing `keyword`, memoized (the
+  /// dictionary scan is per-keyword, not per-table). Ids rather than list
+  /// pointers: on a spilled index a fetched list is only valid until the
+  /// next fetch, so callers resolve one id at a time via PostingsForTermId.
+  const std::vector<uint32_t>& InfixTermIds(const std::string& keyword);
 
   /// indexes_.GetOrBuild with build accounting (v2 engine).
   const RowIndex& GetJoinIndex(const Table* table, size_t column);
@@ -199,8 +205,11 @@ class Executor {
   std::unordered_map<std::pair<const Table*, std::string>, KeywordMatches,
                      PairHash>
       keyword_cache_;
-  std::unordered_map<std::string, std::vector<const std::vector<Posting>*>>
-      infix_cache_;
+  std::unordered_map<std::string, std::vector<uint32_t>> infix_cache_;
+  /// Set per RunJoin: any table or the index is serving from disk. Gates
+  /// the reference-copy paths and selectivity-first probing so the fully
+  /// resident hot path stays byte-identical to the in-memory engine.
+  bool spill_mode_ = false;
   /// Database::epoch() the session caches were built against; a mismatch at
   /// query entry drops them (see RunJoin).
   uint64_t cache_epoch_ = 0;

@@ -32,6 +32,10 @@ StatusOr<std::string> JoinNetworkQuery::ToSql(const Database& db) const {
   for (const QueryVertex& v : vertices) {
     if (v.keyword.empty()) continue;
     const Table* table = db.FindTable(v.table);
+    if (table == nullptr) {
+      // ToSql may run on an un-Validated query (e.g. diagnostics rendering).
+      return Status::NotFound("no table named '" + v.table + "'");
+    }
     OrLikes ors;
     for (size_t col : table->schema().TextColumnIndices()) {
       ors.likes.push_back(
@@ -68,6 +72,8 @@ Status JoinNetworkQuery::Validate(const Database& db) const {
     }
     const Table* lt = db.FindTable(vertices[j.left].table);
     const Table* rt = db.FindTable(vertices[j.right].table);
+    // Non-null: the vertex loop above GetTable-verified every vertex table.
+    KWSDBG_CHECK(lt != nullptr && rt != nullptr);
     KWSDBG_CHECK_OK_OR_RETURN(lt->schema().ColumnIndex(j.left_column));
     KWSDBG_CHECK_OK_OR_RETURN(rt->schema().ColumnIndex(j.right_column));
   }
@@ -76,6 +82,7 @@ Status JoinNetworkQuery::Validate(const Database& db) const {
       return Status::InvalidArgument("selection references missing instance");
     }
     const Table* t = db.FindTable(vertices[sel.vertex].table);
+    KWSDBG_CHECK(t != nullptr);
     KWSDBG_CHECK_OK_OR_RETURN(t->schema().ColumnIndex(sel.column));
   }
   for (const QueryLikeSelection& like : like_selections) {
@@ -84,6 +91,7 @@ Status JoinNetworkQuery::Validate(const Database& db) const {
           "LIKE selection references missing instance");
     }
     const Table* t = db.FindTable(vertices[like.vertex].table);
+    KWSDBG_CHECK(t != nullptr);
     KWSDBG_ASSIGN_OR_RETURN(size_t col,
                             t->schema().ColumnIndex(like.column));
     if (t->schema().column(col).type != DataType::kString) {
@@ -163,6 +171,13 @@ StatusOr<JoinNetworkQuery> FromSelectStatement(const SelectStatement& stmt,
     } else if (const auto* cp = std::get_if<ConstantPredicate>(&c)) {
       KWSDBG_ASSIGN_OR_RETURN(uint16_t v, resolve(cp->column));
       const Table* t = db.FindTable(query.vertices[v].table);
+      if (t == nullptr) {
+        // Reachable: a qualified alias resolves without checking that its
+        // FROM table exists, so `SELECT * FROM nope n WHERE n.x = 3` lands
+        // here with an unknown table.
+        return Status::NotFound("no table named '" + query.vertices[v].table +
+                                "'");
+      }
       KWSDBG_ASSIGN_OR_RETURN(size_t col,
                               t->schema().ColumnIndex(cp->column.column));
       const DataType type = t->schema().column(col).type;

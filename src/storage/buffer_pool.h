@@ -1,0 +1,128 @@
+// Fixed-capacity buffer pool over a DiskManager page file.
+//
+// Frames cache *decoded* tuple vectors rather than raw page bytes so that the
+// resident `Table` API (`at()` returning `const Value&`) keeps working when a
+// table spills: a fetch returns a pointer to the decoded rows of one extent,
+// and that pointer stays valid until the frame is evicted.
+//
+// Eviction is strict LRU over unpinned frames. This gives callers a simple
+// reference-stability contract: a reference obtained from the most recent
+// Fetch stays valid across at least `capacity() - 1` subsequent fetches of
+// *other* extents (each fetch displaces at most one frame, and the newest
+// frame is last in LRU order). The executor's probe loops touch at most two
+// tables between taking a reference and using it, so the enforced minimum
+// capacity of 16 frames keeps those references stable; the few call sites
+// that interleave a reference with an unbounded index build copy the value
+// instead (see Executor::RunJoin).
+//
+// Dirty frames are written back through the PageWriter that fetched them,
+// which lets the owner re-encode rows and grow the extent if an updated
+// string no longer fits (see Table::WriteBack).
+#ifndef KWSDBG_STORAGE_BUFFER_POOL_H_
+#define KWSDBG_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/schema.h"
+
+namespace kwsdbg {
+
+/// Self-describing row codec used for spill pages. Each cell is a tag byte
+/// (null / int64 / double / string) followed by its payload, so decoding
+/// needs no schema. The encoded block starts with a uint32 row count and
+/// per-row uint16 arities.
+size_t EncodedRowsSize(const std::vector<Tuple>& rows);
+size_t EncodedRowSize(const Tuple& row);
+void EncodeRows(const std::vector<Tuple>& rows, std::string* out);
+Status DecodeRows(const char* data, size_t size, std::vector<Tuple>* out);
+
+/// Write-back sink for dirty frames; implemented by the page owner (Table).
+class PageWriter {
+ public:
+  virtual ~PageWriter() = default;
+  virtual Status WriteBack(uint64_t first_page,
+                           const std::vector<Tuple>& rows) = 0;
+};
+
+struct BufferPoolStats {
+  size_t page_hits = 0;        ///< Fetches served from a resident frame.
+  size_t page_misses = 0;      ///< Fetches that had to read from disk.
+  size_t page_evictions = 0;   ///< Frames displaced to make room.
+  size_t write_backs = 0;      ///< Dirty frames flushed on eviction/flush.
+};
+
+class BufferPool {
+ public:
+  /// Callers relying on the reference-stability contract above need a floor;
+  /// capacities below this are clamped up.
+  static constexpr size_t kMinCapacity = 16;
+
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_frames() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+
+  /// Returns the decoded rows of the extent starting at `first_page`
+  /// (`num_pages` long), reading and decoding it if not resident. The
+  /// pointer is valid until the frame is evicted (see contract above).
+  StatusOr<const std::vector<Tuple>*> Fetch(uint64_t first_page,
+                                            uint32_t num_pages,
+                                            PageWriter* writer);
+
+  /// Like Fetch but marks the frame dirty; it will be written back through
+  /// `writer` when evicted or flushed.
+  StatusOr<std::vector<Tuple>*> FetchMutable(uint64_t first_page,
+                                             uint32_t num_pages,
+                                             PageWriter* writer);
+
+  /// Pins / unpins a resident frame. Pinned frames are never evicted; a pin
+  /// on a non-resident extent is a no-op. Pins nest.
+  void Pin(uint64_t first_page);
+  void Unpin(uint64_t first_page);
+
+  /// Writes back all dirty frames (frames stay resident).
+  Status FlushAll();
+
+  /// Drops every frame without write-back. Used when the backing extents
+  /// were rewritten by the owner, or on shutdown after FlushAll.
+  void DropAll();
+
+  /// Drops one frame if resident (without write-back).
+  void Drop(uint64_t first_page);
+
+ private:
+  struct Frame {
+    uint64_t first_page = 0;
+    uint32_t num_pages = 0;
+    bool dirty = false;
+    int pins = 0;
+    PageWriter* writer = nullptr;
+    std::vector<Tuple> rows;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  StatusOr<Frame*> FetchFrame(uint64_t first_page, uint32_t num_pages,
+                              PageWriter* writer);
+  Status EvictOne();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
+  std::list<uint64_t> lru_;  // front = least recently used
+  std::string io_buf_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_BUFFER_POOL_H_

@@ -140,7 +140,9 @@ Status WriteTableCsv(const Table& table, std::ostream* out) {
                        DataTypeToString(schema.column(i).type));
   }
   *out << "\n";
-  for (const Tuple& row : table.rows()) {
+  // Row-by-row (not rows()): spilled tables only expose paged access.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Tuple& row = table.row(r);
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) *out << ",";
       if (row[i].is_null()) continue;  // NULL: empty unquoted field

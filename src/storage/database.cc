@@ -1,5 +1,11 @@
 #include "storage/database.h"
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
 namespace kwsdbg {
 
 StatusOr<Table*> Database::CreateTable(const std::string& name,
@@ -45,8 +51,124 @@ std::vector<std::string> Database::TableNames() const { return order_; }
 
 size_t Database::TotalTuples() const {
   size_t n = 0;
-  for (const auto& name : order_) n += FindTable(name)->num_rows();
+  for (const auto& name : order_) {
+    Table* t = FindTable(name);
+    KWSDBG_CHECK(t != nullptr) << "catalog order lists unknown table '"
+                               << name << "'";
+    n += t->num_rows();
+  }
   return n;
+}
+
+size_t Database::EstimateBytes() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table->EstimateBytes();
+  return n;
+}
+
+Status Database::ApplyMemoryBudget(size_t budget_bytes, SpillOptions options) {
+  if (budget_bytes == 0) {
+    return Status::InvalidArgument("memory budget must be positive");
+  }
+  size_t page_size = options.page_size;
+  if (page_size == 0) {
+    if (const char* env = std::getenv("KWSDBG_PAGE_SIZE")) {
+      page_size = ParseByteSize(env);
+    }
+    if (page_size == 0) page_size = DiskManager::kDefaultPageSize;
+  }
+  std::string spill_dir = options.spill_dir;
+  if (spill_dir.empty()) {
+    if (const char* env = std::getenv("KWSDBG_SPILL_DIR")) spill_dir = env;
+  }
+
+  // Largest tables first: each spill buys the most resident bytes back for
+  // one table's worth of page-directory overhead.
+  struct Candidate {
+    Table* table;
+    size_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  size_t resident = 0;
+  for (const auto& name : order_) {
+    Table* t = FindTable(name);
+    KWSDBG_CHECK(t != nullptr) << "catalog order lists unknown table '"
+                               << name << "'";
+    size_t bytes = t->EstimateBytes();
+    resident += bytes;
+    if (!t->spilled()) candidates.push_back({t, bytes});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.bytes > b.bytes;
+                   });
+
+  // Half the budget for resident tables, half for buffer-pool frames. A
+  // decoded frame costs roughly its encoded extent (one page) plus tuple
+  // headers, so frames are charged at 4 pages each — deliberately
+  // conservative, and clamped to the pool's 16-frame floor either way.
+  const size_t resident_target = budget_bytes / 2;
+  std::vector<Table*> to_spill;
+  for (const Candidate& c : candidates) {
+    if (resident <= resident_target) break;
+    to_spill.push_back(c.table);
+    resident -= c.bytes;
+  }
+  if (to_spill.empty()) return Status::OK();
+
+  if (disk_ == nullptr) {
+    KWSDBG_ASSIGN_OR_RETURN(disk_,
+                            DiskManager::CreateTemp(spill_dir, page_size));
+    size_t frames = options.pool_frames;
+    if (frames == 0) frames = (budget_bytes / 2) / (4 * page_size);
+    pool_ = std::make_unique<BufferPool>(disk_.get(), frames);
+  }
+  for (Table* t : to_spill) {
+    KWSDBG_RETURN_NOT_OK(t->Spill(pool_.get(), disk_.get()));
+    ++spilled_count_;
+  }
+  // Contents are unchanged, so epoch-keyed caches stay valid: no BumpEpoch.
+  return Status::OK();
+}
+
+Status Database::ApplyEnvMemoryBudget() {
+  const char* env = std::getenv("KWSDBG_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  size_t budget = ParseByteSize(env);
+  if (budget == 0) {
+    return Status::InvalidArgument(
+        std::string("unparseable KWSDBG_MEMORY_BUDGET: '") + env + "'");
+  }
+  return ApplyMemoryBudget(budget);
+}
+
+StorageStats Database::storage_stats() const {
+  StorageStats s;
+  if (pool_ != nullptr) {
+    const BufferPoolStats& ps = pool_->stats();
+    s.page_hits = ps.page_hits;
+    s.page_evictions = ps.page_evictions;
+    s.page_write_backs = ps.write_backs;
+  }
+  if (disk_ != nullptr) s.page_reads = disk_->stats().page_reads;
+  s.spilled_tables = spilled_count_;
+  for (const auto& [name, table] : tables_) {
+    if (table->spilled()) s.spilled_bytes += table->on_disk_bytes();
+  }
+  return s;
+}
+
+void Database::BumpEpoch() {
+  ++epoch_;
+  if (pool_ != nullptr) {
+    // A mutation happened (or the catalog changed): push dirty frames to
+    // disk, then drop everything so post-bump reads decode fresh pages. The
+    // flush must succeed — losing a dirty frame would silently revert a
+    // write that callers already observed.
+    Status st = pool_->FlushAll();
+    KWSDBG_CHECK(st.ok()) << "flush on epoch bump failed: " << st.ToString();
+    pool_->DropAll();
+  }
 }
 
 }  // namespace kwsdbg

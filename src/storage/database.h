@@ -8,9 +8,31 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 #include "storage/table.h"
 
 namespace kwsdbg {
+
+/// Options for ApplyMemoryBudget. Zeros mean "use the default / derive from
+/// the budget"; the env knobs KWSDBG_PAGE_SIZE and KWSDBG_SPILL_DIR override
+/// the corresponding fields when set.
+struct SpillOptions {
+  size_t page_size = 0;    ///< 0: KWSDBG_PAGE_SIZE or DiskManager default.
+  size_t pool_frames = 0;  ///< 0: derived from the budget (min 16).
+  std::string spill_dir;   ///< "": KWSDBG_SPILL_DIR or the system temp dir.
+};
+
+/// Snapshot of out-of-core activity, summed over the buffer pool and disk
+/// manager. All zero for a fully resident database.
+struct StorageStats {
+  size_t page_hits = 0;
+  size_t page_reads = 0;  ///< Pages read from disk (pool misses read extents).
+  size_t page_evictions = 0;
+  size_t page_write_backs = 0;
+  size_t spilled_tables = 0;
+  size_t spilled_bytes = 0;  ///< On-disk footprint of the spilled extents.
+};
 
 /// Owns tables and provides name lookup. Table names are case-sensitive.
 class Database {
@@ -42,18 +64,50 @@ class Database {
   /// Total tuples across all tables (the paper reports 801,189 for DBLife).
   size_t TotalTuples() const;
 
+  /// Estimated resident footprint of all tables (see Table::EstimateBytes).
+  size_t EstimateBytes() const;
+
+  /// Spills tables (largest first) to a private page file until the
+  /// estimated resident footprint fits in roughly half of `budget_bytes`,
+  /// reserving the other half for buffer-pool frames. Row contents are
+  /// unchanged, so the epoch is NOT bumped. Idempotent in effect but may
+  /// only be called once per database (spilled tables cannot re-spill).
+  Status ApplyMemoryBudget(size_t budget_bytes, SpillOptions options = {});
+
+  /// Reads KWSDBG_MEMORY_BUDGET (e.g. "64M", "1G", or plain bytes) and
+  /// applies it; no-op when the variable is unset or empty.
+  Status ApplyEnvMemoryBudget();
+
+  /// True iff any table is serving reads through the buffer pool. The
+  /// executor uses this to decide when `const Value&` references must be
+  /// copied before further page fetches.
+  bool AnySpilled() const { return spilled_count_ > 0; }
+
+  /// Zero-initialized stats when nothing is spilled.
+  StorageStats storage_stats() const;
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
   /// Monotonic data-version counter. Catalog changes bump it automatically;
   /// callers that mutate table contents in place (bulk loads, what-if edits
   /// via Table::SetValue/AppendRow) must call BumpEpoch() afterwards so
   /// epoch-keyed caches (e.g. the traversal verdict cache) stop serving
-  /// verdicts computed against the old contents.
+  /// verdicts computed against the old contents. For spilled tables the
+  /// bump also drops clean buffer-pool frames after flushing dirty ones, so
+  /// no layer can observe pre-write page images.
   uint64_t epoch() const { return epoch_; }
-  void BumpEpoch() { ++epoch_; }
+  void BumpEpoch();
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> order_;
   uint64_t epoch_ = 0;
+
+  // Out-of-core tier; null until ApplyMemoryBudget spills something.
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  size_t spilled_count_ = 0;
 };
 
 }  // namespace kwsdbg

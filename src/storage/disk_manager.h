@@ -1,0 +1,89 @@
+// Page-file disk manager for the out-of-core storage tier.
+//
+// A DiskManager owns one page file on disk: a flat sequence of fixed-size
+// pages addressed by page id. Pages are handed out either singly (recycled
+// through a free list) or as contiguous extents for payloads larger than one
+// page. The file is a private spill file — it is created by this process and
+// unlinked when the manager is destroyed; there is no cross-process format
+// stability to maintain.
+#ifndef KWSDBG_STORAGE_DISK_MANAGER_H_
+#define KWSDBG_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kwsdbg {
+
+/// Cumulative I/O counters for one page file. `reads`/`writes` count pages,
+/// not calls, so a 3-page extent read contributes 3.
+struct DiskStats {
+  size_t page_reads = 0;
+  size_t page_writes = 0;
+  size_t pages_allocated = 0;
+  size_t pages_freed = 0;
+};
+
+class DiskManager {
+ public:
+  /// Default page size; override per-database with KWSDBG_PAGE_SIZE.
+  static constexpr size_t kDefaultPageSize = 8192;
+  /// Smallest page size we accept: the page header plus room for at least a
+  /// handful of values. Guards against KWSDBG_PAGE_SIZE=1 footguns.
+  static constexpr size_t kMinPageSize = 512;
+
+  /// Creates (truncates) a page file at `path`. The file is removed again in
+  /// the destructor.
+  static StatusOr<std::unique_ptr<DiskManager>> Create(std::string path,
+                                                       size_t page_size);
+
+  /// Creates a page file with a unique name under `dir` (or the system temp
+  /// directory when `dir` is empty).
+  static StatusOr<std::unique_ptr<DiskManager>> CreateTemp(
+      const std::string& dir, size_t page_size);
+
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  const std::string& path() const { return path_; }
+  uint64_t num_pages() const { return num_pages_; }
+  const DiskStats& stats() const { return stats_; }
+
+  /// Allocates `count` contiguous pages and returns the first page id.
+  /// Single pages are recycled through the free list; larger extents are
+  /// always appended at the end of the file (the free list holds single
+  /// pages only, so contiguity is guaranteed).
+  StatusOr<uint64_t> AllocatePages(size_t count);
+
+  /// Returns pages [first, first + count) to the free list. The file is not
+  /// shrunk; freed pages are reused by later single-page allocations.
+  void FreePages(uint64_t first, size_t count);
+
+  /// Reads `count` pages starting at `first` into `buf` (must hold
+  /// count * page_size() bytes).
+  Status ReadPages(uint64_t first, size_t count, char* buf);
+
+  /// Writes `count` pages starting at `first` from `buf`.
+  Status WritePages(uint64_t first, size_t count, const char* buf);
+
+ private:
+  DiskManager(std::string path, std::FILE* file, size_t page_size)
+      : path_(std::move(path)), file_(file), page_size_(page_size) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t page_size_;
+  uint64_t num_pages_ = 0;
+  std::vector<uint64_t> free_pages_;
+  DiskStats stats_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_DISK_MANAGER_H_

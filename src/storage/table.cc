@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 namespace kwsdbg {
 
 namespace {
@@ -18,6 +20,10 @@ bool TypeMatches(const Value& v, DataType t) {
 }  // namespace
 
 Status Table::AppendRow(Tuple row) {
+  if (spilled_) {
+    return Status::FailedPrecondition("append to spilled table '" + name_ +
+                                      "' (live growth is not supported)");
+  }
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -36,15 +42,15 @@ Status Table::AppendRow(Tuple row) {
 
 StatusOr<Value> Table::ValueByName(size_t row, const std::string& col) const {
   KWSDBG_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(col));
-  if (row >= rows_.size()) {
+  if (row >= num_rows()) {
     return Status::OutOfRange("row " + std::to_string(row) +
                               " out of range for table " + name_);
   }
-  return rows_[row][idx];
+  return at(row, idx);
 }
 
 Status Table::SetValue(size_t row, size_t col, Value value) {
-  if (row >= rows_.size() || col >= schema_.num_columns()) {
+  if (row >= num_rows() || col >= schema_.num_columns()) {
     return Status::OutOfRange("cell (" + std::to_string(row) + ", " +
                               std::to_string(col) + ") out of range");
   }
@@ -52,19 +58,146 @@ Status Table::SetValue(size_t row, size_t col, Value value) {
     return Status::InvalidArgument("type mismatch in column '" +
                                    schema_.column(col).name + "'");
   }
-  rows_[row][col] = std::move(value);
+  if (!spilled_) {
+    rows_[row][col] = std::move(value);
+    return Status::OK();
+  }
+  const PageExtent& ext = ExtentForRow(row);
+  KWSDBG_ASSIGN_OR_RETURN(
+      std::vector<Tuple> * frame_rows,
+      pool_->FetchMutable(ext.first_page, ext.num_pages, this));
+  (*frame_rows)[row - ext.first_row][col] = std::move(value);
   return Status::OK();
 }
 
 size_t Table::EstimateBytes() const {
-  size_t bytes = 0;
+  // Count what the allocator actually holds: the row vector's full capacity
+  // (not just its size), each tuple's capacity in Values, and only *heap*
+  // string payloads — strings short enough for the small-string optimization
+  // live inside sizeof(Value) and must not be double-counted.
+  static const size_t kSsoCapacity = std::string().capacity();
+  size_t bytes = sizeof(Table) + rows_.capacity() * sizeof(Tuple);
   for (const auto& r : rows_) {
-    bytes += sizeof(Tuple) + r.capacity() * sizeof(Value);
+    bytes += r.capacity() * sizeof(Value);
     for (const auto& v : r) {
-      if (v.is_string()) bytes += v.AsString().capacity();
+      if (v.is_string() && v.AsString().capacity() > kSsoCapacity) {
+        bytes += v.AsString().capacity() + 1;  // +1: the NUL terminator
+      }
     }
   }
+  if (spilled_) {
+    bytes += extents_.capacity() * sizeof(PageExtent) +
+             page_to_extent_.size() * (sizeof(uint64_t) + sizeof(size_t));
+  }
   return bytes;
+}
+
+Status Table::Spill(BufferPool* pool, DiskManager* disk) {
+  if (spilled_) {
+    return Status::FailedPrecondition("table '" + name_ +
+                                      "' is already spilled");
+  }
+  const size_t page_size = disk->page_size();
+  std::string buf;
+  std::vector<Tuple> chunk;
+  size_t first_row = 0;
+  size_t chunk_bytes = sizeof(uint32_t);  // row-count header
+
+  auto flush_chunk = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    size_t num_pages = (chunk_bytes + page_size - 1) / page_size;
+    KWSDBG_ASSIGN_OR_RETURN(uint64_t first_page,
+                            disk->AllocatePages(num_pages));
+    buf.clear();
+    EncodeRows(chunk, &buf);
+    buf.resize(num_pages * page_size, '\0');
+    KWSDBG_RETURN_NOT_OK(disk->WritePages(first_page, num_pages, buf.data()));
+    PageExtent ext;
+    ext.first_page = first_page;
+    ext.num_pages = static_cast<uint32_t>(num_pages);
+    ext.first_row = static_cast<uint32_t>(first_row);
+    ext.num_rows = static_cast<uint32_t>(chunk.size());
+    page_to_extent_[first_page] = extents_.size();
+    extents_.push_back(ext);
+    on_disk_bytes_ += num_pages * page_size;
+    first_row += chunk.size();
+    chunk.clear();
+    chunk_bytes = sizeof(uint32_t);
+    return Status::OK();
+  };
+
+  for (Tuple& r : rows_) {
+    size_t row_bytes = EncodedRowSize(r);
+    if (!chunk.empty() && chunk_bytes + row_bytes > page_size) {
+      KWSDBG_RETURN_NOT_OK(flush_chunk());
+    }
+    chunk_bytes += row_bytes;
+    chunk.push_back(std::move(r));
+  }
+  KWSDBG_RETURN_NOT_OK(flush_chunk());
+
+  spilled_rows_ = rows_.size();
+  rows_.clear();
+  rows_.shrink_to_fit();
+  pool_ = pool;
+  disk_ = disk;
+  spilled_ = true;
+  return Status::OK();
+}
+
+const PageExtent& Table::ExtentForRow(size_t row) const {
+  // Binary search for the extent whose [first_row, first_row + num_rows)
+  // covers `row`.
+  auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), row,
+      [](size_t r, const PageExtent& e) { return r < e.first_row; });
+  KWSDBG_CHECK(it != extents_.begin())
+      << "row " << row << " below first extent of table '" << name_ << "'";
+  --it;
+  KWSDBG_CHECK(row < static_cast<size_t>(it->first_row) + it->num_rows)
+      << "row " << row << " past end of spilled table '" << name_ << "'";
+  return *it;
+}
+
+const Tuple& Table::SpilledRow(size_t i) const {
+  const PageExtent& ext = ExtentForRow(i);
+  auto rows_or = pool_->Fetch(ext.first_page, ext.num_pages,
+                              const_cast<Table*>(this));
+  // at()/row() have no error channel; a failed or corrupt page read is a
+  // broken invariant of our own spill file, not a recoverable condition.
+  KWSDBG_CHECK(rows_or.ok()) << "page read failed for table '" << name_
+                             << "': " << rows_or.status().ToString();
+  return (**rows_or)[i - ext.first_row];
+}
+
+Status Table::WriteBack(uint64_t first_page, const std::vector<Tuple>& rows) {
+  auto it = page_to_extent_.find(first_page);
+  KWSDBG_CHECK(it != page_to_extent_.end())
+      << "write-back for unknown extent page " << first_page << " in table '"
+      << name_ << "'";
+  PageExtent& ext = extents_[it->second];
+  const size_t page_size = disk_->page_size();
+  std::string buf;
+  EncodeRows(rows, &buf);
+  size_t need_pages = (buf.size() + page_size - 1) / page_size;
+  if (need_pages <= ext.num_pages) {
+    buf.resize(ext.num_pages * page_size, '\0');
+    return disk_->WritePages(ext.first_page, ext.num_pages, buf.data());
+  }
+  // The mutated rows no longer fit (e.g. a longer string): move the extent
+  // to a fresh run of pages and recycle the old ones.
+  KWSDBG_ASSIGN_OR_RETURN(uint64_t new_first,
+                          disk_->AllocatePages(need_pages));
+  buf.resize(need_pages * page_size, '\0');
+  KWSDBG_RETURN_NOT_OK(disk_->WritePages(new_first, need_pages, buf.data()));
+  disk_->FreePages(ext.first_page, ext.num_pages);
+  size_t idx = it->second;
+  page_to_extent_.erase(it);
+  on_disk_bytes_ += (need_pages - ext.num_pages) * page_size;
+  ext.first_page = new_first;
+  ext.num_pages = static_cast<uint32_t>(need_pages);
+  page_to_extent_[new_first] = idx;
+  return Status::OK();
 }
 
 }  // namespace kwsdbg

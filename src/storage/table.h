@@ -1,54 +1,120 @@
-// In-memory row-store table.
+// Row-store table, resident or spilled to the out-of-core tier.
 #ifndef KWSDBG_STORAGE_TABLE_H_
 #define KWSDBG_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
+#include "storage/buffer_pool.h"
 #include "storage/schema.h"
 
 namespace kwsdbg {
 
+/// One contiguous run of pages holding the encoded rows
+/// [first_row, first_row + num_rows) of a spilled table.
+struct PageExtent {
+  uint64_t first_page = 0;
+  uint32_t num_pages = 0;
+  uint32_t first_row = 0;
+  uint32_t num_rows = 0;
+};
+
 /// A named relation: a schema plus row-major tuple storage. Rows are
 /// append-only (the workloads here never update in place); row ids are the
 /// positions in insertion order.
-class Table {
+///
+/// A table starts resident (all rows in `rows_`). `Spill()` moves the rows
+/// into page extents on a DiskManager, after which `row()`/`at()` go through
+/// a BufferPool and return references into the extent's resident frame —
+/// valid under the pool's LRU reference-stability contract (see
+/// buffer_pool.h). Spilled tables reject appends (live growth is a separate
+/// roadmap item) and `rows()`; a failed page read aborts via KWSDBG_CHECK
+/// because `at()` has no error channel.
+class Table : public PageWriter {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return spilled_ ? spilled_rows_ : rows_.size(); }
 
   /// Appends a row. Errors if arity or any value type mismatches the schema
   /// (NULL is allowed in any column).
   Status AppendRow(Tuple row);
 
   /// Appends without validation — for bulk loads from trusted generators.
-  void AppendRowUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+  void AppendRowUnchecked(Tuple row) {
+    KWSDBG_CHECK(!spilled_) << "append to spilled table '" << name_ << "'";
+    rows_.push_back(std::move(row));
+  }
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const {
+    if (!spilled_) return rows_[i];
+    return SpilledRow(i);
+  }
+
+  /// Resident-only bulk accessor; spilled tables must be read row-by-row.
+  const std::vector<Tuple>& rows() const {
+    KWSDBG_CHECK(!spilled_) << "rows() on spilled table '" << name_ << "'";
+    return rows_;
+  }
 
   /// Value at (row, column); precondition: in range.
-  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+  const Value& at(size_t row, size_t col) const {
+    if (!spilled_) return rows_[row][col];
+    return SpilledRow(row)[col];
+  }
 
   /// Convenience: value by column name. Errors if the column is absent.
   StatusOr<Value> ValueByName(size_t row, const std::string& col) const;
 
   /// Overwrites one cell (type-checked like AppendRow). Any indexes built
-  /// over this table must be rebuilt by the caller afterwards.
+  /// over this table must be rebuilt by the caller afterwards. Works in both
+  /// modes; on a spilled table the dirty frame is written back on eviction.
   Status SetValue(size_t row, size_t col, Value value);
 
-  /// Estimated in-memory footprint in bytes (for reporting).
+  /// Estimated in-memory footprint in bytes (for reporting and for sizing
+  /// memory budgets). Counts container slack (`rows_` capacity, per-row
+  /// capacity) and heap string payloads; inline (SSO) strings add nothing.
   size_t EstimateBytes() const;
 
+  /// Moves all rows into page extents on `disk`, serving reads through
+  /// `pool` from now on. No-op error if already spilled.
+  Status Spill(BufferPool* pool, DiskManager* disk);
+
+  bool spilled() const { return spilled_; }
+  size_t on_disk_bytes() const { return on_disk_bytes_; }
+  const std::vector<PageExtent>& extents() const { return extents_; }
+
+  /// PageWriter: re-encodes a mutated extent. Rewrites in place when the
+  /// rows still fit; otherwise allocates a fresh (larger) extent and frees
+  /// the old pages.
+  Status WriteBack(uint64_t first_page,
+                   const std::vector<Tuple>& rows) override;
+
  private:
+  const Tuple& SpilledRow(size_t i) const;
+  const PageExtent& ExtentForRow(size_t row) const;
+
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
+
+  // Spill state. `extents_` is sorted by first_row for binary search;
+  // `page_to_extent_` maps an extent's first page back to its index for
+  // write-back.
+  bool spilled_ = false;
+  BufferPool* pool_ = nullptr;
+  DiskManager* disk_ = nullptr;
+  size_t spilled_rows_ = 0;
+  size_t on_disk_bytes_ = 0;
+  std::vector<PageExtent> extents_;
+  std::unordered_map<uint64_t, size_t> page_to_extent_;
 };
 
 }  // namespace kwsdbg

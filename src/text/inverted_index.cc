@@ -1,8 +1,8 @@
 #include "text/inverted_index.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "common/logging.h"
 #include "text/tokenizer.h"
 
 namespace kwsdbg {
@@ -14,6 +14,8 @@ InvertedIndex InvertedIndex::Build(const Database& db) {
     index.table_names_.push_back(name);
     index.table_ids_.emplace(name, tid);
     const Table* table = db.FindTable(name);
+    KWSDBG_CHECK(table != nullptr)
+        << "database catalog lists unknown table '" << name << "'";
     const std::vector<size_t> text_cols = table->schema().TextColumnIndices();
     if (text_cols.empty()) continue;
     for (size_t row = 0; row < table->num_rows(); ++row) {
@@ -21,47 +23,170 @@ InvertedIndex InvertedIndex::Build(const Database& db) {
         const Value& v = table->at(row, col);
         if (v.is_null()) continue;
         for (const std::string& term : TokenizeUnique(v.AsString())) {
-          Entry& e = index.entries_[term];
-          e.postings.push_back(Posting{tid, static_cast<uint32_t>(row),
-                                       static_cast<uint32_t>(col)});
-          if (tid < 64) e.table_mask |= (1ull << tid);
+          index.entries_[term].postings.push_back(
+              Posting{tid, static_cast<uint32_t>(row),
+                      static_cast<uint32_t>(col)});
         }
       }
     }
   }
+  index.Finalize();
   return index;
+}
+
+void InvertedIndex::Finalize() {
+  dict_terms_.reserve(entries_.size());
+  for (const auto& [term, entry] : entries_) dict_terms_.push_back(term);
+  std::sort(dict_terms_.begin(), dict_terms_.end());
+
+  dict_blob_.clear();
+  dict_starts_.clear();
+  dict_starts_.reserve(dict_terms_.size());
+  dict_masks_.assign(dict_terms_.size(), 0);
+  profile_.assign(dict_terms_.size(), {});
+  dict_postings_.assign(dict_terms_.size(), nullptr);
+  num_postings_ = 0;
+
+  for (uint32_t id = 0; id < dict_terms_.size(); ++id) {
+    dict_starts_.push_back(dict_blob_.size());
+    dict_blob_ += dict_terms_[id];
+    dict_blob_ += '\n';
+
+    const Entry& e = entries_.at(dict_terms_[id]);
+    dict_postings_[id] = &e.postings;
+    num_postings_ += e.postings.size();
+
+    // Build attaches postings in (table, row, column) ascending order, so
+    // one pass with consecutive dedupe yields exact distinct-row counts.
+    auto& prof = profile_[id];
+    uint32_t last_tid = kNoTable;
+    uint32_t last_row = 0;
+    for (const Posting& p : e.postings) {
+      if (p.table_id < 64) dict_masks_[id] |= (1ull << p.table_id);
+      if (p.table_id == last_tid && p.row == last_row) continue;
+      if (p.table_id != last_tid) prof.push_back({p.table_id, 0});
+      ++prof.back().second;
+      last_tid = p.table_id;
+      last_row = p.row;
+    }
+  }
+}
+
+uint32_t InvertedIndex::DictIdOf(const std::string& term) const {
+  auto it = std::lower_bound(dict_terms_.begin(), dict_terms_.end(), term);
+  if (it == dict_terms_.end() || *it != term) {
+    return static_cast<uint32_t>(dict_terms_.size());
+  }
+  return static_cast<uint32_t>(it - dict_terms_.begin());
 }
 
 std::vector<std::string> InvertedIndex::TablesContaining(
     const std::string& term) const {
   std::vector<std::string> out;
-  auto it = entries_.find(term);
-  if (it == entries_.end()) return out;
-  std::unordered_set<uint32_t> seen;
-  for (const Posting& p : it->second.postings) {
-    if (seen.insert(p.table_id).second) {
-      out.push_back(table_names_[p.table_id]);
-    }
+  uint32_t id = DictIdOf(term);
+  if (id >= dict_terms_.size()) return out;
+  for (const auto& [tid, rows] : profile_[id]) {
+    out.push_back(table_names_[tid]);
   }
   return out;
 }
 
 const std::vector<Posting>& InvertedIndex::PostingsFor(
     const std::string& term) const {
-  auto it = entries_.find(term);
-  return it == entries_.end() ? empty_ : it->second.postings;
+  if (store_ == nullptr) {
+    auto it = entries_.find(term);
+    return it == entries_.end() ? empty_ : it->second.postings;
+  }
+  uint32_t id = DictIdOf(term);
+  return id >= dict_terms_.size() ? empty_ : store_->Fetch(id);
+}
+
+std::vector<uint32_t> InvertedIndex::TermIdsContaining(
+    const std::string& infix) const {
+  std::vector<uint32_t> out;
+  if (infix.empty()) return out;
+  // Terms never contain '\n' (they are lower-cased alphanumeric runs), so a
+  // needle with one can't match — and without one, a blob match can't span
+  // the separator between two terms.
+  if (infix.find('\n') != std::string::npos) return out;
+  size_t pos = dict_blob_.find(infix);
+  while (pos != std::string::npos) {
+    // The matching term is the one whose start is the last <= pos.
+    auto it = std::upper_bound(dict_starts_.begin(), dict_starts_.end(), pos);
+    uint32_t id = static_cast<uint32_t>(it - dict_starts_.begin() - 1);
+    out.push_back(id);
+    // Skip to the next term: further matches inside this term are dupes.
+    size_t next_start = id + 1 < dict_starts_.size()
+                            ? dict_starts_[id + 1]
+                            : std::string::npos;
+    if (next_start == std::string::npos) break;
+    pos = dict_blob_.find(infix, next_start);
+  }
+  return out;
 }
 
 std::vector<const std::vector<Posting>*> InvertedIndex::PostingListsContaining(
     const std::string& infix) const {
+  KWSDBG_CHECK(store_ == nullptr)
+      << "PostingListsContaining on a spilled index: fetched lists are not "
+         "simultaneously resident; use TermIdsContaining + PostingsForTermId";
   std::vector<const std::vector<Posting>*> out;
-  if (infix.empty()) return out;
-  for (const auto& [term, entry] : entries_) {
-    if (term.find(infix) != std::string::npos) {
-      out.push_back(&entry.postings);
-    }
+  for (uint32_t id : TermIdsContaining(infix)) {
+    out.push_back(dict_postings_[id]);
   }
   return out;
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsForTermId(
+    uint32_t term_id) const {
+  KWSDBG_CHECK(term_id < dict_terms_.size())
+      << "term id " << term_id << " out of range";
+  if (store_ != nullptr) return store_->Fetch(term_id);
+  return *dict_postings_[term_id];
+}
+
+const std::string& InvertedIndex::TermOfId(uint32_t term_id) const {
+  KWSDBG_CHECK(term_id < dict_terms_.size())
+      << "term id " << term_id << " out of range";
+  return dict_terms_[term_id];
+}
+
+size_t InvertedIndex::ProfileRowCount(uint32_t term_id,
+                                      uint32_t table_id) const {
+  if (term_id >= profile_.size()) return 0;
+  for (const auto& [tid, rows] : profile_[term_id]) {
+    if (tid == table_id) return rows;
+  }
+  return 0;
+}
+
+size_t InvertedIndex::EstimatedInfixRows(const std::string& infix,
+                                         const std::string& table) const {
+  uint32_t table_id = TableIdOf(table);
+  if (table_id == kNoTable) return 0;
+  size_t rows = 0;
+  for (uint32_t id : TermIdsContaining(infix)) {
+    rows += ProfileRowCount(id, table_id);
+  }
+  return rows;
+}
+
+Status InvertedIndex::SpillToDisk(const std::string& dir,
+                                  size_t cache_lists) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition("inverted index is already spilled");
+  }
+  KWSDBG_ASSIGN_OR_RETURN(store_,
+                          PostingStore::Create(dir, dict_postings_,
+                                               cache_lists));
+  // Dictionary, masks, and profile stay; the payload goes.
+  entries_.clear();
+  dict_postings_.clear();
+  return Status::OK();
+}
+
+PostingIoStats InvertedIndex::io_stats() const {
+  return store_ == nullptr ? PostingIoStats{} : store_->stats();
 }
 
 uint32_t InvertedIndex::TableIdOf(const std::string& table) const {
@@ -70,49 +195,27 @@ uint32_t InvertedIndex::TableIdOf(const std::string& table) const {
 }
 
 bool InvertedIndex::Contains(const std::string& term) const {
-  return entries_.count(term) > 0;
+  return DictIdOf(term) < dict_terms_.size();
 }
 
 bool InvertedIndex::TableContains(const std::string& term,
                                   const std::string& table) const {
-  auto it = entries_.find(term);
-  if (it == entries_.end()) return false;
+  uint32_t id = DictIdOf(term);
+  if (id >= dict_terms_.size()) return false;
   auto tid_it = table_ids_.find(table);
   if (tid_it == table_ids_.end()) return false;
   const uint32_t tid = tid_it->second;
-  if (tid < 64) return (it->second.table_mask >> tid) & 1;
-  for (const Posting& p : it->second.postings) {
-    if (p.table_id == tid) return true;
-  }
-  return false;
+  if (tid < 64) return (dict_masks_[id] >> tid) & 1;
+  return ProfileRowCount(id, tid) > 0;
 }
 
 size_t InvertedIndex::RowFrequency(const std::string& term,
                                    const std::string& table) const {
-  auto it = entries_.find(term);
-  if (it == entries_.end()) return 0;
-  auto tid_it = table_ids_.find(table);
-  if (tid_it == table_ids_.end()) return 0;
-  const uint32_t tid = tid_it->second;
-  std::unordered_set<uint32_t> rows;
-  for (const Posting& p : it->second.postings) {
-    if (p.table_id == tid) rows.insert(p.row);
-  }
-  return rows.size();
-}
-
-std::vector<std::string> InvertedIndex::Terms() const {
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [term, entry] : entries_) out.push_back(term);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-size_t InvertedIndex::num_postings() const {
-  size_t n = 0;
-  for (const auto& [term, entry] : entries_) n += entry.postings.size();
-  return n;
+  uint32_t id = DictIdOf(term);
+  if (id >= dict_terms_.size()) return 0;
+  uint32_t tid = TableIdOf(table);
+  if (tid == kNoTable) return 0;
+  return ProfileRowCount(id, tid);
 }
 
 }  // namespace kwsdbg

@@ -1,30 +1,38 @@
 // Inverted index over the text attributes of a database, playing the role the
 // paper assigns to Lucene: map a keyword to the relations (and tuples) that
 // contain it (Sec. 2.3, Phase 1).
+//
+// After Build the index finalizes a sorted term dictionary (a contiguous
+// '\n'-separated blob scanned once per infix lookup) and a per-term
+// selectivity profile: for every (term, table), the exact number of distinct
+// rows containing the term. Dictionary and profile always stay RAM-resident;
+// `SpillToDisk` additionally moves the posting payload to a PostingStore so
+// only an LRU cache of decoded lists stays in memory — the ursadb
+// NgramProfile split. The executor uses the profile to order probes
+// most-selective-first before touching any posting I/O.
 #ifndef KWSDBG_TEXT_INVERTED_INDEX_H_
 #define KWSDBG_TEXT_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/database.h"
+#include "text/posting.h"
+#include "text/posting_store.h"
 
 namespace kwsdbg {
 
-/// One occurrence of a term: which table, row, and text column.
-struct Posting {
-  uint32_t table_id;  ///< Index into InvertedIndex::table_names().
-  uint32_t row;
-  uint32_t column;
-
-  bool operator==(const Posting&) const = default;
-};
-
 /// Immutable term -> postings map built from every kString column of every
 /// table. Rebuild after data changes (the paper treats the index as a
-/// periodically rebuilt artifact too).
+/// periodically rebuilt artifact too); rebuilding also refreshes the
+/// selectivity profile, which is how epoch bumps invalidate it.
+///
+/// A spilled index is NOT thread-safe (posting fetches mutate an LRU cache
+/// through const methods); it is a single-session artifact. Concurrent
+/// services keep their index resident.
 class InvertedIndex {
  public:
   /// Sentinel returned by TableIdOf for tables absent from the index.
@@ -38,7 +46,8 @@ class InvertedIndex {
   /// Matching is exact on the tokenized term (lower-cased).
   std::vector<std::string> TablesContaining(const std::string& term) const;
 
-  /// All occurrences of `term`; empty if absent.
+  /// All occurrences of `term`; empty if absent. On a spilled index the
+  /// reference is valid only until the next posting fetch.
   const std::vector<Posting>& PostingsFor(const std::string& term) const;
 
   /// Posting lists of every indexed term that contains `infix` as a
@@ -46,9 +55,44 @@ class InvertedIndex {
   /// queries. Because terms are maximal alphanumeric runs, a row of a table
   /// matches LIKE '%infix%' (case-insensitively) iff one of these lists has
   /// a posting for it, provided `infix` itself tokenizes to a single term.
-  /// The returned pointers stay valid for the life of the index.
+  /// The returned pointers stay valid for the life of the index. Resident
+  /// indexes only — spilled callers iterate TermIdsContaining +
+  /// PostingsForTermId so lists can be consumed one at a time.
   std::vector<const std::vector<Posting>*> PostingListsContaining(
       const std::string& infix) const;
+
+  /// Ids (positions in the sorted dictionary) of every term containing
+  /// `infix`, via one substring scan over the dictionary blob. Works in both
+  /// modes and costs no posting I/O.
+  std::vector<uint32_t> TermIdsContaining(const std::string& infix) const;
+
+  /// The posting list of a dictionary term id. Spilled: fetched through the
+  /// LRU cache, reference valid only until the next fetch.
+  const std::vector<Posting>& PostingsForTermId(uint32_t term_id) const;
+
+  /// The dictionary term with this id.
+  const std::string& TermOfId(uint32_t term_id) const;
+
+  /// Profile lookup: exact distinct-row count of term `term_id` in table
+  /// `table_id` (0 if absent). No posting I/O.
+  size_t ProfileRowCount(uint32_t term_id, uint32_t table_id) const;
+
+  /// Upper bound on the rows of `table` matching LIKE '%infix%': the sum of
+  /// profile counts over all terms containing `infix` (a row holding two
+  /// such terms is counted twice). Exact when zero — no term, no match —
+  /// which is what makes profile-driven fast-rejects safe. No posting I/O.
+  size_t EstimatedInfixRows(const std::string& infix,
+                            const std::string& table) const;
+
+  /// Moves the posting payload to an on-disk PostingStore under `dir` (or
+  /// the system temp dir when empty), keeping dictionary + profile
+  /// resident. `cache_lists` bounds the decoded-list LRU cache.
+  Status SpillToDisk(const std::string& dir = "", size_t cache_lists = 64);
+
+  bool spilled() const { return store_ != nullptr; }
+
+  /// Zero-initialized for a resident index.
+  PostingIoStats io_stats() const;
 
   /// Id of `table` inside Posting::table_id space, or kNoTable.
   uint32_t TableIdOf(const std::string& table) const;
@@ -61,30 +105,53 @@ class InvertedIndex {
                      const std::string& table) const;
 
   /// Document frequency of `term` within `table` (number of rows of `table`
-  /// with at least one occurrence). Used for selectivity reporting.
+  /// with at least one occurrence). Used for selectivity reporting; served
+  /// from the profile in O(tables-with-term).
   size_t RowFrequency(const std::string& term, const std::string& table) const;
 
-  size_t num_terms() const { return entries_.size(); }
+  size_t num_terms() const { return dict_terms_.size(); }
   const std::vector<std::string>& table_names() const { return table_names_; }
 
   /// All indexed terms, sorted (deterministic iteration for workload
   /// generators and diagnostics).
-  std::vector<std::string> Terms() const;
+  std::vector<std::string> Terms() const { return dict_terms_; }
 
   /// Total number of postings (index size indicator).
-  size_t num_postings() const;
+  size_t num_postings() const { return num_postings_; }
 
  private:
   struct Entry {
     std::vector<Posting> postings;
-    uint64_t table_mask = 0;  ///< Bit i set iff table i has the term
-                              ///< (tables beyond 64 fall back to postings).
   };
 
+  /// Builds the sorted dictionary, blob, masks, and selectivity profile
+  /// from entries_. Called at the end of Build.
+  void Finalize();
+
+  /// Dictionary id of `term`, or kNoTable-style npos (= num_terms()) if
+  /// absent. Binary search.
+  uint32_t DictIdOf(const std::string& term) const;
+
+  // Resident posting payload; cleared by SpillToDisk.
   std::unordered_map<std::string, Entry> entries_;
+
+  // Dictionary + profile: always resident, indexed by sorted term id.
+  std::vector<std::string> dict_terms_;
+  std::string dict_blob_;            ///< '\n'-joined sorted terms.
+  std::vector<size_t> dict_starts_;  ///< Offset of each term in the blob.
+  std::vector<uint64_t> dict_masks_;  ///< Bit i set iff table i has the term
+                                      ///< (tables beyond 64 use the profile).
+  /// Per term: (table_id, distinct rows containing the term), table ids
+  /// ascending. Exact counts, not estimates.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> profile_;
+  std::vector<const std::vector<Posting>*> dict_postings_;  ///< Resident only.
+  size_t num_postings_ = 0;
+
   std::vector<std::string> table_names_;
   std::unordered_map<std::string, uint32_t> table_ids_;
   std::vector<Posting> empty_;
+
+  std::unique_ptr<PostingStore> store_;  ///< Non-null once spilled.
 };
 
 }  // namespace kwsdbg

@@ -1,0 +1,20 @@
+// The posting record shared by the in-memory index and the on-disk store.
+#ifndef KWSDBG_TEXT_POSTING_H_
+#define KWSDBG_TEXT_POSTING_H_
+
+#include <cstdint>
+
+namespace kwsdbg {
+
+/// One occurrence of a term: which table, row, and text column.
+struct Posting {
+  uint32_t table_id;  ///< Index into InvertedIndex::table_names().
+  uint32_t row;
+  uint32_t column;
+
+  bool operator==(const Posting&) const = default;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TEXT_POSTING_H_

@@ -1,0 +1,90 @@
+#include "text/posting_store.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace kwsdbg {
+
+StatusOr<std::unique_ptr<PostingStore>> PostingStore::Create(
+    const std::string& dir,
+    const std::vector<const std::vector<Posting>*>& lists,
+    size_t cache_lists) {
+  std::error_code ec;
+  std::filesystem::path base =
+      dir.empty() ? std::filesystem::temp_directory_path(ec)
+                  : std::filesystem::path(dir);
+  if (ec) base = ".";
+  static unsigned counter = 0;
+  std::string name = "kwsdbg_postings_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++) + ".bin";
+  std::string path = (base / name).string();
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return Status::Internal("cannot create posting file at " + path);
+  }
+  auto store = std::unique_ptr<PostingStore>(
+      new PostingStore(std::move(path), file, cache_lists < 1 ? 1
+                                                              : cache_lists));
+  store->offsets_.reserve(lists.size());
+  store->counts_.reserve(lists.size());
+  uint64_t offset = 0;
+  for (const std::vector<Posting>* list : lists) {
+    store->offsets_.push_back(offset);
+    store->counts_.push_back(static_cast<uint32_t>(list->size()));
+    if (!list->empty()) {
+      size_t bytes = list->size() * sizeof(Posting);
+      if (std::fwrite(list->data(), 1, bytes, file) != bytes) {
+        return Status::Internal("short write to posting file " +
+                                store->path_);
+      }
+      offset += bytes;
+    }
+  }
+  if (std::fflush(file) != 0) {
+    return Status::Internal("flush failed for posting file " + store->path_);
+  }
+  return store;
+}
+
+PostingStore::~PostingStore() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort: it is our temp file
+}
+
+const std::vector<Posting>& PostingStore::Fetch(uint32_t term_id) const {
+  KWSDBG_CHECK(term_id < counts_.size())
+      << "posting fetch for unknown term id " << term_id;
+  auto it = cache_.find(term_id);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    ++stats_.posting_cache_hits;
+    return it->second.postings;
+  }
+  while (cache_.size() >= cache_capacity_) {
+    cache_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  CacheEntry entry;
+  entry.postings.resize(counts_[term_id]);
+  if (!entry.postings.empty()) {
+    // A read failure here is corruption of our own spill file, not a
+    // recoverable condition — the accessor has no error channel by design.
+    KWSDBG_CHECK(std::fseek(file_, static_cast<long>(offsets_[term_id]),
+                            SEEK_SET) == 0)
+        << "seek failed in posting file " << path_;
+    size_t bytes = entry.postings.size() * sizeof(Posting);
+    KWSDBG_CHECK(std::fread(entry.postings.data(), 1, bytes, file_) == bytes)
+        << "short read in posting file " << path_;
+  }
+  ++stats_.posting_reads;
+  lru_.push_back(term_id);
+  auto [pos, inserted] = cache_.emplace(term_id, std::move(entry));
+  pos->second.lru_pos = std::prev(lru_.end());
+  return pos->second.postings;
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,75 @@
+// On-disk posting lists for a spilled InvertedIndex.
+//
+// The store keeps one flat file of raw `Posting` records, concatenated in
+// sorted-term order, plus an in-memory directory of (offset, count) per term
+// id — the ursadb split: dictionary and per-term profile stay RAM-resident,
+// the heavy posting payload goes to disk. Reads go through a small LRU cache
+// of decoded lists.
+//
+// Not thread-safe: Fetch mutates the cache. A spilled index is a
+// single-session artifact; concurrent services keep the index resident.
+#ifndef KWSDBG_TEXT_POSTING_STORE_H_
+#define KWSDBG_TEXT_POSTING_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "text/posting.h"
+
+namespace kwsdbg {
+
+struct PostingIoStats {
+  size_t posting_reads = 0;       ///< Lists fetched from disk.
+  size_t posting_cache_hits = 0;  ///< Fetches served from the LRU cache.
+};
+
+class PostingStore {
+ public:
+  /// Writes `lists` (indexed by term id) to a private file under `dir` (or
+  /// the system temp dir when empty). The file is unlinked in the
+  /// destructor. `cache_lists` bounds the decoded-list LRU cache.
+  static StatusOr<std::unique_ptr<PostingStore>> Create(
+      const std::string& dir,
+      const std::vector<const std::vector<Posting>*>& lists,
+      size_t cache_lists);
+
+  ~PostingStore();
+  PostingStore(const PostingStore&) = delete;
+  PostingStore& operator=(const PostingStore&) = delete;
+
+  /// The posting list of `term_id`. The reference is guaranteed valid only
+  /// until the next Fetch call (the LRU may evict it); callers that union
+  /// several lists must consume one list before fetching the next.
+  const std::vector<Posting>& Fetch(uint32_t term_id) const;
+
+  size_t num_lists() const { return counts_.size(); }
+  const PostingIoStats& stats() const { return stats_; }
+
+ private:
+  PostingStore(std::string path, std::FILE* file, size_t cache_lists)
+      : path_(std::move(path)), file_(file), cache_capacity_(cache_lists) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<uint64_t> offsets_;  ///< Byte offset of each term's list.
+  std::vector<uint32_t> counts_;   ///< Postings per term.
+  size_t cache_capacity_;
+
+  struct CacheEntry {
+    std::vector<Posting> postings;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+  mutable std::unordered_map<uint32_t, CacheEntry> cache_;
+  mutable std::list<uint32_t> lru_;  // front = least recently used
+  mutable PostingIoStats stats_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_TEXT_POSTING_STORE_H_

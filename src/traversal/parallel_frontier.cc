@@ -135,6 +135,10 @@ void FrontierEvaluator::FillStats(TraversalStats* stats) const {
     stats->index_fallbacks += now.index_fallbacks - before.index_fallbacks;
     stats->semijoin_fallbacks +=
         now.semijoin_fallbacks - before.semijoin_fallbacks;
+    stats->page_hits += now.page_hits - before.page_hits;
+    stats->page_reads += now.page_reads - before.page_reads;
+    stats->page_evictions += now.page_evictions - before.page_evictions;
+    stats->posting_reads += now.posting_reads - before.posting_reads;
   };
   add_exec(main_->executor()->stats(), exec_before_);
   for (const auto& worker : workers_) {

@@ -63,6 +63,11 @@ struct TraversalStats {
   // Degraded-mode fallbacks taken under fault injection (zero otherwise).
   size_t index_fallbacks = 0;     ///< Posting lists -> LIKE scan fallbacks.
   size_t semijoin_fallbacks = 0;  ///< Semijoin pass skipped (plain join).
+  // Out-of-core tier counters (zero for resident databases/indexes).
+  size_t page_hits = 0;       ///< Table page fetches served by the pool.
+  size_t page_reads = 0;      ///< Table pages read from disk.
+  size_t page_evictions = 0;  ///< Buffer-pool frames displaced.
+  size_t posting_reads = 0;   ///< Posting lists fetched from disk.
 };
 
 /// Frontier-evaluation parallelism knobs (see parallel_frontier.h). The

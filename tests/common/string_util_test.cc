@@ -57,5 +57,20 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("anything", ""));
 }
 
+TEST(StringUtilTest, ParseByteSize) {
+  EXPECT_EQ(ParseByteSize("0"), 0u);
+  EXPECT_EQ(ParseByteSize("4096"), 4096u);
+  EXPECT_EQ(ParseByteSize("2K"), 2048u);
+  EXPECT_EQ(ParseByteSize("2k"), 2048u);
+  EXPECT_EQ(ParseByteSize("64M"), 64u << 20);
+  EXPECT_EQ(ParseByteSize("1G"), 1u << 30);
+  EXPECT_EQ(ParseByteSize("64MB"), 64u << 20);  // optional trailing B
+  // Malformed or empty parses to 0 ("unset"), never to garbage.
+  EXPECT_EQ(ParseByteSize(""), 0u);
+  EXPECT_EQ(ParseByteSize("lots"), 0u);
+  EXPECT_EQ(ParseByteSize("12Q"), 0u);
+  EXPECT_EQ(ParseByteSize("M12"), 0u);
+}
+
 }  // namespace
 }  // namespace kwsdbg

@@ -17,8 +17,11 @@ cd "$(dirname "$0")/.."
 # and probe_engine_smoke the v2-vs-v3 probe-engine parity gate
 # (bench/probe_engine_workload); both only exist when benchmarks are built.
 # FlatRowIndexTest covers the flat probe engine the batched join pipeline and
-# the differential fuzzer lean on.
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|resilience_smoke|probe_engine_smoke|service_scale_smoke'
+# the differential fuzzer lean on. The storage-tier set (BufferPoolTest,
+# SpillTest, SpillEpochTest, PostingStoreTest, ExecutorSpillTest,
+# storage_tier_smoke) runs here for asan's sake: the out-of-core tier hands
+# out references into evictable frames, exactly the lifetime bugs asan sees.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS

@@ -70,9 +70,11 @@ FuzzCase BuildCase(uint64_t seed) {
   return fc;
 }
 
-/// Checks one query across all runners. Returns a description of the first
-/// disagreement, or nullopt when every runner agrees.
-std::optional<std::string> Disagreement(const FuzzCase& fc,
+/// Checks one query across all runners. `seed` is the case's generator seed,
+/// used to rebuild a bit-identical catalog for the out-of-core layer.
+/// Returns a description of the first disagreement, or nullopt when every
+/// runner agrees.
+std::optional<std::string> Disagreement(const FuzzCase& fc, uint64_t seed,
                                         const std::string& query) {
   KeywordBinder binder(&fc.schema, fc.index.get(), /*copies=*/2,
                        /*max_interpretations=*/4);
@@ -140,6 +142,62 @@ std::optional<std::string> Disagreement(const FuzzCase& fc,
       return "flat engine with batching off differs from batched run";
     }
   }
+  // Layer 2c: out-of-core differential — rebuild the identical catalog
+  // (generation is seed-deterministic), push every table through the buffer
+  // pool and the posting lists onto disk, and require the serial debugger to
+  // classify bit-identically. This is the spill analogue of 2b: paging must
+  // only change cost, never a verdict. Mutation epochs ride along: a
+  // SetValue + BumpEpoch on the spilled catalog must not leave stale pages
+  // behind (the write-back/undo pair keeps contents identical).
+  {
+    FuzzCase spilled = BuildCase(seed);
+    SpillOptions spill_options;
+    spill_options.page_size = 512;
+    Status st = spilled.db->ApplyMemoryBudget(1, spill_options);
+    KWSDBG_CHECK(st.ok()) << st.ToString();
+    KWSDBG_CHECK(spilled.db->AnySpilled());
+    st = spilled.index->SpillToDisk("", /*cache_lists=*/8);
+    KWSDBG_CHECK(st.ok()) << st.ToString();
+    {
+      NonAnswerDebugger cold(spilled.db.get(), spilled.lattice.get(),
+                             spilled.index.get());
+      auto report = cold.Debug(query);
+      KWSDBG_CHECK(report.ok()) << report.status().ToString();
+      if (report->ClassificationSignature() != serial_sig) {
+        return "spilled (out-of-core) classification differs from resident";
+      }
+    }
+    // Epoch interaction: flip one cell through the paged write path, bump,
+    // flip it back, bump again. If any layer served a stale page or a stale
+    // verdict, the final classification would diverge.
+    Table* first = nullptr;
+    for (const std::string& name : spilled.db->TableNames()) {
+      Table* t = spilled.db->FindTable(name);
+      if (t != nullptr && t->spilled() && t->num_rows() > 0 &&
+          t->schema().column(0).type == DataType::kInt64) {
+        first = t;
+        break;
+      }
+    }
+    if (first != nullptr) {
+      const Value original = first->at(0, 0);
+      st = first->SetValue(0, 0, Value(int64_t{-777}));
+      KWSDBG_CHECK(st.ok()) << st.ToString();
+      spilled.db->BumpEpoch();
+      st = first->SetValue(0, 0, original);
+      KWSDBG_CHECK(st.ok()) << st.ToString();
+      spilled.db->BumpEpoch();
+      NonAnswerDebugger after(spilled.db.get(), spilled.lattice.get(),
+                              spilled.index.get());
+      auto report = after.Debug(query);
+      KWSDBG_CHECK(report.ok()) << report.status().ToString();
+      if (report->ClassificationSignature() != serial_sig) {
+        return "spilled classification differs after SetValue/BumpEpoch "
+               "round-trip (stale page or stale verdict)";
+      }
+    }
+  }
+
   ServiceOptions service_options;
   service_options.num_workers = 4;
   DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),
@@ -159,7 +217,7 @@ std::optional<std::string> Disagreement(const FuzzCase& fc,
 
 /// Greedy keyword-dropping minimization: keep removing words while the
 /// disagreement persists.
-std::string Minimize(const FuzzCase& fc, std::string query) {
+std::string Minimize(const FuzzCase& fc, uint64_t seed, std::string query) {
   bool shrunk = true;
   while (shrunk) {
     shrunk = false;
@@ -174,7 +232,7 @@ std::string Minimize(const FuzzCase& fc, std::string query) {
         if (!candidate.empty()) candidate += ' ';
         candidate += words[i];
       }
-      if (Disagreement(fc, candidate).has_value()) {
+      if (Disagreement(fc, seed, candidate).has_value()) {
         query = candidate;
         shrunk = true;
         break;
@@ -206,9 +264,9 @@ TEST(DifferentialFuzzTest, AllRunnersAgreeOnRandomInstances) {
       // missing-keyword early-out) or the paper's frontier query.
       if (rng.Bernoulli(0.15)) query += " zzzunbound";
       if (rng.Bernoulli(0.15)) query = "saffron candle";
-      std::optional<std::string> failure = Disagreement(fc, query);
+      std::optional<std::string> failure = Disagreement(fc, seed, query);
       if (failure.has_value()) {
-        const std::string minimized = Minimize(fc, query);
+        const std::string minimized = Minimize(fc, seed, query);
         FAIL() << "iteration " << iter << ", seed " << seed << ", query \""
                << query << "\": " << *failure
                << "\n  minimized repro: KWSDBG_FUZZ_SEED=" << seed

@@ -1,0 +1,261 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace kwsdbg {
+namespace {
+
+std::unique_ptr<DiskManager> TempDisk(size_t page_size = 512) {
+  auto disk = DiskManager::CreateTemp("", page_size);
+  EXPECT_TRUE(disk.ok()) << disk.status().ToString();
+  return std::move(disk).value();
+}
+
+TEST(PageCodecTest, RoundTripsAllValueKinds) {
+  std::vector<Tuple> rows;
+  rows.push_back({Value(int64_t{-42}), Value::Null(), Value(3.25)});
+  rows.push_back({Value("short"), Value(std::string(300, 'x'))});
+  rows.push_back({});  // empty tuple
+  rows.push_back({Value("")});
+
+  std::string buf;
+  EncodeRows(rows, &buf);
+  EXPECT_EQ(buf.size(), EncodedRowsSize(rows));
+
+  std::vector<Tuple> out;
+  ASSERT_TRUE(DecodeRows(buf.data(), buf.size(), &out).ok());
+  ASSERT_EQ(out.size(), rows.size());
+  EXPECT_EQ(out[0][0].AsInt(), -42);
+  EXPECT_TRUE(out[0][1].is_null());
+  EXPECT_EQ(out[0][2].AsDouble(), 3.25);
+  EXPECT_EQ(out[1][0].AsString(), "short");
+  EXPECT_EQ(out[1][1].AsString(), std::string(300, 'x'));
+  EXPECT_TRUE(out[2].empty());
+  EXPECT_EQ(out[3][0].AsString(), "");
+}
+
+TEST(PageCodecTest, RejectsTruncatedInput) {
+  std::vector<Tuple> rows;
+  rows.push_back({Value(int64_t{7}), Value("payload string here")});
+  std::string buf;
+  EncodeRows(rows, &buf);
+  std::vector<Tuple> out;
+  EXPECT_FALSE(DecodeRows(buf.data(), buf.size() / 2, &out).ok());
+}
+
+// Writes one single-page extent holding `rows` and returns its page id.
+uint64_t WriteExtent(DiskManager* disk, const std::vector<Tuple>& rows) {
+  auto page = disk->AllocatePages(1);
+  EXPECT_TRUE(page.ok());
+  std::string buf;
+  EncodeRows(rows, &buf);
+  buf.resize(disk->page_size(), '\0');
+  EXPECT_TRUE(disk->WritePages(*page, 1, buf.data()).ok());
+  return *page;
+}
+
+std::vector<Tuple> OneRow(int64_t v) {
+  std::vector<Tuple> rows;
+  rows.push_back({Value(v)});
+  return rows;
+}
+
+TEST(BufferPoolTest, FetchDecodesAndCaches) {
+  auto disk = TempDisk();
+  uint64_t p = WriteExtent(disk.get(), OneRow(11));
+  BufferPool pool(disk.get(), 16);
+
+  auto rows = pool.Fetch(p, 1, nullptr);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ((*rows)->size(), 1u);
+  EXPECT_EQ((*(*rows))[0][0].AsInt(), 11);
+  EXPECT_EQ(pool.stats().page_misses, 1u);
+
+  // Second fetch is a hit: no new disk read.
+  size_t reads_before = disk->stats().page_reads;
+  ASSERT_TRUE(pool.Fetch(p, 1, nullptr).ok());
+  EXPECT_EQ(pool.stats().page_hits, 1u);
+  EXPECT_EQ(disk->stats().page_reads, reads_before);
+}
+
+TEST(BufferPoolTest, LruEvictsOldestUnpinned) {
+  auto disk = TempDisk();
+  BufferPool pool(disk.get(), 16);  // kMinCapacity clamp keeps this at 16
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < 17; ++i) {
+    pages.push_back(WriteExtent(disk.get(), OneRow(i)));
+  }
+  for (uint64_t p : pages) ASSERT_TRUE(pool.Fetch(p, 1, nullptr).ok());
+  // 17 extents through 16 frames: exactly one eviction, of the first page.
+  EXPECT_EQ(pool.stats().page_evictions, 1u);
+  EXPECT_EQ(pool.num_frames(), 16u);
+
+  size_t misses = pool.stats().page_misses;
+  ASSERT_TRUE(pool.Fetch(pages[0], 1, nullptr).ok());
+  EXPECT_EQ(pool.stats().page_misses, misses + 1);  // was evicted
+  ASSERT_TRUE(pool.Fetch(pages[16], 1, nullptr).ok());
+  EXPECT_EQ(pool.stats().page_misses, misses + 1);  // still resident
+}
+
+TEST(BufferPoolTest, ReferenceStaysValidAcrossCapacityMinusOneFetches) {
+  auto disk = TempDisk();
+  BufferPool pool(disk.get(), 16);
+  uint64_t first = WriteExtent(disk.get(), OneRow(99));
+  auto rows = pool.Fetch(first, 1, nullptr);
+  ASSERT_TRUE(rows.ok());
+  const std::vector<Tuple>* held = *rows;
+  for (int i = 0; i < 15; ++i) {
+    uint64_t p = WriteExtent(disk.get(), OneRow(i));
+    ASSERT_TRUE(pool.Fetch(p, 1, nullptr).ok());
+  }
+  // 15 = capacity - 1 distinct fetches later, the reference still reads 99.
+  EXPECT_EQ((*held)[0][0].AsInt(), 99);
+}
+
+TEST(BufferPoolTest, PinnedFramesSurviveEvictionPressure) {
+  auto disk = TempDisk();
+  BufferPool pool(disk.get(), 16);
+  uint64_t keep = WriteExtent(disk.get(), OneRow(1234));
+  ASSERT_TRUE(pool.Fetch(keep, 1, nullptr).ok());
+  pool.Pin(keep);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        pool.Fetch(WriteExtent(disk.get(), OneRow(i)), 1, nullptr).ok());
+  }
+  size_t misses = pool.stats().page_misses;
+  auto rows = pool.Fetch(keep, 1, nullptr);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(pool.stats().page_misses, misses);  // never left the pool
+  EXPECT_EQ((*(*rows))[0][0].AsInt(), 1234);
+  pool.Unpin(keep);
+}
+
+TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  auto disk = TempDisk();
+  BufferPool pool(disk.get(), 16);
+  for (int i = 0; i < 16; ++i) {
+    uint64_t p = WriteExtent(disk.get(), OneRow(i));
+    ASSERT_TRUE(pool.Fetch(p, 1, nullptr).ok());
+    pool.Pin(p);
+  }
+  uint64_t extra = WriteExtent(disk.get(), OneRow(-1));
+  auto rows = pool.Fetch(extra, 1, nullptr);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+}
+
+// PageWriter that records write-backs, re-encoding in place.
+struct RecordingWriter : public PageWriter {
+  DiskManager* disk;
+  size_t calls = 0;
+  explicit RecordingWriter(DiskManager* d) : disk(d) {}
+  Status WriteBack(uint64_t first_page,
+                   const std::vector<Tuple>& rows) override {
+    ++calls;
+    std::string buf;
+    EncodeRows(rows, &buf);
+    buf.resize(disk->page_size(), '\0');
+    return disk->WritePages(first_page, 1, buf.data());
+  }
+};
+
+TEST(BufferPoolTest, DirtyFrameWritesBackOnEviction) {
+  auto disk = TempDisk();
+  RecordingWriter writer(disk.get());
+  BufferPool pool(disk.get(), 16);
+  uint64_t p = WriteExtent(disk.get(), OneRow(5));
+  auto rows = pool.FetchMutable(p, 1, &writer);
+  ASSERT_TRUE(rows.ok());
+  (*(*rows))[0][0] = Value(int64_t{500});
+
+  // Push it out of the pool.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        pool.Fetch(WriteExtent(disk.get(), OneRow(i)), 1, nullptr).ok());
+  }
+  EXPECT_GE(writer.calls, 1u);
+  EXPECT_GE(pool.stats().write_backs, 1u);
+
+  // Re-reading decodes the written-back value.
+  auto again = pool.Fetch(p, 1, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*(*again))[0][0].AsInt(), 500);
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyFramesOnce) {
+  auto disk = TempDisk();
+  RecordingWriter writer(disk.get());
+  BufferPool pool(disk.get(), 16);
+  uint64_t p = WriteExtent(disk.get(), OneRow(8));
+  auto rows = pool.FetchMutable(p, 1, &writer);
+  ASSERT_TRUE(rows.ok());
+  (*(*rows))[0][0] = Value(int64_t{80});
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(writer.calls, 1u);
+  ASSERT_TRUE(pool.FlushAll().ok());  // now clean: no second write
+  EXPECT_EQ(writer.calls, 1u);
+
+  pool.DropAll();
+  EXPECT_EQ(pool.num_frames(), 0u);
+  auto again = pool.Fetch(p, 1, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*(*again))[0][0].AsInt(), 80);
+}
+
+TEST(DiskManagerTest, SinglePagesRecycleThroughFreeList) {
+  auto disk = TempDisk();
+  auto a = disk->AllocatePages(1);
+  auto b = disk->AllocatePages(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  disk->FreePages(*a, 1);
+  auto c = disk->AllocatePages(1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // recycled, file did not grow
+  EXPECT_EQ(disk->stats().pages_freed, 1u);
+}
+
+TEST(DiskManagerTest, MultiPageExtentsAreContiguousAtEof) {
+  auto disk = TempDisk();
+  auto a = disk->AllocatePages(1);
+  ASSERT_TRUE(a.ok());
+  disk->FreePages(*a, 1);  // a free single page must not split an extent
+  uint64_t eof = disk->num_pages();
+  auto ext = disk->AllocatePages(3);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(*ext, eof);
+
+  std::string out(3 * disk->page_size(), 'q');
+  ASSERT_TRUE(disk->WritePages(*ext, 3, out.data()).ok());
+  std::string in(3 * disk->page_size(), '\0');
+  ASSERT_TRUE(disk->ReadPages(*ext, 3, in.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(DiskManagerTest, ShortReadsZeroFill) {
+  auto disk = TempDisk();
+  auto p = disk->AllocatePages(1);
+  ASSERT_TRUE(p.ok());
+  // Nothing written yet: the file is sparse/short at this offset.
+  std::string buf(disk->page_size(), 'z');
+  ASSERT_TRUE(disk->ReadPages(*p, 1, buf.data()).ok());
+  EXPECT_EQ(buf, std::string(disk->page_size(), '\0'));
+}
+
+TEST(DiskManagerTest, SpillFileRemovedOnDestruction) {
+  std::string path;
+  {
+    auto disk = TempDisk();
+    path = disk->path();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace
+}  // namespace kwsdbg

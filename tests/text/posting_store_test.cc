@@ -1,0 +1,144 @@
+#include "text/posting_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "text/inverted_index.h"
+
+namespace kwsdbg {
+namespace {
+
+std::vector<Posting> List(std::initializer_list<uint32_t> rows) {
+  std::vector<Posting> out;
+  for (uint32_t r : rows) out.push_back(Posting{0, r, 0});
+  return out;
+}
+
+TEST(PostingStoreTest, FetchReturnsStoredLists) {
+  std::vector<Posting> a = List({1, 2, 3});
+  std::vector<Posting> b = List({9});
+  std::vector<Posting> empty;
+  std::vector<const std::vector<Posting>*> lists = {&a, &b, &empty};
+  auto store = PostingStore::Create("", lists, /*cache_lists=*/2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_lists(), 3u);
+  EXPECT_EQ((*store)->Fetch(0), a);
+  EXPECT_EQ((*store)->Fetch(1), b);
+  EXPECT_TRUE((*store)->Fetch(2).empty());
+}
+
+TEST(PostingStoreTest, LruCacheServesRepeatsWithoutIo) {
+  std::vector<Posting> a = List({1});
+  std::vector<Posting> b = List({2});
+  std::vector<Posting> c = List({3});
+  std::vector<const std::vector<Posting>*> lists = {&a, &b, &c};
+  auto store = PostingStore::Create("", lists, /*cache_lists=*/2);
+  ASSERT_TRUE(store.ok());
+
+  (void)(*store)->Fetch(0);
+  size_t reads = (*store)->stats().posting_reads;
+  (void)(*store)->Fetch(0);  // cached
+  EXPECT_EQ((*store)->stats().posting_reads, reads);
+  EXPECT_GE((*store)->stats().posting_cache_hits, 1u);
+
+  (void)(*store)->Fetch(1);
+  (void)(*store)->Fetch(2);  // capacity 2: list 0 evicted
+  reads = (*store)->stats().posting_reads;
+  EXPECT_EQ((*store)->Fetch(0), a);
+  EXPECT_GT((*store)->stats().posting_reads, reads);
+}
+
+std::unique_ptr<Database> TextDb() {
+  auto db = std::make_unique<Database>();
+  auto docs = db->CreateTable(
+      "docs", Schema({{"id", DataType::kInt64}, {"body", DataType::kString}}));
+  auto notes = db->CreateTable(
+      "notes", Schema({{"id", DataType::kInt64}, {"text", DataType::kString}}));
+  EXPECT_TRUE(docs.ok() && notes.ok());
+  int64_t id = 0;
+  for (const char* body :
+       {"database systems", "keyword search", "search engines",
+        "the database keyword debugger", "researching databases"}) {
+    (*docs)->AppendRowUnchecked({Value(id++), Value(std::string(body))});
+  }
+  (*notes)->AppendRowUnchecked({Value(id++), Value(std::string("search notes"))});
+  return db;
+}
+
+TEST(PostingStoreTest, SpilledIndexMatchesResidentIndex) {
+  auto db = TextDb();
+  InvertedIndex resident = InvertedIndex::Build(*db);
+  InvertedIndex spilled = InvertedIndex::Build(*db);
+  ASSERT_TRUE(spilled.SpillToDisk("", /*cache_lists=*/2).ok());
+  ASSERT_TRUE(spilled.spilled());
+
+  ASSERT_EQ(resident.num_terms(), spilled.num_terms());
+  for (const std::string& term : resident.Terms()) {
+    EXPECT_EQ(resident.PostingsFor(term), spilled.PostingsFor(term))
+        << "postings diverge for '" << term << "'";
+    EXPECT_EQ(resident.TablesContaining(term), spilled.TablesContaining(term));
+    EXPECT_EQ(resident.RowFrequency(term, "docs"),
+              spilled.RowFrequency(term, "docs"));
+  }
+  EXPECT_GT(spilled.io_stats().posting_reads, 0u);
+  EXPECT_EQ(resident.io_stats().posting_reads, 0u);
+}
+
+// The dictionary scan must agree with the old per-entry substring scan:
+// exact term, proper infix, and missing infix all behave identically in
+// resident and spilled mode.
+TEST(PostingStoreTest, TermIdsContainingParity) {
+  auto db = TextDb();
+  InvertedIndex resident = InvertedIndex::Build(*db);
+  InvertedIndex spilled = InvertedIndex::Build(*db);
+  ASSERT_TRUE(spilled.SpillToDisk("", 2).ok());
+
+  for (const std::string& infix :
+       {std::string("search"), std::string("data"), std::string("base"),
+        std::string("databas"), std::string("zzz_missing"), std::string("e"),
+        std::string("keyword")}) {
+    std::vector<uint32_t> r_ids = resident.TermIdsContaining(infix);
+    std::vector<uint32_t> s_ids = spilled.TermIdsContaining(infix);
+    EXPECT_EQ(r_ids, s_ids) << "ids diverge for '" << infix << "'";
+
+    // Old behavior: one list per term whose text contains the infix.
+    std::vector<const std::vector<Posting>*> old_lists =
+        resident.PostingListsContaining(infix);
+    ASSERT_EQ(old_lists.size(), r_ids.size()) << "for '" << infix << "'";
+    for (size_t i = 0; i < r_ids.size(); ++i) {
+      EXPECT_NE(resident.TermOfId(r_ids[i]).find(infix), std::string::npos);
+      EXPECT_EQ(*old_lists[i], spilled.PostingsForTermId(s_ids[i]));
+    }
+  }
+
+  // Exact-term lookup agrees with the dictionary route.
+  EXPECT_TRUE(resident.Contains("database"));
+  EXPECT_FALSE(resident.Contains("databasex"));
+  std::vector<uint32_t> exact = resident.TermIdsContaining("keyword");
+  bool found = false;
+  for (uint32_t id : exact) found |= resident.TermOfId(id) == "keyword";
+  EXPECT_TRUE(found);
+}
+
+TEST(PostingStoreTest, ProfileCountsAreExactRowCounts) {
+  auto db = TextDb();
+  InvertedIndex index = InvertedIndex::Build(*db);
+  // "search" occurs in docs rows 1, 2 and notes row 0.
+  EXPECT_EQ(index.RowFrequency("search", "docs"), 2u);
+  EXPECT_EQ(index.RowFrequency("search", "notes"), 1u);
+  EXPECT_EQ(index.RowFrequency("database", "docs"), 2u);
+  EXPECT_EQ(index.RowFrequency("database", "notes"), 0u);
+
+  // EstimatedInfixRows sums profile counts over matching terms — an upper
+  // bound, exact at zero.
+  EXPECT_GE(index.EstimatedInfixRows("search", "docs"), 2u);
+  EXPECT_EQ(index.EstimatedInfixRows("qqqq", "docs"), 0u);
+  // "databas" matches database/databases; both rows counted.
+  EXPECT_GE(index.EstimatedInfixRows("databas", "docs"), 2u);
+}
+
+}  // namespace
+}  // namespace kwsdbg
