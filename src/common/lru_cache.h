@@ -97,6 +97,29 @@ class ShardedLruCache {
     ++shard.stats.insertions;
   }
 
+  /// Removes every entry for which `pred(key, value)` returns true, across
+  /// all shards, and returns the number removed. Used for targeted (partial)
+  /// invalidation — e.g. evicting only the verdicts whose relation set
+  /// intersects a mutated table. Counted as evictions in stats().
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (pred(it->first, it->second)) {
+          shard->index.erase(it->first);
+          it = shard->lru.erase(it);
+          ++erased;
+          ++shard->stats.evictions;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
   /// Drops every entry (stats other than `entries` are preserved).
   void Clear() {
     for (auto& shard : shards_) {

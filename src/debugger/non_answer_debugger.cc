@@ -63,7 +63,12 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
   DebugReport report;
   report.keyword_query = keyword_query;
 
-  BindingResult binding_result = binder_.Bind(keyword_query);
+  BindingResult binding_result = [&] {
+    // Phase 1 reads posting lists (and the selectivity profile) but no table
+    // rows: the index gate alone fences it against a concurrent index patch.
+    IndexReadGuard guard(options_.eval.fences);
+    return binder_.Bind(keyword_query);
+  }();
   report.keywords = binding_result.keywords;
   report.missing_keywords = binding_result.missing_keywords;
   report.bind_millis = binding_result.bind_millis;
@@ -114,6 +119,10 @@ StatusOr<DebugReport> NonAnswerDebugger::Debug(
           KWSDBG_ASSIGN_OR_RETURN(
               JoinNetworkQuery query,
               BuildNodeQuery(*lattice_, outcome.mtn, binding));
+          // Sampling materializes rows from arbitrary bound tables; fence
+          // them all (coarse but rare — sample_rows defaults to 0).
+          RelationReadGuard guard(options_.eval.fences,
+                                  RelationReadGuard::kAllRelations);
           KWSDBG_ASSIGN_OR_RETURN(
               ans.sample, executor_->Execute(query, options_.sample_rows));
         }

@@ -72,6 +72,11 @@ std::string ServiceStats::ToString() const {
       << "; shared tier: " << shared_cache.entries << " entries, "
       << shared_cache.hits << " hit(s), " << shared_cache.evictions
       << " eviction(s)";
+  if (mutations_applied + partial_evictions + index_patches > 0) {
+    out << "\n  writes: " << mutations_applied << " mutation(s), "
+        << index_patches << " index patch(es), " << partial_evictions
+        << " relation-scoped eviction(s)";
+  }
   return out.str();
 }
 
@@ -134,6 +139,17 @@ ServiceStats ComputeServiceStats(const std::vector<QueryResult>& results,
 
 DebugService::DebugService(const Database* db, const Lattice* lattice,
                            const InvertedIndex* index, ServiceOptions options)
+    : DebugService(db, lattice, index, std::move(options),
+                   /*mutable_db=*/nullptr, /*mutable_index=*/nullptr) {}
+
+DebugService::DebugService(Database* db, const Lattice* lattice,
+                           InvertedIndex* index, ServiceOptions options)
+    : DebugService(db, lattice, index, std::move(options),
+                   /*mutable_db=*/db, /*mutable_index=*/index) {}
+
+DebugService::DebugService(const Database* db, const Lattice* lattice,
+                           const InvertedIndex* index, ServiceOptions options,
+                           Database* mutable_db, InvertedIndex* mutable_index)
     : db_(db), lattice_(lattice), index_(index), options_(options) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   size_t num_shards = options_.num_shards == 0 ? options_.num_workers
@@ -148,6 +164,17 @@ DebugService::DebugService(const Database* db, const Lattice* lattice,
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(per_shard_capacity));
+  }
+  // The write path must exist before any worker thread starts: workers read
+  // fences_ when building their evaluators.
+  if (mutable_db != nullptr) {
+    fences_ = std::make_unique<RelationFences>(mutable_db->num_tables());
+    mutator_ = std::make_unique<LiveMutator>(mutable_db, mutable_index,
+                                             fences_.get());
+    for (const auto& shard : shards_) {
+      mutator_->RegisterVerdictCache(&shard->cache);
+      mutator_->RegisterFlatTier(&shard->flat_indexes);
+    }
   }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
@@ -377,7 +404,27 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
   batch.stats.num_shards = shards_.size();
   batch.stats.shards = ShardSnapshot();
   batch.stats.shared_cache = SumCacheStats(batch.stats.shards);
+  if (mutator_ != nullptr) {
+    // Lifetime write-path counters (like shared_cache): interleaved
+    // ApplyMutation calls are not per-batch events, so deltas would lie.
+    const MutationStats& ms = mutator_->stats();
+    batch.stats.mutations_applied =
+        ms.mutations_applied.load(std::memory_order_relaxed);
+    batch.stats.partial_evictions =
+        ms.partial_evictions.load(std::memory_order_relaxed);
+    batch.stats.index_patches =
+        ms.index_patches.load(std::memory_order_relaxed);
+  }
   return batch;
+}
+
+Status DebugService::ApplyMutation(const Mutation& m) {
+  if (mutator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "live writes require the mutable DebugService constructor; this "
+        "service was built over a const database");
+  }
+  return mutator_->Apply(m);
 }
 
 Status DebugService::Submit(std::string query, double deadline_millis,
@@ -467,6 +514,7 @@ void DebugService::WorkerLoop(size_t worker_id) {
   DebuggerOptions debugger_options = options_.debugger;
   debugger_options.shared_verdict_cache = &home.cache;
   debugger_options.executor.shared_flat_indexes = &home.flat_indexes;
+  debugger_options.eval.fences = fences_.get();  // Null = no write path.
   debugger_options.deadline_millis = 0;  // Armed per task below.
   NonAnswerDebugger debugger(db_, lattice_, index_, debugger_options);
   // Backoff jitter source: seeded per worker so a failing run replays the

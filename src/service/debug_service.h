@@ -36,7 +36,9 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "debugger/non_answer_debugger.h"
+#include "service/live_mutator.h"
 #include "sql/flat_row_index.h"
+#include "storage/relation_fences.h"
 #include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
@@ -161,6 +163,12 @@ struct ServiceStats {
   size_t sql_queries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Live-write counters since service construction (all zero for a service
+  /// built over a const database; see LiveMutator).
+  size_t mutations_applied = 0;
+  size_t partial_evictions = 0;  ///< Verdicts evicted by relation masks.
+  size_t index_patches = 0;      ///< Posting-list + flat-arena in-place
+                                 ///< patches.
   /// Aggregate of every shard's verdict partition after the batch (hits /
   /// misses count lookups from every worker since service construction).
   VerdictCacheStats shared_cache;
@@ -198,16 +206,32 @@ struct BatchResult {
   ServiceStats stats;
 };
 
-/// Sharded thread pool over one immutable database/lattice pair. RunBatch
-/// is synchronous; one batch runs at a time (a concurrent RunBatch call is
+/// Sharded thread pool over one shared database/lattice pair. RunBatch is
+/// synchronous; one batch runs at a time (a concurrent RunBatch call is
 /// rejected with a kInvalidArgument batch status). Submit is asynchronous
 /// and may be called from any thread; pair it with WaitIdle. The referenced
-/// db/lattice/index must outlive the service and stay unmodified while
-/// queries are in flight — mutate + BumpEpoch() only while quiescent.
+/// db/lattice/index must outlive the service.
+///
+/// Write contract: constructed over const pointers, the database and index
+/// must stay unmodified while queries are in flight (legacy single-writer
+/// deployments: mutate + BumpEpoch() only while quiescent). Constructed
+/// over mutable pointers, ApplyMutation() is the thread-safe write path —
+/// it fences in-flight queries per relation (storage/relation_fences.h), so
+/// a write to one table waits only for the queries that bind it, patches
+/// the text index and every shard's flat-index tier in place, and evicts
+/// only the verdicts whose relation set the write intersects. Quiescence is
+/// no longer required.
 class DebugService {
  public:
   DebugService(const Database* db, const Lattice* lattice,
                const InvertedIndex* index, ServiceOptions options = {});
+
+  /// Live-write construction: same service, plus ApplyMutation() backed by
+  /// a LiveMutator over the (mutable) database and index. `index` may be
+  /// null when the service runs without a text index.
+  DebugService(Database* db, const Lattice* lattice, InvertedIndex* index,
+               ServiceOptions options = {});
+
   ~DebugService();
 
   DebugService(const DebugService&) = delete;
@@ -265,6 +289,17 @@ class DebugService {
   /// a database mutation epoch, to reclaim memory from dead-epoch entries).
   void ClearCaches();
 
+  /// Applies one live write (insert/delete/update) through the mutation
+  /// engine: safe to call while queries are in flight — the write fences
+  /// only the mutated relation. Serialized against concurrent ApplyMutation
+  /// calls by the relation fences themselves. Returns kFailedPrecondition
+  /// when the service was constructed over a const database.
+  Status ApplyMutation(const Mutation& m);
+
+  /// The mutation engine, or null for a const-constructed service (tests
+  /// inspect MutationStats through it).
+  LiveMutator* mutator() { return mutator_.get(); }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -321,11 +356,20 @@ class DebugService {
   bool HasVisibleWork(size_t shard) const;
   void NotifyWorkers(size_t tasks);
 
+  /// Shared constructor body; `mutable_db` non-null enables the write path.
+  DebugService(const Database* db, const Lattice* lattice,
+               const InvertedIndex* index, ServiceOptions options,
+               Database* mutable_db, InvertedIndex* mutable_index);
+
   const Database* db_;
   const Lattice* lattice_;
   const InvertedIndex* index_;
   ServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Present iff constructed mutable: per-relation fences shared by every
+  /// worker's evaluator and the mutation engine.
+  std::unique_ptr<RelationFences> fences_;
+  std::unique_ptr<LiveMutator> mutator_;
 
   /// Total queued-but-not-picked-up tasks across shards (stealing workers
   /// wait on this; per-shard `queued` serves the non-stealing predicate).

@@ -1,0 +1,142 @@
+// Live-data write path: one mutation = one table change + incremental
+// maintenance of every derived structure, applied under the mutated
+// relation's write fence (storage/relation_fences.h) so it interleaves
+// safely with in-flight queries over other relations.
+//
+// Per Apply():
+//   1. the table row is appended / tombstoned / updated in place;
+//   2. the shared InvertedIndex posting lists, selectivity profile, and
+//      table masks are patched (never rebuilt) — under the exclusive index
+//      gate, since a term's posting vector spans tables;
+//   3. every registered shard flat-index tier patches its cached arenas in
+//      place and restamps them to the table's new data epoch, so worker
+//      probes stay warm across the write;
+//   4. every registered verdict-cache partition evicts exactly the verdicts
+//      whose relation mask includes the mutated table (partial
+//      invalidation — verdicts over disjoint relations survive);
+//   5. once tombstones pass `auto_compact_fraction`, the table is compacted
+//      and the posting lists remapped to the new row ids.
+//
+// The global Database::epoch() is never bumped: only the mutated table's
+// data epoch moves, which is what keeps unrelated caches warm.
+#ifndef KWSDBG_SERVICE_LIVE_MUTATOR_H_
+#define KWSDBG_SERVICE_LIVE_MUTATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/flat_row_index.h"
+#include "storage/database.h"
+#include "storage/relation_fences.h"
+#include "text/inverted_index.h"
+#include "traversal/verdict_cache.h"
+
+namespace kwsdbg {
+
+/// One write. `row` names the payload for inserts; `row_id`/`column`/`value`
+/// address updates; deletes need only `row_id`.
+struct Mutation {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kInsert;
+  std::string table;
+  Tuple row;          ///< kInsert: the new row (schema-checked).
+  size_t row_id = 0;  ///< kDelete / kUpdate: target row id.
+  size_t column = 0;  ///< kUpdate: target column.
+  Value value;        ///< kUpdate: the new cell value (type-checked).
+
+  static Mutation Insert(std::string table, Tuple row) {
+    Mutation m;
+    m.kind = Kind::kInsert;
+    m.table = std::move(table);
+    m.row = std::move(row);
+    return m;
+  }
+  static Mutation Delete(std::string table, size_t row_id) {
+    Mutation m;
+    m.kind = Kind::kDelete;
+    m.table = std::move(table);
+    m.row_id = row_id;
+    return m;
+  }
+  static Mutation Update(std::string table, size_t row_id, size_t column,
+                         Value value) {
+    Mutation m;
+    m.kind = Kind::kUpdate;
+    m.table = std::move(table);
+    m.row_id = row_id;
+    m.column = column;
+    m.value = std::move(value);
+    return m;
+  }
+};
+
+/// Write-path counters (thread-safe; exported through ServiceStats and
+/// service JSON alongside the read-side counters).
+struct MutationStats {
+  std::atomic<uint64_t> mutations_applied{0};  ///< Successful Apply() calls.
+  std::atomic<uint64_t> partial_evictions{0};  ///< Verdicts evicted by
+                                               ///< relation-scoped masks.
+  std::atomic<uint64_t> index_patches{0};      ///< Posting-list + flat-arena
+                                               ///< patches applied in place.
+  std::atomic<uint64_t> compactions{0};        ///< Tombstone compactions.
+};
+
+/// Mutator configuration.
+struct MutatorOptions {
+  /// Compact a table once its tombstone fraction exceeds this (0 disables).
+  /// Compaction is skipped while the inverted index is spilled — on-disk
+  /// posting lists cannot be remapped in place.
+  double auto_compact_fraction = 0.25;
+};
+
+/// The single-writer mutation engine. Thread-safe: Apply() serializes
+/// against concurrent Apply() calls and against in-flight queries through
+/// the relation fences (pass the same fences into EvalOptions::fences).
+/// Registered caches/tiers must outlive the mutator.
+class LiveMutator {
+ public:
+  LiveMutator(Database* db, InvertedIndex* index, RelationFences* fences,
+              MutatorOptions options = {})
+      : db_(db), index_(index), fences_(fences), options_(options) {}
+
+  /// Partial-invalidation sinks: every registered verdict cache takes an
+  /// EvictRelations() per write; every flat tier is patched in place.
+  void RegisterVerdictCache(VerdictCache* cache) { caches_.push_back(cache); }
+  void RegisterFlatTier(SharedFlatRowIndexManager* tier) {
+    tiers_.push_back(tier);
+  }
+
+  /// Applies one mutation atomically with respect to readers: either the
+  /// table, the text index, and every flat tier reflect the write (and the
+  /// affected verdicts are gone), or — on a validation failure or an
+  /// injected `storage.mutation.apply` fault — nothing changed.
+  Status Apply(const Mutation& m);
+
+  const MutationStats& stats() const { return stats_; }
+  RelationFences* fences() const { return fences_; }
+
+ private:
+  /// Patches the text index for one applied table change; counts patches.
+  /// A failure here rolls the table change back before returning.
+  Status PatchTextIndex(const Mutation& m, Table* t, uint32_t row,
+                        const Value& old_value, size_t* patches);
+
+  /// Compacts `t` when tombstones exceed the threshold (resident index
+  /// only); remaps posting lists and drops the flat indexes over `t`.
+  Status MaybeCompact(Table* t);
+
+  Database* db_;
+  InvertedIndex* index_;  ///< May be null (no text index to maintain).
+  RelationFences* fences_;
+  MutatorOptions options_;
+  std::vector<VerdictCache*> caches_;
+  std::vector<SharedFlatRowIndexManager*> tiers_;
+  MutationStats stats_;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_SERVICE_LIVE_MUTATOR_H_

@@ -32,6 +32,9 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
       << ",\"sql_queries\":" << stats.sql_queries
       << ",\"cache_hits\":" << stats.cache_hits
       << ",\"cache_misses\":" << stats.cache_misses
+      << ",\"mutations_applied\":" << stats.mutations_applied
+      << ",\"partial_evictions\":" << stats.partial_evictions
+      << ",\"index_patches\":" << stats.index_patches
       << ",\"steals\":" << stats.steals
       << ",\"num_shards\":" << stats.num_shards
       << ",\"shared_cache\":{\"entries\":" << stats.shared_cache.entries

@@ -235,6 +235,7 @@ void Executor::ClearCaches() {
   flat_indexes_.Clear();
   keyword_cache_.clear();
   infix_cache_.clear();
+  table_cache_epochs_.clear();
 }
 
 namespace {
@@ -361,6 +362,34 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     ClearCaches();
     cache_epoch_ = db_->epoch();
   }
+  // Relation-scoped invalidation (live writes): a LiveMutator bumps only the
+  // written table's data epoch, so drop only that table's match sets and
+  // join indexes — every other table's caches stay warm. Must run before
+  // PrepareQuery, whose candidate counting already reads the caches.
+  if (text_index_ != nullptr && text_index_->version() != index_version_) {
+    // A vocabulary change re-finalized the dictionary: cached term ids are
+    // meaningless (row match sets keyed by table stay valid — the mutated
+    // table's are dropped below via its data epoch).
+    infix_cache_.clear();
+    index_version_ = text_index_->version();
+  }
+  for (const QueryVertex& qv : query.vertices) {
+    const Table* t = db_->FindTable(qv.table);
+    if (t == nullptr) continue;  // Validate() in PrepareQuery reports it.
+    auto [it, inserted] = table_cache_epochs_.try_emplace(t, t->data_epoch());
+    if (!inserted && it->second != t->data_epoch()) {
+      for (auto kit = keyword_cache_.begin(); kit != keyword_cache_.end();) {
+        if (kit->first.first == t) {
+          kit = keyword_cache_.erase(kit);
+        } else {
+          ++kit;
+        }
+      }
+      indexes_.EraseTable(t);
+      flat_indexes_.EraseTable(t);
+      it->second = t->data_epoch();
+    }
+  }
   // Deadline polling: once at entry (cheap rejection of work already past
   // its budget) and every kCancelCheckStride probed rows inside the
   // backtracking loop — the only place a single query's work is unbounded.
@@ -461,6 +490,7 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
     } else {
       const uint32_t num_rows = static_cast<uint32_t>(pv.table->num_rows());
       for (uint32_t row = 0; row < num_rows; ++row) {
+        if (pv.table->deleted(row)) continue;  // tombstoned rows are gone
         if (!residual_ok(row)) continue;
         c.bitmap[row] = 1;
         c.rows.push_back(row);
@@ -787,6 +817,9 @@ StatusOr<bool> Executor::RunJoin(const JoinNetworkQuery& query, size_t limit,
         KWSDBG_FAULT_POINT("executor.join.probe");
       }
       if (cand[v].materialized && !cand[v].bitmap[row]) continue;
+      // Full-table enumeration sees tombstoned rows; every other source
+      // (match sets, candidate lists, patched join indexes) excludes them.
+      if (!f.use_candidates && pq.vertices[v].table->deleted(row)) continue;
       if (!check_constraints(v, row, probe_constraint[depth])) continue;
       assignment[v] = row;
       assigned[v] = true;

@@ -206,6 +206,14 @@ class Executor {
                      PairHash>
       keyword_cache_;
   std::unordered_map<std::string, std::vector<uint32_t>> infix_cache_;
+  /// Per-table data epochs the session caches were built against. RunJoin
+  /// compares them for the query's tables and drops only the stale tables'
+  /// keyword match sets and join indexes (relation-scoped invalidation: a
+  /// write to Person leaves a warm session's Movie caches untouched).
+  std::unordered_map<const Table*, uint64_t> table_cache_epochs_;
+  /// InvertedIndex::version() the infix cache (term ids) was built against;
+  /// a vocabulary change re-finalizes the dictionary and re-assigns ids.
+  uint64_t index_version_ = 0;
   /// Set per RunJoin: any table or the index is serving from disk. Gates
   /// the reference-copy paths and selectivity-first probing so the fully
   /// resident hot path stays byte-identical to the in-memory engine.

@@ -15,6 +15,8 @@ uint64_t NextPow2(uint64_t v) {
   return c;
 }
 
+constexpr uint64_t kNoClaim = ~uint64_t{0};
+
 }  // namespace
 
 FlatRowIndex FlatRowIndex::Build(const Table& table, size_t column) {
@@ -114,13 +116,153 @@ RowSpan FlatRowIndex::LookupHashed(uint64_t hash, const Value& v) const {
   uint64_t slot = hash & mask_;
   while (true) {
     const Bucket& b = buckets_[slot];
-    if (b.run_len == 0) return RowSpan{};  // empty slot: key absent
-    if (b.hash == hash &&
-        table_->at(arena_[b.run_begin], column_) == v) {
+    if (b.run_len == 0) {
+      // Never-used slot: key absent. A tombstone (deleted bucket) keeps the
+      // probe chain alive for keys placed past it.
+      if (b.run_begin != kTombstoneSlot) return RowSpan{};
+    } else if (b.hash == hash &&
+               table_->at(arena_[b.run_begin], column_) == v) {
       return RowSpan{arena_.data() + b.run_begin, b.run_len};
     }
     slot = (slot + 1) & mask_;
   }
+}
+
+void FlatRowIndex::ApplyInsert(uint32_t row, const Value& v) {
+  if (v.is_null()) return;
+  if (buckets_.empty()) {
+    // Index built over an empty or all-NULL column: bootstrap a table.
+    buckets_.assign(16, Bucket{});
+    mask_ = 15;
+  }
+  // Keep load factor (live + tombstones) <= 0.5, counting the key this
+  // insert may claim.
+  if ((stats_.distinct_keys + tombstones_ + 1) * 2 > buckets_.size()) {
+    Rehash(NextPow2((stats_.distinct_keys + 1) * 4));
+  }
+  const uint64_t h = v.Hash64();
+  uint64_t slot = h & mask_;
+  uint64_t claim = kNoClaim;
+  while (true) {
+    Bucket& b = buckets_[slot];
+    if (b.run_len == 0) {
+      if (b.run_begin == kTombstoneSlot) {
+        if (claim == kNoClaim) claim = slot;  // reuse the first tombstone
+        slot = (slot + 1) & mask_;
+        continue;
+      }
+      // Key absent: claim a bucket with a fresh single-row run at the tail.
+      Bucket& target = buckets_[claim == kNoClaim ? slot : claim];
+      if (claim != kNoClaim) --tombstones_;
+      target.hash = h;
+      target.run_begin = static_cast<uint32_t>(arena_.size());
+      target.run_len = 1;
+      arena_.push_back(row);
+      ++stats_.distinct_keys;
+      stats_.max_run_length = std::max<size_t>(stats_.max_run_length, 1);
+      break;
+    }
+    if (b.hash == h && table_->at(arena_[b.run_begin], column_) == v) {
+      const size_t end = b.run_begin + b.run_len;
+      if (end == arena_.size() && row > arena_[end - 1]) {
+        // Run already at the arena tail and the row extends it in order
+        // (the append-row fast path): grow in place.
+        arena_.push_back(row);
+        ++b.run_len;
+      } else {
+        // Relocate the run to the tail with `row` merged at its sorted
+        // position; the old slots become garbage.
+        const uint32_t new_begin = static_cast<uint32_t>(arena_.size());
+        bool placed = false;
+        for (uint32_t i = 0; i < b.run_len; ++i) {
+          const uint32_t r = arena_[b.run_begin + i];
+          if (!placed && row < r) {
+            arena_.push_back(row);
+            placed = true;
+          }
+          arena_.push_back(r);
+        }
+        if (!placed) arena_.push_back(row);
+        garbage_ += b.run_len;
+        b.run_begin = new_begin;
+        ++b.run_len;
+      }
+      stats_.max_run_length =
+          std::max<size_t>(stats_.max_run_length, b.run_len);
+      break;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  MaybeCompactArena();
+  stats_.arena_bytes = arena_.capacity() * sizeof(uint32_t);
+  stats_.bucket_bytes = buckets_.size() * sizeof(Bucket);
+}
+
+bool FlatRowIndex::ApplyDelete(uint32_t row, const Value& old_value) {
+  if (old_value.is_null() || buckets_.empty()) return false;
+  const uint64_t h = old_value.Hash64();
+  uint64_t slot = h & mask_;
+  while (true) {
+    Bucket& b = buckets_[slot];
+    if (b.run_len == 0) {
+      if (b.run_begin != kTombstoneSlot) return false;  // key absent
+    } else if (b.hash == h) {
+      // Membership check instead of representative verification: the
+      // representative may be `row` itself, or the cell may already be
+      // blanked. A row id appears in at most one run per column, so finding
+      // it here is definitive even across hash collisions.
+      uint32_t* begin = arena_.data() + b.run_begin;
+      uint32_t* end = begin + b.run_len;
+      uint32_t* pos = std::lower_bound(begin, end, row);
+      if (pos != end && *pos == row) {
+        std::copy(pos + 1, end, pos);
+        --b.run_len;
+        ++garbage_;
+        if (b.run_len == 0) {
+          // Emptied key: tombstone the bucket so chains probing past it
+          // stay reachable.
+          b.hash = 0;
+          b.run_begin = kTombstoneSlot;
+          ++tombstones_;
+          --stats_.distinct_keys;
+        }
+        MaybeCompactArena();
+        return true;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void FlatRowIndex::Rehash(uint64_t new_capacity) {
+  std::vector<Bucket> old = std::move(buckets_);
+  mask_ = new_capacity - 1;
+  buckets_.assign(new_capacity, Bucket{});
+  tombstones_ = 0;
+  // Hash-only re-placement: distinct values colliding on the full 64-bit
+  // hash land in distinct buckets in any probe order, and lookups verify
+  // against the representative row, so no table access is needed here.
+  for (const Bucket& b : old) {
+    if (b.run_len == 0) continue;
+    uint64_t slot = b.hash & mask_;
+    while (buckets_[slot].run_len != 0) slot = (slot + 1) & mask_;
+    buckets_[slot] = b;
+  }
+}
+
+void FlatRowIndex::MaybeCompactArena() {
+  if (garbage_ * 4 <= arena_.size() || arena_.size() < 64) return;
+  std::vector<uint32_t> fresh;
+  fresh.reserve(arena_.size() - garbage_);
+  for (Bucket& b : buckets_) {
+    if (b.run_len == 0) continue;
+    const uint32_t new_begin = static_cast<uint32_t>(fresh.size());
+    fresh.insert(fresh.end(), arena_.begin() + b.run_begin,
+                 arena_.begin() + b.run_begin + b.run_len);
+    b.run_begin = new_begin;
+  }
+  arena_ = std::move(fresh);
+  garbage_ = 0;
 }
 
 const FlatRowIndex& FlatRowIndexManager::GetOrBuild(const Table* table,
@@ -143,41 +285,134 @@ const FlatRowIndex& FlatRowIndexManager::GetOrBuild(const Table* table,
   return *it->second;
 }
 
+size_t FlatRowIndexManager::EraseTable(const Table* table) {
+  size_t erased = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.first == table) {
+      it = cache_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+const FlatRowIndex& SharedFlatRowIndexManager::GetOrBuildLocked(
+    const Table* table, size_t column, bool* built) {
+  auto key = std::make_pair(table, column);
+  auto it = cache_.find(key);
+  // A mismatched stamp means the table mutated in a way the mutator did not
+  // patch (compaction, or no mutator wired): rebuild. The erase is safe
+  // without quiescence because every probe holds the index gate shared
+  // while this caller holds it exclusively or the entry was evicted under
+  // the writer's exclusive hold — see the class comment.
+  if (it != cache_.end() && it->second.table_epoch != table->data_epoch()) {
+    cache_.erase(it);
+    it = cache_.end();
+  }
+  bool did_build = false;
+  if (it == cache_.end()) {
+    Entry e;
+    e.index = std::make_unique<FlatRowIndex>(FlatRowIndex::Build(*table,
+                                                                 column));
+    e.table_epoch = table->data_epoch();
+    it = cache_.emplace(key, std::move(e)).first;
+    did_build = true;
+    const FlatIndexStats& s = it->second.index->stats();
+    totals_.build_millis += s.build_millis;
+    totals_.distinct_keys += s.distinct_keys;
+    totals_.max_run_length = std::max(totals_.max_run_length,
+                                      s.max_run_length);
+    totals_.arena_bytes += s.arena_bytes;
+    totals_.bucket_bytes += s.bucket_bytes;
+  }
+  if (built != nullptr) *built = did_build;
+  return *it->second.index;
+}
+
 const FlatRowIndex& SharedFlatRowIndexManager::GetOrBuild(const Table* table,
                                                           size_t column,
                                                           uint64_t epoch,
                                                           bool* built) {
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch != epoch_) {
-    // Lazy epoch invalidation: the first probe against a mutated database
-    // drops every index built against the old state. Safe because epochs
-    // only move while the shard is quiescent (no concurrent probes).
-    manager_.Clear();
+    // Lazy whole-epoch invalidation (legacy BumpEpoch between batches): the
+    // first probe against the new epoch drops every index.
+    cache_.clear();
     epoch_ = epoch;
   }
-  const size_t before = manager_.num_indexes();
-  const FlatRowIndex& index = manager_.GetOrBuild(table, column);
-  const bool did_build = manager_.num_indexes() != before;
-  if (did_build) {
-    const FlatIndexStats& s = index.stats();
-    totals_.build_millis += s.build_millis;
-    totals_.distinct_keys += s.distinct_keys;
-    totals_.max_run_length = std::max(totals_.max_run_length, s.max_run_length);
-    totals_.arena_bytes += s.arena_bytes;
-    totals_.bucket_bytes += s.bucket_bytes;
+  return GetOrBuildLocked(table, column, built);
+}
+
+size_t SharedFlatRowIndexManager::ApplyRowInsert(const Table* table,
+                                                 uint32_t row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t patches = 0;
+  for (auto& [key, entry] : cache_) {
+    if (key.first != table) continue;
+    entry.index->ApplyInsert(row, table->at(row, key.second));
+    entry.table_epoch = table->data_epoch();
+    ++patches;
   }
-  if (built != nullptr) *built = did_build;
-  return index;
+  return patches;
+}
+
+size_t SharedFlatRowIndexManager::ApplyRowDelete(const Table* table,
+                                                 uint32_t row,
+                                                 const Tuple& old_row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t patches = 0;
+  for (auto& [key, entry] : cache_) {
+    if (key.first != table) continue;
+    entry.index->ApplyDelete(row, old_row[key.second]);
+    entry.table_epoch = table->data_epoch();
+    ++patches;
+  }
+  return patches;
+}
+
+size_t SharedFlatRowIndexManager::ApplyCellUpdate(const Table* table,
+                                                  uint32_t row, size_t column,
+                                                  const Value& old_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t patches = 0;
+  for (auto& [key, entry] : cache_) {
+    if (key.first != table) continue;
+    if (key.second == column) {
+      entry.index->ApplyDelete(row, old_value);
+      entry.index->ApplyInsert(row, table->at(row, column));
+      ++patches;
+    }
+    // Indexes over other columns are unaffected, but restamp them so the
+    // epoch check keeps them warm.
+    entry.table_epoch = table->data_epoch();
+  }
+  return patches;
+}
+
+size_t SharedFlatRowIndexManager::EraseTable(const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t erased = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.first == table) {
+      it = cache_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
 }
 
 void SharedFlatRowIndexManager::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  manager_.Clear();
+  cache_.clear();
 }
 
 size_t SharedFlatRowIndexManager::num_indexes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return manager_.num_indexes();
+  return cache_.size();
 }
 
 FlatIndexStats SharedFlatRowIndexManager::totals() const {

@@ -15,6 +15,14 @@
 // so callers can hide DRAM latency with software prefetching: hash a window
 // of upcoming probe keys, PrefetchBucket() each, then drain the window in
 // order (see Executor::RunJoin's batched probe pipeline).
+//
+// Live writes patch an index in place instead of discarding it: ApplyInsert
+// extends or relocates one run (bucket tombstones keep probe chains intact,
+// relocated runs leave arena garbage that CompactArena reclaims past a 25%
+// threshold), ApplyDelete removes a row by hash-probe + in-run binary search
+// (membership is definitive — a row has one value per column — so it works
+// even after the cell was blanked). Lookup results always equal a
+// from-scratch rebuild; only the internal layout differs.
 #ifndef KWSDBG_SQL_FLAT_ROW_INDEX_H_
 #define KWSDBG_SQL_FLAT_ROW_INDEX_H_
 
@@ -51,8 +59,8 @@ struct RowSpan {
 /// batch probes without touching the table).
 struct FlatIndexStats {
   double build_millis = 0;   ///< Wall time of Build().
-  size_t distinct_keys = 0;  ///< Occupied buckets (= arena runs).
-  size_t max_run_length = 0; ///< Longest row run (worst-case fan-out).
+  size_t distinct_keys = 0;  ///< Occupied buckets (= live arena runs).
+  size_t max_run_length = 0; ///< Longest row run seen (high-water mark).
   size_t arena_bytes = 0;    ///< Row-id arena allocation.
   size_t bucket_bytes = 0;   ///< Bucket-array allocation.
 };
@@ -63,13 +71,17 @@ struct FlatIndexStats {
 class FlatRowIndex {
  public:
   /// Hash of one bucket slot: 64-bit key hash + [run_begin, run_begin+len)
-  /// into the arena. len == 0 marks an empty slot (a real run has >= 1 row).
+  /// into the arena. len == 0 marks an empty slot (a real run has >= 1 row):
+  /// run_begin == kTombstoneSlot distinguishes a deleted bucket (probe
+  /// chains continue through it) from a never-used one (probes stop).
   struct Bucket {
     uint64_t hash = 0;
     uint32_t run_begin = 0;
     uint32_t run_len = 0;
   };
   static_assert(sizeof(Bucket) == 16, "bucket must stay two per cache line");
+
+  static constexpr uint32_t kTombstoneSlot = 0xFFFFFFFFu;
 
   static FlatRowIndex Build(const Table& table, size_t column);
 
@@ -99,16 +111,39 @@ class FlatRowIndex {
     if (!run.empty()) __builtin_prefetch(run.data, /*rw=*/0, /*locality=*/1);
   }
 
+  /// Patches the index after `row` gained value `v` in the indexed column
+  /// (append, or the new value of an update). The table must already hold
+  /// `v` at (row, column) — run verification reads it. NULL is a no-op.
+  /// Invalidates previously returned RowSpans (the arena may reallocate).
+  void ApplyInsert(uint32_t row, const Value& v);
+
+  /// Removes `row` from the run of `old_value` (the pre-mutation cell
+  /// value). Works before or after the cell is blanked/overwritten: the row
+  /// is located by hash + in-run binary search, never by reading the cell.
+  /// Returns false when (old_value, row) was not indexed (NULL cells).
+  /// Invalidates previously returned RowSpans.
+  bool ApplyDelete(uint32_t row, const Value& old_value);
+
   const FlatIndexStats& stats() const { return stats_; }
   size_t num_keys() const { return stats_.distinct_keys; }
   size_t capacity() const { return buckets_.size(); }
+  size_t arena_garbage() const { return garbage_; }
 
  private:
+  /// Rebuilds the bucket array at `new_capacity` from the live buckets
+  /// (hash-only re-placement; the arena is untouched). Drops tombstones.
+  void Rehash(uint64_t new_capacity);
+
+  /// Rewrites the arena without garbage slots once they exceed 25% of it.
+  void MaybeCompactArena();
+
   const Table* table_ = nullptr;
   size_t column_ = 0;
   uint64_t mask_ = 0;               ///< buckets_.size() - 1 (power of two).
   std::vector<Bucket> buckets_;
   std::vector<uint32_t> arena_;     ///< All runs, back to back.
+  size_t garbage_ = 0;              ///< Dead arena slots (relocated runs).
+  size_t tombstones_ = 0;           ///< Deleted buckets still in chains.
   FlatIndexStats stats_;
 };
 
@@ -119,6 +154,11 @@ class FlatRowIndexManager {
   const FlatRowIndex& GetOrBuild(const Table* table, size_t column);
 
   void Clear() { cache_.clear(); }
+
+  /// Drops only the indexes over `table` (relation-scoped invalidation
+  /// after a write); returns how many were dropped.
+  size_t EraseTable(const Table* table);
+
   size_t num_indexes() const { return cache_.size(); }
 
   /// Sum of per-index stats over everything built so far (survives Clear()
@@ -134,13 +174,19 @@ class FlatRowIndexManager {
 
 /// Thread-safe, epoch-aware flat-index tier shared by the workers of one
 /// service shard (see service/debug_service.h): one shard = one manager, so
-/// arenas are partitioned per shard and no lock is global. Indexes are
-/// immutable once built and held behind stable pointers, so the returned
-/// reference outlives the lock; the mutex only serializes the map lookup
-/// and the (rare) build. Epoch invalidation is lazy: a GetOrBuild carrying
-/// a newer database epoch drops everything built against the old one —
-/// callers must only bump epochs while the shard is quiescent (the
-/// DebugService contract: mutate + BumpEpoch() between batches).
+/// arenas are partitioned per shard and no lock is global. Indexes are held
+/// behind stable pointers, so the returned reference outlives the lock; the
+/// mutex only serializes the map lookup and the (rare) build or patch.
+///
+/// Invalidation is two-level. The database epoch still clears everything
+/// lazily (legacy BumpEpoch between batches). Independently, every entry is
+/// stamped with its table's data epoch: LiveMutator patches cached indexes
+/// in place under the relation write fence and restamps them, so worker
+/// probes stay warm across writes; an entry whose stamp mismatches (a
+/// compaction, or a mutation that could not be patched) is rebuilt on the
+/// next GetOrBuild. Safe without quiescence because mutating calls run under
+/// the exclusive index gate (storage/relation_fences.h) while every probe
+/// holds it shared — references never dangle mid-evaluation.
 class SharedFlatRowIndexManager {
  public:
   /// The index for (table, column), built on first use. `built` (optional)
@@ -149,16 +195,39 @@ class SharedFlatRowIndexManager {
   const FlatRowIndex& GetOrBuild(const Table* table, size_t column,
                                  uint64_t epoch, bool* built = nullptr);
 
+  /// In-place patches of every cached index over `table` after one
+  /// mutation, restamping them to the table's (already bumped) data epoch.
+  /// `old_row` / `old_value` carry pre-mutation values. Return the number
+  /// of index patches applied.
+  size_t ApplyRowInsert(const Table* table, uint32_t row);
+  size_t ApplyRowDelete(const Table* table, uint32_t row,
+                        const Tuple& old_row);
+  size_t ApplyCellUpdate(const Table* table, uint32_t row, size_t column,
+                         const Value& old_value);
+
+  /// Drops the indexes over `table` (used after compaction, where row ids
+  /// shift and patching is meaningless); returns how many were dropped.
+  size_t EraseTable(const Table* table);
+
   void Clear();
   size_t num_indexes() const;
   /// Accumulated build-cost stats over every index built (any epoch).
   FlatIndexStats totals() const;
 
  private:
+  struct Entry {
+    std::unique_ptr<FlatRowIndex> index;
+    uint64_t table_epoch = 0;
+  };
+
+  const FlatRowIndex& GetOrBuildLocked(const Table* table, size_t column,
+                                       bool* built);
+
   mutable std::mutex mu_;
-  uint64_t epoch_ = 0;           // guarded by mu_
-  FlatRowIndexManager manager_;  // guarded by mu_
-  FlatIndexStats totals_;        // guarded by mu_; survives epoch clears
+  uint64_t epoch_ = 0;  // guarded by mu_
+  std::unordered_map<std::pair<const Table*, size_t>, Entry, PairHash>
+      cache_;                // guarded by mu_
+  FlatIndexStats totals_;    // guarded by mu_; survives epoch clears
 };
 
 }  // namespace kwsdbg

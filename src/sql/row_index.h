@@ -41,6 +41,22 @@ class RowIndexManager {
   const RowIndex& GetOrBuild(const Table* table, size_t column);
 
   void Clear() { cache_.clear(); }
+
+  /// Drops only the indexes over `table` (relation-scoped invalidation
+  /// after a write); returns how many were dropped.
+  size_t EraseTable(const Table* table) {
+    size_t erased = 0;
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->first.first == table) {
+        it = cache_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
   size_t num_indexes() const { return cache_.size(); }
 
  private:

@@ -15,6 +15,7 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* ptr = table.get();
+  ptr->set_catalog_index(order_.size());
   tables_.emplace(name, std::move(table));
   order_.push_back(name);
   BumpEpoch();
@@ -26,6 +27,7 @@ Status Database::AddTable(std::unique_ptr<Table> table) {
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
+  table->set_catalog_index(order_.size());
   order_.push_back(name);
   tables_.emplace(name, std::move(table));
   BumpEpoch();
@@ -160,6 +162,12 @@ StorageStats Database::storage_stats() const {
 
 void Database::BumpEpoch() {
   ++epoch_;
+  // Legacy full invalidation: a global bump means "anything may have
+  // changed", so every table's data epoch moves too and per-relation caches
+  // (flat indexes, executor session caches, verdict relation fingerprints)
+  // all go cold. Targeted writes should use Table::BumpDataEpoch via
+  // LiveMutator instead, which leaves unrelated tables' caches warm.
+  for (const auto& [name, table] : tables_) table->BumpDataEpoch();
   if (pool_ != nullptr) {
     // A mutation happened (or the catalog changed): push dirty frames to
     // disk, then drop everything so post-bump reads decode fresh pages. The

@@ -1,0 +1,157 @@
+// Per-relation reader/writer fences for live mutations under load.
+//
+// The old contract was quiescence: mutate + BumpEpoch() only while no query
+// is in flight. These fences replace it with per-relation blocking: a reader
+// (one verdict evaluation, one binding pass, one sampling query) holds the
+// fences of exactly the relations its CN binds in SHARED mode, and a writer
+// (LiveMutator::Apply) holds the mutated relation's fence in EXCLUSIVE mode
+// for the duration of one table + index patch. A write to `Person` therefore
+// waits only for in-flight evaluations that touch `Person` — queries over
+// disjoint relations proceed concurrently with the write.
+//
+// Two-level locking: relation fences guard table contents (rows, tombstone
+// bits, flat/row indexes over one table); the single `index gate` guards the
+// shared InvertedIndex + the buffer pool, whose structures interleave all
+// relations (a term's posting vector spans tables, and a page eviction can
+// touch any table's frames). Readers take their relation fences in ascending
+// index order, then the gate shared; writers take one relation fence
+// exclusive, then the gate exclusive only for the brief index-patch window.
+// The global order (fences ascending, gate last) makes deadlock impossible.
+#ifndef KWSDBG_STORAGE_RELATION_FENCES_H_
+#define KWSDBG_STORAGE_RELATION_FENCES_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kwsdbg {
+
+class RelationFences {
+ public:
+  /// One fence per catalog slot. `num_tables` may be 0 (empty catalog).
+  explicit RelationFences(size_t num_tables)
+      : num_fences_(num_tables),
+        fences_(num_tables == 0
+                    ? nullptr
+                    : std::make_unique<std::shared_mutex[]>(num_tables)) {}
+
+  RelationFences(const RelationFences&) = delete;
+  RelationFences& operator=(const RelationFences&) = delete;
+
+  size_t num_fences() const { return num_fences_; }
+  std::shared_mutex& fence(size_t i) {
+    KWSDBG_CHECK(i < num_fences_) << "fence index " << i << " out of range";
+    return fences_[i];
+  }
+  std::shared_mutex& index_gate() { return index_gate_; }
+
+  /// Relation-mask bit for a catalog index. Catalogs wider than 63 tables
+  /// share the catch-all bit 63 (conservative: such verdicts evict on any
+  /// write to a high-index table, never go stale).
+  static constexpr uint64_t BitFor(size_t catalog_index) {
+    return uint64_t{1} << (catalog_index < 63 ? catalog_index : 63);
+  }
+
+ private:
+  size_t num_fences_;
+  std::unique_ptr<std::shared_mutex[]> fences_;
+  std::shared_mutex index_gate_;
+};
+
+/// Shared hold over the relations in `rel_mask` plus the index gate, for the
+/// scope of one evaluation. Bit 63 set means "some table with catalog index
+/// >= 63": all high fences are taken, conservatively. A null `fences` makes
+/// this a no-op (single-threaded callers pay nothing).
+class RelationReadGuard {
+ public:
+  /// Mask that locks every fence — for whole-database reads (sampling).
+  static constexpr uint64_t kAllRelations = ~uint64_t{0};
+
+  RelationReadGuard(RelationFences* fences, uint64_t rel_mask)
+      : fences_(fences) {
+    if (fences_ == nullptr) return;
+    const size_t n = fences_->num_fences();
+    for (size_t i = 0; i < n && i < 63; ++i) {
+      if (rel_mask & (uint64_t{1} << i)) {
+        fences_->fence(i).lock_shared();
+        held_.push_back(i);
+      }
+    }
+    if (rel_mask & (uint64_t{1} << 63)) {
+      for (size_t i = 63; i < n; ++i) {
+        fences_->fence(i).lock_shared();
+        held_.push_back(i);
+      }
+    }
+    fences_->index_gate().lock_shared();
+  }
+
+  ~RelationReadGuard() {
+    if (fences_ == nullptr) return;
+    fences_->index_gate().unlock_shared();
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      fences_->fence(*it).unlock_shared();
+    }
+  }
+
+  RelationReadGuard(const RelationReadGuard&) = delete;
+  RelationReadGuard& operator=(const RelationReadGuard&) = delete;
+
+ private:
+  RelationFences* fences_;
+  std::vector<size_t> held_;
+};
+
+/// Shared hold over the index gate alone — for readers that touch only the
+/// shared InvertedIndex (Phase-1 keyword binding reads posting lists but no
+/// table rows).
+class IndexReadGuard {
+ public:
+  explicit IndexReadGuard(RelationFences* fences) : fences_(fences) {
+    if (fences_ != nullptr) fences_->index_gate().lock_shared();
+  }
+  ~IndexReadGuard() {
+    if (fences_ != nullptr) fences_->index_gate().unlock_shared();
+  }
+  IndexReadGuard(const IndexReadGuard&) = delete;
+  IndexReadGuard& operator=(const IndexReadGuard&) = delete;
+
+ private:
+  RelationFences* fences_;
+};
+
+/// Exclusive hold for one mutation: the mutated relation's fence for the
+/// whole scope, plus the index gate exclusively (taken in the same
+/// fences-then-gate order readers use). The writer blocks only readers whose
+/// mask includes this relation, and every reader's index reads happen-before
+/// or happen-after the patch, never during.
+class RelationWriteGuard {
+ public:
+  RelationWriteGuard(RelationFences* fences, size_t catalog_index)
+      : fences_(fences) {
+    if (fences_ == nullptr) return;
+    catalog_index_ = catalog_index;
+    fences_->fence(catalog_index_).lock();
+    fences_->index_gate().lock();
+  }
+
+  ~RelationWriteGuard() {
+    if (fences_ == nullptr) return;
+    fences_->index_gate().unlock();
+    fences_->fence(catalog_index_).unlock();
+  }
+
+  RelationWriteGuard(const RelationWriteGuard&) = delete;
+  RelationWriteGuard& operator=(const RelationWriteGuard&) = delete;
+
+ private:
+  RelationFences* fences_;
+  size_t catalog_index_ = 0;
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_RELATION_FENCES_H_

@@ -20,10 +20,6 @@ bool TypeMatches(const Value& v, DataType t) {
 }  // namespace
 
 Status Table::AppendRow(Tuple row) {
-  if (spilled_) {
-    return Status::FailedPrecondition("append to spilled table '" + name_ +
-                                      "' (live growth is not supported)");
-  }
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -36,7 +32,37 @@ Status Table::AppendRow(Tuple row) {
           "' of table " + name_ + ": got " + row[i].ToString());
     }
   }
-  rows_.push_back(std::move(row));
+  AppendRowUnchecked(std::move(row));
+  return Status::OK();
+}
+
+Status Table::DeleteRow(size_t row) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range for table " + name_);
+  }
+  if (deleted(row)) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " of table " + name_ +
+                                      " is already deleted");
+  }
+  const size_t cols = schema_.num_columns();
+  if (!spilled_) {
+    for (size_t c = 0; c < cols; ++c) rows_[row][c] = Value::Null();
+  } else if (row >= spilled_rows_) {
+    Tuple& t = tail_rows_[row - spilled_rows_];
+    for (size_t c = 0; c < cols; ++c) t[c] = Value::Null();
+  } else {
+    const PageExtent& ext = ExtentForRow(row);
+    KWSDBG_ASSIGN_OR_RETURN(
+        std::vector<Tuple> * frame_rows,
+        pool_->FetchMutable(ext.first_page, ext.num_pages, this));
+    Tuple& t = (*frame_rows)[row - ext.first_row];
+    for (size_t c = 0; c < cols; ++c) t[c] = Value::Null();
+  }
+  if (deleted_.size() < num_rows()) deleted_.resize(num_rows(), false);
+  deleted_[row] = true;
+  ++deleted_count_;
   return Status::OK();
 }
 
@@ -54,12 +80,21 @@ Status Table::SetValue(size_t row, size_t col, Value value) {
     return Status::OutOfRange("cell (" + std::to_string(row) + ", " +
                               std::to_string(col) + ") out of range");
   }
+  if (deleted(row)) {
+    return Status::FailedPrecondition("update of deleted row " +
+                                      std::to_string(row) + " in table " +
+                                      name_);
+  }
   if (!TypeMatches(value, schema_.column(col).type)) {
     return Status::InvalidArgument("type mismatch in column '" +
                                    schema_.column(col).name + "'");
   }
   if (!spilled_) {
     rows_[row][col] = std::move(value);
+    return Status::OK();
+  }
+  if (row >= spilled_rows_) {
+    tail_rows_[row - spilled_rows_][col] = std::move(value);
     return Status::OK();
   }
   const PageExtent& ext = ExtentForRow(row);
@@ -70,21 +105,71 @@ Status Table::SetValue(size_t row, size_t col, Value value) {
   return Status::OK();
 }
 
+StatusOr<std::vector<uint32_t>> Table::Compact() {
+  const size_t n = num_rows();
+  std::vector<uint32_t> remap(n, kDeletedRow);
+  if (!spilled_) {
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (deleted(i)) continue;
+      remap[i] = static_cast<uint32_t>(out);
+      if (out != i) rows_[out] = std::move(rows_[i]);
+      ++out;
+    }
+    rows_.resize(out);
+  } else {
+    // Deep-copy the survivors out of the frames (each row() fetch may evict
+    // the previous frame, so every tuple is copied before the next fetch),
+    // then flush dirty frames while their pages still exist, drop the whole
+    // pool (other tables' frames go cold but re-read correctly), free every
+    // extent, and re-pack.
+    std::vector<Tuple> live;
+    live.reserve(live_rows());
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (deleted(i)) continue;
+      remap[i] = static_cast<uint32_t>(out++);
+      live.push_back(row(i));
+    }
+    KWSDBG_RETURN_NOT_OK(pool_->FlushAll());
+    pool_->DropAll();
+    for (const PageExtent& e : extents_) {
+      disk_->FreePages(e.first_page, e.num_pages);
+    }
+    extents_.clear();
+    page_to_extent_.clear();
+    on_disk_bytes_ = 0;
+    tail_rows_.clear();
+    tail_rows_.shrink_to_fit();
+    spilled_rows_ = live.size();
+    KWSDBG_RETURN_NOT_OK(PackRows(&live));
+  }
+  deleted_.clear();
+  deleted_count_ = 0;
+  BumpDataEpoch();
+  return remap;
+}
+
 size_t Table::EstimateBytes() const {
   // Count what the allocator actually holds: the row vector's full capacity
   // (not just its size), each tuple's capacity in Values, and only *heap*
   // string payloads — strings short enough for the small-string optimization
   // live inside sizeof(Value) and must not be double-counted.
   static const size_t kSsoCapacity = std::string().capacity();
-  size_t bytes = sizeof(Table) + rows_.capacity() * sizeof(Tuple);
-  for (const auto& r : rows_) {
-    bytes += r.capacity() * sizeof(Value);
-    for (const auto& v : r) {
-      if (v.is_string() && v.AsString().capacity() > kSsoCapacity) {
-        bytes += v.AsString().capacity() + 1;  // +1: the NUL terminator
+  size_t bytes = sizeof(Table) + rows_.capacity() * sizeof(Tuple) +
+                 tail_rows_.capacity() * sizeof(Tuple);
+  auto count_rows = [&](const std::vector<Tuple>& rows) {
+    for (const auto& r : rows) {
+      bytes += r.capacity() * sizeof(Value);
+      for (const auto& v : r) {
+        if (v.is_string() && v.AsString().capacity() > kSsoCapacity) {
+          bytes += v.AsString().capacity() + 1;  // +1: the NUL terminator
+        }
       }
     }
-  }
+  };
+  count_rows(rows_);
+  count_rows(tail_rows_);
   if (spilled_) {
     bytes += extents_.capacity() * sizeof(PageExtent) +
              page_to_extent_.size() * (sizeof(uint64_t) + sizeof(size_t));
@@ -92,12 +177,8 @@ size_t Table::EstimateBytes() const {
   return bytes;
 }
 
-Status Table::Spill(BufferPool* pool, DiskManager* disk) {
-  if (spilled_) {
-    return Status::FailedPrecondition("table '" + name_ +
-                                      "' is already spilled");
-  }
-  const size_t page_size = disk->page_size();
+Status Table::PackRows(std::vector<Tuple>* rows) {
+  const size_t page_size = disk_->page_size();
   std::string buf;
   std::vector<Tuple> chunk;
   size_t first_row = 0;
@@ -107,11 +188,11 @@ Status Table::Spill(BufferPool* pool, DiskManager* disk) {
     if (chunk.empty()) return Status::OK();
     size_t num_pages = (chunk_bytes + page_size - 1) / page_size;
     KWSDBG_ASSIGN_OR_RETURN(uint64_t first_page,
-                            disk->AllocatePages(num_pages));
+                            disk_->AllocatePages(num_pages));
     buf.clear();
     EncodeRows(chunk, &buf);
     buf.resize(num_pages * page_size, '\0');
-    KWSDBG_RETURN_NOT_OK(disk->WritePages(first_page, num_pages, buf.data()));
+    KWSDBG_RETURN_NOT_OK(disk_->WritePages(first_page, num_pages, buf.data()));
     PageExtent ext;
     ext.first_page = first_page;
     ext.num_pages = static_cast<uint32_t>(num_pages);
@@ -126,7 +207,7 @@ Status Table::Spill(BufferPool* pool, DiskManager* disk) {
     return Status::OK();
   };
 
-  for (Tuple& r : rows_) {
+  for (Tuple& r : *rows) {
     size_t row_bytes = EncodedRowSize(r);
     if (!chunk.empty() && chunk_bytes + row_bytes > page_size) {
       KWSDBG_RETURN_NOT_OK(flush_chunk());
@@ -134,13 +215,20 @@ Status Table::Spill(BufferPool* pool, DiskManager* disk) {
     chunk_bytes += row_bytes;
     chunk.push_back(std::move(r));
   }
-  KWSDBG_RETURN_NOT_OK(flush_chunk());
+  return flush_chunk();
+}
 
+Status Table::Spill(BufferPool* pool, DiskManager* disk) {
+  if (spilled_) {
+    return Status::FailedPrecondition("table '" + name_ +
+                                      "' is already spilled");
+  }
+  pool_ = pool;
+  disk_ = disk;
+  KWSDBG_RETURN_NOT_OK(PackRows(&rows_));
   spilled_rows_ = rows_.size();
   rows_.clear();
   rows_.shrink_to_fit();
-  pool_ = pool;
-  disk_ = disk;
   spilled_ = true;
   return Status::OK();
 }
@@ -160,6 +248,7 @@ const PageExtent& Table::ExtentForRow(size_t row) const {
 }
 
 const Tuple& Table::SpilledRow(size_t i) const {
+  if (i >= spilled_rows_) return tail_rows_[i - spilled_rows_];
   const PageExtent& ext = ExtentForRow(i);
   auto rows_or = pool_->Fetch(ext.first_page, ext.num_pages,
                               const_cast<Table*>(this));

@@ -7,6 +7,14 @@
 
 namespace kwsdbg {
 
+namespace {
+bool PostingLess(const Posting& a, const Posting& b) {
+  if (a.table_id != b.table_id) return a.table_id < b.table_id;
+  if (a.row != b.row) return a.row < b.row;
+  return a.column < b.column;
+}
+}  // namespace
+
 InvertedIndex InvertedIndex::Build(const Database& db) {
   InvertedIndex index;
   for (const std::string& name : db.TableNames()) {
@@ -35,6 +43,7 @@ InvertedIndex InvertedIndex::Build(const Database& db) {
 }
 
 void InvertedIndex::Finalize() {
+  dict_terms_.clear();
   dict_terms_.reserve(entries_.size());
   for (const auto& [term, entry] : entries_) dict_terms_.push_back(term);
   std::sort(dict_terms_.begin(), dict_terms_.end());
@@ -70,6 +79,8 @@ void InvertedIndex::Finalize() {
       last_row = p.row;
     }
   }
+  // Term ids may have shifted: any cache keyed by term id must refresh.
+  ++version_;
 }
 
 uint32_t InvertedIndex::DictIdOf(const std::string& term) const {
@@ -98,7 +109,7 @@ const std::vector<Posting>& InvertedIndex::PostingsFor(
     return it == entries_.end() ? empty_ : it->second.postings;
   }
   uint32_t id = DictIdOf(term);
-  return id >= dict_terms_.size() ? empty_ : store_->Fetch(id);
+  return id >= dict_terms_.size() ? empty_ : PostingsForTermId(id);
 }
 
 std::vector<uint32_t> InvertedIndex::TermIdsContaining(
@@ -141,8 +152,23 @@ const std::vector<Posting>& InvertedIndex::PostingsForTermId(
     uint32_t term_id) const {
   KWSDBG_CHECK(term_id < dict_terms_.size())
       << "term id " << term_id << " out of range";
-  if (store_ != nullptr) return store_->Fetch(term_id);
-  return *dict_postings_[term_id];
+  if (store_ == nullptr) return *dict_postings_[term_id];
+  const std::vector<Posting>& base = store_->Fetch(term_id);
+  auto it = delta_.find(term_id);
+  if (it == delta_.end()) return base;
+  // Merge the live overlay into the scratch buffer: (base - removed) +
+  // added, all sorted. Same lifetime contract as a raw fetch: the reference
+  // is valid until the next posting fetch.
+  const Delta& d = it->second;
+  std::vector<Posting> diff;
+  diff.reserve(base.size());
+  std::set_difference(base.begin(), base.end(), d.removed.begin(),
+                      d.removed.end(), std::back_inserter(diff), PostingLess);
+  merged_scratch_.clear();
+  merged_scratch_.reserve(diff.size() + d.added.size());
+  std::merge(diff.begin(), diff.end(), d.added.begin(), d.added.end(),
+             std::back_inserter(merged_scratch_), PostingLess);
+  return merged_scratch_;
 }
 
 const std::string& InvertedIndex::TermOfId(uint32_t term_id) const {
@@ -195,7 +221,11 @@ uint32_t InvertedIndex::TableIdOf(const std::string& table) const {
 }
 
 bool InvertedIndex::Contains(const std::string& term) const {
-  return DictIdOf(term) < dict_terms_.size();
+  uint32_t id = DictIdOf(term);
+  // The profile check matters on a spilled index, where a term emptied by
+  // deletes keeps its dictionary slot (the on-disk directory cannot shrink)
+  // but must behave as absent — exactly what a fresh rebuild would report.
+  return id < dict_terms_.size() && !profile_[id].empty();
 }
 
 bool InvertedIndex::TableContains(const std::string& term,
@@ -207,6 +237,288 @@ bool InvertedIndex::TableContains(const std::string& term,
   const uint32_t tid = tid_it->second;
   if (tid < 64) return (dict_masks_[id] >> tid) & 1;
   return ProfileRowCount(id, tid) > 0;
+}
+
+void InvertedIndex::BumpProfile(uint32_t id, uint32_t tid, int delta) {
+  auto& prof = profile_[id];
+  auto it = std::lower_bound(
+      prof.begin(), prof.end(), tid,
+      [](const std::pair<uint32_t, uint32_t>& pr, uint32_t t) {
+        return pr.first < t;
+      });
+  if (delta > 0) {
+    if (it == prof.end() || it->first != tid) {
+      prof.insert(it, {tid, 1});
+    } else {
+      ++it->second;
+    }
+    if (tid < 64) dict_masks_[id] |= (uint64_t{1} << tid);
+    return;
+  }
+  KWSDBG_CHECK(it != prof.end() && it->first == tid && it->second > 0)
+      << "profile underflow for term '" << dict_terms_[id] << "' table "
+      << tid;
+  if (--it->second == 0) {
+    prof.erase(it);
+    if (tid < 64) dict_masks_[id] &= ~(uint64_t{1} << tid);
+  }
+}
+
+size_t InvertedIndex::RowOccurrences(uint32_t id, uint32_t tid,
+                                     uint32_t row) const {
+  auto count_range = [&](const std::vector<Posting>& v) {
+    auto lo = std::lower_bound(v.begin(), v.end(), Posting{tid, row, 0},
+                               PostingLess);
+    size_t n = 0;
+    while (lo != v.end() && lo->table_id == tid && lo->row == row) {
+      ++n;
+      ++lo;
+    }
+    return n;
+  };
+  if (store_ == nullptr) return count_range(*dict_postings_[id]);
+  size_t n = count_range(store_->Fetch(id));
+  auto it = delta_.find(id);
+  if (it != delta_.end()) {
+    n += count_range(it->second.added);
+    n -= count_range(it->second.removed);
+  }
+  return n;
+}
+
+Status InvertedIndex::AddOccurrence(const std::string& term, uint32_t tid,
+                                    uint32_t row, uint32_t col,
+                                    bool* needs_finalize) {
+  const Posting p{tid, row, col};
+  if (store_ == nullptr) {
+    auto [it, created] = entries_.try_emplace(term);
+    auto& posts = it->second.postings;
+    const uint32_t id = DictIdOf(term);
+    const bool new_term = id >= dict_terms_.size();
+    bool first_in_row = false;
+    if (!new_term) {
+      auto lo = std::lower_bound(posts.begin(), posts.end(),
+                                 Posting{tid, row, 0}, PostingLess);
+      first_in_row = lo == posts.end() || lo->table_id != tid ||
+                     lo->row != row;
+    }
+    auto pos = std::lower_bound(posts.begin(), posts.end(), p, PostingLess);
+    if (pos != posts.end() && *pos == p) {
+      return Status::FailedPrecondition("duplicate posting insert");
+    }
+    posts.insert(pos, p);
+    ++num_postings_;
+    if (new_term) {
+      // Vocabulary grew: the sorted dictionary, masks, and profile must be
+      // rebuilt (term ids shift). The caller batches this per mutation.
+      *needs_finalize = true;
+      return Status::OK();
+    }
+    if (first_in_row) BumpProfile(id, tid, +1);
+    return Status::OK();
+  }
+  const uint32_t id = DictIdOf(term);
+  if (id >= dict_terms_.size()) {
+    return Status::FailedPrecondition(
+        "insert of vocabulary-new term '" + term +
+        "' on a spilled index (the on-disk directory cannot grow)");
+  }
+  const bool first_in_row = RowOccurrences(id, tid, row) == 0;
+  Delta& d = delta_[id];
+  auto rit = std::lower_bound(d.removed.begin(), d.removed.end(), p,
+                              PostingLess);
+  if (rit != d.removed.end() && *rit == p) {
+    d.removed.erase(rit);
+  } else {
+    auto ait = std::lower_bound(d.added.begin(), d.added.end(), p,
+                                PostingLess);
+    if (ait != d.added.end() && *ait == p) {
+      return Status::FailedPrecondition("duplicate posting insert");
+    }
+    d.added.insert(ait, p);
+  }
+  ++num_postings_;
+  if (first_in_row) BumpProfile(id, tid, +1);
+  return Status::OK();
+}
+
+void InvertedIndex::RemoveOccurrence(const std::string& term, uint32_t tid,
+                                     uint32_t row, uint32_t col,
+                                     bool* needs_finalize) {
+  const Posting p{tid, row, col};
+  if (store_ == nullptr) {
+    auto it = entries_.find(term);
+    KWSDBG_CHECK(it != entries_.end())
+        << "remove of unindexed term '" << term << "'";
+    auto& posts = it->second.postings;
+    auto pos = std::lower_bound(posts.begin(), posts.end(), p, PostingLess);
+    KWSDBG_CHECK(pos != posts.end() && *pos == p)
+        << "remove of absent posting for term '" << term << "'";
+    posts.erase(pos);
+    --num_postings_;
+    if (posts.empty()) {
+      // The term left the vocabulary; a fresh rebuild would not have it, so
+      // drop the entry and re-finalize the dictionary.
+      entries_.erase(it);
+      *needs_finalize = true;
+      return;
+    }
+    auto lo = std::lower_bound(posts.begin(), posts.end(),
+                               Posting{tid, row, 0}, PostingLess);
+    const bool last_in_row = lo == posts.end() || lo->table_id != tid ||
+                             lo->row != row;
+    const uint32_t id = DictIdOf(term);
+    if (last_in_row && id < dict_terms_.size()) BumpProfile(id, tid, -1);
+    return;
+  }
+  const uint32_t id = DictIdOf(term);
+  KWSDBG_CHECK(id < dict_terms_.size())
+      << "remove of unindexed term '" << term << "'";
+  Delta& d = delta_[id];
+  auto ait = std::lower_bound(d.added.begin(), d.added.end(), p, PostingLess);
+  if (ait != d.added.end() && *ait == p) {
+    d.added.erase(ait);
+  } else {
+    auto rit = std::lower_bound(d.removed.begin(), d.removed.end(), p,
+                                PostingLess);
+    KWSDBG_CHECK(!(rit != d.removed.end() && *rit == p))
+        << "double remove of posting for term '" << term << "'";
+    const std::vector<Posting>& base = store_->Fetch(id);
+    auto bit = std::lower_bound(base.begin(), base.end(), p, PostingLess);
+    KWSDBG_CHECK(bit != base.end() && *bit == p)
+        << "remove of absent posting for term '" << term << "'";
+    d.removed.insert(rit, p);
+  }
+  --num_postings_;
+  if (RowOccurrences(id, tid, row) == 0) BumpProfile(id, tid, -1);
+}
+
+StatusOr<size_t> InvertedIndex::ApplyRowInsert(const Table& table,
+                                               uint32_t row) {
+  const uint32_t tid = TableIdOf(table.name());
+  if (tid == kNoTable) {
+    return Status::NotFound("table '" + table.name() + "' is not indexed");
+  }
+  const std::vector<size_t> text_cols = table.schema().TextColumnIndices();
+  if (store_ != nullptr) {
+    // Pre-validate so a rejected term leaves the index untouched.
+    for (size_t col : text_cols) {
+      const Value v = table.at(row, col);
+      if (v.is_null()) continue;
+      for (const std::string& term : TokenizeUnique(v.AsString())) {
+        if (DictIdOf(term) >= dict_terms_.size()) {
+          return Status::FailedPrecondition(
+              "insert of vocabulary-new term '" + term +
+              "' on a spilled index (the on-disk directory cannot grow)");
+        }
+      }
+    }
+  }
+  size_t patches = 0;
+  bool needs_finalize = false;
+  for (size_t col : text_cols) {
+    // Copy: on a spilled table the reference points into an evictable frame.
+    const Value v = table.at(row, col);
+    if (v.is_null()) continue;
+    for (const std::string& term : TokenizeUnique(v.AsString())) {
+      KWSDBG_RETURN_NOT_OK(AddOccurrence(
+          term, tid, row, static_cast<uint32_t>(col), &needs_finalize));
+      ++patches;
+    }
+  }
+  if (needs_finalize) Finalize();
+  return patches;
+}
+
+StatusOr<size_t> InvertedIndex::ApplyRowDelete(const Table& table,
+                                               uint32_t row) {
+  const uint32_t tid = TableIdOf(table.name());
+  if (tid == kNoTable) {
+    return Status::NotFound("table '" + table.name() + "' is not indexed");
+  }
+  size_t patches = 0;
+  bool needs_finalize = false;
+  for (size_t col : table.schema().TextColumnIndices()) {
+    const Value v = table.at(row, col);
+    if (v.is_null()) continue;
+    for (const std::string& term : TokenizeUnique(v.AsString())) {
+      RemoveOccurrence(term, tid, row, static_cast<uint32_t>(col),
+                       &needs_finalize);
+      ++patches;
+    }
+  }
+  if (needs_finalize) Finalize();
+  return patches;
+}
+
+StatusOr<size_t> InvertedIndex::ApplyCellUpdate(const Table& table,
+                                                uint32_t row, size_t col,
+                                                const Value& old_value) {
+  const uint32_t tid = TableIdOf(table.name());
+  if (tid == kNoTable) {
+    return Status::NotFound("table '" + table.name() + "' is not indexed");
+  }
+  std::vector<std::string> old_terms;
+  if (!old_value.is_null()) old_terms = TokenizeUnique(old_value.AsString());
+  std::vector<std::string> new_terms;
+  const Value nv = table.at(row, col);
+  if (!nv.is_null()) new_terms = TokenizeUnique(nv.AsString());
+  std::sort(old_terms.begin(), old_terms.end());
+  std::sort(new_terms.begin(), new_terms.end());
+  std::vector<std::string> removed;
+  std::set_difference(old_terms.begin(), old_terms.end(), new_terms.begin(),
+                      new_terms.end(), std::back_inserter(removed));
+  std::vector<std::string> added;
+  std::set_difference(new_terms.begin(), new_terms.end(), old_terms.begin(),
+                      old_terms.end(), std::back_inserter(added));
+  if (store_ != nullptr) {
+    for (const std::string& term : added) {
+      if (DictIdOf(term) >= dict_terms_.size()) {
+        return Status::FailedPrecondition(
+            "update introducing vocabulary-new term '" + term +
+            "' on a spilled index (the on-disk directory cannot grow)");
+      }
+    }
+  }
+  size_t patches = 0;
+  bool needs_finalize = false;
+  for (const std::string& term : removed) {
+    RemoveOccurrence(term, tid, row, static_cast<uint32_t>(col),
+                     &needs_finalize);
+    ++patches;
+  }
+  for (const std::string& term : added) {
+    KWSDBG_RETURN_NOT_OK(AddOccurrence(
+        term, tid, row, static_cast<uint32_t>(col), &needs_finalize));
+    ++patches;
+  }
+  if (needs_finalize) Finalize();
+  return patches;
+}
+
+Status InvertedIndex::RemapRows(const std::string& table,
+                                const std::vector<uint32_t>& remap) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition(
+        "RemapRows on a spilled index (compact before spilling)");
+  }
+  const uint32_t tid = TableIdOf(table);
+  if (tid == kNoTable) {
+    return Status::NotFound("table '" + table + "' is not indexed");
+  }
+  // Deleted rows were blanked before compaction, so no posting references a
+  // kDeletedRow slot; survivors keep their relative order, so every list
+  // stays sorted and the profile's distinct-row counts are unchanged.
+  for (auto& [term, entry] : entries_) {
+    for (Posting& p : entry.postings) {
+      if (p.table_id != tid) continue;
+      KWSDBG_CHECK(p.row < remap.size() && remap[p.row] != kDeletedRow)
+          << "posting for term '" << term << "' references compacted row "
+          << p.row << " of table '" << table << "'";
+      p.row = remap[p.row];
+    }
+  }
+  return Status::OK();
 }
 
 size_t InvertedIndex::RowFrequency(const std::string& term,

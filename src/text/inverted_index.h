@@ -25,14 +25,18 @@
 
 namespace kwsdbg {
 
-/// Immutable term -> postings map built from every kString column of every
-/// table. Rebuild after data changes (the paper treats the index as a
-/// periodically rebuilt artifact too); rebuilding also refreshes the
-/// selectivity profile, which is how epoch bumps invalidate it.
+/// Term -> postings map built from every kString column of every table.
+/// Built once, then maintainable under live writes: ApplyRowInsert /
+/// ApplyRowDelete / ApplyCellUpdate patch the posting lists, the selectivity
+/// profile, and the table masks in place so the index always equals a
+/// from-scratch rebuild (the incremental-vs-rebuild parity oracle in
+/// tests/text/incremental_index_test.cc). A full rebuild remains valid too.
 ///
 /// A spilled index is NOT thread-safe (posting fetches mutate an LRU cache
 /// through const methods); it is a single-session artifact. Concurrent
-/// services keep their index resident.
+/// services keep their index resident. Incremental patches on a spilled
+/// index land in a resident delta overlay merged into every fetch; only
+/// vocabulary-new terms are rejected (the on-disk directory cannot grow).
 class InvertedIndex {
  public:
   /// Sentinel returned by TableIdOf for tables absent from the index.
@@ -119,14 +123,70 @@ class InvertedIndex {
   /// Total number of postings (index size indicator).
   size_t num_postings() const { return num_postings_; }
 
+  // ---- Incremental maintenance (live writes) ----
+
+  /// Patches the index after `table` gained row `row` (the row must already
+  /// be readable). Returns the number of posting patches applied. On a
+  /// resident index a vocabulary-new term triggers a dictionary re-finalize
+  /// (term ids shift, version() bumps — no re-tokenization); on a spilled
+  /// index new terms are rejected with FailedPrecondition.
+  StatusOr<size_t> ApplyRowInsert(const Table& table, uint32_t row);
+
+  /// Patches the index for a pending delete of `row`. Must be called while
+  /// the row's old values are still readable (i.e. BEFORE
+  /// Table::DeleteRow blanks them). Returns posting patches applied.
+  StatusOr<size_t> ApplyRowDelete(const Table& table, uint32_t row);
+
+  /// Patches the index after one cell changed: `old_value` is the
+  /// pre-update value; the table already holds the new one.
+  StatusOr<size_t> ApplyCellUpdate(const Table& table, uint32_t row,
+                                   size_t col, const Value& old_value);
+
+  /// Rewrites this table's posting row ids after Table::Compact, using the
+  /// remap it returned (old -> new; kDeletedRow entries must have no
+  /// postings left, which holds because deletes blank the row first).
+  /// Survivor order is preserved, so lists stay sorted. Resident only.
+  Status RemapRows(const std::string& table,
+                   const std::vector<uint32_t>& remap);
+
+  /// Bumped whenever term ids shift (dictionary re-finalize after a
+  /// vocabulary change). Term-id-keyed session caches (the executor's infix
+  /// cache) compare against this.
+  uint64_t version() const { return version_; }
+
  private:
   struct Entry {
     std::vector<Posting> postings;
   };
 
+  /// Resident overlay for one spilled term: postings added/removed since the
+  /// spill, both sorted. Fetches merge (base - removed) + added.
+  struct Delta {
+    std::vector<Posting> added;
+    std::vector<Posting> removed;
+  };
+
   /// Builds the sorted dictionary, blob, masks, and selectivity profile
-  /// from entries_. Called at the end of Build.
+  /// from entries_. Called at the end of Build and after any vocabulary
+  /// change; bumps version_.
   void Finalize();
+
+  /// Adds/removes one occurrence, maintaining postings, profile, masks, and
+  /// num_postings_. `needs_finalize` is set when the vocabulary changed
+  /// (resident only). Remove on an absent posting is a checked invariant
+  /// violation.
+  Status AddOccurrence(const std::string& term, uint32_t tid, uint32_t row,
+                       uint32_t col, bool* needs_finalize);
+  void RemoveOccurrence(const std::string& term, uint32_t tid, uint32_t row,
+                        uint32_t col, bool* needs_finalize);
+
+  /// Number of effective postings of term `id` at (tid, row), counting the
+  /// spill overlay. Drives the "first/last occurrence in this row" profile
+  /// updates.
+  size_t RowOccurrences(uint32_t id, uint32_t tid, uint32_t row) const;
+
+  /// Profile count adjustment for (term id, tid): +1 / -1 distinct row.
+  void BumpProfile(uint32_t id, uint32_t tid, int delta);
 
   /// Dictionary id of `term`, or kNoTable-style npos (= num_terms()) if
   /// absent. Binary search.
@@ -150,8 +210,11 @@ class InvertedIndex {
   std::vector<std::string> table_names_;
   std::unordered_map<std::string, uint32_t> table_ids_;
   std::vector<Posting> empty_;
+  uint64_t version_ = 0;
 
   std::unique_ptr<PostingStore> store_;  ///< Non-null once spilled.
+  std::unordered_map<uint32_t, Delta> delta_;  ///< Spilled-mode overlay.
+  mutable std::vector<Posting> merged_scratch_;  ///< Overlay merge buffer.
 };
 
 }  // namespace kwsdbg

@@ -13,6 +13,7 @@
 #include "kws/pruned_lattice.h"
 #include "kws/query_builder.h"
 #include "sql/executor.h"
+#include "storage/relation_fences.h"
 #include "text/inverted_index.h"
 #include "traversal/verdict_cache.h"
 
@@ -27,6 +28,13 @@ struct EvalOptions {
   /// token reaches all of them). IsAlive polls it before issuing SQL and
   /// returns kDeadlineExceeded once it fires — never a fabricated verdict.
   const CancellationToken* cancellation = nullptr;
+  /// Relation fences shared with LiveMutator (see
+  /// storage/relation_fences.h). When set, IsAlive holds the fences of the
+  /// node's bound relations (plus the index gate) shared for the whole
+  /// evaluation, so a concurrent ApplyMutation cannot change the rows or
+  /// indexes it reads mid-verdict. Null = single-writer deployment, no
+  /// locking.
+  RelationFences* fences = nullptr;
 };
 
 /// Evaluates node aliveness for one interpretation. Not thread-safe itself
@@ -74,6 +82,23 @@ class QueryEvaluator {
   /// Memoized canonical label of the node's join tree.
   const std::string& CanonicalFor(NodeId id);
 
+  /// The distinct tables a node's join tree binds, plus their relation mask
+  /// (RelationFences::BitFor bits). Tables are sorted by catalog index so
+  /// isomorphic nodes (same canonical label, different vertex order) produce
+  /// the same relation-set fingerprint and share cache entries.
+  struct NodeRelations {
+    bool filled = false;
+    uint64_t rel_mask = 0;
+    std::vector<const Table*> tables;
+  };
+  const NodeRelations& RelationsFor(NodeId id);
+
+  /// Fingerprint over the bound tables' (catalog index, data epoch) pairs:
+  /// changes exactly when one of those tables takes a write, so verdicts
+  /// keyed by it go unreachable (and are then reaped by EvictRelations or
+  /// LRU aging) without touching verdicts over other relations.
+  static uint64_t RelsetVersion(const NodeRelations& rels);
+
   const Database* db_;
   Executor* executor_;
   const PrunedLattice* pl_;
@@ -82,6 +107,7 @@ class QueryEvaluator {
   VerdictCache* cache_;
   std::string binding_sig_;  ///< Computed once from pl_->binding().
   std::vector<std::string> canonical_memo_;  ///< Lazily filled per node.
+  std::vector<NodeRelations> relations_memo_;  ///< Lazily filled per node.
   size_t sql_executed_ = 0;
   double sql_millis_ = 0;
   size_t cache_hits_ = 0;

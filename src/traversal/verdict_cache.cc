@@ -7,14 +7,26 @@ VerdictCache::VerdictCache(size_t capacity, size_t num_shards)
 
 std::optional<bool> VerdictCache::Lookup(const std::string& canonical,
                                          const std::string& binding_sig,
-                                         uint64_t epoch) {
-  return cache_.Get(VerdictKey{canonical, binding_sig, epoch});
+                                         uint64_t epoch, uint64_t relset) {
+  std::optional<VerdictValue> v =
+      cache_.Get(VerdictKey{canonical, binding_sig, epoch, relset});
+  if (!v.has_value()) return std::nullopt;
+  return v->alive;
 }
 
 void VerdictCache::Insert(const std::string& canonical,
                           const std::string& binding_sig, uint64_t epoch,
-                          bool alive) {
-  cache_.Put(VerdictKey{canonical, binding_sig, epoch}, alive);
+                          uint64_t relset, bool alive, uint64_t rel_mask) {
+  cache_.Put(VerdictKey{canonical, binding_sig, epoch, relset},
+             VerdictValue{alive, rel_mask});
+}
+
+size_t VerdictCache::EvictRelations(uint64_t rel_mask) {
+  return cache_.EraseIf([rel_mask](const VerdictKey&, const VerdictValue& v) {
+    // Mask 0 = inserted without relation tracking: must not survive any
+    // write (we cannot prove it independent of the mutated table).
+    return v.rel_mask == 0 || (v.rel_mask & rel_mask) != 0;
+  });
 }
 
 void VerdictCache::Clear() { cache_.Clear(); }

@@ -21,7 +21,13 @@ cd "$(dirname "$0")/.."
 # SpillTest, SpillEpochTest, PostingStoreTest, ExecutorSpillTest,
 # storage_tier_smoke) runs here for asan's sake: the out-of-core tier hands
 # out references into evictable frames, exactly the lifetime bugs asan sees.
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke'
+# The live-write set (MutationTest, IncrementalIndexTest, LiveMutationTest —
+# whose ConcurrentWritesWhileQuerying is the tsan target for the
+# write-while-querying interleaving — plus mutation_smoke and the chaos
+# mutation layer inside DifferentialFuzzTest) exercises in-place posting
+# patches, arena compaction, and relation-fenced writes under both tools;
+# KWSDBG_MUTATION_RATE scales writes per query in the chaos fuzzer.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|MutationTest|IncrementalIndexTest|LiveMutationTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke|mutation_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS

@@ -14,12 +14,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "baselines/return_everything.h"
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "datasets/ecommerce.h"
 #include "datasets/query_generator.h"
@@ -240,6 +242,143 @@ std::string Minimize(const FuzzCase& fc, uint64_t seed, std::string query) {
     }
   }
   return query;
+}
+
+// ---- Chaos mutation layer ----
+
+/// One seeded random write against the fuzz catalog. Insert payloads draw
+/// their strings from `vocab` (sampled index terms) plus the occasional
+/// fresh word, so mutations both extend existing posting lists and grow the
+/// vocabulary.
+Mutation RandomMutation(Rng* rng, const FuzzCase& fc,
+                        const std::vector<std::string>& vocab) {
+  const std::vector<std::string> names = fc.db->TableNames();
+  const std::string& tname = names[rng->Uniform(names.size())];
+  Table* t = fc.db->FindTable(tname);
+  uint64_t kind = rng->Uniform(3);
+  if (t->live_rows() == 0) kind = 0;  // nothing left to delete or update
+
+  auto random_value = [&](DataType type) {
+    switch (type) {
+      case DataType::kInt64:
+        return Value(static_cast<int64_t>(rng->Uniform(64)));
+      case DataType::kDouble:
+        return Value(static_cast<double>(rng->Uniform(100)) * 0.25);
+      case DataType::kString: {
+        std::string s = vocab[rng->Uniform(vocab.size())];
+        if (rng->Bernoulli(0.3)) s += ' ' + vocab[rng->Uniform(vocab.size())];
+        if (rng->Bernoulli(0.1)) s += " chaosword" + std::to_string(rng->Uniform(8));
+        return Value(s);
+      }
+    }
+    return Value();
+  };
+
+  if (kind == 0) {
+    Tuple row;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      row.push_back(random_value(t->schema().column(c).type));
+    }
+    return Mutation::Insert(tname, std::move(row));
+  }
+  // Pick a live row (linear probe from a random start; a live one exists).
+  size_t row = rng->Uniform(t->num_rows());
+  while (t->deleted(row)) row = (row + 1) % t->num_rows();
+  if (kind == 1) return Mutation::Delete(tname, row);
+  const size_t col = rng->Uniform(t->schema().num_columns());
+  return Mutation::Update(tname, row, col,
+                          random_value(t->schema().column(col).type));
+}
+
+// Seeded read/write chaos: a mutable service absorbs random writes between
+// queries (with `storage.mutation.apply` faults armed part of the time),
+// and after every write burst each query's classification must equal a
+// fresh serial debugger whose index is REBUILT from the mutated database.
+// Any stale verdict, unpatched posting list, or missed eviction diverges
+// here. Repro and volume knobs: KWSDBG_FUZZ_SEED / KWSDBG_FUZZ_ITERS /
+// KWSDBG_MUTATION_RATE (writes per query, default 3).
+TEST(DifferentialFuzzTest, ChaosMutationsNeverServeStaleVerdicts) {
+  const size_t iters = EnvSize("KWSDBG_FUZZ_ITERS", 8);
+  const uint64_t base_seed = EnvSize("KWSDBG_FUZZ_SEED", 4321);
+  const size_t mutation_rate = EnvSize("KWSDBG_MUTATION_RATE", 3);
+  std::printf("chaos: %zu iteration(s), base seed %llu, %zu write(s)/query "
+              "(KWSDBG_FUZZ_ITERS / KWSDBG_FUZZ_SEED / KWSDBG_MUTATION_RATE "
+              "to override)\n",
+              iters, static_cast<unsigned long long>(base_seed),
+              mutation_rate);
+
+  for (size_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = base_seed + iter;
+    FuzzCase fc = BuildCase(seed);
+    Rng rng(seed ^ 0xC4A05u);
+    std::vector<std::string> vocab = fc.index->Terms();
+    if (vocab.size() > 32) vocab.resize(32);
+    ASSERT_FALSE(vocab.empty());
+
+    // Every other iteration arms the mutation fault point: a failed Apply
+    // must be all-or-nothing, which the rebuild oracle below verifies.
+    std::unique_ptr<ScopedFaultInjection> faults;
+    if (iter % 2 == 1) {
+      faults = std::make_unique<ScopedFaultInjection>(
+          "storage.mutation.apply=unavailable,p=0.3,seed=" +
+          std::to_string(seed));
+    }
+
+    ServiceOptions service_options;
+    service_options.num_workers = 2;
+    service_options.num_shards = 2;
+    DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),
+                         service_options);
+    ASSERT_NE(service.mutator(), nullptr);
+
+    QueryGeneratorConfig gconfig;
+    gconfig.seed = seed;
+    gconfig.min_keywords = 1;
+    gconfig.max_keywords = 2;
+    RandomQueryGenerator generator(fc.index.get(), gconfig);
+
+    size_t applied = 0;
+    for (size_t q = 0; q < 4; ++q) {
+      for (size_t m = 0; m < mutation_rate; ++m) {
+        const Mutation mutation = RandomMutation(&rng, fc, vocab);
+        Status st = service.ApplyMutation(mutation);
+        // Injected faults and races with earlier deletes are expected;
+        // anything else is a mutator bug.
+        if (st.ok()) {
+          ++applied;
+        } else {
+          ASSERT_TRUE(st.code() == StatusCode::kUnavailable ||
+                      st.code() == StatusCode::kInvalidArgument ||
+                      st.code() == StatusCode::kFailedPrecondition ||
+                      st.code() == StatusCode::kNotFound)
+              << "seed " << seed << ": " << st.ToString();
+        }
+      }
+
+      const std::string query = generator.Next();
+      // Fresh-world oracle: serial debugger + index rebuilt from scratch.
+      std::string want;
+      {
+        const InvertedIndex rebuilt = InvertedIndex::Build(*fc.db);
+        NonAnswerDebugger serial(fc.db.get(), fc.lattice.get(), &rebuilt);
+        auto report = serial.Debug(query);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        want = report->ClassificationSignature();
+      }
+      BatchResult batch = service.RunBatch({query, query});
+      ASSERT_TRUE(batch.status.ok());
+      for (const QueryResult& r : batch.results) {
+        ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+        ASSERT_EQ(r.report.ClassificationSignature(), want)
+            << "stale verdict after live writes: iteration " << iter
+            << ", seed " << seed << ", query \"" << query << "\" ("
+            << applied << " mutation(s) applied; repro: KWSDBG_FUZZ_SEED="
+            << seed << " KWSDBG_FUZZ_ITERS=1 KWSDBG_MUTATION_RATE="
+            << mutation_rate << ")";
+      }
+    }
+    EXPECT_GT(applied, 0u) << "seed " << seed;
+  }
 }
 
 TEST(DifferentialFuzzTest, AllRunnersAgreeOnRandomInstances) {

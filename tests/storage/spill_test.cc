@@ -51,15 +51,18 @@ TEST(SpillTest, SpilledReadsMatchResidentCopy) {
   EXPECT_GT(pool.stats().page_misses, 0u);
 }
 
-TEST(SpillTest, AppendToSpilledTableRejected) {
+TEST(SpillTest, AppendToSpilledTableLandsInResidentTail) {
   auto disk = DiskManager::CreateTemp("", 512);
   ASSERT_TRUE(disk.ok());
   BufferPool pool(disk->get(), 16);
   Table t("t", TestSchema());
   Fill(&t, 10, "r");
   ASSERT_TRUE(t.Spill(&pool, disk->get()).ok());
-  Status s = t.AppendRow({Value(int64_t{1}), Value("x"), Value(1.0)});
-  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("x"), Value(1.0)}).ok());
+  EXPECT_EQ(t.num_rows(), 11u);
+  EXPECT_EQ(t.at(10, 1).AsString(), "x");
+  // Spilled rows are still served from the extents.
+  EXPECT_EQ(t.at(3, 1).AsString(), "r_3");
 }
 
 TEST(SpillTest, SetValueOnSpilledTableWritesBack) {
