@@ -26,6 +26,7 @@ StatusOr<StatusCode> ParseInjectedCode(std::string_view s) {
     return StatusCode::kInvalidArgument;
   }
   if (s == "notfound") return StatusCode::kNotFound;
+  if (s == "dataloss") return StatusCode::kDataLoss;
   if (s == "ok" || s == "latency") return StatusCode::kOk;
   return Status::InvalidArgument("unknown fault code '" + std::string(s) +
                                  "'");
@@ -64,7 +65,11 @@ StatusOr<FaultSpec> FaultInjector::ParseSpec(const std::string& spec) {
   if (parts.empty()) {
     return Status::InvalidArgument("fault spec '" + spec + "' lacks a code");
   }
-  KWSDBG_ASSIGN_OR_RETURN(out.code, ParseInjectedCode(Trim(parts[0])));
+  if (Trim(parts[0]) == "crash") {
+    out.crash = true;
+  } else {
+    KWSDBG_ASSIGN_OR_RETURN(out.code, ParseInjectedCode(Trim(parts[0])));
+  }
   for (size_t i = 1; i < parts.size(); ++i) {
     const std::string_view part = Trim(parts[i]);
     if (part == "once") {
@@ -186,6 +191,11 @@ Status FaultInjector::Hit(std::string_view point) {
       return Status::OK();
     }
     fire_ordinal = ++state.stats.fires;
+    if (spec.crash) {
+      // Simulated power loss: no atexit handlers, no stream flushes, no
+      // destructors — whatever reached the disk is what recovery sees.
+      std::_Exit(kCrashExitCode);
+    }
     code = spec.code;
     latency_millis = spec.latency_millis;
   }

@@ -12,7 +12,10 @@
 //   KWSDBG_FAULTS="<point>=<code>[,key=value...][;<point>=<code>...]"
 //
 //   codes:  unavailable | resource-exhausted | deadline | internal |
-//           invalid-argument | notfound | ok   (ok = latency-only fault)
+//           invalid-argument | notfound | dataloss |
+//           ok   (ok = latency-only fault) |
+//           crash  (kill the process with _Exit — no atexit handlers, no
+//                   flushes; simulates power loss for crash-recovery tests)
 //   keys:   p=<0..1>      fire with this probability per eligible hit
 //           every=<N>     only hits with ordinal % N == 0 are eligible
 //           after=<N>     skip the first N hits entirely
@@ -49,6 +52,7 @@ namespace kwsdbg {
 struct FaultSpec {
   std::string point;                           ///< Fault-point name.
   StatusCode code = StatusCode::kUnavailable;  ///< kOk = latency-only.
+  bool crash = false;  ///< Fire = std::_Exit(kCrashExitCode), not a Status.
   double probability = 1.0;  ///< Fire chance per eligible hit.
   uint64_t every = 0;        ///< Eligible when hit# % every == 0 (1-based);
                              ///< 0 = every hit eligible.
@@ -70,6 +74,10 @@ struct FaultPointStats {
 /// torn one — state is swapped under the same mutex Hit takes).
 class FaultInjector {
  public:
+  /// Exit code of a fired `crash` fault, so a forking harness can tell an
+  /// injected kill from an unrelated child failure.
+  static constexpr int kCrashExitCode = 86;
+
   /// The singleton every KWSDBG_FAULT_POINT macro consults. Its first access
   /// — forced at static-init time, since the Enabled() fast path never calls
   /// this — installs any schedule found in $KWSDBG_FAULTS (a malformed value

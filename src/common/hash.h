@@ -1,10 +1,11 @@
 // Hash combinators for composite keys (pair/vector hashing for unordered
-// containers).
+// containers) and a splitmix-based byte-stream checksum for on-disk frames.
 #ifndef KWSDBG_COMMON_HASH_H_
 #define KWSDBG_COMMON_HASH_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -14,6 +15,42 @@ namespace kwsdbg {
 /// boost::hash_combine-style mixing.
 inline void HashCombine(size_t* seed, size_t v) {
   *seed ^= v + 0x9E3779B97F4A7C15ull + (*seed << 6) + (*seed >> 2);
+}
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// 64-bit checksum over a byte stream: 8-byte chunks (plus a
+/// length-tagged tail) folded through the splitmix64 finalizer. Built for
+/// torn-write detection on WAL records and checkpoint sections, not for
+/// adversarial inputs. The length is mixed in so a frame truncated at a
+/// chunk boundary still fails verification.
+inline uint64_t Checksum64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = SplitMix64(0x6b777364ull ^ len);  // "kwsd" | length
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p + i, 8);
+    h = SplitMix64(h ^ chunk);
+  }
+  if (i < len) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, len - i);
+    h = SplitMix64(h ^ tail ^ (uint64_t{len - i} << 56));
+  }
+  return h;
+}
+
+/// 32-bit fold of Checksum64, sized for per-record WAL frame headers.
+inline uint32_t Checksum32(const void* data, size_t len) {
+  const uint64_t h = Checksum64(data, len);
+  return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
 /// Hash for std::pair of hashable types.

@@ -24,6 +24,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kUnavailable,        ///< Transient dependency failure; safe to retry.
   kResourceExhausted,  ///< Over capacity (shed load, quota); safe to retry.
+  kDataLoss,           ///< Unrecoverable corruption (checksum mismatch).
 };
 
 /// Returns a short human-readable name for a StatusCode ("InvalidArgument").
@@ -74,6 +75,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,15 +2,36 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/lru_cache.h"
+#include "text/inverted_index.h"
 #include "text/tokenizer.h"
 
 namespace kwsdbg {
 
 namespace {
+
+/// Fingerprint of the live index for checkpoint validation: recovery
+/// rebuilds the index from restored tables and compares against the stored
+/// fingerprint, so a restore that silently diverged (wrong corpus, stale
+/// tables) fails kDataLoss instead of serving wrong verdicts.
+CheckpointIndexInfo ComputeIndexFingerprint(const InvertedIndex* index) {
+  CheckpointIndexInfo info;
+  if (index == nullptr) return info;
+  info.present = true;
+  info.num_terms = index->num_terms();
+  info.num_postings = index->num_postings();
+  uint64_t h = SplitMix64(0x6b777364ull);  // "kwsd"
+  for (const std::string& term : index->Terms()) {
+    h = SplitMix64(h ^ Checksum64(term.data(), term.size()));
+  }
+  info.dict_checksum = h;
+  return info;
+}
 
 /// Nearest-rank percentile over a sorted sample (q in [0,1]).
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -76,6 +97,14 @@ std::string ServiceStats::ToString() const {
     out << "\n  writes: " << mutations_applied << " mutation(s), "
         << index_patches << " index patch(es), " << partial_evictions
         << " relation-scoped eviction(s)";
+  }
+  if (wal_records + checkpoints + wal_replayed + recovery_torn_bytes > 0) {
+    out << "\n  durability: " << wal_records << " wal record(s), "
+        << wal_fsyncs << " fsync(s), " << checkpoints << " checkpoint(s), "
+        << wal_replayed << " record(s) replayed at recovery";
+    if (recovery_torn_bytes > 0) {
+      out << ", " << recovery_torn_bytes << " torn-tail byte(s) dropped";
+    }
   }
   return out.str();
 }
@@ -176,11 +205,143 @@ DebugService::DebugService(const Database* db, const Lattice* lattice,
       mutator_->RegisterFlatTier(&shard->flat_indexes);
     }
   }
+  // Durability comes up after the mutation engine (replay goes through it)
+  // and before any worker thread starts, so recovery never races a query.
+  if (!options_.durability.dir.empty()) {
+    if (mutable_db == nullptr) {
+      durability_status_ = Status::FailedPrecondition(
+          "durability requires the mutable DebugService constructor; a "
+          "const database has no write path to log");
+    } else {
+      SetupDurability(mutable_db);
+    }
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     shards_[i % num_shards]->workers.fetch_add(1, std::memory_order_relaxed);
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+void DebugService::SetupDurability(Database* mutable_db) {
+  (void)mutable_db;  // Replay flows through mutator_, built over it already.
+  const std::string& dir = options_.durability.dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // Open reports failures.
+  const std::string wal_path = dir + "/wal.log";
+
+  // 1. Checkpoint metadata: learn the covered seq and validate the caller's
+  //    rebuilt index against the stored fingerprint BEFORE replay — WAL
+  //    records patch the index in place, so replaying onto a wrong index
+  //    would compound the divergence.
+  uint64_t covered = 0;
+  StatusOr<CheckpointInfo> info_or = ReadCheckpointInfo(dir);
+  if (info_or.ok()) {
+    const CheckpointInfo& info = info_or.value();
+    covered = info.covered_seq;
+    if (info.index.present) {
+      const CheckpointIndexInfo now = ComputeIndexFingerprint(index_);
+      if (!now.present || now.num_terms != info.index.num_terms ||
+          now.num_postings != info.index.num_postings ||
+          now.dict_checksum != info.index.dict_checksum) {
+        durability_status_ = Status::DataLoss(
+            "index fingerprint mismatch vs checkpoint in " + dir +
+            ": rebuilt index has " + std::to_string(now.num_terms) +
+            " terms / " + std::to_string(now.num_postings) +
+            " postings, checkpoint recorded " +
+            std::to_string(info.index.num_terms) + " / " +
+            std::to_string(info.index.num_postings));
+        return;
+      }
+    }
+  } else if (info_or.status().code() != StatusCode::kNotFound) {
+    durability_status_ = info_or.status();
+    return;
+  }
+
+  // 2. Replay the WAL suffix through the mutation engine. Records at or
+  //    below the covered seq are already in the snapshot; a WAL whose base
+  //    exceeds the covered seq means the checkpoint that justified the
+  //    truncation vanished — unrecoverable.
+  StatusOr<WalReplayResult> replay_or = ReadWal(wal_path);
+  if (!replay_or.ok()) {
+    durability_status_ = replay_or.status();
+    return;
+  }
+  const WalReplayResult& replay = replay_or.value();
+  recovery_torn_bytes_ = replay.torn_tail_bytes;
+  if (replay.exists && replay.base_seq > covered) {
+    durability_status_ = Status::DataLoss(
+        "WAL " + wal_path + " starts at seq " +
+        std::to_string(replay.base_seq) + " but the checkpoint covers only " +
+        std::to_string(covered) + "; the covering checkpoint is gone");
+    return;
+  }
+  for (const WalRecord& rec : replay.records) {
+    if (rec.seq <= covered) continue;
+    const Status applied = mutator_->ApplyRecord(rec);
+    if (!applied.ok()) {
+      durability_status_ = Status::DataLoss(
+          "WAL replay failed at seq " + std::to_string(rec.seq) + ": " +
+          applied.ToString());
+      return;
+    }
+    ++wal_replayed_;
+  }
+
+  // 3. Attach the writer (chops any torn tail so new appends start on a
+  //    frame boundary). From here every acknowledged mutation is logged.
+  StatusOr<std::unique_ptr<WalWriter>> wal_or =
+      WalWriter::Open(wal_path, options_.durability.wal);
+  if (!wal_or.ok()) {
+    durability_status_ = wal_or.status();
+    return;
+  }
+  wal_ = std::move(wal_or).value();
+  mutator_->AttachWal(wal_.get());
+}
+
+Status DebugService::Checkpoint() {
+  if (mutator_ == nullptr || wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint requires durability (ServiceOptions::durability.dir) on "
+        "a mutable-constructed service");
+  }
+  KWSDBG_RETURN_NOT_OK(durability_status_);
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  // Taking every relation fence shared blocks RelationWriteGuard writers
+  // (ApplyMutation) for the duration while queries keep reading — the row
+  // scan below must not race an in-place mutation. With writers quiesced
+  // next_seq is stable, so the snapshot covers exactly the applied prefix.
+  RelationReadGuard quiesce(fences_.get(), RelationReadGuard::kAllRelations);
+  const uint64_t covered = wal_->next_seq() - 1;
+  KWSDBG_RETURN_NOT_OK(WriteCheckpoint(*db_, options_.durability.dir, covered,
+                                       ComputeIndexFingerprint(index_)));
+  KWSDBG_RETURN_NOT_OK(wal_->Truncate(covered));
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DebugService::Drain() {
+  if (mutator_ == nullptr || wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Drain requires durability (ServiceOptions::durability.dir) on a "
+        "mutable-constructed service");
+  }
+  draining_.store(true, std::memory_order_release);
+  WaitIdle();
+  // A batch already in flight finishes normally (new ones are rejected once
+  // draining_ is set); poll rather than entangle Drain with the batch CV.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch_in_flight_) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  KWSDBG_RETURN_NOT_OK(durability_status_);
+  KWSDBG_RETURN_NOT_OK(wal_->Sync());
+  return Checkpoint();
 }
 
 DebugService::~DebugService() {
@@ -330,6 +491,14 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
   for (size_t i = 0; i < queries.size(); ++i) {
     batch.results[i].keyword_query = queries[i];
   }
+  if (draining_.load(std::memory_order_acquire)) {
+    batch.status = Status::Unavailable(
+        "service is draining; no new batches admitted");
+    for (QueryResult& r : batch.results) r.status = batch.status;
+    batch.stats.queries = queries.size();
+    batch.stats.failed = queries.size();
+    return batch;
+  }
   {
     // Concurrent-call guard: a second RunBatch while one is in flight used
     // to silently interleave two batches through the same completion
@@ -415,6 +584,15 @@ BatchResult DebugService::RunBatch(const std::vector<std::string>& queries,
     batch.stats.index_patches =
         ms.index_patches.load(std::memory_order_relaxed);
   }
+  if (wal_ != nullptr) {
+    // Lifetime durability counters, same contract as the write-path block.
+    const WalStats ws = wal_->stats();
+    batch.stats.wal_records = ws.records_appended;
+    batch.stats.wal_fsyncs = ws.fsyncs;
+    batch.stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    batch.stats.wal_replayed = wal_replayed_;
+    batch.stats.recovery_torn_bytes = recovery_torn_bytes_;
+  }
   return batch;
 }
 
@@ -424,11 +602,21 @@ Status DebugService::ApplyMutation(const Mutation& m) {
         "live writes require the mutable DebugService constructor; this "
         "service was built over a const database");
   }
+  if (draining_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("service is draining; no new writes admitted");
+  }
+  // A recovery that failed kDataLoss leaves the in-memory state unknown;
+  // admitting writes on top would compound the divergence.
+  KWSDBG_RETURN_NOT_OK(durability_status_);
   return mutator_->Apply(m);
 }
 
 Status DebugService::Submit(std::string query, double deadline_millis,
                             std::function<void(QueryResult)> done) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "service is draining; no new submissions admitted");
+  }
   Task task;
   task.deadline_millis = deadline_millis;
   task.home_shard = HomeShard(query, shards_.size());

@@ -38,10 +38,22 @@
 #include "debugger/non_answer_debugger.h"
 #include "service/live_mutator.h"
 #include "sql/flat_row_index.h"
+#include "storage/checkpoint.h"
 #include "storage/relation_fences.h"
+#include "storage/wal.h"
 #include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
+
+/// Durability configuration (see storage/wal.h, storage/checkpoint.h).
+/// With a non-empty `dir`, a mutable-constructed service recovers on
+/// construction (validates the text index against the checkpoint
+/// fingerprint, replays the WAL suffix through the mutation engine, chops
+/// any torn tail) and every acknowledged ApplyMutation is WAL-logged.
+struct DurabilityOptions {
+  std::string dir;  ///< WAL + checkpoint directory; "" = durability off.
+  WalOptions wal;   ///< Fsync policy + group-commit window.
+};
 
 /// Service configuration.
 struct ServiceOptions {
@@ -86,6 +98,10 @@ struct ServiceOptions {
   double retry_backoff_base_millis = 1.0;
   double retry_backoff_max_millis = 50.0;
   uint64_t retry_seed = 0x5EEDu;
+  /// Durability: WAL + checkpoint dir and fsync policy. Ignored (with a
+  /// non-OK durability_status()) for const-constructed services — there is
+  /// no write path to log.
+  DurabilityOptions durability;
   /// Template for each worker's debugger. `shared_verdict_cache`,
   /// `executor.shared_flat_indexes`, and `deadline_millis` are overwritten
   /// by the service (wired to the worker's shard).
@@ -169,6 +185,13 @@ struct ServiceStats {
   size_t partial_evictions = 0;  ///< Verdicts evicted by relation masks.
   size_t index_patches = 0;      ///< Posting-list + flat-arena in-place
                                  ///< patches.
+  /// Durability counters since service construction (all zero without a
+  /// WAL dir; see DurabilityOptions).
+  size_t wal_records = 0;        ///< WAL records appended.
+  size_t wal_fsyncs = 0;
+  size_t checkpoints = 0;        ///< Checkpoints written (Checkpoint/Drain).
+  size_t wal_replayed = 0;       ///< Records replayed at construction.
+  size_t recovery_torn_bytes = 0;  ///< Torn-tail bytes dropped at recovery.
   /// Aggregate of every shard's verdict partition after the batch (hits /
   /// misses count lookups from every worker since service construction).
   VerdictCacheStats shared_cache;
@@ -300,6 +323,27 @@ class DebugService {
   /// inspect MutationStats through it).
   LiveMutator* mutator() { return mutator_.get(); }
 
+  /// Health of the durability subsystem. OK when durability is disabled or
+  /// recovery succeeded; kDataLoss when the checkpoint/WAL failed checksum
+  /// or the index fingerprint did not match (the service still serves
+  /// reads, but ApplyMutation is rejected so divergence cannot compound).
+  Status durability_status() const { return durability_status_; }
+
+  /// Crash-consistent snapshot of the database + index fingerprint into the
+  /// durability dir, then truncates the WAL at the covered seq. Excludes
+  /// writers for the duration by taking every relation fence shared (reads
+  /// proceed). kFailedPrecondition when durability is off.
+  Status Checkpoint();
+
+  /// Graceful shutdown: stop admitting work (Submit/RunBatch/ApplyMutation
+  /// return kUnavailable), wait for in-flight queries to finish, fsync the
+  /// WAL, and checkpoint. After an OK Drain, recovery replays zero records.
+  Status Drain();
+
+  /// The mutation log, or null when durability is off (the crash harness
+  /// reads durable_seq() to decide which acks the zero-loss gate covers).
+  WalWriter* wal() { return wal_.get(); }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -361,6 +405,12 @@ class DebugService {
                const InvertedIndex* index, ServiceOptions options,
                Database* mutable_db, InvertedIndex* mutable_index);
 
+  /// Recovery-on-construct: validates the index fingerprint against the
+  /// checkpoint, replays the WAL suffix through the mutation engine, and
+  /// attaches the writer. Runs before worker threads start; failures land
+  /// in durability_status_ (constructors cannot return a Status).
+  void SetupDurability(Database* mutable_db);
+
   const Database* db_;
   const Lattice* lattice_;
   const InvertedIndex* index_;
@@ -370,6 +420,18 @@ class DebugService {
   /// worker's evaluator and the mutation engine.
   std::unique_ptr<RelationFences> fences_;
   std::unique_ptr<LiveMutator> mutator_;
+
+  /// Durability state (see DurabilityOptions). wal_ is created by
+  /// SetupDurability before workers start and never reassigned, so workers
+  /// may read it without locking; checkpoint_mu_ serializes Checkpoint and
+  /// Drain against each other.
+  std::unique_ptr<WalWriter> wal_;
+  Status durability_status_ = Status::OK();
+  std::mutex checkpoint_mu_;
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> checkpoints_{0};
+  size_t wal_replayed_ = 0;        ///< Set once during SetupDurability.
+  size_t recovery_torn_bytes_ = 0;  ///< Set once during SetupDurability.
 
   /// Total queued-but-not-picked-up tasks across shards (stealing workers
   /// wait on this; per-shard `queued` serves the non-stealing predicate).

@@ -57,14 +57,7 @@ Status LiveMutator::PatchTextIndex(const Mutation& m, Table* t, uint32_t row,
   return Status::Internal("unreachable mutation kind");
 }
 
-Status LiveMutator::MaybeCompact(Table* t) {
-  if (options_.auto_compact_fraction <= 0) return Status::OK();
-  if (t->deleted_fraction() <= options_.auto_compact_fraction) {
-    return Status::OK();
-  }
-  // On-disk posting lists cannot be row-remapped in place; leave the
-  // tombstones until the index is rebuilt resident.
-  if (index_ != nullptr && index_->spilled()) return Status::OK();
+Status LiveMutator::CompactNow(Table* t) {
   KWSDBG_ASSIGN_OR_RETURN(std::vector<uint32_t> remap, t->Compact());
   if (IndexCovers(index_, *t)) {
     KWSDBG_RETURN_NOT_OK(index_->RemapRows(t->name(), remap));
@@ -76,7 +69,52 @@ Status LiveMutator::MaybeCompact(Table* t) {
   return Status::OK();
 }
 
+Status LiveMutator::MaybeCompact(Table* t, bool logging) {
+  // Replay never auto-compacts: compactions replay only where the log
+  // recorded them, so recovered row ids line up with logged row ids.
+  if (!logging) return Status::OK();
+  if (options_.auto_compact_fraction <= 0) return Status::OK();
+  if (t->deleted_fraction() <= options_.auto_compact_fraction) {
+    return Status::OK();
+  }
+  // On-disk posting lists cannot be row-remapped in place; leave the
+  // tombstones until the index is rebuilt resident.
+  if (index_ != nullptr && index_->spilled()) return Status::OK();
+  KWSDBG_RETURN_NOT_OK(CompactNow(t));
+  if (logging && wal_ != nullptr) {
+    const Status logged = wal_->AppendCompact(t->name());
+    if (!logged.ok()) {
+      wal_poisoned_ = true;
+      return Status::DataLoss("WAL compact append failed after compaction: " +
+                              logged.ToString());
+    }
+  }
+  return Status::OK();
+}
+
 Status LiveMutator::Apply(const Mutation& m) {
+  return ApplyInternal(m, /*logging=*/true);
+}
+
+Status LiveMutator::ApplyRecord(const WalRecord& record) {
+  if (record.kind == WalRecord::Kind::kCompact) {
+    Table* t = db_->FindTable(record.table);
+    if (t == nullptr) {
+      return Status::DataLoss("WAL compact record names unknown table " +
+                              record.table);
+    }
+    RelationWriteGuard guard(fences_, t->catalog_index());
+    return CompactNow(t);
+  }
+  return ApplyInternal(record.mutation, /*logging=*/false);
+}
+
+Status LiveMutator::ApplyInternal(const Mutation& m, bool logging) {
+  if (wal_poisoned_) {
+    return Status::DataLoss(
+        "mutator is poisoned: a prior WAL append failed after its "
+        "in-memory apply, so memory and log have diverged");
+  }
   // Fail-before-mutate: an injected outage at this point leaves the table,
   // the index, and every cache byte-identical to before the call — the
   // chaos layer in tests/service/differential_fuzz_test.cc relies on it.
@@ -154,7 +192,20 @@ Status LiveMutator::Apply(const Mutation& m) {
         break;
     }
   }
-  KWSDBG_RETURN_NOT_OK(MaybeCompact(t));
+  // Log after the in-memory apply succeeds, before acknowledging: a write
+  // the caller never saw succeed may be missing from the log, but an
+  // acknowledged write never is. An append failure here means memory holds
+  // a write the log does not — poison the mutator rather than let the two
+  // drift further.
+  if (logging && wal_ != nullptr) {
+    const Status logged = wal_->AppendMutation(m);
+    if (!logged.ok()) {
+      wal_poisoned_ = true;
+      return Status::DataLoss("WAL append failed after in-memory apply: " +
+                              logged.ToString());
+    }
+  }
+  KWSDBG_RETURN_NOT_OK(MaybeCompact(t, logging));
 
   // Partial invalidation: only verdicts whose relation mask includes this
   // table die; verdicts over disjoint relations stay warm across the write.

@@ -31,47 +31,11 @@
 #include "sql/flat_row_index.h"
 #include "storage/database.h"
 #include "storage/relation_fences.h"
+#include "storage/wal.h"  // Mutation lives with the WAL that logs it.
 #include "text/inverted_index.h"
 #include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
-
-/// One write. `row` names the payload for inserts; `row_id`/`column`/`value`
-/// address updates; deletes need only `row_id`.
-struct Mutation {
-  enum class Kind { kInsert, kDelete, kUpdate };
-  Kind kind = Kind::kInsert;
-  std::string table;
-  Tuple row;          ///< kInsert: the new row (schema-checked).
-  size_t row_id = 0;  ///< kDelete / kUpdate: target row id.
-  size_t column = 0;  ///< kUpdate: target column.
-  Value value;        ///< kUpdate: the new cell value (type-checked).
-
-  static Mutation Insert(std::string table, Tuple row) {
-    Mutation m;
-    m.kind = Kind::kInsert;
-    m.table = std::move(table);
-    m.row = std::move(row);
-    return m;
-  }
-  static Mutation Delete(std::string table, size_t row_id) {
-    Mutation m;
-    m.kind = Kind::kDelete;
-    m.table = std::move(table);
-    m.row_id = row_id;
-    return m;
-  }
-  static Mutation Update(std::string table, size_t row_id, size_t column,
-                         Value value) {
-    Mutation m;
-    m.kind = Kind::kUpdate;
-    m.table = std::move(table);
-    m.row_id = row_id;
-    m.column = column;
-    m.value = std::move(value);
-    return m;
-  }
-};
 
 /// Write-path counters (thread-safe; exported through ServiceStats and
 /// service JSON alongside the read-side counters).
@@ -109,16 +73,37 @@ class LiveMutator {
     tiers_.push_back(tier);
   }
 
+  /// Durability hook: every Apply() that changes in-memory state appends a
+  /// record to `wal` before acknowledging (write-ahead with respect to the
+  /// caller, not the memory image — recovery replays the log over the last
+  /// checkpoint). If an append fails *after* the in-memory apply, the
+  /// mutator poisons itself: memory and log have diverged, and accepting
+  /// more writes would make recovery silently wrong. The WAL must outlive
+  /// the mutator.
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
+  bool wal_poisoned() const { return wal_poisoned_; }
+
   /// Applies one mutation atomically with respect to readers: either the
   /// table, the text index, and every flat tier reflect the write (and the
   /// affected verdicts are gone), or — on a validation failure or an
   /// injected `storage.mutation.apply` fault — nothing changed.
   Status Apply(const Mutation& m);
 
+  /// Replays one WAL record during recovery: mutations re-apply without
+  /// re-logging, and compactions run exactly where the log says they ran
+  /// (auto-compaction is suppressed so replay follows the original
+  /// schedule record for record — Table::Compact is deterministic, so the
+  /// row-id remap comes out identical).
+  Status ApplyRecord(const WalRecord& record);
+
   const MutationStats& stats() const { return stats_; }
   RelationFences* fences() const { return fences_; }
 
  private:
+  /// Shared body of Apply/ApplyRecord; `logging` gates both the WAL append
+  /// and the auto-compaction trigger.
+  Status ApplyInternal(const Mutation& m, bool logging);
   /// Patches the text index for one applied table change; counts patches.
   /// A failure here rolls the table change back before returning.
   Status PatchTextIndex(const Mutation& m, Table* t, uint32_t row,
@@ -126,7 +111,12 @@ class LiveMutator {
 
   /// Compacts `t` when tombstones exceed the threshold (resident index
   /// only); remaps posting lists and drops the flat indexes over `t`.
-  Status MaybeCompact(Table* t);
+  /// When `logging`, a kCompact record is appended so replay compacts at
+  /// the same stream position.
+  Status MaybeCompact(Table* t, bool logging);
+
+  /// The compaction body shared by MaybeCompact and kCompact replay.
+  Status CompactNow(Table* t);
 
   Database* db_;
   InvertedIndex* index_;  ///< May be null (no text index to maintain).
@@ -135,6 +125,8 @@ class LiveMutator {
   std::vector<VerdictCache*> caches_;
   std::vector<SharedFlatRowIndexManager*> tiers_;
   MutationStats stats_;
+  WalWriter* wal_ = nullptr;  ///< Null = run without durability.
+  bool wal_poisoned_ = false;
 };
 
 }  // namespace kwsdbg

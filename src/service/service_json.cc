@@ -35,6 +35,11 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
       << ",\"mutations_applied\":" << stats.mutations_applied
       << ",\"partial_evictions\":" << stats.partial_evictions
       << ",\"index_patches\":" << stats.index_patches
+      << ",\"wal_records\":" << stats.wal_records
+      << ",\"wal_fsyncs\":" << stats.wal_fsyncs
+      << ",\"checkpoints\":" << stats.checkpoints
+      << ",\"wal_replayed\":" << stats.wal_replayed
+      << ",\"recovery_torn_bytes\":" << stats.recovery_torn_bytes
       << ",\"steals\":" << stats.steals
       << ",\"num_shards\":" << stats.num_shards
       << ",\"shared_cache\":{\"entries\":" << stats.shared_cache.entries

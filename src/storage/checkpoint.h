@@ -1,0 +1,84 @@
+// Crash-consistent database snapshots, the companion of the WAL: a
+// checkpoint captures every table (schema, rows, tombstone bitmap,
+// per-table data epoch), the catalog epoch, the highest WAL seq the
+// snapshot covers, and a fingerprint of the text-index term directory.
+//
+// The snapshot is one file, `<dir>/CHECKPOINT`, written tmp + fsync +
+// rename + directory-fsync: after any crash the path holds either the
+// previous complete snapshot or the new complete snapshot, never a torn
+// one. Inside, the file is a sequence of checksummed length-prefixed
+// sections (same framing as the WAL); any checksum mismatch on restore is
+// kDataLoss — unlike a WAL tail, a renamed checkpoint has no legitimate
+// torn state.
+//
+// Protocol with the WAL (see docs/architecture.md):
+//   1. quiesce writers, 2. WriteCheckpoint(covered_seq = last applied seq),
+//   3. WalWriter::Truncate(covered_seq). A crash between 2 and 3 is safe:
+//   replay skips records with seq <= covered_seq.
+//
+// The text index itself is rebuilt from the restored tables on recovery
+// (deterministic), so only its directory fingerprint is stored — recovery
+// validates the rebuilt index against it and fails kDataLoss on mismatch.
+#ifndef KWSDBG_STORAGE_CHECKPOINT_H_
+#define KWSDBG_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace kwsdbg {
+
+inline constexpr char kCheckpointFileName[] = "CHECKPOINT";
+
+/// Fingerprint of the InvertedIndex term directory at checkpoint time.
+/// Stored as plain numbers so the storage layer needs no text-layer
+/// dependency; the service computes it from the live index and validates
+/// the rebuilt index against it on recovery.
+struct CheckpointIndexInfo {
+  bool present = false;
+  uint64_t num_terms = 0;
+  uint64_t num_postings = 0;
+  uint64_t dict_checksum = 0;  ///< Checksum64 over the sorted dictionary.
+};
+
+struct CheckpointTableInfo {
+  std::string name;
+  uint64_t data_epoch = 0;
+  uint64_t num_rows = 0;
+  uint64_t num_deleted = 0;
+};
+
+struct CheckpointInfo {
+  uint64_t covered_seq = 0;  ///< WAL records <= this are in the snapshot.
+  uint64_t db_epoch = 0;
+  CheckpointIndexInfo index;
+  std::vector<CheckpointTableInfo> tables;
+};
+
+/// Serializes `db` to `<dir>/CHECKPOINT` (crash-consistent replace). The
+/// caller must exclude writers for the duration — LiveMutator mutations
+/// racing the row scan would tear the snapshot. Fault point:
+/// storage.checkpoint.write.
+Status WriteCheckpoint(const Database& db, const std::string& dir,
+                       uint64_t covered_seq,
+                       const CheckpointIndexInfo& index_info = {});
+
+/// Reads snapshot metadata (header + per-table sections, skipping row
+/// payloads). kNotFound when no checkpoint exists in `dir`.
+StatusOr<CheckpointInfo> ReadCheckpointInfo(const std::string& dir);
+
+/// Rebuilds a resident Database from `<dir>/CHECKPOINT`: tables in catalog
+/// order with row ids, tombstones, per-table data epochs, and the catalog
+/// epoch exactly as captured. kNotFound when absent; kDataLoss on any
+/// checksum or structural mismatch. `info_out` (optional) receives the
+/// snapshot metadata, including covered_seq for WAL replay.
+StatusOr<std::unique_ptr<Database>> RestoreCheckpoint(
+    const std::string& dir, CheckpointInfo* info_out = nullptr);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_CHECKPOINT_H_

@@ -99,6 +99,20 @@ class Database {
   uint64_t epoch() const { return epoch_; }
   void BumpEpoch();
 
+  /// Recovery-only: restores the catalog epoch captured by a checkpoint.
+  void RestoreEpoch(uint64_t epoch) { epoch_ = epoch; }
+
+  /// Snapshots this database into `<dir>/CHECKPOINT` (crash-consistent;
+  /// see storage/checkpoint.h). `covered_seq` is the highest WAL seq the
+  /// snapshot includes; writers must be quiesced for the duration.
+  Status Checkpoint(const std::string& dir, uint64_t covered_seq = 0) const;
+
+  /// Rebuilds a database from `<dir>/CHECKPOINT` and sweeps spill page
+  /// files orphaned in KWSDBG_SPILL_DIR (or the system temp dir) by dead
+  /// prior incarnations. kNotFound when no checkpoint exists; the caller
+  /// replays any WAL suffix on top (see service/debug_service.h).
+  static StatusOr<std::unique_ptr<Database>> Recover(const std::string& dir);
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> order_;

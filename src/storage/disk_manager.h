@@ -3,14 +3,21 @@
 // A DiskManager owns one page file on disk: a flat sequence of fixed-size
 // pages addressed by page id. Pages are handed out either singly (recycled
 // through a free list) or as contiguous extents for payloads larger than one
-// page. The file is a private spill file — it is created by this process and
-// unlinked when the manager is destroyed; there is no cross-process format
-// stability to maintain.
+// page. Two lifetimes exist:
+//
+//   * Create / CreateTemp — a private spill file, unlinked when the manager
+//     is destroyed; no cross-process format to maintain.
+//   * Open — a persistent page file (checkpoint/restore, durable spill):
+//     the file survives the manager, page count is adopted from the file
+//     size, and Sync() makes writes crash-durable.
+//
+// All I/O is fd-based with EINTR and short-transfer retries; fsync and
+// close failures surface as typed statuses instead of vanishing (an EIO at
+// close is the kernel reporting that an earlier buffered write was lost).
 #ifndef KWSDBG_STORAGE_DISK_MANAGER_H_
 #define KWSDBG_STORAGE_DISK_MANAGER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +33,7 @@ struct DiskStats {
   size_t page_writes = 0;
   size_t pages_allocated = 0;
   size_t pages_freed = 0;
+  size_t syncs = 0;
 };
 
 class DiskManager {
@@ -46,6 +54,14 @@ class DiskManager {
   static StatusOr<std::unique_ptr<DiskManager>> CreateTemp(
       const std::string& dir, size_t page_size);
 
+  /// Persistent mode: opens (creating if absent) a page file that is NOT
+  /// unlinked on destruction. The page count is adopted from the file size
+  /// (rounded up, so a torn tail page stays addressable); the free list
+  /// starts empty — freed pages from a prior incarnation are leaked, which
+  /// is conservative but never corrupting.
+  static StatusOr<std::unique_ptr<DiskManager>> Open(std::string path,
+                                                     size_t page_size);
+
   ~DiskManager();
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -53,6 +69,7 @@ class DiskManager {
   size_t page_size() const { return page_size_; }
   const std::string& path() const { return path_; }
   uint64_t num_pages() const { return num_pages_; }
+  bool persistent() const { return persistent_; }
   const DiskStats& stats() const { return stats_; }
 
   /// Allocates `count` contiguous pages and returns the first page id.
@@ -66,23 +83,43 @@ class DiskManager {
   void FreePages(uint64_t first, size_t count);
 
   /// Reads `count` pages starting at `first` into `buf` (must hold
-  /// count * page_size() bytes).
+  /// count * page_size() bytes). Pages allocated but never written read
+  /// back as zeroes, matching what a sparse file would return.
   Status ReadPages(uint64_t first, size_t count, char* buf);
 
   /// Writes `count` pages starting at `first` from `buf`.
   Status WritePages(uint64_t first, size_t count, const char* buf);
 
+  /// fdatasync: everything written so far survives a crash after this
+  /// returns OK. Fault point: storage.disk.sync.
+  Status Sync();
+
+  /// Explicitly closes the file, surfacing deferred write-back errors that
+  /// the destructor could only swallow. Further I/O fails typed.
+  Status Close();
+
  private:
-  DiskManager(std::string path, std::FILE* file, size_t page_size)
-      : path_(std::move(path)), file_(file), page_size_(page_size) {}
+  DiskManager(std::string path, int fd, size_t page_size, bool persistent)
+      : path_(std::move(path)),
+        fd_(fd),
+        page_size_(page_size),
+        persistent_(persistent) {}
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   size_t page_size_;
+  bool persistent_ = false;
   uint64_t num_pages_ = 0;
   std::vector<uint64_t> free_pages_;
   DiskStats stats_;
 };
+
+/// Crash-leak janitor: deletes `kwsdbg_spill_<pid>_*.pages` files in `dir`
+/// whose owning process is gone (a crash never runs the unlinking
+/// destructor). Files of live processes — including this one — are left
+/// alone. Returns the number of files removed; an absent `dir` counts as
+/// zero, not an error.
+StatusOr<size_t> SweepStaleSpillFiles(const std::string& dir);
 
 }  // namespace kwsdbg
 

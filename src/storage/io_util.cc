@@ -1,0 +1,176 @@
+#include "storage/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace kwsdbg {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& detail) {
+  std::string out = what;
+  out += ": ";
+  out += detail;
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<int> OpenFd(const std::string& path, int flags, mode_t mode,
+                     const char* what) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(ErrnoMessage(what, path));
+    }
+    return Status::Internal(ErrnoMessage(what, "open " + path));
+  }
+  return fd;
+}
+
+Status WriteFull(int fd, const void* data, size_t len, const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage(what, "write"));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFullAt(int fd, const void* data, size_t len, off_t offset,
+                   const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage(what, "pwrite"));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += n;
+  }
+  return Status::OK();
+}
+
+Status ReadFullAt(int fd, void* data, size_t len, off_t offset,
+                  size_t* bytes_read, const char* what) {
+  char* p = static_cast<char*>(data);
+  size_t total = 0;
+  while (total < len) {
+    const ssize_t n = ::pread(fd, p + total, len - total, offset + total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage(what, "pread"));
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<size_t>(n);
+  }
+  *bytes_read = total;
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const char* what) {
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Internal(ErrnoMessage(what, "fdatasync"));
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir, const char* what) {
+  KWSDBG_ASSIGN_OR_RETURN(int fd,
+                          OpenFd(dir, O_RDONLY | O_DIRECTORY, 0, what));
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  const int saved_errno = errno;
+  int dummy = fd;
+  const Status close_st = CloseFd(&dummy, what);
+  if (rc < 0) {
+    errno = saved_errno;
+    return Status::Internal(ErrnoMessage(what, "fsync dir " + dir));
+  }
+  return close_st;
+}
+
+Status CloseFd(int* fd, const char* what) {
+  if (*fd < 0) return Status::OK();
+  const int rc = ::close(*fd);
+  *fd = -1;
+  // POSIX leaves the fd state unspecified after EINTR; Linux always closes
+  // it, so treat EINTR as success rather than double-closing.
+  if (rc < 0 && errno != EINTR) {
+    return Status::Internal(ErrnoMessage(what, "close"));
+  }
+  return Status::OK();
+}
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  KWSDBG_ASSIGN_OR_RETURN(
+      int fd, OpenFd(path, O_RDONLY, 0, "ReadFileToString"));
+  std::string out;
+  char buf[1 << 16];
+  Status st = Status::OK();
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      st = Status::Internal(ErrnoMessage("ReadFileToString", "read " + path));
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  KWSDBG_RETURN_NOT_OK(CloseFd(&fd, "ReadFileToString"));
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  KWSDBG_ASSIGN_OR_RETURN(
+      int fd, OpenFd(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644,
+                     "AtomicWriteFile"));
+  Status st = WriteFull(fd, contents.data(), contents.size(),
+                        "AtomicWriteFile");
+  if (st.ok()) st = SyncFd(fd, "AtomicWriteFile");
+  const Status close_st = CloseFd(&fd, "AtomicWriteFile");
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_st =
+        Status::Internal(ErrnoMessage("AtomicWriteFile", "rename " + tmp));
+    ::unlink(tmp.c_str());
+    return rename_st;
+  }
+  return SyncDir(DirnameOf(path), "AtomicWriteFile");
+}
+
+}  // namespace kwsdbg

@@ -1,0 +1,58 @@
+// EINTR-safe fd helpers shared by the storage layer (DiskManager, WAL,
+// checkpoint). Every call retries short transfers and EINTR, and surfaces
+// real failures as typed statuses carrying errno text — the durability
+// story is only as strong as the weakest unchecked write.
+#ifndef KWSDBG_STORAGE_IO_UTIL_H_
+#define KWSDBG_STORAGE_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace kwsdbg {
+
+/// open(2) with an EINTR retry loop. `what` names the caller in errors.
+StatusOr<int> OpenFd(const std::string& path, int flags, mode_t mode,
+                     const char* what);
+
+/// write(2) until all `len` bytes are accepted (short writes + EINTR).
+Status WriteFull(int fd, const void* data, size_t len, const char* what);
+
+/// pwrite(2) at `offset` until all `len` bytes are accepted.
+Status WriteFullAt(int fd, const void* data, size_t len, off_t offset,
+                   const char* what);
+
+/// pread(2) at `offset` until `len` bytes or EOF; `*bytes_read` gets the
+/// count actually read (< len only at EOF). The caller decides whether a
+/// short read is an error or a zero-fill.
+Status ReadFullAt(int fd, void* data, size_t len, off_t offset,
+                  size_t* bytes_read, const char* what);
+
+/// fdatasync(2) with EINTR retry.
+Status SyncFd(int fd, const char* what);
+
+/// fsyncs a directory so a create/rename inside it survives a crash.
+Status SyncDir(const std::string& dir, const char* what);
+
+/// close(2); reports real errors (EIO on deferred write-back) as statuses.
+/// Sets *fd to -1 unconditionally — on Linux the descriptor is gone even
+/// when close fails, so retrying would race other threads' fds.
+Status CloseFd(int* fd, const char* what);
+
+/// Directory part of `path` ("" -> ".").
+std::string DirnameOf(const std::string& path);
+
+/// Reads a whole regular file. kNotFound when it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-consistent file replace: writes `contents` to `path + ".tmp"`,
+/// fsyncs, renames over `path`, and fsyncs the parent directory. After a
+/// crash the path holds either the old bytes or the new bytes, never a mix.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_IO_UTIL_H_

@@ -184,6 +184,13 @@ class Table : public PageWriter {
   }
   void BumpDataEpoch() { data_epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Recovery-only: stamps the epoch captured by a checkpoint so verdicts
+  /// and flat indexes keyed on (table, epoch) can never confuse pre- and
+  /// post-recovery contents.
+  void RestoreDataEpoch(uint64_t epoch) {
+    data_epoch_.store(epoch, std::memory_order_release);
+  }
+
   /// Position in the owning Database's creation order; assigned by
   /// Database::AddTable/CreateTable. Used as the relation bit in verdict
   /// relation masks. 0 for tables never added to a catalog.

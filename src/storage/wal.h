@@ -1,0 +1,187 @@
+// Write-ahead log for the live-data write path.
+//
+// Format. A WAL file is a fixed header followed by length-prefixed frames:
+//
+//   header:  [u32 magic 'KWAL'][u32 version][u64 base_seq]
+//   frame:   [u32 payload_len][u32 Checksum32(payload)][payload bytes]
+//   payload: [u8 record kind][kind-specific body]
+//
+// Record seq numbers are implicit: the i-th frame (0-based) carries
+// seq = base_seq + i + 1, so seq 0 means "nothing". A checkpoint records the
+// last seq it covers; replay skips records at or below it, which makes the
+// checkpoint-then-truncate window crash-safe (re-replaying a covered record
+// is impossible, not merely idempotent).
+//
+// Torn tails vs data loss. A crash mid-append leaves a torn frame at the
+// tail: a short header, a short payload, or a checksum mismatch. Replay
+// treats an invalid frame as the end of the log *only if no valid frame
+// exists after it* — trailing garbage is torn-tail tolerance (dropped and
+// counted), while a bad frame followed by a good one means the middle of
+// the log rotted and replay fails with kDataLoss rather than silently
+// resurrecting a prefix.
+//
+// Durability. Three fsync policies: every-record (fsync per append),
+// group-commit (records buffer in user space and are flushed + fsynced once
+// a record-count or byte window fills), and off (flush without fsync).
+// `durable_seq()` is the highest seq the last fsync covered — under
+// group-commit/off an acknowledged-but-not-durable suffix may legitimately
+// vanish in a crash, and callers gating on zero lost acknowledged writes
+// must compare against durable_seq, not next_seq.
+//
+// Fault points: storage.wal.append, storage.wal.fsync, storage.wal.replay.
+#ifndef KWSDBG_STORAGE_WAL_H_
+#define KWSDBG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace kwsdbg {
+
+/// One write. `row` names the payload for inserts; `row_id`/`column`/`value`
+/// address updates; deletes need only `row_id`. Lives in the storage layer
+/// so the WAL can log it without depending on the service layer; the
+/// service-side LiveMutator consumes it unchanged.
+struct Mutation {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kInsert;
+  std::string table;
+  Tuple row;          ///< kInsert: the new row (schema-checked).
+  size_t row_id = 0;  ///< kDelete / kUpdate: target row id.
+  size_t column = 0;  ///< kUpdate: target column.
+  Value value;        ///< kUpdate: the new cell value (type-checked).
+
+  static Mutation Insert(std::string table, Tuple row) {
+    Mutation m;
+    m.kind = Kind::kInsert;
+    m.table = std::move(table);
+    m.row = std::move(row);
+    return m;
+  }
+  static Mutation Delete(std::string table, size_t row_id) {
+    Mutation m;
+    m.kind = Kind::kDelete;
+    m.table = std::move(table);
+    m.row_id = row_id;
+    return m;
+  }
+  static Mutation Update(std::string table, size_t row_id, size_t column,
+                         Value value) {
+    Mutation m;
+    m.kind = Kind::kUpdate;
+    m.table = std::move(table);
+    m.row_id = row_id;
+    m.column = column;
+    m.value = std::move(value);
+    return m;
+  }
+};
+
+/// When appended records reach the platter.
+enum class FsyncPolicy {
+  kEveryRecord,  ///< write + fsync per append; durable_seq == last seq.
+  kGroupCommit,  ///< buffer; flush + fsync per window (records or bytes).
+  kOff,          ///< flush per window, never fsync (OS decides).
+};
+
+/// Parses "every" | "group" | "off" (the KWSDBG_FSYNC_POLICY values).
+StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view s);
+const char* FsyncPolicyToString(FsyncPolicy policy);
+
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  uint64_t group_commit_records = 32;       ///< Window: records buffered.
+  uint64_t group_commit_bytes = 64 * 1024;  ///< Window: bytes buffered.
+};
+
+/// Counters, exported through StorageStats -> ServiceStats -> JSON.
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;  ///< Frame bytes (header + payload).
+  uint64_t fsyncs = 0;
+  uint64_t truncations = 0;  ///< Checkpoint-boundary log restarts.
+};
+
+/// One replayed record.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kMutation = 1,  ///< A LiveMutator mutation.
+    kCompact = 2,   ///< `table` was compacted at this point in the stream.
+  };
+  Kind kind = Kind::kMutation;
+  uint64_t seq = 0;
+  Mutation mutation;  ///< kMutation payload.
+  std::string table;  ///< kCompact target.
+};
+
+struct WalReplayResult {
+  bool exists = false;  ///< False when no WAL file was found.
+  uint64_t base_seq = 0;
+  std::vector<WalRecord> records;
+  uint64_t torn_tail_bytes = 0;  ///< Trailing bytes dropped as a torn frame.
+};
+
+/// Reads and validates a WAL file. A missing file yields exists=false (a
+/// fresh process has no log); a torn tail is tolerated and counted; an
+/// invalid frame with a valid frame after it is kDataLoss.
+StatusOr<WalReplayResult> ReadWal(const std::string& path);
+
+/// Appender. Thread-safe; creates the file (fsyncing the parent directory
+/// so the name itself survives a crash) or adopts an existing one, chopping
+/// any torn tail so new appends start on a frame boundary.
+class WalWriter {
+ public:
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   WalOptions options = {});
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; on OK, `*seq_out` (if given) is its seq. The
+  /// record is durable only once durable_seq() >= that seq.
+  Status AppendMutation(const Mutation& m, uint64_t* seq_out = nullptr);
+  Status AppendCompact(const std::string& table, uint64_t* seq_out = nullptr);
+
+  /// Flushes the user-space buffer and fsyncs regardless of policy.
+  Status Sync();
+
+  /// Restarts the log after a checkpoint: the file is truncated to a bare
+  /// header with base_seq = new_base_seq, fsynced. Seqs <= new_base_seq
+  /// must be covered by the checkpoint.
+  Status Truncate(uint64_t new_base_seq);
+
+  uint64_t next_seq() const;     ///< Seq the next append will get.
+  uint64_t durable_seq() const;  ///< Highest fsync-covered seq (0 = none).
+  WalStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, WalOptions options, uint64_t base_seq,
+            uint64_t record_count);
+
+  Status AppendRecord(const std::string& payload, uint64_t* seq_out);
+  /// Writes the buffer to the fd; fsyncs when `sync` is set.
+  Status FlushLocked(bool sync);
+
+  const std::string path_;
+  const WalOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;               // guarded by mu_
+  uint64_t base_seq_ = 0;     // guarded by mu_
+  uint64_t last_seq_ = 0;     // guarded by mu_ (seq of the last append)
+  uint64_t durable_seq_ = 0;  // guarded by mu_
+  uint64_t flushed_seq_ = 0;  // guarded by mu_ (last seq write()n to the fd)
+  std::string buffer_;        // guarded by mu_ (frames not yet write()n)
+  WalStats stats_;            // guarded by mu_
+};
+
+}  // namespace kwsdbg
+
+#endif  // KWSDBG_STORAGE_WAL_H_

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Sanitizer wall for the concurrency-sensitive surface: builds the asan and
-# tsan presets (see CMakePresets.json) and runs the test subset that
-# exercises threads, the shared verdict cache, cancellation, and the
-# service layer under both. The differential fuzzer runs with a raised
-# iteration count; override with KWSDBG_FUZZ_ITERS / KWSDBG_FUZZ_SEED to
-# reproduce a specific failure (each test prints its seeds).
+# Sanitizer wall for the concurrency-sensitive surface: builds the asan,
+# tsan, and ubsan presets (see CMakePresets.json) and runs the test subset
+# that exercises threads, the shared verdict cache, cancellation, the
+# service layer, and the durability/crash-recovery paths under each. The
+# differential fuzzer runs with a raised iteration count; override with
+# KWSDBG_FUZZ_ITERS / KWSDBG_FUZZ_SEED to reproduce a specific failure
+# (each test prints its seeds). The standalone ubsan preset exists because
+# asan's combined address+undefined mode can mask UB reports behind
+# earlier address errors; it also halts on the first report so CI fails
+# instead of scrolling warnings past.
 #
-#   tests/run_sanitizers.sh               # both sanitizers
-#   tests/run_sanitizers.sh tsan          # one of: asan tsan
+#   tests/run_sanitizers.sh               # all three sanitizers
+#   tests/run_sanitizers.sh tsan          # any subset of: asan tsan ubsan
 #   KWSDBG_FUZZ_ITERS=500 tests/run_sanitizers.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 # gtest case names (not binaries): ctest -R matches the discovered tests.
 # resilience_smoke is the fault-schedule replay gate (bench/resilience_workload)
@@ -27,7 +33,13 @@ cd "$(dirname "$0")/.."
 # mutation layer inside DifferentialFuzzTest) exercises in-place posting
 # patches, arena compaction, and relation-fenced writes under both tools;
 # KWSDBG_MUTATION_RATE scales writes per query in the chaos fuzzer.
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|MutationTest|IncrementalIndexTest|LiveMutationTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke|mutation_smoke'
+# The durability set (WalTest, CheckpointTest, DurableServiceTest,
+# RelationFencesTest — whose GuardsInterleaveWithLiveMutatorApply is a tsan
+# target — and the crash wall: CrashRecoveryTest + durability_smoke, the
+# `crash`-labeled forked power-cut cycles) runs the WAL framing, the
+# checkpoint codec, and recovery replay under all three tools; ubsan in
+# particular watches the byte-level frame encode/decode paths.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|MutationTest|IncrementalIndexTest|LiveMutationTest|WalTest|CheckpointTest|RelationFencesTest|DurableServiceTest|CrashRecoveryTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke|mutation_smoke|durability_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS
@@ -42,11 +54,11 @@ run_preset() {
 }
 
 presets=("${@:-asan}")
-if [ "$#" -eq 0 ]; then presets=(asan tsan); fi
+if [ "$#" -eq 0 ]; then presets=(asan tsan ubsan); fi
 for preset in "${presets[@]}"; do
   case "$preset" in
-    asan|tsan) run_preset "$preset" ;;
-    *) echo "unknown preset '$preset' (want: asan tsan)" >&2; exit 2 ;;
+    asan|tsan|ubsan) run_preset "$preset" ;;
+    *) echo "unknown preset '$preset' (want: asan tsan ubsan)" >&2; exit 2 ;;
   esac
 done
 echo "=== sanitizer wall clean ==="

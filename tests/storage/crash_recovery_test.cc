@@ -1,0 +1,219 @@
+// Crash-recovery wall (gtest tier): forked children are killed at seeded
+// fault points mid-mutation-stream via the `crash` fault code (_Exit — no
+// flushes, no destructors, a power cut), then the parent replays the log
+// and asserts the durability contract: every acknowledged-durable record
+// survives, the log never reads back corrupt, and a crash inside the
+// checkpoint window (snapshot written, WAL not yet truncated) recovers to
+// exactly the full-stream state. The service-level chaos wall with live
+// queries on top lives in bench/durability_workload.cc.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/fault_injector.h"
+#include "storage/checkpoint.h"
+#include "storage/io_util.h"
+#include "storage/wal.h"
+
+namespace kwsdbg {
+namespace {
+
+constexpr size_t kStreamLen = 20;
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/kwsdbg_crash_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Mutation NthMutation(size_t i) { return Mutation::Delete("T", i + 1); }
+
+/// Durably records the child's highest fsync-covered seq; the parent's
+/// zero-loss gate compares recovered records against THIS, not against what
+/// the child merely attempted (an unacked suffix may legitimately vanish).
+void WriteAck(int fd, uint64_t durable_seq) {
+  KWSDBG_CHECK(WriteFullAt(fd, &durable_seq, sizeof(durable_seq), 0,
+                           "ack write")
+                   .ok());
+  KWSDBG_CHECK(SyncFd(fd, "ack sync").ok());
+}
+
+uint64_t ReadAck(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok() || contents->size() < sizeof(uint64_t)) return 0;
+  uint64_t seq = 0;
+  std::memcpy(&seq, contents->data(), sizeof(seq));
+  return seq;
+}
+
+/// Child body: arm the crash schedule, append the stream, ack durable seqs.
+/// Exits 0 when the whole stream survives (crash point past the stream) and
+/// kCrashExitCode when the injected kill fires. Never returns.
+[[noreturn]] void RunChild(const std::string& dir,
+                           const std::string& schedule,
+                           FsyncPolicy policy) {
+  KWSDBG_CHECK(FaultInjector::Global().Configure(schedule).ok());
+  auto ack_fd = OpenFd(dir + "/acks", O_CREAT | O_RDWR, 0644, "ack open");
+  KWSDBG_CHECK(ack_fd.ok());
+  WalOptions options;
+  options.fsync_policy = policy;
+  options.group_commit_records = 4;
+  auto writer = WalWriter::Open(dir + "/wal.log", options);
+  KWSDBG_CHECK(writer.ok()) << writer.status().ToString();
+  for (size_t i = 0; i < kStreamLen; ++i) {
+    const Status s = (*writer)->AppendMutation(NthMutation(i));
+    KWSDBG_CHECK(s.ok()) << s.ToString();
+    WriteAck(*ack_fd, (*writer)->durable_seq());
+  }
+  std::_Exit(0);
+}
+
+/// Forks RunChild, reaps it, and returns its wait status.
+int ForkChild(const std::string& dir, const std::string& schedule,
+              FsyncPolicy policy = FsyncPolicy::kEveryRecord) {
+  const pid_t pid = fork();
+  KWSDBG_CHECK(pid >= 0);
+  if (pid == 0) RunChild(dir, schedule, policy);
+  int wstatus = 0;
+  KWSDBG_CHECK(waitpid(pid, &wstatus, 0) == pid);
+  return wstatus;
+}
+
+/// The parent-side gate shared by every crash test: the log reads back
+/// valid, holds a strict prefix of the stream, and that prefix covers
+/// every acknowledged-durable record.
+void VerifyRecovered(const std::string& dir, uint64_t acked_durable) {
+  auto replay = ReadWal(dir + "/wal.log");
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_GE(replay->records.size(), acked_durable)
+      << "lost acknowledged-durable records";
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    EXPECT_EQ(replay->records[i].seq, i + 1);
+    EXPECT_EQ(replay->records[i].mutation.row_id, i + 1);  // Prefix, in order.
+  }
+}
+
+TEST(CrashRecoveryTest, KilledAtAppendNeverLosesDurableRecords) {
+  for (uint64_t after : {0u, 1u, 5u, 13u}) {
+    const std::string dir = FreshDir("append_" + std::to_string(after));
+    const int wstatus = ForkChild(
+        dir, "storage.wal.append=crash,after=" + std::to_string(after));
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), FaultInjector::kCrashExitCode)
+        << "crash fault did not fire (after=" << after << ")";
+    const uint64_t acked = ReadAck(dir + "/acks");
+    EXPECT_EQ(acked, after);  // Every-record: ack tracks appends exactly.
+    VerifyRecovered(dir, acked);
+  }
+}
+
+TEST(CrashRecoveryTest, KilledAtFsyncNeverLosesDurableRecords) {
+  // The fsync point fires after the frame was write()n but before it was
+  // made durable: the record may survive (it is in the page cache) but was
+  // never acknowledged durable — either outcome passes the gate.
+  for (uint64_t after : {0u, 3u, 9u}) {
+    const std::string dir = FreshDir("fsync_" + std::to_string(after));
+    const int wstatus = ForkChild(
+        dir, "storage.wal.fsync=crash,after=" + std::to_string(after));
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), FaultInjector::kCrashExitCode);
+    VerifyRecovered(dir, ReadAck(dir + "/acks"));
+  }
+}
+
+TEST(CrashRecoveryTest, GroupCommitCrashLosesOnlyUnackedSuffix) {
+  for (uint64_t after : {2u, 6u, 11u}) {
+    const std::string dir = FreshDir("group_" + std::to_string(after));
+    const int wstatus = ForkChild(
+        dir, "storage.wal.append=crash,after=" + std::to_string(after),
+        FsyncPolicy::kGroupCommit);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), FaultInjector::kCrashExitCode);
+    const uint64_t acked = ReadAck(dir + "/acks");
+    EXPECT_LE(acked, after);  // Group commit acks durability in windows.
+    VerifyRecovered(dir, acked);
+  }
+}
+
+TEST(CrashRecoveryTest, SurvivingChildLeavesFullStream) {
+  const std::string dir = FreshDir("survive");
+  const int wstatus =
+      ForkChild(dir, "storage.wal.append=crash,after=1000");
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+  auto replay = ReadWal(dir + "/wal.log");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), kStreamLen);
+  EXPECT_EQ(ReadAck(dir + "/acks"), kStreamLen);
+}
+
+TEST(CrashRecoveryTest, CrashBetweenCheckpointAndTruncateIsSafe) {
+  // The checkpoint protocol's crash window: snapshot written (covering seq
+  // 3) but the WAL not yet truncated. Recovery must restore the snapshot
+  // and replay ONLY seqs 4-5 — re-replaying covered records is impossible
+  // by construction (seq <= covered is skipped), not merely idempotent.
+  const std::string dir = FreshDir("ckpt_window");
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto db = std::make_unique<Database>();
+    Table* t = *db->CreateTable(
+        "T", Schema({{"id", DataType::kInt64}, {"w", DataType::kString}}));
+    auto writer = WalWriter::Open(dir + "/wal.log");
+    KWSDBG_CHECK(writer.ok());
+    for (int i = 1; i <= 5; ++i) {
+      KWSDBG_CHECK(
+          t->AppendRow({Value(int64_t{i}), Value("row" + std::to_string(i))})
+              .ok());
+      KWSDBG_CHECK(
+          (*writer)
+              ->AppendMutation(Mutation::Insert(
+                  "T", {Value(int64_t{i}), Value("row" + std::to_string(i))}))
+              .ok());
+      if (i == 3) {
+        KWSDBG_CHECK(WriteCheckpoint(*db, dir, /*covered_seq=*/3).ok());
+        // Power cut here: Truncate(3) never runs.
+        std::_Exit(FaultInjector::kCrashExitCode);
+      }
+    }
+    std::_Exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), FaultInjector::kCrashExitCode);
+
+  CheckpointInfo info;
+  auto restored = RestoreCheckpoint(dir, &info);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(info.covered_seq, 3u);
+  Table* t = (*restored)->FindTable("T");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 3u);
+
+  auto replay = ReadWal(dir + "/wal.log");
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  size_t replayed = 0;
+  for (const WalRecord& rec : replay->records) {
+    if (rec.seq <= info.covered_seq) continue;  // Covered by the snapshot.
+    ASSERT_TRUE(t->AppendRow(rec.mutation.row).ok());
+    ++replayed;
+  }
+  // The snapshot held seqs 1-3 and the log 1-3 as well (the crash landed
+  // before seqs 4-5 were written), so nothing replays — and nothing
+  // double-applies.
+  EXPECT_EQ(replayed, 0u);
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->at(2, 1).AsString(), "row3");
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,209 @@
+// DiskManager contract: free-list recycling, multi-page extents, zero-fill
+// of never-written pages, persistent Open() across incarnations, typed
+// close/closed-file errors, fault-point propagation, and the stale-spill
+// sweep that reclaims page files orphaned by crashed processes.
+#include "storage/disk_manager.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+
+namespace kwsdbg {
+namespace {
+
+constexpr size_t kPage = DiskManager::kMinPageSize;
+
+std::string TestPath(const std::string& tag) {
+  const std::string path =
+      testing::TempDir() + "/kwsdbg_dm_" + tag + ".pages";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string PageOf(char fill) { return std::string(kPage, fill); }
+
+TEST(DiskManagerTest, RejectsTinyPageSize) {
+  EXPECT_EQ(DiskManager::Create(TestPath("tiny"), 16).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiskManagerTest, SinglePageFreeListRecycling) {
+  auto dm = DiskManager::Create(TestPath("freelist"), kPage);
+  ASSERT_TRUE(dm.ok()) << dm.status().ToString();
+  DiskManager& disk = **dm;
+
+  const uint64_t a = *disk.AllocatePages(1);
+  const uint64_t b = *disk.AllocatePages(1);
+  EXPECT_NE(a, b);
+  disk.FreePages(a, 1);
+  // A freed single page is recycled before the file grows.
+  EXPECT_EQ(*disk.AllocatePages(1), a);
+  EXPECT_EQ(disk.stats().pages_freed, 1u);
+  EXPECT_EQ(disk.stats().pages_allocated, 3u);
+  EXPECT_EQ(disk.num_pages(), 2u);
+}
+
+TEST(DiskManagerTest, MultiPageExtentsAreContiguousAndSkipFreeList) {
+  auto dm = DiskManager::Create(TestPath("extent"), kPage);
+  ASSERT_TRUE(dm.ok());
+  DiskManager& disk = **dm;
+
+  const uint64_t single = *disk.AllocatePages(1);
+  disk.FreePages(single, 1);
+  // An extent must be contiguous, so it appends past the end instead of
+  // consuming the (single-page) free list.
+  const uint64_t extent = *disk.AllocatePages(3);
+  EXPECT_EQ(extent, 1u);
+  EXPECT_EQ(disk.num_pages(), 4u);
+
+  const std::string payload = PageOf('a') + PageOf('b') + PageOf('c');
+  ASSERT_TRUE(disk.WritePages(extent, 3, payload.data()).ok());
+  std::string readback(3 * kPage, '\0');
+  ASSERT_TRUE(disk.ReadPages(extent, 3, readback.data()).ok());
+  EXPECT_EQ(readback, payload);
+  EXPECT_EQ(disk.stats().page_writes, 3u);
+  EXPECT_EQ(disk.stats().page_reads, 3u);
+}
+
+TEST(DiskManagerTest, NeverWrittenPagesReadAsZeroes) {
+  auto dm = DiskManager::Create(TestPath("zero"), kPage);
+  ASSERT_TRUE(dm.ok());
+  const uint64_t page = *(*dm)->AllocatePages(1);
+  std::string buf(kPage, 'x');
+  ASSERT_TRUE((*dm)->ReadPages(page, 1, buf.data()).ok());
+  EXPECT_EQ(buf, std::string(kPage, '\0'));
+}
+
+TEST(DiskManagerTest, BoundsAreChecked) {
+  auto dm = DiskManager::Create(TestPath("bounds"), kPage);
+  ASSERT_TRUE(dm.ok());
+  std::string buf(kPage, '\0');
+  EXPECT_EQ((*dm)->ReadPages(0, 1, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*dm)->WritePages(0, 1, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*dm)->AllocatePages(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiskManagerTest, TempFileIsRemovedOnDestruction) {
+  std::string path;
+  {
+    auto dm = DiskManager::Create(TestPath("unlink"), kPage);
+    ASSERT_TRUE(dm.ok());
+    path = (*dm)->path();
+    EXPECT_FALSE((*dm)->persistent());
+    ASSERT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(DiskManagerTest, OpenPersistsPagesAcrossIncarnations) {
+  const std::string path = TestPath("persist");
+  {
+    auto dm = DiskManager::Open(path, kPage);
+    ASSERT_TRUE(dm.ok()) << dm.status().ToString();
+    EXPECT_TRUE((*dm)->persistent());
+    EXPECT_EQ((*dm)->num_pages(), 0u);
+    const uint64_t extent = *(*dm)->AllocatePages(2);
+    const std::string payload = PageOf('p') + PageOf('q');
+    ASSERT_TRUE((*dm)->WritePages(extent, 2, payload.data()).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+    EXPECT_EQ((*dm)->stats().syncs, 1u);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));  // Survived the destructor.
+
+  auto dm = DiskManager::Open(path, kPage);
+  ASSERT_TRUE(dm.ok());
+  // Page count adopted from the file size.
+  EXPECT_EQ((*dm)->num_pages(), 2u);
+  std::string readback(2 * kPage, '\0');
+  ASSERT_TRUE((*dm)->ReadPages(0, 2, readback.data()).ok());
+  EXPECT_EQ(readback, PageOf('p') + PageOf('q'));
+  std::filesystem::remove(path);
+}
+
+TEST(DiskManagerTest, CloseSurfacesAndFurtherIoFailsTyped) {
+  auto dm = DiskManager::Create(TestPath("close"), kPage);
+  ASSERT_TRUE(dm.ok());
+  const uint64_t page = *(*dm)->AllocatePages(1);
+  ASSERT_TRUE((*dm)->Close().ok());
+  ASSERT_TRUE((*dm)->Close().ok());  // Idempotent.
+  std::string buf(kPage, '\0');
+  EXPECT_EQ((*dm)->ReadPages(page, 1, buf.data()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*dm)->WritePages(page, 1, buf.data()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*dm)->Sync().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DiskManagerTest, FaultPointsPropagateTyped) {
+  auto dm = DiskManager::Create(TestPath("faults"), kPage);
+  ASSERT_TRUE(dm.ok());
+  const uint64_t page = *(*dm)->AllocatePages(1);
+  std::string buf(kPage, '\0');
+  {
+    ScopedFaultInjection faults("storage.disk.write=unavailable,times=1");
+    EXPECT_EQ((*dm)->WritePages(page, 1, buf.data()).code(),
+              StatusCode::kUnavailable);
+  }
+  {
+    ScopedFaultInjection faults("storage.disk.read=unavailable,times=1");
+    EXPECT_EQ((*dm)->ReadPages(page, 1, buf.data()).code(),
+              StatusCode::kUnavailable);
+  }
+  {
+    ScopedFaultInjection faults("storage.disk.sync=unavailable,times=1");
+    EXPECT_EQ((*dm)->Sync().code(), StatusCode::kUnavailable);
+  }
+  // Injected faults do not corrupt the manager: plain I/O still works.
+  EXPECT_TRUE((*dm)->WritePages(page, 1, buf.data()).ok());
+}
+
+TEST(DiskManagerTest, SweepReclaimsOnlyDeadOwnersSpillFiles) {
+  const std::string dir = testing::TempDir() + "/kwsdbg_sweep_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto touch = [&](const std::string& name) {
+    std::ofstream(dir + "/" + name) << "x";
+  };
+
+  // A pid that is guaranteed dead and reaped: our own forked child.
+  const pid_t dead = fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(dead, &wstatus, 0), dead);
+
+  const std::string dead_file =
+      "kwsdbg_spill_" + std::to_string(dead) + "_0.pages";
+  const std::string live_file =
+      "kwsdbg_spill_" + std::to_string(getpid()) + "_0.pages";
+  touch(dead_file);
+  touch(live_file);
+  touch("kwsdbg_spill_notapid_0.pages");  // Unparsable: left alone.
+  touch("unrelated.pages");               // Wrong prefix: left alone.
+
+  auto removed = SweepStaleSpillFiles(dir);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + dead_file));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + live_file));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/unrelated.pages"));
+
+  // Absent directory: zero removed, not an error.
+  EXPECT_EQ(*SweepStaleSpillFiles(dir + "/nope"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kwsdbg

@@ -1,0 +1,190 @@
+// Relation-fence ordering and interleaving: BitFor mapping (including the
+// catch-all high bit), disjoint-relation concurrency, reader/writer
+// exclusion, the whole-database read guard (the checkpoint quiesce), null
+// no-op guards, and a TSAN-targeted stress interleaving guards with
+// LiveMutator::Apply.
+#include "storage/relation_fences.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/live_mutator.h"
+#include "test_util.h"
+
+namespace kwsdbg {
+namespace {
+
+using testutil::ToyFixture;
+
+TEST(RelationFencesTest, BitForMapsLowIndexesAndSaturatesHigh) {
+  EXPECT_EQ(RelationFences::BitFor(0), uint64_t{1});
+  EXPECT_EQ(RelationFences::BitFor(5), uint64_t{1} << 5);
+  EXPECT_EQ(RelationFences::BitFor(62), uint64_t{1} << 62);
+  // Catalogs wider than 63 tables share the catch-all bit.
+  EXPECT_EQ(RelationFences::BitFor(63), uint64_t{1} << 63);
+  EXPECT_EQ(RelationFences::BitFor(64), uint64_t{1} << 63);
+  EXPECT_EQ(RelationFences::BitFor(1000), uint64_t{1} << 63);
+}
+
+TEST(RelationFencesTest, NullFencesGuardsAreNoOps) {
+  // Single-threaded callers pass null fences; every guard must be free.
+  RelationReadGuard read(nullptr, RelationReadGuard::kAllRelations);
+  IndexReadGuard index(nullptr);
+  RelationWriteGuard write(nullptr, 0);
+}
+
+TEST(RelationFencesTest, WritersOnDisjointRelationsDoNotBlockEachOther) {
+  RelationFences fences(4);
+  // Hold relation 0 exclusively; a writer on relation 2 must get through
+  // without waiting on it (only the index gate is shared, and it is
+  // released between the two acquisitions here).
+  std::unique_lock<std::shared_mutex> hold(fences.fence(0));
+  std::atomic<bool> acquired{false};
+  std::thread other([&] {
+    RelationWriteGuard guard(&fences, 2);
+    acquired.store(true);
+  });
+  other.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(RelationFencesTest, ReadGuardBlocksWriterUntilRelease) {
+  RelationFences fences(3);
+  std::atomic<bool> writer_done{false};
+  std::thread writer;
+  {
+    RelationReadGuard read(&fences, RelationFences::BitFor(1));
+    writer = std::thread([&] {
+      RelationWriteGuard guard(&fences, 1);
+      writer_done.store(true, std::memory_order_release);
+    });
+    // The writer needs fence 1 exclusive; while the reader holds it shared
+    // the writer must not complete. (Sleep-based non-blocking check: a
+    // stuck-forever writer would fail the post-join assertion instead.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(writer_done.load(std::memory_order_acquire));
+  }
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RelationFencesTest, AllRelationsReadGuardQuiescesEveryWriter) {
+  // The checkpoint quiesce: kAllRelations holds every fence shared, so a
+  // writer on ANY relation blocks until release, while other readers run.
+  RelationFences fences(5);
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> reader_done{false};
+  std::thread writer;
+  std::thread reader;
+  {
+    RelationReadGuard quiesce(&fences, RelationReadGuard::kAllRelations);
+    writer = std::thread([&] {
+      RelationWriteGuard guard(&fences, 4);
+      writer_done.store(true, std::memory_order_release);
+    });
+    reader = std::thread([&] {
+      RelationReadGuard guard(&fences, RelationFences::BitFor(2));
+      reader_done.store(true, std::memory_order_release);
+    });
+    reader.join();  // Readers coexist with the quiesce.
+    EXPECT_TRUE(reader_done.load());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(writer_done.load(std::memory_order_acquire));
+  }
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RelationFencesTest, AscendingAcquisitionNeverDeadlocks) {
+  // Readers with overlapping multi-relation masks acquire fences in
+  // ascending index order, writers take fence-then-gate: no cycle is
+  // possible. Hammer the orders concurrently; the test passing at all (and
+  // under TSAN's deadlock detection) is the assertion.
+  RelationFences fences(6);
+  constexpr int kIters = 200;
+  std::atomic<size_t> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if ((t + i) % 3 == 0) {
+          RelationWriteGuard w(&fences, static_cast<size_t>(i % 6));
+        } else if ((t + i) % 3 == 1) {
+          // Overlapping pair masks: {i, i+1}.
+          const uint64_t mask = RelationFences::BitFor(i % 5) |
+                                RelationFences::BitFor(i % 5 + 1);
+          RelationReadGuard r(&fences, mask);
+        } else {
+          RelationReadGuard r(&fences, RelationReadGuard::kAllRelations);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(completed.load(), 4u * kIters);
+}
+
+TEST(RelationFencesTest, GuardsInterleaveWithLiveMutatorApply) {
+  // The TSAN target: whole-db read guards (the checkpoint path) and
+  // relation readers interleave with real LiveMutator writes. Readers
+  // observe row counts under the fence; the final count must equal the
+  // initial plus exactly the acknowledged inserts.
+  ToyFixture fx;
+  RelationFences fences(fx.db->num_tables());
+  LiveMutator mutator(fx.db.get(), fx.index.get(), &fences);
+  Table* color = fx.db->FindTable("Color");
+  ASSERT_NE(color, nullptr);
+  const size_t color_index = color->catalog_index();
+  const size_t initial_rows = color->num_rows();
+
+  constexpr int kWrites = 60;
+  std::atomic<size_t> started{0};  ///< Bumped before Apply begins.
+  std::atomic<size_t> acked{0};    ///< Bumped after Apply returned OK.
+  std::atomic<bool> stop_readers{false};
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      started.fetch_add(1, std::memory_order_release);
+      const Status s = mutator.Apply(Mutation::Insert(
+          "Color", {Value(int64_t{100 + i}), Value("red"), Value("shade")}));
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      acked.fetch_add(1, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t last_seen = 0;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        // Bracket the fenced read: acknowledged inserts are a lower bound
+        // (an acked write is visible), started ones an upper bound (a row
+        // cannot appear before its Apply began).
+        const size_t lo = acked.load(std::memory_order_acquire);
+        size_t rows = 0;
+        {
+          const uint64_t mask = t == 0 ? RelationReadGuard::kAllRelations
+                                       : RelationFences::BitFor(color_index);
+          RelationReadGuard guard(&fences, mask);
+          rows = color->num_rows();
+        }
+        const size_t hi = started.load(std::memory_order_acquire);
+        ASSERT_GE(rows, last_seen);  // Monotone under an insert-only stream.
+        ASSERT_GE(rows, initial_rows + lo);
+        ASSERT_LE(rows, initial_rows + hi);
+        last_seen = rows;
+      }
+    });
+  }
+  writer.join();
+  stop_readers.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(color->num_rows(), initial_rows + kWrites);
+}
+
+}  // namespace
+}  // namespace kwsdbg
