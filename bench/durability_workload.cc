@@ -22,9 +22,10 @@
 //            rebuilt-index oracle.
 //
 // Cycles sweep DBLife + e-commerce, all three fsync policies, kill points
-// storage.wal.append and storage.wal.fsync, with seeded `after=` crash
-// positions; odd cycles checkpoint mid-stream so crashes land on both
-// sides of the checkpoint/truncate window. A replay-fault robustness check
+// storage.wal.append, storage.wal.fsync, and storage.wal.truncate, with
+// seeded `after=` crash positions; odd cycles checkpoint mid-stream so
+// crashes land on both sides of the checkpoint/truncate window (and, for
+// the truncate point, inside the staged-rename swap itself). A replay-fault robustness check
 // per env asserts a recovery-time fault surfaces typed instead of adopting
 // a half-replayed state. Emits BENCH_durability.json.
 //
@@ -218,7 +219,7 @@ uint64_t DbFingerprint(Database* db) {
 struct CycleConfig {
   std::string dir;
   FsyncPolicy policy = FsyncPolicy::kEveryRecord;
-  std::string point;        ///< Armed kill point (storage.wal.append/fsync).
+  std::string point;        ///< Armed kill point (storage.wal.*).
   uint64_t after = 0;       ///< Hits before the crash becomes eligible.
   bool checkpoint_mid = false;
   uint64_t stream_seed = 0;
@@ -560,7 +561,8 @@ int Run(bool smoke, const std::string& out_path) {
   const size_t stream_len = smoke ? 14 : 24;
   const std::vector<FsyncPolicy> policies = PolicySweep();
   const std::vector<std::string> points = {"storage.wal.append",
-                                           "storage.wal.fsync"};
+                                           "storage.wal.fsync",
+                                           "storage.wal.truncate"};
 
   size_t violations = 0;
   size_t total_cycles = 0;
@@ -586,15 +588,23 @@ int Run(bool smoke, const std::string& out_path) {
         for (size_t cycle = 0; cycle < cycles_per_combo; ++cycle) {
           CycleConfig c;
           c.dir = base_dir + "/" + master.name + "_" + totals.policy + "_" +
-                  (point == "storage.wal.append" ? "append" : "fsync") +
-                  "_" + std::to_string(cycle);
+                  point.substr(point.rfind('.') + 1) + "_" +
+                  std::to_string(cycle);
           c.policy = policy;
           c.point = point;
           // First cycle crashes early and deterministically; later cycles
           // draw seeded positions (some land past the stream: the child
           // survives and the cycle degenerates to clean restart+replay).
-          c.after = cycle == 0 ? 2 : after_rng.Uniform(stream_len + 4);
-          c.checkpoint_mid = cycle % 2 == 1;
+          // The truncate point only has three hits — boot creation, then
+          // truncate entry and pre-rename during the mid-stream checkpoint
+          // — so its cycles always checkpoint and draw from that range
+          // (cycle 0's after=2 lands deterministically pre-rename).
+          const bool truncate_point = point == "storage.wal.truncate";
+          c.after = cycle == 0 ? 2
+                    : truncate_point
+                        ? after_rng.Uniform(5)
+                        : after_rng.Uniform(stream_len + 4);
+          c.checkpoint_mid = truncate_point || cycle % 2 == 1;
           c.stream_seed = crash_seed ^ (0x9E3779B97F4A7C15ull * (cycle + 1));
           c.stream_len = stream_len;
           violations +=

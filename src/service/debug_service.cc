@@ -291,8 +291,11 @@ void DebugService::SetupDurability(Database* mutable_db) {
 
   // 3. Attach the writer (chops any torn tail so new appends start on a
   //    frame boundary). From here every acknowledged mutation is logged.
+  //    Open gets the covered seq so a fresh or wholly-superseded log
+  //    restarts at the checkpoint boundary — never below it, where new
+  //    appends would take seqs the next recovery skips as covered.
   StatusOr<std::unique_ptr<WalWriter>> wal_or =
-      WalWriter::Open(wal_path, options_.durability.wal);
+      WalWriter::Open(wal_path, options_.durability.wal, covered);
   if (!wal_or.ok()) {
     durability_status_ = wal_or.status();
     return;
@@ -308,6 +311,12 @@ Status DebugService::Checkpoint() {
         "a mutable-constructed service");
   }
   KWSDBG_RETURN_NOT_OK(durability_status_);
+  if (mutator_->wal_poisoned()) {
+    return Status::DataLoss(
+        "refusing to checkpoint: the mutator is poisoned (a WAL append "
+        "failed after its in-memory apply), so a snapshot would persist a "
+        "state holding a write the caller never saw acknowledged");
+  }
   std::lock_guard<std::mutex> serialize(checkpoint_mu_);
   // Taking every relation fence shared blocks RelationWriteGuard writers
   // (ApplyMutation) for the duration while queries keep reading — the row
@@ -340,6 +349,11 @@ Status DebugService::Drain() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   KWSDBG_RETURN_NOT_OK(durability_status_);
+  if (mutator_->wal_poisoned()) {
+    return Status::DataLoss(
+        "refusing to drain: the mutator is poisoned (memory and log have "
+        "diverged); syncing or checkpointing would legitimize the split");
+  }
   KWSDBG_RETURN_NOT_OK(wal_->Sync());
   return Checkpoint();
 }

@@ -14,6 +14,12 @@ bool IndexCovers(const InvertedIndex* index, const Table& t) {
          index->TableIdOf(t.name()) != InvertedIndex::kNoTable;
 }
 
+Status PoisonedStatus() {
+  return Status::DataLoss(
+      "mutator is poisoned: a prior WAL append failed after its "
+      "in-memory apply, so memory and log have diverged");
+}
+
 }  // namespace
 
 Status LiveMutator::PatchTextIndex(const Mutation& m, Table* t, uint32_t row,
@@ -84,7 +90,7 @@ Status LiveMutator::MaybeCompact(Table* t, bool logging) {
   if (logging && wal_ != nullptr) {
     const Status logged = wal_->AppendCompact(t->name());
     if (!logged.ok()) {
-      wal_poisoned_ = true;
+      wal_poisoned_.store(true, std::memory_order_release);
       return Status::DataLoss("WAL compact append failed after compaction: " +
                               logged.ToString());
     }
@@ -110,10 +116,19 @@ Status LiveMutator::ApplyRecord(const WalRecord& record) {
 }
 
 Status LiveMutator::ApplyInternal(const Mutation& m, bool logging) {
-  if (wal_poisoned_) {
-    return Status::DataLoss(
-        "mutator is poisoned: a prior WAL append failed after its "
-        "in-memory apply, so memory and log have diverged");
+  if (wal_poisoned_.load(std::memory_order_acquire)) return PoisonedStatus();
+  // Encode the WAL frame up front so an unloggable mutation (a row that
+  // encodes past the frame limit) fails here, before any in-memory state
+  // changes — discovering it at append time would force a poison.
+  std::string wal_payload;
+  if (logging && wal_ != nullptr) {
+    wal_payload = EncodeWalMutation(m);
+    if (wal_payload.size() > kWalMaxPayload) {
+      return Status::InvalidArgument(
+          "mutation encodes to " + std::to_string(wal_payload.size()) +
+          " WAL bytes, over the " + std::to_string(kWalMaxPayload) +
+          "-byte frame limit");
+    }
   }
   // Fail-before-mutate: an injected outage at this point leaves the table,
   // the index, and every cache byte-identical to before the call — the
@@ -126,6 +141,11 @@ Status LiveMutator::ApplyInternal(const Mutation& m, bool logging) {
   // queries over other relations keep running; queries binding this one
   // wait out exactly one table-and-index patch.
   RelationWriteGuard guard(fences_, t->catalog_index());
+
+  // Re-check under the fence: a concurrent Apply() on another relation
+  // (holding a different fence) may have poisoned the mutator between the
+  // fast-path check above and this acquisition.
+  if (wal_poisoned_.load(std::memory_order_acquire)) return PoisonedStatus();
 
   size_t patches = 0;
   uint32_t row = 0;
@@ -198,9 +218,9 @@ Status LiveMutator::ApplyInternal(const Mutation& m, bool logging) {
   // a write the log does not — poison the mutator rather than let the two
   // drift further.
   if (logging && wal_ != nullptr) {
-    const Status logged = wal_->AppendMutation(m);
+    const Status logged = wal_->AppendPayload(wal_payload);
     if (!logged.ok()) {
-      wal_poisoned_ = true;
+      wal_poisoned_.store(true, std::memory_order_release);
       return Status::DataLoss("WAL append failed after in-memory apply: " +
                               logged.ToString());
     }

@@ -82,7 +82,9 @@ class LiveMutator {
   /// the mutator.
   void AttachWal(WalWriter* wal) { wal_ = wal; }
   WalWriter* wal() const { return wal_; }
-  bool wal_poisoned() const { return wal_poisoned_; }
+  bool wal_poisoned() const {
+    return wal_poisoned_.load(std::memory_order_acquire);
+  }
 
   /// Applies one mutation atomically with respect to readers: either the
   /// table, the text index, and every flat tier reflect the write (and the
@@ -126,7 +128,9 @@ class LiveMutator {
   std::vector<SharedFlatRowIndexManager*> tiers_;
   MutationStats stats_;
   WalWriter* wal_ = nullptr;  ///< Null = run without durability.
-  bool wal_poisoned_ = false;
+  /// Atomic: set under one relation's write fence but read by concurrent
+  /// Apply() calls on *other* relations, which hold different fences.
+  std::atomic<bool> wal_poisoned_{false};
 };
 
 }  // namespace kwsdbg

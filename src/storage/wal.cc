@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/fault_injector.h"
@@ -19,9 +20,6 @@ constexpr uint32_t kWalMagic = 0x4C41574Bu;  // 'KWAL'
 constexpr uint32_t kWalVersion = 1;
 constexpr size_t kHeaderSize = 16;      // magic + version + base_seq
 constexpr size_t kFrameHeaderSize = 8;  // payload_len + checksum
-// A single mutation payload is a row plus a table name; anything beyond
-// this is a corrupt length field, not a real record.
-constexpr uint32_t kMaxPayload = 64u << 20;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -72,33 +70,6 @@ std::string EncodeHeader(uint64_t base_seq) {
   PutU32(&out, kWalMagic);
   PutU32(&out, kWalVersion);
   PutU64(&out, base_seq);
-  return out;
-}
-
-std::string EncodeMutationPayload(const Mutation& m) {
-  std::string out;
-  PutU8(&out, static_cast<uint8_t>(WalRecord::Kind::kMutation));
-  PutU8(&out, static_cast<uint8_t>(m.kind));
-  PutString(&out, m.table);
-  switch (m.kind) {
-    case Mutation::Kind::kInsert: {
-      std::string rows;
-      EncodeRows({m.row}, &rows);
-      PutString(&out, rows);
-      break;
-    }
-    case Mutation::Kind::kDelete:
-      PutU64(&out, m.row_id);
-      break;
-    case Mutation::Kind::kUpdate: {
-      PutU64(&out, m.row_id);
-      PutU64(&out, m.column);
-      std::string cell;
-      EncodeRows({Tuple{m.value}}, &cell);
-      PutString(&out, cell);
-      break;
-    }
-  }
   return out;
 }
 
@@ -187,7 +158,7 @@ bool HasValidFrameAfter(const char* data, size_t size, size_t from) {
     uint32_t len, checksum;
     std::memcpy(&len, data + off, 4);
     std::memcpy(&checksum, data + off + 4, 4);
-    if (len == 0 || len > kMaxPayload) continue;
+    if (len == 0 || len > kWalMaxPayload) continue;
     if (off + kFrameHeaderSize + len > size) continue;
     if (Checksum32(data + off + kFrameHeaderSize, len) == checksum) {
       return true;
@@ -233,7 +204,7 @@ Status ScanWal(const std::string& bytes, const std::string& path,
       uint32_t checksum;
       std::memcpy(&len, bytes.data() + pos, 4);
       std::memcpy(&checksum, bytes.data() + pos + 4, 4);
-      if (len > 0 && len <= kMaxPayload &&
+      if (len > 0 && len <= kWalMaxPayload &&
           bytes.size() - pos - kFrameHeaderSize >= len &&
           Checksum32(bytes.data() + pos + kFrameHeaderSize, len) ==
               checksum) {
@@ -267,7 +238,66 @@ Status ScanWal(const std::string& bytes, const std::string& path,
   return Status::OK();
 }
 
+/// Crash-atomically (re)creates the log at `path` as a bare header with the
+/// given base_seq: the file is staged at `<path>.tmp`, fsynced, renamed
+/// over `path`, and the directory fsynced. Power loss at any instant
+/// leaves either whatever `path` held before or the complete new log —
+/// never a zero-length or half-written file, and never a new header with
+/// stale frames behind it. Returns an fd positioned on the new log.
+StatusOr<int> CreateFreshWal(const std::string& path, uint64_t base_seq,
+                             const char* what) {
+  const std::string tmp = path + ".tmp";
+  KWSDBG_ASSIGN_OR_RETURN(int fd,
+                          OpenFd(tmp, O_RDWR | O_CREAT | O_TRUNC, 0644, what));
+  const std::string header = EncodeHeader(base_seq);
+  Status st = WriteFullAt(fd, header.data(), header.size(), 0, what);
+  if (st.ok()) st = SyncFd(fd, what);
+  if (st.ok() && FaultInjector::Enabled()) {
+    // The staged log is durable but the live one untouched: the crash wall
+    // kills here to prove either complete log recovers.
+    st = FaultInjector::Global().Hit("storage.wal.truncate");
+  }
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal(std::string(what) + ": rename: " +
+                          std::string(std::strerror(errno)));
+  }
+  if (st.ok()) st = SyncDir(DirnameOf(path), what);
+  if (!st.ok()) {
+    CloseFd(&fd, what);
+    ::unlink(tmp.c_str());  // Best effort; a leftover stage is ignored.
+    return st;
+  }
+  return fd;
+}
+
 }  // namespace
+
+std::string EncodeWalMutation(const Mutation& m) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(WalRecord::Kind::kMutation));
+  PutU8(&out, static_cast<uint8_t>(m.kind));
+  PutString(&out, m.table);
+  switch (m.kind) {
+    case Mutation::Kind::kInsert: {
+      std::string rows;
+      EncodeRows({m.row}, &rows);
+      PutString(&out, rows);
+      break;
+    }
+    case Mutation::Kind::kDelete:
+      PutU64(&out, m.row_id);
+      break;
+    case Mutation::Kind::kUpdate: {
+      PutU64(&out, m.row_id);
+      PutU64(&out, m.column);
+      std::string cell;
+      EncodeRows({Tuple{m.value}}, &cell);
+      PutString(&out, cell);
+      break;
+    }
+  }
+  return out;
+}
 
 StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view s) {
   if (s == "every" || s == "every-record" || s == "always") {
@@ -310,19 +340,22 @@ StatusOr<WalReplayResult> ReadWal(const std::string& path) {
 }
 
 WalWriter::WalWriter(std::string path, int fd, WalOptions options,
-                     uint64_t base_seq, uint64_t record_count)
+                     uint64_t base_seq, uint64_t record_count,
+                     uint64_t file_end)
     : path_(std::move(path)),
       options_(options),
       fd_(fd),
       base_seq_(base_seq),
       last_seq_(base_seq + record_count),
       durable_seq_(base_seq + record_count),
-      flushed_seq_(base_seq + record_count) {}
+      flushed_seq_(base_seq + record_count),
+      file_end_(file_end) {}
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
-                                                     WalOptions options) {
+                                                     WalOptions options,
+                                                     uint64_t covered_seq) {
   auto existing = ReadFileToString(path);
-  uint64_t base_seq = 0;
+  uint64_t base_seq = covered_seq;
   uint64_t record_count = 0;
   size_t valid_end = kHeaderSize;
   bool fresh = true;
@@ -331,6 +364,18 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
     KWSDBG_RETURN_NOT_OK(ScanWal(*existing, path, &scan));
     if (scan.valid_end == 0) {
       // Crash during creation left a stub with no usable header: recreate.
+      fresh = true;
+    } else if (scan.base_seq > covered_seq) {
+      return Status::DataLoss(
+          "WAL " + path + " starts at seq " + std::to_string(scan.base_seq) +
+          " but the checkpoint covers only " + std::to_string(covered_seq) +
+          "; the covering checkpoint is gone");
+    } else if (scan.base_seq + scan.records.size() < covered_seq) {
+      // Every surviving frame is at or below the covered seq: the log is
+      // wholly superseded by the snapshot (an unfsynced suffix the
+      // checkpoint made durable vanished in a crash before truncation).
+      // Restart at the covered boundary — adopting the short log as-is
+      // would hand out seqs the next recovery skips as already covered.
       fresh = true;
     } else {
       fresh = false;
@@ -342,36 +387,29 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
     return existing.status();
   }
 
-  KWSDBG_ASSIGN_OR_RETURN(
-      int fd, OpenFd(path, O_RDWR | O_CREAT, 0644, "WalWriter::Open"));
-  Status st = Status::OK();
+  int fd = -1;
   if (fresh) {
-    const std::string header = EncodeHeader(0);
-    st = WriteFullAt(fd, header.data(), header.size(), 0, "WalWriter::Open");
-    if (st.ok() && ::ftruncate(fd, kHeaderSize) != 0) {
+    base_seq = covered_seq;
+    record_count = 0;
+    valid_end = kHeaderSize;
+    KWSDBG_ASSIGN_OR_RETURN(
+        fd, CreateFreshWal(path, covered_seq, "WalWriter::Open"));
+  } else {
+    KWSDBG_ASSIGN_OR_RETURN(fd, OpenFd(path, O_RDWR, 0644, "WalWriter::Open"));
+    Status st = Status::OK();
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      // Chop any torn tail so new frames land on a frame boundary.
       st = Status::Internal("WalWriter::Open: ftruncate: " +
                             std::string(std::strerror(errno)));
     }
-    valid_end = kHeaderSize;
-  } else if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
-    // Chop any torn tail so new frames land on a frame boundary.
-    st = Status::Internal("WalWriter::Open: ftruncate: " +
-                          std::string(std::strerror(errno)));
-  }
-  if (st.ok() && ::lseek(fd, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
-    st = Status::Internal("WalWriter::Open: lseek: " +
-                          std::string(std::strerror(errno)));
-  }
-  if (st.ok()) st = SyncFd(fd, "WalWriter::Open");
-  // Make the file *name* durable too — a WAL that vanishes with its
-  // directory entry after a crash never got to disagree about its contents.
-  if (st.ok()) st = SyncDir(DirnameOf(path), "WalWriter::Open");
-  if (!st.ok()) {
-    CloseFd(&fd, "WalWriter::Open");
-    return st;
+    if (st.ok()) st = SyncFd(fd, "WalWriter::Open");
+    if (!st.ok()) {
+      CloseFd(&fd, "WalWriter::Open");
+      return st;
+    }
   }
   return std::unique_ptr<WalWriter>(
-      new WalWriter(path, fd, options, base_seq, record_count));
+      new WalWriter(path, fd, options, base_seq, record_count, valid_end));
 }
 
 WalWriter::~WalWriter() {
@@ -379,15 +417,24 @@ WalWriter::~WalWriter() {
   if (fd_ >= 0) {
     // Best-effort flush; a clean shutdown path calls Sync() explicitly.
     if (!buffer_.empty()) {
-      WriteFull(fd_, buffer_.data(), buffer_.size(), "WalWriter::~WalWriter");
+      WriteFullAt(fd_, buffer_.data(), buffer_.size(),
+                  static_cast<off_t>(file_end_), "WalWriter::~WalWriter");
     }
     CloseFd(&fd_, "WalWriter::~WalWriter");
   }
 }
 
-Status WalWriter::AppendRecord(const std::string& payload,
-                               uint64_t* seq_out) {
+Status WalWriter::AppendPayload(const std::string& payload,
+                                uint64_t* seq_out) {
   KWSDBG_FAULT_POINT("storage.wal.append");
+  if (payload.size() > kWalMaxPayload) {
+    // Replay treats len > kWalMaxPayload as an invalid frame; writing one
+    // would acknowledge a record that recovery drops or flags kDataLoss.
+    return Status::InvalidArgument(
+        "WAL payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kWalMaxPayload) +
+        "-byte frame limit");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) {
     return Status::FailedPrecondition("WAL writer is closed");
@@ -426,8 +473,14 @@ Status WalWriter::AppendRecord(const std::string& payload,
 
 Status WalWriter::FlushLocked(bool sync) {
   if (!buffer_.empty()) {
-    KWSDBG_RETURN_NOT_OK(
-        WriteFull(fd_, buffer_.data(), buffer_.size(), "WalWriter::Flush"));
+    // pwrite at the tracked end-of-log: if a previous flush failed after
+    // some bytes reached the fd, the retry rewrites those same bytes at the
+    // same offset instead of appending a duplicate (corrupt) suffix after
+    // them. file_end_ only advances once the whole buffer is down.
+    KWSDBG_RETURN_NOT_OK(WriteFullAt(fd_, buffer_.data(), buffer_.size(),
+                                     static_cast<off_t>(file_end_),
+                                     "WalWriter::Flush"));
+    file_end_ += buffer_.size();
     buffer_.clear();
     flushed_seq_ = last_seq_;
   }
@@ -441,12 +494,12 @@ Status WalWriter::FlushLocked(bool sync) {
 }
 
 Status WalWriter::AppendMutation(const Mutation& m, uint64_t* seq_out) {
-  return AppendRecord(EncodeMutationPayload(m), seq_out);
+  return AppendPayload(EncodeWalMutation(m), seq_out);
 }
 
 Status WalWriter::AppendCompact(const std::string& table,
                                 uint64_t* seq_out) {
-  return AppendRecord(EncodeCompactPayload(table), seq_out);
+  return AppendPayload(EncodeCompactPayload(table), seq_out);
 }
 
 Status WalWriter::Sync() {
@@ -471,19 +524,18 @@ Status WalWriter::Truncate(uint64_t new_base_seq) {
         "partial WAL truncation is not supported; checkpoint must cover "
         "the full log");
   }
+  KWSDBG_FAULT_POINT("storage.wal.truncate");
+  // Stage-and-rename, never truncate in place: an in-place rewrite crashed
+  // mid-way can leave a zero-length file (whose recreation would restart
+  // seqs below the checkpoint, making later acknowledged writes replay as
+  // already-covered) or a fresh header over stale frames (double-apply).
+  KWSDBG_ASSIGN_OR_RETURN(
+      int new_fd, CreateFreshWal(path_, new_base_seq, "WalWriter::Truncate"));
   buffer_.clear();
-  const std::string header = EncodeHeader(new_base_seq);
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::Internal("WalWriter::Truncate: ftruncate: " +
-                            std::string(std::strerror(errno)));
-  }
-  KWSDBG_RETURN_NOT_OK(
-      WriteFullAt(fd_, header.data(), header.size(), 0, "WalWriter::Truncate"));
-  if (::lseek(fd_, static_cast<off_t>(kHeaderSize), SEEK_SET) < 0) {
-    return Status::Internal("WalWriter::Truncate: lseek: " +
-                            std::string(std::strerror(errno)));
-  }
-  KWSDBG_RETURN_NOT_OK(SyncFd(fd_, "WalWriter::Truncate"));
+  // The old fd now names an unlinked inode; its close status is moot.
+  CloseFd(&fd_, "WalWriter::Truncate");
+  fd_ = new_fd;
+  file_end_ = kHeaderSize;
   base_seq_ = new_base_seq;
   last_seq_ = new_base_seq;
   flushed_seq_ = new_base_seq;

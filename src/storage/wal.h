@@ -28,7 +28,15 @@
 // vanish in a crash, and callers gating on zero lost acknowledged writes
 // must compare against durable_seq, not next_seq.
 //
-// Fault points: storage.wal.append, storage.wal.fsync, storage.wal.replay.
+// Truncation and creation are crash-atomic: the replacement log (a bare
+// header) is written to `<path>.tmp`, fsynced, renamed over the live log,
+// and the directory fsynced — power loss at any instant leaves either the
+// old complete log or the new one, never a zero-length or half-written
+// file whose recreation would restart seqs below the checkpoint.
+//
+// Fault points: storage.wal.append, storage.wal.fsync, storage.wal.replay,
+// storage.wal.truncate (hit at truncate entry and again before the rename
+// swaps the replacement log in — also on the fresh-creation path).
 #ifndef KWSDBG_STORAGE_WAL_H_
 #define KWSDBG_STORAGE_WAL_H_
 
@@ -94,6 +102,18 @@ enum class FsyncPolicy {
 StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view s);
 const char* FsyncPolicyToString(FsyncPolicy policy);
 
+/// Frame payload ceiling. A single mutation payload is a row plus a table
+/// name; anything beyond this is a corrupt length field on replay, so
+/// appends reject it up front — an oversized frame would be written and
+/// acknowledged only to read back invalid.
+inline constexpr size_t kWalMaxPayload = 64u << 20;
+
+/// Encodes one mutation into the frame payload AppendPayload writes.
+/// Exposed so the write path can size-check (against kWalMaxPayload) and
+/// encode once *before* mutating memory, instead of discovering an
+/// unloggable mutation after the in-memory apply already happened.
+std::string EncodeWalMutation(const Mutation& m);
+
 struct WalOptions {
   FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
   uint64_t group_commit_records = 32;       ///< Window: records buffered.
@@ -132,13 +152,21 @@ struct WalReplayResult {
 /// invalid frame with a valid frame after it is kDataLoss.
 StatusOr<WalReplayResult> ReadWal(const std::string& path);
 
-/// Appender. Thread-safe; creates the file (fsyncing the parent directory
-/// so the name itself survives a crash) or adopts an existing one, chopping
-/// any torn tail so new appends start on a frame boundary.
+/// Appender. Thread-safe; creates the file (atomically, via tmp + rename +
+/// directory fsync) or adopts an existing one, chopping any torn tail so
+/// new appends start on a frame boundary.
 class WalWriter {
  public:
+  /// `covered_seq` is the last seq the recovery checkpoint covers (0 when
+  /// there is none). A fresh log starts at base_seq = covered_seq, so a
+  /// recreated log can never hand out seqs a later recovery would skip as
+  /// already covered. An existing log whose base exceeds covered_seq is
+  /// kDataLoss (its covering checkpoint vanished); one that ends *at or
+  /// below* covered_seq is wholly superseded by the snapshot and is
+  /// restarted at the covered boundary.
   static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
-                                                   WalOptions options = {});
+                                                   WalOptions options = {},
+                                                   uint64_t covered_seq = 0);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -149,12 +177,20 @@ class WalWriter {
   Status AppendMutation(const Mutation& m, uint64_t* seq_out = nullptr);
   Status AppendCompact(const std::string& table, uint64_t* seq_out = nullptr);
 
+  /// Appends a pre-encoded payload (from EncodeWalMutation). Rejects
+  /// payloads over kWalMaxPayload with kInvalidArgument before buffering
+  /// anything — such a frame would be dropped or flagged kDataLoss on
+  /// replay, silently losing an acknowledged write.
+  Status AppendPayload(const std::string& payload, uint64_t* seq_out = nullptr);
+
   /// Flushes the user-space buffer and fsyncs regardless of policy.
   Status Sync();
 
-  /// Restarts the log after a checkpoint: the file is truncated to a bare
-  /// header with base_seq = new_base_seq, fsynced. Seqs <= new_base_seq
-  /// must be covered by the checkpoint.
+  /// Restarts the log after a checkpoint: a replacement file holding a bare
+  /// header with base_seq = new_base_seq is written beside the log, fsynced,
+  /// and renamed into place (crash-atomic — a power cut leaves either the
+  /// old log or the new one). Seqs <= new_base_seq must be covered by the
+  /// checkpoint.
   Status Truncate(uint64_t new_base_seq);
 
   uint64_t next_seq() const;     ///< Seq the next append will get.
@@ -164,10 +200,11 @@ class WalWriter {
 
  private:
   WalWriter(std::string path, int fd, WalOptions options, uint64_t base_seq,
-            uint64_t record_count);
+            uint64_t record_count, uint64_t file_end);
 
-  Status AppendRecord(const std::string& payload, uint64_t* seq_out);
-  /// Writes the buffer to the fd; fsyncs when `sync` is set.
+  /// Writes the buffer to the fd (pwrite at file_end_, so a retry after a
+  /// partial write rewrites the same bytes at the same offset instead of
+  /// appending a duplicate suffix); fsyncs when `sync` is set.
   Status FlushLocked(bool sync);
 
   const std::string path_;
@@ -178,6 +215,7 @@ class WalWriter {
   uint64_t last_seq_ = 0;     // guarded by mu_ (seq of the last append)
   uint64_t durable_seq_ = 0;  // guarded by mu_
   uint64_t flushed_seq_ = 0;  // guarded by mu_ (last seq write()n to the fd)
+  uint64_t file_end_ = 0;     // guarded by mu_ (bytes fully write()n)
   std::string buffer_;        // guarded by mu_ (frames not yet write()n)
   WalStats stats_;            // guarded by mu_
 };

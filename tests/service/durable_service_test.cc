@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "debugger/non_answer_debugger.h"
 #include "service/debug_service.h"
 #include "service/service_json.h"
@@ -226,6 +227,49 @@ TEST(DurableServiceTest, DrainStopsAdmissionAndLeavesEmptyLog) {
   BatchResult batch = service.RunBatch({"incense"});
   ASSERT_TRUE(batch.status.ok());
   EXPECT_EQ(batch.stats.wal_replayed, 0u);
+}
+
+TEST(DurableServiceTest, OversizedMutationIsRejectedWithoutPoisoning) {
+  // A row that encodes past the WAL frame limit must fail BEFORE any
+  // in-memory state changes — discovering it at append time, after the
+  // table and index were patched, would force a poison.
+  const std::string dir = FreshDir("oversized");
+  ToyFixture fx;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       DurableOptions(dir));
+  ASSERT_TRUE(service.durability_status().ok());
+  const size_t before = fx.db->TotalTuples();
+  EXPECT_EQ(service
+                .ApplyMutation(Mutation::Insert(
+                    "Color", {Value(int64_t{90}), Value("huge"),
+                              Value(std::string(kWalMaxPayload + 1, 'x'))}))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fx.db->TotalTuples(), before);  // Nothing applied, no poison:
+  EXPECT_TRUE(service.ApplyMutation(SampleStream()[0]).ok());
+  EXPECT_TRUE(service.Checkpoint().ok());
+}
+
+TEST(DurableServiceTest, WalAppendFailurePoisonsWritesAndCheckpoints) {
+  // Once an append fails after its in-memory apply, memory and log have
+  // diverged: further writes, checkpoints (which would persist the
+  // divergence as truth), and drains must all refuse with kDataLoss.
+  const std::string dir = FreshDir("poison");
+  ToyFixture fx;
+  DebugService service(fx.db.get(), fx.lattice.get(), fx.index.get(),
+                       DurableOptions(dir));
+  ASSERT_TRUE(service.durability_status().ok());
+  ASSERT_TRUE(service.ApplyMutation(SampleStream()[0]).ok());
+  {
+    ScopedFaultInjection faults("storage.wal.append=unavailable,times=1");
+    EXPECT_EQ(service.ApplyMutation(SampleStream()[1]).code(),
+              StatusCode::kDataLoss);
+  }
+  // The fault is gone, but the poison is permanent.
+  EXPECT_EQ(service.ApplyMutation(SampleStream()[3]).code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(service.Checkpoint().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(service.Drain().code(), StatusCode::kDataLoss);
 }
 
 TEST(DurableServiceTest, IndexFingerprintMismatchIsDataLoss) {

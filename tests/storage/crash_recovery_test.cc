@@ -155,6 +155,71 @@ TEST(CrashRecoveryTest, SurvivingChildLeavesFullStream) {
   EXPECT_EQ(ReadAck(dir + "/acks"), kStreamLen);
 }
 
+TEST(CrashRecoveryTest, KilledDuringTruncateLeavesOneCompleteLog) {
+  // Truncation stages the replacement log at wal.log.tmp and renames it
+  // over the live one. A power cut at either truncate kill point — entry,
+  // or staged-but-not-renamed — must leave a complete log: never a
+  // zero-length stub whose recreation would restart seqs below the
+  // checkpoint (making post-recovery acknowledged writes replay as
+  // already covered), and never a fresh header over stale frames.
+  // Hit #1 of storage.wal.truncate is the child's initial log creation,
+  // so `after` starts at 1 to land the kills inside Truncate itself.
+  for (uint64_t after : {1u, 2u}) {
+    const std::string dir = FreshDir("truncate_" + std::to_string(after));
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      KWSDBG_CHECK(FaultInjector::Global()
+                       .Configure("storage.wal.truncate=crash,after=" +
+                                  std::to_string(after))
+                       .ok());
+      auto db = std::make_unique<Database>();
+      Table* t = *db->CreateTable(
+          "T", Schema({{"id", DataType::kInt64}, {"w", DataType::kString}}));
+      auto writer = WalWriter::Open(dir + "/wal.log");
+      KWSDBG_CHECK(writer.ok());
+      for (int i = 1; i <= 4; ++i) {
+        KWSDBG_CHECK(
+            t->AppendRow({Value(int64_t{i}), Value("row" + std::to_string(i))})
+                .ok());
+        KWSDBG_CHECK((*writer)
+                         ->AppendMutation(Mutation::Insert(
+                             "T", {Value(int64_t{i}),
+                                   Value("row" + std::to_string(i))}))
+                         .ok());
+      }
+      KWSDBG_CHECK(WriteCheckpoint(*db, dir, /*covered_seq=*/4).ok());
+      KWSDBG_CHECK((*writer)->Truncate(4).ok());  // The kill fires inside.
+      std::_Exit(0);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), FaultInjector::kCrashExitCode)
+        << "truncate crash did not fire (after=" << after << ")";
+
+    // The surviving log is whole: either the old one (all four frames) or
+    // the renamed replacement (bare header at the covered boundary).
+    auto replay = ReadWal(dir + "/wal.log");
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE((replay->base_seq == 0 && replay->records.size() == 4) ||
+                (replay->base_seq == 4 && replay->records.empty()))
+        << "base_seq=" << replay->base_seq
+        << " records=" << replay->records.size();
+
+    // Recovery: the snapshot covers seq 4, replay skips covered records,
+    // and reopening against the covered seq restarts appends above it.
+    CheckpointInfo info;
+    auto restored = RestoreCheckpoint(dir, &info);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(info.covered_seq, 4u);
+    auto writer =
+        WalWriter::Open(dir + "/wal.log", WalOptions{}, info.covered_seq);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_EQ((*writer)->next_seq(), 5u);
+  }
+}
+
 TEST(CrashRecoveryTest, CrashBetweenCheckpointAndTruncateIsSafe) {
   // The checkpoint protocol's crash window: snapshot written (covering seq
   // 3) but the WAL not yet truncated. Recovery must restore the snapshot

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -188,6 +189,154 @@ TEST(WalTest, TruncateRestartsAtCheckpointBoundary) {
   ASSERT_EQ(replay->records.size(), 1u);
   EXPECT_EQ(replay->records[0].seq, 6u);
   EXPECT_EQ(replay->records[0].mutation.row_id, 99u);
+}
+
+TEST(WalTest, TruncateIsAtomicAndSurvivesInjectedFaults) {
+  const std::string path = TestWalPath("truncate_atomic");
+  auto writer = WalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  WalWriter& wal = **writer;
+  for (size_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(wal.AppendMutation(Mutation::Delete("T", i)).ok());
+  }
+
+  // Fault at truncate entry: nothing changed — the log still holds every
+  // record.
+  {
+    ScopedFaultInjection faults("storage.wal.truncate=unavailable,times=1");
+    EXPECT_EQ(wal.Truncate(3).code(), StatusCode::kUnavailable);
+  }
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records.size(), 3u);
+
+  // Fault between staging the replacement log and renaming it into place:
+  // the live log is still the old one and the stage file was cleaned up.
+  {
+    ScopedFaultInjection faults("storage.wal.truncate=unavailable,after=1");
+    EXPECT_EQ(wal.Truncate(3).code(), StatusCode::kUnavailable);
+  }
+  replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records.size(), 3u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // A clean truncate swaps the replacement in, leaves no stage file, and
+  // the writer keeps appending above the boundary.
+  ASSERT_TRUE(wal.Truncate(3).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  uint64_t seq = 0;
+  ASSERT_TRUE(wal.AppendMutation(Mutation::Delete("T", 9), &seq).ok());
+  EXPECT_EQ(seq, 4u);
+  replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->base_seq, 3u);
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].mutation.row_id, 9u);
+}
+
+TEST(WalTest, OpenWithCoveredSeqBasesFreshLog) {
+  const std::string path = TestWalPath("covered_fresh");
+  {
+    auto writer = WalWriter::Open(path, WalOptions{}, /*covered_seq=*/7);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_EQ((*writer)->next_seq(), 8u);
+    uint64_t seq = 0;
+    ASSERT_TRUE(
+        (*writer)->AppendMutation(Mutation::Delete("T", 1), &seq).ok());
+    EXPECT_EQ(seq, 8u);
+  }
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->base_seq, 7u);
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 8u);
+}
+
+TEST(WalTest, StubLogRecreatesAtCoveredSeq) {
+  // A headerless stub must not recreate at base 0 when a checkpoint covers
+  // seq 6: post-recovery appends would take seqs 1..6 that the next
+  // recovery silently skips as covered — lost acknowledged writes.
+  const std::string path = TestWalPath("stub_covered");
+  OverwriteFile(path, "KW");
+  auto writer = WalWriter::Open(path, WalOptions{}, /*covered_seq=*/6);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->next_seq(), 7u);
+}
+
+TEST(WalTest, OpenRestartsWhollySupersededLog) {
+  const std::string path = TestWalPath("superseded");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (size_t i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*writer)->AppendMutation(Mutation::Delete("T", i)).ok());
+    }
+  }
+  // A checkpoint covering seq 9 supersedes every surviving frame (seqs
+  // 1-5): a crash ate an unfsynced suffix after the snapshot made it
+  // durable. The log must restart at the covered boundary — adopting it
+  // as-is would hand out seqs 6..9 that recovery skips as covered.
+  auto writer = WalWriter::Open(path, WalOptions{}, /*covered_seq=*/9);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->next_seq(), 10u);
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->base_seq, 9u);
+  EXPECT_TRUE(replay->records.empty());
+}
+
+TEST(WalTest, OpenAdoptsLogEndingExactlyAtCoveredSeq) {
+  // Crash after WriteCheckpoint(covered=5) but before truncation, with all
+  // five frames durable: the log is fully covered but not stale — adopt it
+  // so the next append gets seq 6.
+  const std::string path = TestWalPath("adopt_at_covered");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (size_t i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*writer)->AppendMutation(Mutation::Delete("T", i)).ok());
+    }
+  }
+  auto writer = WalWriter::Open(path, WalOptions{}, /*covered_seq=*/5);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->next_seq(), 6u);
+}
+
+TEST(WalTest, OpenRejectsLogAheadOfCheckpoint) {
+  const std::string path = TestWalPath("ahead");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendMutation(Mutation::Delete("T", 1)).ok());
+    ASSERT_TRUE((*writer)->AppendMutation(Mutation::Delete("T", 2)).ok());
+    ASSERT_TRUE((*writer)->Truncate(2).ok());  // base_seq = 2.
+  }
+  // A log starting above the covered seq means the checkpoint that
+  // justified its truncation vanished: records 1..2 are gone.
+  auto writer = WalWriter::Open(path, WalOptions{}, /*covered_seq=*/1);
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTest, OversizedPayloadIsRejectedBeforeBuffering) {
+  // An oversized frame would be written and acknowledged, then read back
+  // invalid (len > kWalMaxPayload) — a torn tail or kDataLoss — so the
+  // append must fail typed up front instead.
+  const std::string path = TestWalPath("oversized");
+  auto writer = WalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  const Status s =
+      (*writer)->AppendPayload(std::string(kWalMaxPayload + 1, 'x'));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*writer)->stats().records_appended, 0u);
+  // The rejected payload consumed no seq and corrupted nothing.
+  uint64_t seq = 0;
+  ASSERT_TRUE((*writer)->AppendMutation(Mutation::Delete("T", 1), &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->records.size(), 1u);
 }
 
 TEST(WalTest, GroupCommitAcknowledgesBeforeDurability) {
