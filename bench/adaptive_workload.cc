@@ -1,0 +1,490 @@
+// Adaptive traversal gate: the online-learned p_a model + per-query strategy
+// planner (src/traversal/pa_model.h, strategy_planner.h) vs. every static
+// strategy — see docs/architecture.md "Adaptive traversal".
+//
+// For each workload (Table 2 DBLife, a random-query DBLife sweep, and the
+// e-commerce dataset) the bench runs four phases against one AdaptiveState:
+//
+//   warm     — observation-only passes fill the p_a model from real verdicts
+//              (the model is advisory: verdicts stay ground truth).
+//   freeze   — the model stops observing/decaying so every later pass sees
+//              the same frozen estimates.
+//   train    — each of the six planner arms replays the workload with a
+//              fresh debugger and no verdict cache; per-interpretation costs
+//              feed StrategyPlanner::ObserveArm and double as the static
+//              baselines. Traversal is deterministic against a frozen model,
+//              so these measured costs are exactly what the adaptive pass
+//              will pay for the same (bucket, arm) picks.
+//   measure  — the planner is frozen (pure exploitation) and the workload
+//              replays once more in adaptive mode through the shared state.
+//
+// Gates (per workload):
+//   - adaptive total SQL <= every static arm's total (always checked; holds
+//     by construction: the planner picks the per-bucket argmin of the same
+//     deterministic costs the baselines just measured).
+//   - adaptive traversal wall-clock <= every static arm's, with a 10% jitter
+//     allowance (full mode + NDEBUG only; smoke timings are sub-millisecond
+//     and all noise).
+//   - classification signatures bit-identical across every arm and the
+//     adaptive pass (verdict order never changes verdicts).
+//   - planner/model counters visible in the DebugService stats JSON with
+//     per-shard model state actually observing.
+//
+// Emits BENCH_adaptive.json.
+//
+//   ./adaptive_workload [--smoke] [--out=BENCH_adaptive.json]
+//
+// Environment knobs: KWSDBG_SEED / KWSDBG_SCALE (bench_util.h),
+// KWSDBG_WORKLOAD_SEED (random sweep), KWSDBG_ADAPTIVE_SEED /
+// KWSDBG_EXPLORE_EPS (planner; printed below so regressions reproduce).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "datasets/dblife.h"
+#include "datasets/ecommerce.h"
+#include "datasets/query_generator.h"
+#include "datasets/workload.h"
+#include "debugger/non_answer_debugger.h"
+#include "kws/keyword_binding.h"
+#include "kws/pruned_lattice.h"
+#include "lattice/lattice_generator.h"
+#include "service/debug_service.h"
+#include "service/service_json.h"
+#include "text/inverted_index.h"
+#include "traversal/strategy_planner.h"
+
+namespace kwsdbg {
+namespace bench {
+namespace {
+
+struct TierEnv {
+  std::string name;
+  std::unique_ptr<Database> db;
+  SchemaGraph schema;
+  std::unique_ptr<Lattice> lattice;
+  std::unique_ptr<InvertedIndex> index;
+};
+
+/// One workload over one dataset; each gets its own AdaptiveState so the
+/// gate is judged on what the model learned from *this* workload alone.
+struct Workload {
+  const TierEnv* tier = nullptr;
+  std::string name;
+  std::vector<std::string> queries;
+};
+
+struct PassMeasure {
+  size_t sql = 0;
+  double traversal_millis = 0;  ///< Sum of per-interpretation total_millis.
+  double wall_millis = 0;       ///< Whole pass, including binding/reports.
+  std::string signature;
+  size_t explored = 0;
+  std::map<std::string, size_t> decisions;  ///< arm label -> interp count.
+};
+
+/// Pre-traversal features per (query, interpretation), computed bench-side
+/// with the same binder configuration the debugger uses so the order and
+/// the feature buckets line up 1:1 with report.interpretations.
+std::vector<std::vector<PlannerFeatures>> ComputeWorkloadFeatures(
+    const Workload& w) {
+  const TierEnv& tier = *w.tier;
+  KeywordBinder binder(&tier.schema, tier.index.get(),
+                       tier.lattice->config().EffectiveKeywordCopies());
+  std::vector<std::vector<PlannerFeatures>> features;
+  for (const std::string& query : w.queries) {
+    BindingResult binding = binder.Bind(query);
+    std::vector<PlannerFeatures> per_interp;
+    for (const KeywordBinding& b : binding.interpretations) {
+      PrunedLattice pl = PrunedLattice::Build(*tier.lattice, b);
+      per_interp.push_back(ComputePlannerFeatures(pl, tier.index.get()));
+    }
+    features.push_back(std::move(per_interp));
+  }
+  return features;
+}
+
+/// Observation-only warm pass: a static strategy with the evaluator's
+/// observation hook attached. Different strategies evaluate different node
+/// subsets, so two passes (bottom-up-reuse + SBH) cover low and mixed levels.
+void WarmModel(const Workload& w, AdaptiveState* state) {
+  for (TraversalKind kind :
+       {TraversalKind::kBottomUpWithReuse, TraversalKind::kScoreBased}) {
+    DebuggerOptions options;
+    options.strategy = kind;
+    options.verdict_cache_capacity = 0;
+    options.eval.pa_model = &state->pa();
+    NonAnswerDebugger debugger(w.tier->db.get(), w.tier->lattice.get(),
+                               w.tier->index.get(), options);
+    for (const std::string& query : w.queries) {
+      auto report = debugger.Debug(query);
+      KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    }
+  }
+}
+
+/// Replays the workload under one pinned arm with a fresh debugger and no
+/// verdict cache — the same per-interpretation conditions the adaptive pass
+/// runs under. When `train` is set, per-interpretation costs feed the
+/// planner via ObserveArm using the precomputed feature vectors.
+PassMeasure MeasureArm(const Workload& w, PlannerArm arm, AdaptiveState* state,
+                       const std::vector<std::vector<PlannerFeatures>>* features,
+                       bool train) {
+  DebuggerOptions options;
+  options.strategy = ArmTraversalKind(arm);
+  options.verdict_cache_capacity = 0;
+  if (arm == PlannerArm::kSbhAdaptive) options.sbh.pa_model = &state->pa();
+  // Mirror the adaptive debugger's evaluator wiring; Observe() no-ops on the
+  // frozen model, so this only equalizes the code path being timed.
+  options.eval.pa_model = &state->pa();
+  NonAnswerDebugger debugger(w.tier->db.get(), w.tier->lattice.get(),
+                             w.tier->index.get(), options);
+  PassMeasure m;
+  Timer timer;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    auto report = debugger.Debug(w.queries[q]);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    m.signature += report->ClassificationSignature();
+    m.signature += '\n';
+    const auto& interps = report->interpretations;
+    if (train) {
+      KWSDBG_CHECK(interps.size() == (*features)[q].size())
+          << w.name << ": bench-side binding disagrees with the debugger on "
+          << w.queries[q];
+    }
+    for (size_t i = 0; i < interps.size(); ++i) {
+      const TraversalStats& ts = interps[i].traversal_stats;
+      m.sql += ts.sql_queries;
+      m.traversal_millis += ts.total_millis;
+      if (train) {
+        state->planner().ObserveArm((*features)[q][i], arm, ts.sql_queries,
+                                    ts.total_millis);
+      }
+    }
+  }
+  m.wall_millis = timer.ElapsedMillis();
+  return m;
+}
+
+/// The measured adaptive pass: frozen state, pure exploitation.
+PassMeasure MeasureAdaptive(const Workload& w, AdaptiveState* state) {
+  DebuggerOptions options;
+  options.adaptive = true;
+  options.shared_adaptive = state;
+  options.verdict_cache_capacity = 0;
+  NonAnswerDebugger debugger(w.tier->db.get(), w.tier->lattice.get(),
+                             w.tier->index.get(), options);
+  PassMeasure m;
+  Timer timer;
+  for (const std::string& query : w.queries) {
+    auto report = debugger.Debug(query);
+    KWSDBG_CHECK(report.ok()) << report.status().ToString();
+    m.signature += report->ClassificationSignature();
+    m.signature += '\n';
+    for (const InterpretationReport& interp : report->interpretations) {
+      const TraversalStats& ts = interp.traversal_stats;
+      m.sql += ts.sql_queries;
+      m.traversal_millis += ts.total_millis;
+      m.explored += ts.planner_explored;
+      if (!ts.planned_strategy.empty()) ++m.decisions[ts.planned_strategy];
+    }
+  }
+  m.wall_millis = timer.ElapsedMillis();
+  return m;
+}
+
+struct BenchRow {
+  std::string workload;
+  std::string arm;  // "adaptive" for the measured pass
+  size_t sql = 0;
+  double traversal_millis = 0;
+  double wall_millis = 0;
+  bool signature_match = false;
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\"workload\":\"" << workload << "\",\"arm\":\"" << arm
+        << "\",\"sql_queries\":" << sql
+        << ",\"traversal_millis\":" << traversal_millis
+        << ",\"wall_millis\":" << wall_millis
+        << ",\"signature_match\":" << (signature_match ? "true" : "false")
+        << "}";
+    return out.str();
+  }
+};
+
+size_t RunWorkload(const Workload& w, bool smoke, TablePrinter* table,
+                   std::vector<BenchRow>* rows, std::ostringstream* json) {
+  size_t violations = 0;
+  auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      ++violations;
+      std::printf("  [GATE] %s: %s\n", w.name.c_str(), what.c_str());
+    }
+  };
+
+  AdaptiveState state(AdaptiveOptions::FromEnv());
+  const auto features = ComputeWorkloadFeatures(w);
+
+  WarmModel(w, &state);
+  state.pa().Freeze();  // train + measure see identical estimates
+
+  std::vector<std::pair<PlannerArm, PassMeasure>> arms;
+  for (PlannerArm arm : AllPlannerArms()) {
+    arms.emplace_back(arm, MeasureArm(w, arm, &state, &features, true));
+  }
+  state.Freeze();  // planner: pure exploitation from here on
+
+  const PassMeasure adaptive = MeasureAdaptive(w, &state);
+
+  const std::string& reference = arms.front().second.signature;
+  for (const auto& [arm, m] : arms) {
+    const bool match = m.signature == reference;
+    gate(match, std::string(PlannerArmName(arm)) + " classifies differently");
+    gate(adaptive.sql <= m.sql,
+         "adaptive ran more SQL than " + std::string(PlannerArmName(arm)) +
+             " (" + std::to_string(adaptive.sql) + " vs " +
+             std::to_string(m.sql) + ")");
+#ifdef NDEBUG
+    if (!smoke) {
+      // 10% relative + 1ms absolute allowance: sub-millisecond workloads
+      // (small envs) are pure timer jitter and must not flip the gate.
+      gate(adaptive.traversal_millis <= m.traversal_millis * 1.10 + 1.0,
+           "adaptive traversal slower than " +
+               std::string(PlannerArmName(arm)) + " beyond jitter (" +
+               Fmt(adaptive.traversal_millis) + "ms vs " +
+               Fmt(m.traversal_millis) + "ms)");
+    }
+#endif
+    table->AddRow({w.name, std::string(PlannerArmName(arm)),
+                   std::to_string(m.sql), Fmt(m.traversal_millis),
+                   Fmt(m.wall_millis), match ? "yes" : "NO", "-"});
+    rows->push_back({w.name, std::string(PlannerArmName(arm)), m.sql,
+                     m.traversal_millis, m.wall_millis, match});
+  }
+  const bool adaptive_match = adaptive.signature == reference;
+  gate(adaptive_match, "adaptive pass classifies differently");
+  gate(adaptive.explored == 0, "frozen planner still explored");
+
+  std::string picks;
+  for (const auto& [label, count] : adaptive.decisions) {
+    if (!picks.empty()) picks += ' ';
+    picks += label + ":" + std::to_string(count);
+  }
+  table->AddRow({w.name, "adaptive", std::to_string(adaptive.sql),
+                 Fmt(adaptive.traversal_millis), Fmt(adaptive.wall_millis),
+                 adaptive_match ? "yes" : "NO", picks});
+  rows->push_back({w.name, "adaptive", adaptive.sql,
+                   adaptive.traversal_millis, adaptive.wall_millis,
+                   adaptive_match});
+
+  *json << "{\"workload\":\"" << w.name
+        << "\",\"queries\":" << w.queries.size()
+        << ",\"planner_buckets\":" << state.planner().buckets()
+        << ",\"pa_observations\":" << state.pa().observations()
+        << ",\"decisions\":{";
+  bool first = true;
+  for (const auto& [label, count] : adaptive.decisions) {
+    if (!first) *json << ',';
+    first = false;
+    *json << '"' << label << "\":" << count;
+  }
+  *json << "},\"pa_buckets\":[";
+  const auto snapshot = state.pa().Snapshot();
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) *json << ',';
+    *json << "{\"level\":" << snapshot[i].level
+          << ",\"sel_bucket\":" << snapshot[i].sel_bucket
+          << ",\"alive\":" << snapshot[i].alive
+          << ",\"total\":" << snapshot[i].total
+          << ",\"pa\":" << snapshot[i].pa << '}';
+  }
+  *json << "]}";
+  return violations;
+}
+
+/// Adaptive mode through the sharded service: planner/model counters must be
+/// visible in the stats JSON and the per-shard models must actually observe.
+size_t RunServiceCheck(const Workload& w, std::ostringstream* json) {
+  size_t violations = 0;
+  auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      ++violations;
+      std::printf("  [GATE] service: %s\n", what.c_str());
+    }
+  };
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.debugger.adaptive = true;
+  options.debugger.adaptive_options = AdaptiveOptions::FromEnv();
+  DebugService service(w.tier->db.get(), w.tier->lattice.get(),
+                       w.tier->index.get(), options);
+  BatchResult batch = service.RunBatch(w.queries);
+  gate(batch.status.ok(),
+       "adaptive batch failed: " + batch.status.ToString());
+  gate(batch.stats.planner_decisions > 0,
+       "no planner decisions surfaced in service stats");
+  size_t shard_observations = 0;
+  for (const ShardStats& shard : batch.stats.shards) {
+    shard_observations += shard.pa_observations;
+  }
+  gate(shard_observations > 0, "per-shard p_a models never observed");
+  const std::string stats_json = ServiceStatsToJson(batch.stats);
+  gate(stats_json.find("\"planner_decisions\"") != std::string::npos,
+       "service stats JSON does not expose planner_decisions");
+  gate(stats_json.find("\"pa_observations\"") != std::string::npos,
+       "service stats JSON does not expose pa_observations");
+  *json << ",\"service_stats\":" << stats_json;
+  return violations;
+}
+
+TierEnv BuildDblifeEnv(bool smoke) {
+  DblifeConfig config = EnvDblifeConfig();
+  if (smoke) config = config.Scaled(0.05);
+  auto dataset = GenerateDblife(config);
+  KWSDBG_CHECK(dataset.ok()) << dataset.status().ToString();
+  TierEnv env;
+  env.name = smoke ? "dblife(0.05x)" : "dblife";
+  env.db = std::move(dataset->db);
+  env.schema = std::move(dataset->schema);
+  LatticeConfig lconfig;
+  lconfig.max_joins = smoke ? 2 : 3;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(env.schema, lconfig);
+  KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+  env.lattice = std::move(*lattice);
+  env.index = std::make_unique<InvertedIndex>(InvertedIndex::Build(*env.db));
+  return env;
+}
+
+TierEnv BuildEcommerceEnv(bool smoke) {
+  EcommerceConfig config;
+  config.num_items = smoke ? 120 : 500;
+  auto dataset = GenerateEcommerce(config);
+  KWSDBG_CHECK(dataset.ok()) << dataset.status().ToString();
+  TierEnv env;
+  env.name = "ecommerce";
+  env.db = std::move(dataset->db);
+  env.schema = std::move(dataset->schema);
+  LatticeConfig lconfig;
+  lconfig.max_joins = 2;
+  lconfig.num_keyword_copies = 2;
+  auto lattice = LatticeGenerator::Generate(env.schema, lconfig);
+  KWSDBG_CHECK(lattice.ok()) << lattice.status().ToString();
+  env.lattice = std::move(*lattice);
+  env.index = std::make_unique<InvertedIndex>(InvertedIndex::Build(*env.db));
+  return env;
+}
+
+std::vector<std::string> RandomQueries(const TierEnv& tier, size_t n) {
+  QueryGeneratorConfig config;
+  config.seed = 7;
+  if (const char* seed_env = std::getenv("KWSDBG_WORKLOAD_SEED")) {
+    config.seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  config.min_keywords = 2;
+  config.max_keywords = 3;
+  RandomQueryGenerator generator(tier.index.get(), config);
+  return generator.Batch(n);
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  const AdaptiveOptions adaptive_options = AdaptiveOptions::FromEnv();
+  std::printf(
+      "Adaptive traversal workload, %s mode\n"
+      "planner seed %llu (KWSDBG_ADAPTIVE_SEED), explore eps %.3f "
+      "(KWSDBG_EXPLORE_EPS)\n",
+      smoke ? "smoke" : "full",
+      static_cast<unsigned long long>(adaptive_options.planner.seed),
+      adaptive_options.planner.explore_eps);
+
+  const TierEnv dblife = BuildDblifeEnv(smoke);
+  const TierEnv ecommerce = BuildEcommerceEnv(smoke);
+
+  Workload table2{&dblife, "dblife-table2", {}};
+  for (const WorkloadQuery& q : PaperWorkload()) {
+    table2.queries.push_back(q.text);
+    if (smoke && table2.queries.size() >= 3) break;
+  }
+  Workload random{&dblife, "dblife-random",
+                  RandomQueries(dblife, smoke ? 4 : 16)};
+  Workload shop{&ecommerce, "ecommerce",
+                {"saffron candle", "lavender soap"}};
+  if (!smoke) shop.queries.push_back("handmade crimson candle");
+
+  size_t violations = 0;
+  std::vector<BenchRow> rows;
+  TablePrinter table({"workload", "arm", "SQL", "traversal ms", "wall ms",
+                      "sig", "picks"});
+  std::ostringstream workload_jsons;
+  bool first = true;
+  for (const Workload* w : {&table2, &random, &shop}) {
+    if (!first) workload_jsons << ',';
+    first = false;
+    violations += RunWorkload(*w, smoke, &table, &rows, &workload_jsons);
+  }
+  table.Print();
+
+  std::ostringstream service_json;
+  violations += RunServiceCheck(shop, &service_json);
+
+  {
+    std::ostringstream json;
+    json << "{\"bench\":\"adaptive_workload\",\"smoke\":"
+         << (smoke ? "true" : "false")
+         << ",\"planner_seed\":" << adaptive_options.planner.seed
+         << ",\"explore_eps\":" << adaptive_options.planner.explore_eps
+         << ",\"runs\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) json << ',';
+      json << rows[i].ToJson();
+    }
+    json << "],\"workloads\":[" << workload_jsons.str() << ']'
+         << service_json.str() << ",\"violations\":" << violations << '}';
+    std::ofstream f(out_path);
+    if (f) {
+      f << json.str() << '\n';
+      std::printf("\nwrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    }
+  }
+
+  if (violations > 0) {
+    std::printf("\nADAPTIVE GATE FAILED: %zu violation(s)\n", violations);
+    return 1;
+  }
+  std::printf(
+      "\nADAPTIVE GATE OK: planner-picked traversal never exceeds any "
+      "static strategy's SQL, classifications bit-identical\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kwsdbg
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_adaptive.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return kwsdbg::bench::Run(smoke, out_path);
+}

@@ -55,6 +55,23 @@ TraversalStats DebugReport::AggregateTraversalStats() const {
     stats.page_reads += interp.traversal_stats.page_reads;
     stats.page_evictions += interp.traversal_stats.page_evictions;
     stats.posting_reads += interp.traversal_stats.posting_reads;
+    stats.planner_decisions += interp.traversal_stats.planner_decisions;
+    stats.planner_explored += interp.traversal_stats.planner_explored;
+    stats.pa_observations += interp.traversal_stats.pa_observations;
+    stats.pa_sample_sql += interp.traversal_stats.pa_sample_sql;
+    // Arm labels: one arm dominates a single-arm report; mixed picks are
+    // summarized as "mixed". The model slice kept is the last (warmest) one.
+    const std::string& arm = interp.traversal_stats.planned_strategy;
+    if (!arm.empty()) {
+      if (stats.planned_strategy.empty()) {
+        stats.planned_strategy = arm;
+      } else if (stats.planned_strategy != arm) {
+        stats.planned_strategy = "mixed";
+      }
+    }
+    if (!interp.traversal_stats.pa_buckets.empty()) {
+      stats.pa_buckets = interp.traversal_stats.pa_buckets;
+    }
   }
   return stats;
 }

@@ -15,6 +15,7 @@
 #include "sql/executor.h"
 #include "text/inverted_index.h"
 #include "traversal/strategy.h"
+#include "traversal/strategy_planner.h"
 #include "traversal/verdict_cache.h"
 
 namespace kwsdbg {
@@ -54,6 +55,21 @@ struct DebuggerOptions {
   /// (DISCOVER-style size ranking). Non-answers are never ranked or
   /// truncated — debugging needs all of them (paper Sec. 1).
   bool rank_answers = true;
+  /// Adaptive traversal (ROADMAP item 2): a StrategyPlanner picks the arm
+  /// per interpretation from pre-traversal features and SBH reads bucketed
+  /// p_a from an online-learned PaModel fed by this debugger's verdicts.
+  /// `strategy` is ignored; `sbh`/`parallel` parameterize the planner's
+  /// arms. With everything cold this degrades to SBH @ 0.5 — adaptivity
+  /// only reorders evaluations, verdicts stay ground truth either way.
+  bool adaptive = false;
+  /// Shared adaptive tier (model + planner). When set, the debugger feeds
+  /// and consults this state (thread-safe — the DebugService plugs every
+  /// worker of a shard into one, like the shared verdict cache) instead of
+  /// owning session state; `adaptive_options` is then ignored. Must outlive
+  /// the debugger.
+  AdaptiveState* shared_adaptive = nullptr;
+  /// Knobs for the owned session state (exploration eps/seed, model prior).
+  AdaptiveOptions adaptive_options;
 };
 
 /// Facade wiring Phases 1-3 together over a prebuilt lattice and index.
@@ -88,6 +104,20 @@ class NonAnswerDebugger {
     verdict_cache_ = cache != nullptr ? cache : owned_verdict_cache_.get();
   }
 
+  /// The adaptive tier in effect — the shared state if one was configured,
+  /// else the owned session state, or nullptr when adaptive mode is off.
+  AdaptiveState* adaptive_state() { return adaptive_; }
+
+  /// Swaps the adaptive tier consulted by subsequent Debug() calls — the
+  /// stolen-query twin of set_verdict_cache: a stealing worker points at the
+  /// home shard's model so observations land where routing sends the query.
+  /// Pass nullptr to restore the owned state (if any). No-op when adaptive
+  /// mode is off; must not be called while Debug() is running.
+  void set_adaptive_state(AdaptiveState* state) {
+    if (!options_.adaptive) return;
+    adaptive_ = state != nullptr ? state : owned_adaptive_.get();
+  }
+
   /// Overrides the per-query deadline for subsequent Debug() calls (the
   /// DebugService sets this per request).
   void set_deadline_millis(double millis) { options_.deadline_millis = millis; }
@@ -109,6 +139,8 @@ class NonAnswerDebugger {
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<VerdictCache> owned_verdict_cache_;
   VerdictCache* verdict_cache_ = nullptr;  ///< Effective tier (shared/owned).
+  std::unique_ptr<AdaptiveState> owned_adaptive_;
+  AdaptiveState* adaptive_ = nullptr;  ///< Effective adaptive tier, or null.
   KeywordBinder binder_;
 };
 

@@ -115,7 +115,23 @@ std::string DebugReportToJson(const DebugReport& report) {
         << ",\"page_reads\":" << interp.traversal_stats.page_reads
         << ",\"page_evictions\":" << interp.traversal_stats.page_evictions
         << ",\"posting_reads\":" << interp.traversal_stats.posting_reads
-        << '}';
+        << ",\"planner_decisions\":"
+        << interp.traversal_stats.planner_decisions
+        << ",\"planner_explored\":" << interp.traversal_stats.planner_explored
+        << ",\"pa_observations\":" << interp.traversal_stats.pa_observations
+        << ",\"pa_sample_sql\":" << interp.traversal_stats.pa_sample_sql
+        << ",\"planned_strategy\":";
+    AppendString(&out, interp.traversal_stats.planned_strategy);
+    out << ",\"pa_buckets\":[";
+    for (size_t b = 0; b < interp.traversal_stats.pa_buckets.size(); ++b) {
+      const PaBucketSnapshot& snap = interp.traversal_stats.pa_buckets[b];
+      if (b > 0) out << ',';
+      out << "{\"level\":" << snap.level
+          << ",\"sel_bucket\":" << snap.sel_bucket
+          << ",\"alive\":" << snap.alive << ",\"total\":" << snap.total
+          << ",\"pa\":" << snap.pa << '}';
+    }
+    out << "]}";
     out << ",\"answers\":[";
     for (size_t a = 0; a < interp.answers.size(); ++a) {
       if (a > 0) out << ',';

@@ -93,6 +93,11 @@ std::string ServiceStats::ToString() const {
       << "; shared tier: " << shared_cache.entries << " entries, "
       << shared_cache.hits << " hit(s), " << shared_cache.evictions
       << " eviction(s)";
+  if (planner_decisions > 0) {
+    out << "\n  adaptive: " << planner_decisions << " planner decision(s), "
+        << planner_explored << " explored, " << pa_observations
+        << " p_a observation(s)";
+  }
   if (mutations_applied + partial_evictions + index_patches > 0) {
     out << "\n  writes: " << mutations_applied << " mutation(s), "
         << index_patches << " index patch(es), " << partial_evictions
@@ -147,6 +152,9 @@ ServiceStats ComputeServiceStats(const std::vector<QueryResult>& results,
     stats.page_reads += agg.page_reads;
     stats.page_evictions += agg.page_evictions;
     stats.posting_reads += agg.posting_reads;
+    stats.planner_decisions += agg.planner_decisions;
+    stats.planner_explored += agg.planner_explored;
+    stats.pa_observations += agg.pa_observations;
   }
   if (stats.queries > 0) {
     // Tiny batches can finish inside the timer's microsecond resolution; a
@@ -193,6 +201,12 @@ DebugService::DebugService(const Database* db, const Lattice* lattice,
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(per_shard_capacity));
+    if (options_.debugger.adaptive) {
+      // Adaptive mode: each shard shares one p_a model + planner across its
+      // workers, mirroring the verdict partition and flat-index tier.
+      shards_.back()->adaptive = std::make_unique<AdaptiveState>(
+          options_.debugger.adaptive_options);
+    }
   }
   // The write path must exist before any worker thread starts: workers read
   // fences_ when building their evaluators.
@@ -681,6 +695,9 @@ std::vector<ShardStats> DebugService::ShardSnapshot() const {
     s.remote_cache_hits =
         shard->remote_cache_hits.load(std::memory_order_relaxed);
     s.cache = shard->cache.stats();
+    if (shard->adaptive != nullptr) {
+      s.pa_observations = shard->adaptive->pa().observations();
+    }
     out.push_back(s);
   }
   return out;
@@ -716,6 +733,7 @@ void DebugService::WorkerLoop(size_t worker_id) {
   DebuggerOptions debugger_options = options_.debugger;
   debugger_options.shared_verdict_cache = &home.cache;
   debugger_options.executor.shared_flat_indexes = &home.flat_indexes;
+  debugger_options.shared_adaptive = home.adaptive.get();  // Null = static.
   debugger_options.eval.fences = fences_.get();  // Null = no write path.
   debugger_options.deadline_millis = 0;  // Armed per task below.
   NonAnswerDebugger debugger(db_, lattice_, index_, debugger_options);
@@ -759,7 +777,12 @@ void DebugService::ExecuteTask(NonAnswerDebugger* debugger, Rng* backoff_rng,
   // so a sub-network's verdicts stay resident where routing sends the next
   // query with the same keywords. Flat indexes stay thief-local: their
   // contents are a pure function of the database, identical on every shard.
-  if (result.stolen) debugger->set_verdict_cache(&home.cache);
+  if (result.stolen) {
+    debugger->set_verdict_cache(&home.cache);
+    // Same residency argument for the adaptive tier: observations from a
+    // stolen query train the model the next home-routed query will read.
+    debugger->set_adaptive_state(home.adaptive.get());
+  }
   Timer exec;
   debugger->set_deadline_millis(task.deadline_millis);
   StatusOr<DebugReport> report_or = debugger->Debug(task.query);
@@ -790,7 +813,10 @@ void DebugService::ExecuteTask(NonAnswerDebugger* debugger, Rng* backoff_rng,
     report_or = debugger->Debug(task.query);
   }
   result.exec_millis = exec.ElapsedMillis();
-  if (result.stolen) debugger->set_verdict_cache(&mine.cache);
+  if (result.stolen) {
+    debugger->set_verdict_cache(&mine.cache);
+    debugger->set_adaptive_state(mine.adaptive.get());
+  }
   if (report_or.ok()) {
     result.report = std::move(report_or).value();
   } else {

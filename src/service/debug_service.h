@@ -138,6 +138,9 @@ struct ShardStats {
   size_t local_cache_hits = 0;
   size_t remote_cache_hits = 0;
   VerdictCacheStats cache;     ///< This shard's verdict partition.
+  /// Lifetime p_a observations held by this shard's adaptive tier (zero
+  /// when the service runs without adaptive mode).
+  size_t pa_observations = 0;
 };
 
 /// Aggregated batch statistics (the service-level analogue of
@@ -164,6 +167,11 @@ struct ServiceStats {
   size_t page_reads = 0;
   size_t page_evictions = 0;
   size_t posting_reads = 0;
+  /// Adaptive-traversal traffic summed over the batch (zero when the
+  /// debugger template runs a static strategy).
+  size_t planner_decisions = 0;
+  size_t planner_explored = 0;
+  size_t pa_observations = 0;
   double wall_millis = 0;    ///< Batch submit -> last query done.
   double queries_per_second = 0;
   /// Latency distribution over exec_millis of queries that actually ran
@@ -299,6 +307,13 @@ class DebugService {
   /// shard, the process-wide tier every worker consults.
   VerdictCache* shared_cache() { return shard_cache(0); }
 
+  /// Shard `i`'s adaptive tier (p_a model + planner), or null when the
+  /// debugger template has `adaptive` off. Shared by the shard's workers
+  /// the same way they share the verdict partition and flat-index tier.
+  AdaptiveState* shard_adaptive(size_t shard) {
+    return shards_[shard]->adaptive.get();
+  }
+
   /// Point-in-time per-shard counters accumulated since construction or
   /// the last ResetShardCounters()/RunBatch (RunBatch resets on entry so
   /// its aggregate reports per-batch deltas).
@@ -368,6 +383,8 @@ class DebugService {
                                     ///< victim selection and idle checks.
     VerdictCache cache;
     SharedFlatRowIndexManager flat_indexes;
+    /// Shard-shared adaptive tier; null when adaptive mode is off.
+    std::unique_ptr<AdaptiveState> adaptive;
     std::atomic<size_t> workers{0};
     std::atomic<size_t> routed{0};
     std::atomic<size_t> executed{0};

@@ -40,6 +40,9 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
       << ",\"checkpoints\":" << stats.checkpoints
       << ",\"wal_replayed\":" << stats.wal_replayed
       << ",\"recovery_torn_bytes\":" << stats.recovery_torn_bytes
+      << ",\"planner_decisions\":" << stats.planner_decisions
+      << ",\"planner_explored\":" << stats.planner_explored
+      << ",\"pa_observations\":" << stats.pa_observations
       << ",\"steals\":" << stats.steals
       << ",\"num_shards\":" << stats.num_shards
       << ",\"shared_cache\":{\"entries\":" << stats.shared_cache.entries
@@ -60,6 +63,7 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
         << ",\"max_queue_depth\":" << shard.max_queue_depth
         << ",\"local_cache_hits\":" << shard.local_cache_hits
         << ",\"remote_cache_hits\":" << shard.remote_cache_hits
+        << ",\"pa_observations\":" << shard.pa_observations
         << ",\"cache\":{\"entries\":" << shard.cache.entries
         << ",\"hits\":" << shard.cache.hits
         << ",\"misses\":" << shard.cache.misses

@@ -5,6 +5,7 @@
 #include "common/fault_injector.h"
 #include "common/timer.h"
 #include "lattice/canonical_label.h"
+#include "traversal/pa_model.h"
 
 namespace kwsdbg {
 
@@ -24,6 +25,9 @@ QueryEvaluator::QueryEvaluator(const Database* db, Executor* executor,
   }
   if (cache_ != nullptr || options_.fences != nullptr) {
     relations_memo_.resize(pl_->lattice().num_nodes());
+  }
+  if (options_.pa_model != nullptr) {
+    pa_bucket_ = SelectivityBucketFor(*pl_, index_);
   }
 }
 
@@ -84,13 +88,21 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
       // (tombstoned rows are invisible to every scan).
       const Table* t = db_->FindTable(table);
       if (t == nullptr) return Status::NotFound("no table " + table);
-      return t->live_rows() > 0;
+      const bool alive = t->live_rows() > 0;
+      if (options_.pa_model != nullptr) {
+        options_.pa_model->Observe(node.level, pa_bucket_, alive);
+      }
+      return alive;
     }
     const std::string* kw = pl_->binding().KeywordFor(v);
     if (kw != nullptr) {
       // The inverted index told Phase 1 the keyword occurs in this table; a
       // token occurrence implies the LIKE '%kw%' scan matches too.
-      return index_->TableContains(*kw, table);
+      const bool alive = index_->TableContains(*kw, table);
+      if (options_.pa_model != nullptr) {
+        options_.pa_model->Observe(node.level, pa_bucket_, alive);
+      }
+      return alive;
     }
     // Unbound keyword copy should have been pruned; fall through to SQL.
   }
@@ -126,6 +138,11 @@ StatusOr<bool> QueryEvaluator::IsAlive(NodeId id) {
   KWSDBG_ASSIGN_OR_RETURN(bool alive, executor_->IsNonEmpty(query));
   ++sql_executed_;
   sql_millis_ += timer.ElapsedMillis();
+  // A fresh SQL verdict is a free labeled p_a sample (cache hits above are
+  // not re-observed — they were sampled when first evaluated).
+  if (options_.pa_model != nullptr) {
+    options_.pa_model->Observe(node.level, pa_bucket_, alive);
+  }
   if (cache_ != nullptr) {
     cache_->Insert(CanonicalFor(id), binding_sig_, epoch, relset, alive,
                    rel_mask);

@@ -19,6 +19,8 @@
 
 namespace kwsdbg {
 
+class PaModel;
+
 /// Evaluation knobs.
 struct EvalOptions {
   /// Resolve level-1 nodes from the inverted index / catalog without SQL.
@@ -35,6 +37,13 @@ struct EvalOptions {
   /// indexes it reads mid-verdict. Null = single-writer deployment, no
   /// locking.
   RelationFences* fences = nullptr;
+  /// Online p_a model fed by this evaluator's verdicts (see
+  /// traversal/pa_model.h): fresh SQL verdicts and level-1 shortcut verdicts
+  /// are observed; cache hits and R1/R2-inferred statuses are not — each
+  /// verdict must be sampled exactly once. The model is thread-safe and
+  /// shared (frontier workers copy these options, so the same model sees
+  /// their verdicts too). Null = no observation.
+  PaModel* pa_model = nullptr;
 };
 
 /// Evaluates node aliveness for one interpretation. Not thread-safe itself
@@ -112,6 +121,8 @@ class QueryEvaluator {
   double sql_millis_ = 0;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
+  size_t pa_bucket_ = 0;  ///< Selectivity bucket of pl_'s binding (only
+                          ///< computed when a pa_model is attached).
 };
 
 }  // namespace kwsdbg

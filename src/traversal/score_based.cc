@@ -46,6 +46,22 @@ class ScoreBasedStrategy : public TraversalStrategy {
     const size_t num_nodes = pl.lattice().num_nodes();
     NodeStatusMap status(num_nodes);
     double pa = options_.alive_probability;
+    size_t pa_sample_sql = 0;
+
+    // Per-level p_a from the adaptive model, snapshotted at run start: the
+    // verdicts this run produces feed the model for *later* queries, never
+    // the schedule in flight, so the run is deterministic given the model
+    // state. A cold model yields the 0.5 prior at every level — the
+    // schedule is then bit-identical to static SBH @ 0.5.
+    std::vector<double> level_pa;
+    if (options_.pa_model != nullptr) {
+      const size_t bucket = SelectivityBucketFor(pl, evaluator->index());
+      const size_t max_level = pl.MaxRetainedLevel();
+      level_pa.resize(max_level + 1, options_.pa_model->options().prior);
+      for (size_t level = 1; level <= max_level; ++level) {
+        level_pa[level] = options_.pa_model->Estimate(level, bucket);
+      }
+    }
 
     // W: how many MTN search spaces each node belongs to.
     std::vector<int64_t> w(num_nodes, 0);
@@ -75,10 +91,13 @@ class ScoreBasedStrategy : public TraversalStrategy {
       TraversalResult partial = internal::BuildTruncatedOutcomes(pl, status);
       frontier.FillStats(&partial.stats);
       partial.stats.total_millis = total.ElapsedMillis();
+      partial.stats.pa_sample_sql = pa_sample_sql;
       return partial;
     };
 
-    if (options_.estimate_pa) {
+    // The sampling pass is retired when an observation-fed model is
+    // attached: the model's estimates cost no SQL at all.
+    if (options_.estimate_pa && options_.pa_model == nullptr) {
       PaEstimatorOptions est_options;
       est_options.sample_size = options_.estimator_sample_size;
       est_options.seed = options_.estimator_seed;
@@ -89,6 +108,7 @@ class ScoreBasedStrategy : public TraversalStrategy {
       }
       KWSDBG_ASSIGN_OR_RETURN(PaEstimate estimate, std::move(estimate_or));
       pa = estimate.alive_probability;
+      pa_sample_sql = estimate.sql_executed;
       // Fold the sampled classifications into the W/A/D accounting.
       for (NodeId n : pl.retained()) {
         if (status.IsKnown(n)) on_classified(n);
@@ -96,9 +116,11 @@ class ScoreBasedStrategy : public TraversalStrategy {
     }
 
     auto gain_of = [&](NodeId n) {
+      const double p =
+          level_pa.empty() ? pa : level_pa[pl.lattice().node(n).level];
       return static_cast<double>(w[n]) +
-             (1.0 - pa) * static_cast<double>(a_sum[n]) +
-             pa * static_cast<double>(d_sum[n]);
+             (1.0 - p) * static_cast<double>(a_sum[n]) +
+             p * static_cast<double>(d_sum[n]);
     };
     // The speculation depth: enough to keep every worker busy without
     // evaluating far down a ranking the inference rules may invalidate.
@@ -201,6 +223,7 @@ class ScoreBasedStrategy : public TraversalStrategy {
                             internal::BuildOutcomes(pl, status));
     frontier.FillStats(&result.stats);
     result.stats.total_millis = total.ElapsedMillis();
+    result.stats.pa_sample_sql = pa_sample_sql;
     return result;
   }
 

@@ -5,11 +5,13 @@
 #define KWSDBG_TRAVERSAL_STRATEGY_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "traversal/evaluator.h"
 #include "traversal/node_status.h"
+#include "traversal/pa_model.h"
 
 namespace kwsdbg {
 
@@ -68,6 +70,17 @@ struct TraversalStats {
   size_t page_reads = 0;      ///< Table pages read from disk.
   size_t page_evictions = 0;  ///< Buffer-pool frames displaced.
   size_t posting_reads = 0;   ///< Posting lists fetched from disk.
+  // Adaptive traversal (zero/empty without a planner or model attached).
+  size_t planner_decisions = 0;  ///< 1 when a StrategyPlanner picked the arm.
+  size_t planner_explored = 0;   ///< 1 when that pick was an exploration.
+  size_t pa_observations = 0;    ///< Verdicts fed to the PaModel by this run.
+  size_t pa_sample_sql = 0;      ///< SQL spent by the legacy estimate_pa
+                                 ///< sampling pass (already included in
+                                 ///< sql_queries; surfaced so the sampling
+                                 ///< cost is visible on its own).
+  std::string planned_strategy;  ///< Planner arm label; empty otherwise.
+  std::vector<PaBucketSnapshot> pa_buckets;  ///< Post-run model slice for the
+                                             ///< query's selectivity bucket.
 };
 
 /// Frontier-evaluation parallelism knobs (see parallel_frontier.h). The
@@ -125,11 +138,19 @@ struct SbhOptions {
   /// When true, estimate p_a by sampling a few retained nodes before the
   /// greedy loop (the paper's future-work suggestion). Sampled outcomes are
   /// recorded in the run's status map, so the SQL spent on sampling also
-  /// classifies part of the space. `alive_probability` is ignored.
+  /// classifies part of the space (that SQL is counted in sql_queries and
+  /// surfaced separately as pa_sample_sql). `alive_probability` is ignored.
+  /// Superseded by `pa_model`, which costs no SQL at all.
   bool estimate_pa = false;
   /// Nodes to sample when estimate_pa is set.
   size_t estimator_sample_size = 16;
   uint64_t estimator_seed = 1;
+  /// Online p_a model (see traversal/pa_model.h). When set, SBH reads a
+  /// per-level estimate for the query's selectivity bucket — snapshotted at
+  /// run start, so the schedule is deterministic given the model state —
+  /// and the estimate_pa sampling pass is skipped. A cold model yields the
+  /// 0.5 prior everywhere, reproducing static SBH @ 0.5 bit for bit.
+  const PaModel* pa_model = nullptr;
 };
 
 /// Factory. `parallel` configures batched frontier evaluation for every

@@ -39,7 +39,12 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 # `crash`-labeled forked power-cut cycles) runs the WAL framing, the
 # checkpoint codec, and recovery replay under all three tools; ubsan in
 # particular watches the byte-level frame encode/decode paths.
-CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|MutationTest|IncrementalIndexTest|LiveMutationTest|WalTest|CheckpointTest|RelationFencesTest|DurableServiceTest|CrashRecoveryTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke|mutation_smoke|durability_smoke'
+# The adaptive set (PaModelTest, StrategyPlannerTest, AdaptiveColdStartTest,
+# AdaptiveParityTest, AdaptiveDriftTest, plus adaptive_smoke — the planner
+# gate in bench/adaptive_workload) runs here for tsan's sake: the p_a model
+# is a lock-free atomic-counter table shared across service workers, and its
+# decay path (SyncDataVersion) CAS-races against concurrent observers.
+CONCURRENCY_TESTS='DifferentialFuzzTest|SharedCacheEpochTest|DebugServiceTest|ShardedServiceTest|ShardedParityTest|WorkStealingTest|SubmitTest|HomeShardTest|ComputeServiceStatsTest|ServiceStatsIntegrationTest|ShardIndexForHashTest|ParallelAgreementTest|ParallelOracleTest|LruCacheTest|VerdictCacheTest|FailureInjectionTest|ChaosTest|ChaosFuzzTest|ChaosPropagationTest|FaultInjectorTest|FlatRowIndexTest|BufferPoolTest|PageCodecTest|DiskManagerTest|SpillTest|SpillEpochTest|PostingStoreTest|ExecutorSpillTest|MutationTest|IncrementalIndexTest|LiveMutationTest|WalTest|CheckpointTest|RelationFencesTest|DurableServiceTest|CrashRecoveryTest|resilience_smoke|probe_engine_smoke|service_scale_smoke|storage_tier_smoke|mutation_smoke|durability_smoke|PaModelTest|StrategyPlannerTest|AdaptiveColdStartTest|AdaptiveParityTest|AdaptiveDriftTest|adaptive_smoke'
 
 : "${KWSDBG_FUZZ_ITERS:=200}"
 export KWSDBG_FUZZ_ITERS

@@ -200,6 +200,28 @@ std::optional<std::string> Disagreement(const FuzzCase& fc, uint64_t seed,
     }
   }
 
+  // Layer 2d: adaptive traversal differential — a planner with forced
+  // exploration (eps = 1) plus an observation-fed p_a model must classify
+  // bit-identically. Two passes: the first runs cold, the second replays
+  // against the warmed model (SBH reads learned per-level estimates).
+  {
+    DebuggerOptions adaptive_options;
+    adaptive_options.adaptive = true;
+    adaptive_options.adaptive_options.planner.explore_eps = 1.0;
+    adaptive_options.adaptive_options.planner.seed = seed;
+    NonAnswerDebugger adaptive(fc.db.get(), fc.lattice.get(), fc.index.get(),
+                               adaptive_options);
+    for (int pass = 0; pass < 2; ++pass) {
+      auto report = adaptive.Debug(query);
+      KWSDBG_CHECK(report.ok()) << report.status().ToString();
+      if (report->ClassificationSignature() != serial_sig) {
+        return std::string("adaptive (forced exploration) classification "
+                           "differs from serial on pass ") +
+               (pass == 0 ? "1 (cold model)" : "2 (warm model)");
+      }
+    }
+  }
+
   ServiceOptions service_options;
   service_options.num_workers = 4;
   DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),
@@ -324,9 +346,16 @@ TEST(DifferentialFuzzTest, ChaosMutationsNeverServeStaleVerdicts) {
           std::to_string(seed));
     }
 
+    // The service runs in adaptive mode with a forced-exploration planner:
+    // every write bumps a data epoch, so the per-shard models keep decaying
+    // and re-learning mid-stream — the rebuilt-world oracle below catches
+    // any verdict the model-fed traversal gets wrong under drift.
     ServiceOptions service_options;
     service_options.num_workers = 2;
     service_options.num_shards = 2;
+    service_options.debugger.adaptive = true;
+    service_options.debugger.adaptive_options.planner.explore_eps = 1.0;
+    service_options.debugger.adaptive_options.planner.seed = seed;
     DebugService service(fc.db.get(), fc.lattice.get(), fc.index.get(),
                          service_options);
     ASSERT_NE(service.mutator(), nullptr);
